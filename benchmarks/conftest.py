@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark module reproduces one experiment from EXPERIMENTS.md (the
+paper is a theory paper, so its "tables and figures" are its theorems; each
+benchmark regenerates the measured-versus-predicted series for one of them).
+Benchmarks both *time* a representative workload (via pytest-benchmark) and
+*print* the reproduced table, and they assert the qualitative shape the paper
+proves so that a regression in the algorithms is caught here too.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+
+
+def emit(title: str, headers, rows) -> None:
+    """Print one experiment table in a uniform format."""
+    print()
+    print(f"== {title} ==")
+    print(format_table(headers, rows))
+
+
+@pytest.fixture(scope="session")
+def table_printer():
+    """Fixture handing benchmarks the shared table emitter."""
+    return emit

@@ -1,0 +1,63 @@
+"""E1 (Theorem 2.1): variability of monotone and nearly monotone streams.
+
+Paper claim: monotone streams have ``v(n) = O(log f(n))``; nearly monotone
+streams (deletions bounded by ``beta f(n)``) have
+``v(n) = O(beta log(beta f(n)))``.  The benchmark sweeps the stream length,
+reports measured variability next to the closed-form bound, and checks that
+the measured growth fits a logarithmic shape (and not a polynomial one).
+"""
+
+import pytest
+
+from repro.analysis import fit_growth
+from repro.analysis.bounds import monotone_variability_bound, nearly_monotone_variability_bound
+from repro.core import variability
+from repro.streams import database_size_trace, monotone_stream, nearly_monotone_stream
+
+LENGTHS = [1_024, 4_096, 16_384, 65_536, 262_144]
+
+
+def _measure():
+    rows = []
+    monotone_values = []
+    nearly_values = []
+    for n in LENGTHS:
+        v_monotone = variability(monotone_stream(n).deltas)
+        nearly = nearly_monotone_stream(n, deletion_fraction=0.25, seed=1)
+        v_nearly = variability(nearly.deltas)
+        trace = database_size_trace(n, seed=2)
+        v_trace = variability(trace.deltas)
+        monotone_values.append(v_monotone)
+        nearly_values.append(v_nearly)
+        rows.append(
+            [
+                n,
+                round(v_monotone, 2),
+                round(monotone_variability_bound(n), 2),
+                round(v_nearly, 2),
+                round(nearly_monotone_variability_bound(1.0, max(nearly.final_value(), 2)), 2),
+                round(v_trace, 2),
+            ]
+        )
+    return rows, monotone_values, nearly_values
+
+
+def test_bench_e01_variability_monotone(benchmark, table_printer):
+    rows, monotone_values, nearly_values = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    table_printer(
+        "E1 / Theorem 2.1 — variability of (nearly) monotone streams",
+        ["n", "v monotone", "bound 1+ln f", "v nearly-mono", "bound beta=1", "v db trace"],
+        rows,
+    )
+    # Monotone variability is within the closed-form bound at every length.
+    for row in rows:
+        assert row[1] <= row[2]
+        assert row[3] <= row[4]
+    # The measured shape is logarithmic, not polynomial, in n.
+    fit = fit_growth(LENGTHS, monotone_values)
+    assert fit.best_shape == "log"
+    nearly_fit = fit_growth(LENGTHS, nearly_values)
+    assert nearly_fit.best_shape == "log"
+    assert not nearly_fit.shape_is_consistent("linear", tolerance=0.1)

@@ -1,0 +1,59 @@
+"""E2 (Theorem 2.2): expected variability of symmetric random walks.
+
+Paper claim: for i.i.d. fair ``+-1`` increments, ``E[v(n)] = O(sqrt(n) log n)``.
+The benchmark sweeps ``n``, averages the measured variability over several
+seeds, reports it next to the ``sqrt(n) log n`` bound, and checks the growth
+shape sits in the sqrt family rather than the linear one.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_growth, repeat_variability
+from repro.analysis.bounds import random_walk_variability_bound
+from repro.streams import random_walk_stream
+
+LENGTHS = [2_000, 8_000, 32_000, 128_000]
+TRIALS = 5
+
+
+def _measure():
+    rows = []
+    means = []
+    for n in LENGTHS:
+        stats = repeat_variability(
+            lambda seed, n=n: random_walk_stream(n, seed=seed), trials=TRIALS, seed=1_000
+        )
+        means.append(stats["mean"])
+        rows.append(
+            [
+                n,
+                round(stats["mean"], 1),
+                round(stats["std"], 1),
+                round(random_walk_variability_bound(n), 1),
+                round(stats["mean"] / math.sqrt(n), 3),
+                round(stats["mean"] / n, 4),
+            ]
+        )
+    return rows, means
+
+
+def test_bench_e02_variability_random_walk(benchmark, table_printer):
+    rows, means = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        "E2 / Theorem 2.2 — E[v(n)] for fair coin flips",
+        ["n", "mean v", "std", "sqrt(n)log n bound", "v/sqrt(n)", "v/n"],
+        rows,
+    )
+    # Within the bound (up to a small constant, since the paper's statement is
+    # big-O) at every length, and clearly sub-linear:
+    for row, n in zip(rows, LENGTHS):
+        assert row[1] <= 2.0 * random_walk_variability_bound(n)
+        assert row[1] >= 0.5 * math.sqrt(n)
+        assert row[1] <= 0.25 * n
+    # The normalised ratio v/n shrinks as n grows (sub-linearity).
+    ratios = [row[5] for row in rows]
+    assert ratios == sorted(ratios, reverse=True)
+    fit = fit_growth(LENGTHS, means)
+    assert fit.best_shape in ("sqrt", "sqrt_log")

@@ -1,0 +1,74 @@
+"""E3 (Theorem 2.4): expected variability of biased random walks.
+
+Paper claim: for i.i.d. ``+-1`` increments with drift ``mu``,
+``E[v(n)] = O(log(n) / mu)``.  The benchmark sweeps the drift at a fixed
+length and the length at a fixed drift, reporting measured means against the
+``log(n)/mu`` form, and checks the two monotonicities the formula implies
+(decreasing in ``mu``, logarithmic in ``n``).
+"""
+
+import pytest
+
+from repro.analysis import fit_growth, repeat_variability
+from repro.analysis.bounds import biased_walk_variability_bound
+from repro.streams import biased_walk_stream
+
+DRIFTS = [0.05, 0.1, 0.2, 0.4, 0.8]
+FIXED_N = 64_000
+LENGTHS = [4_000, 16_000, 64_000, 256_000]
+FIXED_DRIFT = 0.4
+TRIALS = 4
+
+
+def _measure():
+    drift_rows = []
+    for drift in DRIFTS:
+        stats = repeat_variability(
+            lambda seed, d=drift: biased_walk_stream(FIXED_N, drift=d, seed=seed),
+            trials=TRIALS,
+            seed=2_000,
+        )
+        drift_rows.append(
+            [
+                drift,
+                round(stats["mean"], 1),
+                round(biased_walk_variability_bound(FIXED_N, drift), 1),
+                round(stats["mean"] * drift, 2),
+            ]
+        )
+    length_rows = []
+    length_means = []
+    for n in LENGTHS:
+        stats = repeat_variability(
+            lambda seed, n=n: biased_walk_stream(n, drift=FIXED_DRIFT, seed=seed),
+            trials=TRIALS,
+            seed=3_000,
+        )
+        length_means.append(stats["mean"])
+        length_rows.append(
+            [n, round(stats["mean"], 1), round(biased_walk_variability_bound(n, FIXED_DRIFT), 1)]
+        )
+    return drift_rows, length_rows, length_means
+
+
+def test_bench_e03_variability_biased_walk(benchmark, table_printer):
+    drift_rows, length_rows, length_means = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        f"E3 / Theorem 2.4 — E[v] vs drift (n = {FIXED_N})",
+        ["mu", "mean v", "log(n)/mu", "v * mu"],
+        drift_rows,
+    )
+    table_printer(
+        f"E3 / Theorem 2.4 — E[v] vs n (mu = {FIXED_DRIFT})",
+        ["n", "mean v", "log(n)/mu"],
+        length_rows,
+    )
+    # Decreasing in the drift.
+    means_by_drift = [row[1] for row in drift_rows]
+    assert means_by_drift == sorted(means_by_drift, reverse=True)
+    # Within a modest constant of the log(n)/mu form everywhere.
+    for row in drift_rows:
+        assert row[1] <= 8.0 * row[2]
+    # Logarithmic (not polynomial) growth in n at fixed drift.
+    fit = fit_growth(LENGTHS, length_means)
+    assert fit.best_shape == "log"

@@ -1,0 +1,96 @@
+"""E4 (Section 3.1): structural facts of the block partition.
+
+Paper claims: the partition costs at most ``5k`` messages per block, every
+completed block increases the variability by at least a constant (``1/5`` in
+the paper with its looser length bound; ``1/10`` with the trigger threshold
+used here), and consequently the number of blocks — and hence the partition's
+total communication — is ``O(k v)`` rather than ``O(n)``.
+"""
+
+import pytest
+
+from repro.core import BlockPartitioner, DeterministicCounter, variability
+from repro.monitoring.messages import MessageKind
+from repro.streams import assign_sites, biased_walk_stream, monotone_stream, random_walk_stream
+
+STREAMS = {
+    "monotone": lambda n: monotone_stream(n),
+    "biased_walk": lambda n: biased_walk_stream(n, drift=0.5, seed=11),
+    "random_walk": lambda n: random_walk_stream(n, seed=12),
+}
+N = 40_000
+SITE_COUNTS = [1, 4, 16]
+
+
+def _partition_stats(spec, num_sites):
+    partitioner = BlockPartitioner(num_sites=num_sites)
+    partitioner.update_many(spec.deltas)
+    blocks = partitioner.finish()
+    complete = [b for b in blocks if b.complete]
+    min_gain = min((b.variability_gain for b in complete), default=0.0)
+    return len(blocks), min_gain
+
+
+def _partition_messages(spec, num_sites):
+    network = DeterministicCounter(num_sites, 0.5).build_network()
+    network.channel.enable_log()
+    for update in assign_sites(spec, num_sites):
+        network.deliver_update(update.time, update.site, update.delta)
+    by_kind = network.stats.by_kind
+    count_reports = sum(
+        1
+        for message in network.channel.log
+        if message.kind is MessageKind.REPORT and "count" in message.payload
+    )
+    partition_messages = (
+        by_kind.get("request", 0)
+        + by_kind.get("reply", 0)
+        + by_kind.get("broadcast", 0)
+        + count_reports
+    )
+    return partition_messages, network.coordinator.blocks_completed
+
+
+def _measure():
+    rows = []
+    for name, factory in STREAMS.items():
+        spec = factory(N)
+        v = variability(spec.deltas)
+        for num_sites in SITE_COUNTS:
+            blocks, min_gain = _partition_stats(spec, num_sites)
+            partition_messages, completed = _partition_messages(spec, num_sites)
+            per_block = partition_messages / max(completed, 1)
+            rows.append(
+                [
+                    name,
+                    num_sites,
+                    round(v, 1),
+                    blocks,
+                    round(min_gain, 3),
+                    partition_messages,
+                    round(per_block, 2),
+                    round(partition_messages / (num_sites * max(v, 1.0)), 2),
+                ]
+            )
+    return rows
+
+
+def test_bench_e04_block_partition(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        "E4 / Section 3.1 — block partition structure and cost",
+        ["stream", "k", "v(n)", "blocks", "min gain", "partition msgs", "msgs/block", "msgs/(k v)"],
+        rows,
+    )
+    for row in rows:
+        name, num_sites, v, blocks, min_gain, messages, per_block, normalised = row
+        # Every completed block gains at least 1/10 variability.
+        assert min_gain >= 0.1 - 1e-9
+        # Per-block partition cost is at most 5k (+ the trailing partial block).
+        assert per_block <= 5 * num_sites + 1
+        # Total partition cost is O(k v): at most the paper's 25 k v + 3 k.
+        assert messages <= 25 * num_sites * v + 3 * num_sites
+    # Blocks track variability: the monotone stream needs far fewer blocks
+    # than the random walk of the same length.
+    blocks_by_stream = {row[0]: row[3] for row in rows if row[1] == 4}
+    assert blocks_by_stream["monotone"] < blocks_by_stream["random_walk"] / 5

@@ -1,0 +1,77 @@
+"""E5 (Section 3.3): the deterministic tracker's guarantee and message cost.
+
+Paper claims: at every timestep ``|f - fhat| <= eps |f|``, and the total
+number of messages is ``O(k v(n) / eps)``.  The benchmark sweeps the number of
+sites and the error parameter over several stream classes and reports the
+maximum relative error, the message count and the message count normalised by
+``k v / eps`` (which the bound says should be bounded by a constant).
+"""
+
+import pytest
+
+from repro.analysis.bounds import deterministic_message_bound
+from repro.core import DeterministicCounter, variability
+from repro.streams import (
+    assign_sites,
+    biased_walk_stream,
+    database_size_trace,
+    monotone_stream,
+    random_walk_stream,
+)
+
+N = 30_000
+STREAMS = {
+    "monotone": lambda: monotone_stream(N),
+    "biased_walk": lambda: biased_walk_stream(N, drift=0.5, seed=21),
+    "db_trace": lambda: database_size_trace(N, seed=22),
+    "random_walk": lambda: random_walk_stream(N, seed=23),
+}
+SITE_COUNTS = [2, 8]
+EPSILONS = [0.05, 0.2]
+
+
+def _measure():
+    rows = []
+    for name, make in STREAMS.items():
+        spec = make()
+        v = variability(spec.deltas)
+        for num_sites in SITE_COUNTS:
+            updates = assign_sites(spec, num_sites)
+            for epsilon in EPSILONS:
+                result = DeterministicCounter(num_sites, epsilon).track(
+                    updates, record_every=7
+                )
+                bound = deterministic_message_bound(num_sites, epsilon, v)
+                rows.append(
+                    [
+                        name,
+                        num_sites,
+                        epsilon,
+                        round(v, 1),
+                        round(result.max_relative_error(), 4),
+                        result.total_messages,
+                        round(bound, 0),
+                        round(result.total_messages / (num_sites * max(v, 1.0) / epsilon), 3),
+                    ]
+                )
+    return rows
+
+
+def test_bench_e05_deterministic_tracker(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        "E5 / Section 3.3 — deterministic tracker",
+        ["stream", "k", "eps", "v(n)", "max rel err", "messages", "5kv/eps bound", "msgs/(kv/eps)"],
+        rows,
+    )
+    for row in rows:
+        name, num_sites, epsilon, v, max_error, messages, bound, normalised = row
+        # The guarantee holds on every stream class and parameter setting.
+        assert max_error <= epsilon + 1e-9
+        # Communication is within the paper's explicit O(k v / eps) constant.
+        assert messages <= bound
+    # Low-variability streams are tracked far below one message per update,
+    # which is the whole point of the framework.
+    cheap = [r for r in rows if r[0] in ("monotone", "biased_walk", "db_trace") and r[2] == 0.2]
+    for row in cheap:
+        assert row[5] < 0.25 * N

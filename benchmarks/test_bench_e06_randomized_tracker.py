@@ -1,0 +1,89 @@
+"""E6 (Section 3.4): the randomized tracker's guarantee and message cost.
+
+Paper claims: at every timestep ``P(|f - fhat| > eps |f|) < 1/3``, and the
+expected number of messages is ``O((k + sqrt(k)/eps) v(n))`` — i.e. a
+``sqrt(k)`` improvement over the deterministic tracker's estimation traffic,
+which shows up once ``k`` is large.  The benchmark sweeps ``k``, reports the
+violation fraction and the estimation-message counts of both trackers, and
+checks the crossover.
+"""
+
+import pytest
+
+from repro.analysis.bounds import randomized_message_bound
+from repro.core import DeterministicCounter, RandomizedCounter, variability
+from repro.monitoring.messages import MessageKind
+from repro.streams import assign_sites, biased_walk_stream
+
+N = 30_000
+EPSILON = 0.2
+SITE_COUNTS = [4, 16, 64]
+
+
+def _estimation_messages(factory, updates):
+    network = factory.build_network()
+    network.channel.enable_log()
+    for update in updates:
+        network.deliver_update(update.time, update.site, update.delta)
+    estimation = sum(
+        1
+        for message in network.channel.log
+        if message.kind is MessageKind.REPORT and "count" not in message.payload
+    )
+    return estimation, network.stats.messages
+
+
+def _measure():
+    spec = biased_walk_stream(N, drift=0.7, seed=31)
+    v = variability(spec.deltas)
+    rows = []
+    for num_sites in SITE_COUNTS:
+        updates = assign_sites(spec, num_sites)
+        randomized = RandomizedCounter(num_sites, EPSILON, seed=32)
+        deterministic = DeterministicCounter(num_sites, EPSILON)
+        random_result = randomized.track(updates, record_every=7)
+        rand_est, rand_total = _estimation_messages(
+            RandomizedCounter(num_sites, EPSILON, seed=33), updates
+        )
+        det_est, det_total = _estimation_messages(deterministic, updates)
+        rows.append(
+            [
+                num_sites,
+                round(v, 1),
+                round(random_result.violation_fraction(EPSILON), 4),
+                rand_est,
+                det_est,
+                rand_total,
+                det_total,
+                round(randomized_message_bound(num_sites, EPSILON, v), 0),
+            ]
+        )
+    return rows
+
+
+def test_bench_e06_randomized_tracker(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        f"E6 / Section 3.4 — randomized tracker (eps = {EPSILON}, biased walk, n = {N})",
+        [
+            "k",
+            "v(n)",
+            "violation frac",
+            "rand est msgs",
+            "det est msgs",
+            "rand total",
+            "det total",
+            "rand bound",
+        ],
+        rows,
+    )
+    for row in rows:
+        num_sites, v, violations, rand_est, det_est, rand_total, det_total, bound = row
+        # Correctness: violations stay below the paper's 1/3 (empirically far below).
+        assert violations < 1.0 / 3.0
+        # Expected-communication bound with slack for a single run.
+        assert rand_total <= 2.0 * bound
+    # The sqrt(k) advantage appears at large k: estimation traffic of the
+    # randomized tracker drops below the deterministic tracker's.
+    largest = rows[-1]
+    assert largest[3] < largest[4]

@@ -1,0 +1,78 @@
+"""E10 (Theorem 4.2 / Lemmas 4.3-4.4): the randomized lower-bound construction.
+
+Paper claim: there is a family of ``exp(Omega(v/eps))`` sequences, each of
+variability at most ``v``, in which no two sequences match (overlap in 60% of
+positions), which forces any 99%-correct tracing summary to use
+``Omega(v/eps)`` bits.  The worst-case constants (32400, the Chung et al.
+constant C) put the literal construction far beyond experimental reach, so the
+benchmark samples families from the same distribution at moderate parameters
+and verifies the two structural properties plus the overlap concentration the
+Markov-chain argument predicts.
+"""
+
+import pytest
+
+from repro.lowerbounds import OverlapChain, RandomizedFlipFamily
+
+PARAMETERS = [
+    # (n, eps, variability budget, family size)
+    (1_000, 0.25, 150.0, 10),
+    (2_000, 0.25, 300.0, 10),
+    (2_000, 0.5, 400.0, 10),
+    (4_000, 0.125, 400.0, 8),
+]
+
+
+def _measure():
+    rows = []
+    for n, epsilon, budget, size in PARAMETERS:
+        family = RandomizedFlipFamily(n=n, epsilon=epsilon, variability_budget=budget)
+        members = family.sample_family(size, seed=int(n * 7 + 1 / epsilon))
+        report = family.check_family(members)
+        chain = OverlapChain(family.flip_probability)
+        rows.append(
+            [
+                n,
+                epsilon,
+                budget,
+                size,
+                report.matching_pairs,
+                round(report.max_overlap_fraction, 3),
+                round(report.max_variability, 1),
+                report.over_budget_members,
+                round(chain.mixing_time_bound(), 1),
+                round(family.expected_flips(), 1),
+            ]
+        )
+    return rows
+
+
+def test_bench_e10_lowerbound_randomized(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        "E10 / Lemma 4.4 — sampled randomized hard families",
+        [
+            "n",
+            "eps",
+            "v budget",
+            "family size",
+            "matching pairs",
+            "max overlap frac",
+            "max member v",
+            "over budget",
+            "mixing bound",
+            "E[flips]",
+        ],
+        rows,
+    )
+    for row in rows:
+        n, epsilon, budget, size, matches, max_overlap, max_v, over_budget, mixing, flips = row
+        # Property 1: no two sampled sequences match (overlap < 60%).
+        assert matches == 0
+        assert max_overlap < 0.6
+        # Property 2: every member's variability is within the budget v.
+        assert over_budget == 0
+        assert max_v <= budget
+        # The Markov-chain mixing-time bound is modest relative to n, which is
+        # what makes the Chernoff-style concentration of the overlap effective.
+        assert mixing < n

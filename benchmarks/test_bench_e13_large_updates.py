@@ -1,0 +1,95 @@
+"""E13 (Appendix C): simulating large updates with unit updates.
+
+Paper claim: an update ``|f'(n)| > 1`` can be replaced by ``|f'(n)|`` unit
+updates at an ``O(log max |f'|)`` multiplicative overhead in variability
+(Theorem C.1 bounds the per-jump cost by a harmonic-number term for positive
+jumps and a constant factor for negative ones).  The benchmark expands bursty
+integer streams with growing jump sizes, measures the variability before and
+after expansion, and compares against the closed-form per-jump bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import expand_stream, variability
+from repro.core.expansion import expansion_variability_overhead, harmonic_number
+from repro.streams.model import StreamSpec
+
+JUMP_SCALES = [2, 8, 32, 128]
+STEPS = 2_000
+
+
+def _jumpy_stream(scale, seed):
+    """A stream of mostly-positive jumps of magnitude about ``scale``."""
+    rng = np.random.default_rng(seed)
+    deltas = []
+    value = 0
+    for _ in range(STEPS):
+        magnitude = int(rng.integers(1, scale + 1))
+        sign = 1 if value < magnitude or rng.random() < 0.7 else -1
+        delta = sign * magnitude
+        value += delta
+        deltas.append(delta)
+    return StreamSpec(name=f"jumpy_{scale}", deltas=tuple(deltas))
+
+
+def _per_jump_bound_total(spec):
+    total = 0.0
+    value = 0
+    for delta in spec.deltas:
+        total += expansion_variability_overhead(value, delta)
+        value += delta
+    return total
+
+
+def _measure():
+    rows = []
+    for scale in JUMP_SCALES:
+        spec = _jumpy_stream(scale, seed=80 + scale)
+        expanded = expand_stream(spec)
+        original_v = variability(spec.deltas)
+        expanded_v = variability(expanded.deltas)
+        bound = _per_jump_bound_total(spec)
+        rows.append(
+            [
+                scale,
+                spec.length,
+                expanded.length,
+                round(original_v, 1),
+                round(expanded_v, 1),
+                round(bound, 1),
+                round(expanded_v / max(original_v, 1e-9), 2),
+                round(1.0 + harmonic_number(scale), 2),
+            ]
+        )
+    return rows
+
+
+def test_bench_e13_large_updates(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        "E13 / Appendix C — expanding large updates to unit updates",
+        [
+            "max |f'|",
+            "n original",
+            "n expanded",
+            "v original",
+            "v expanded",
+            "per-jump bound",
+            "inflation",
+            "1 + H(max |f'|)",
+        ],
+        rows,
+    )
+    for row in rows:
+        scale, n_orig, n_exp, v_orig, v_exp, bound, inflation, harmonic_factor = row
+        # The expansion preserves the trajectory but lengthens the stream.
+        assert n_exp >= n_orig
+        # Measured expanded variability is within the Theorem C.1 per-jump bound.
+        assert v_exp <= bound + 1e-6
+        # The inflation factor stays within the O(log max |f'|) regime
+        # (a constant times 1 + H(max|f'|)).
+        assert inflation <= 3.0 * harmonic_factor
+    # Inflation grows (at most logarithmically) with the jump scale.
+    inflations = [row[6] for row in rows]
+    assert inflations[-1] <= 3.0 * (1.0 + harmonic_number(JUMP_SCALES[-1]))

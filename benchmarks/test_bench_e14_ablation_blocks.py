@@ -1,0 +1,75 @@
+"""E14 (ablation): what the block partition buys.
+
+DESIGN.md calls out the block partition (Section 3.1) as the design choice
+that converts a fixed additive-threshold protocol into one with a relative
+guarantee.  The ablation replaces the adaptive per-block threshold
+``eps * 2^r`` with a fixed site threshold ``T`` (no blocks, no
+re-synchronisation) and shows that every fixed choice of ``T`` either loses
+the guarantee (large ``T``) or degenerates to one message per update
+(``T = 1``), while the paper's tracker gets both.
+"""
+
+import pytest
+
+from repro.baselines import StaticThresholdCounter
+from repro.core import DeterministicCounter, variability
+from repro.streams import assign_sites, biased_walk_stream
+
+N = 30_000
+NUM_SITES = 4
+EPSILON = 0.1
+THRESHOLDS = [1, 4, 16, 64, 256]
+
+
+def _measure():
+    spec = biased_walk_stream(N, drift=0.5, seed=91)
+    updates = assign_sites(spec, NUM_SITES)
+    v = variability(spec.deltas)
+    rows = []
+    for threshold in THRESHOLDS:
+        result = StaticThresholdCounter(NUM_SITES, threshold, epsilon=EPSILON).track(
+            updates, record_every=9
+        )
+        rows.append(
+            [
+                f"static T={threshold}",
+                result.total_messages,
+                round(result.total_messages / N, 3),
+                round(result.max_relative_error(), 4),
+                round(result.violation_fraction(EPSILON), 4),
+            ]
+        )
+    adaptive = DeterministicCounter(NUM_SITES, EPSILON).track(updates, record_every=9)
+    rows.append(
+        [
+            "adaptive blocks (paper)",
+            adaptive.total_messages,
+            round(adaptive.total_messages / N, 3),
+            round(adaptive.max_relative_error(), 4),
+            round(adaptive.violation_fraction(EPSILON), 4),
+        ]
+    )
+    return rows, v
+
+
+def test_bench_e14_ablation_blocks(benchmark, table_printer):
+    rows, v = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        f"E14 — ablation of the block partition (k = {NUM_SITES}, eps = {EPSILON}, v = {v:.0f})",
+        ["tracker", "messages", "msgs/update", "max rel err", "violation frac"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    adaptive = by_name["adaptive blocks (paper)"]
+    # The paper's tracker keeps the guarantee.
+    assert adaptive[3] <= EPSILON + 1e-9
+    # Exhaustive static sweep: every threshold either loses the guarantee or
+    # pays ~1 message per update (T = 1 is exact but maximally chatty).
+    for threshold in THRESHOLDS:
+        row = by_name[f"static T={threshold}"]
+        exact_but_chatty = row[2] >= 0.9
+        violates = row[4] > 0.0
+        assert exact_but_chatty or violates
+    # And the adaptive tracker is cheaper than the only static setting that
+    # preserves correctness (T = 1, i.e. naive forwarding per site).
+    assert adaptive[1] < by_name["static T=1"][1]

@@ -1,0 +1,130 @@
+"""E15 (extension; Tao et al. connection): historical quantile summaries.
+
+The paper restates Tao et al.'s bounds for summarising the order-statistics
+history of an insert/delete dataset in terms of the ``|D|``-variability:
+``Omega(v/eps)`` space is necessary and ``~(1/eps) polylog(1/eps) v`` is
+achievable.  This extension experiment drives the checkpointing tracker of
+:mod:`repro.core.history_quantiles` over datasets of very different
+variability but equal length, and shows that the retained summary scales with
+``v``, not with the stream length, while historical quantile queries stay
+within the ``eps |D(t)|`` rank-error budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.history_quantiles import HistoricalQuantileTracker, ValueUpdate
+
+N = 20_000
+EPSILON = 0.1
+
+
+def _insert_heavy(seed):
+    """Mostly-growing dataset: low |D|-variability."""
+    rng = np.random.default_rng(seed)
+    live, updates = [], []
+    for _ in range(N):
+        if live and rng.random() < 0.15:
+            value = live.pop(int(rng.integers(0, len(live))))
+            updates.append(ValueUpdate(value=value, delta=-1))
+        else:
+            value = float(rng.integers(0, 100_000))
+            live.append(value)
+            updates.append(ValueUpdate(value=value, delta=+1))
+    return updates
+
+
+def _churning(seed, ceiling=100):
+    """Dataset that hovers around ``ceiling`` under heavy churn: high |D|-variability."""
+    rng = np.random.default_rng(seed)
+    live, updates = [], []
+    for _ in range(N):
+        delete_probability = 0.75 if len(live) >= ceiling else 0.05
+        if live and rng.random() < delete_probability:
+            value = live.pop(int(rng.integers(0, len(live))))
+            updates.append(ValueUpdate(value=value, delta=-1))
+        else:
+            value = float(rng.integers(0, 100_000))
+            live.append(value)
+            updates.append(ValueUpdate(value=value, delta=+1))
+    return updates
+
+
+def _dataset_at(updates, time):
+    values = []
+    for update in updates[:time]:
+        if update.delta > 0:
+            values.append(update.value)
+        else:
+            values.remove(update.value)
+    return sorted(values)
+
+
+def _max_rank_error_ratio(tracker, updates, query_times):
+    worst = 0.0
+    for time in query_times:
+        dataset = _dataset_at(updates, time)
+        size = len(dataset)
+        if size == 0:
+            continue
+        for phi in (0.25, 0.5, 0.75):
+            rank = max(1, int(np.ceil(phi * size)))
+            answer = tracker.query_rank(time, rank)
+            low = np.searchsorted(dataset, answer, side="left") + 1
+            high = np.searchsorted(dataset, answer, side="right")
+            error = 0 if low <= rank <= high else min(abs(rank - low), abs(rank - high))
+            worst = max(worst, error / size)
+    return worst
+
+
+def _measure():
+    rows = []
+    workloads = {"insert-heavy (low v)": _insert_heavy(1), "churning (high v)": _churning(2)}
+    for name, updates in workloads.items():
+        tracker = HistoricalQuantileTracker(epsilon=EPSILON)
+        tracker.update_many(updates)
+        query_times = list(range(N // 10, N + 1, N // 10))
+        error_ratio = _max_rank_error_ratio(tracker, updates, query_times)
+        rows.append(
+            [
+                name,
+                N,
+                round(tracker.variability, 1),
+                len(tracker.checkpoints),
+                tracker.summary_size_values(),
+                round(tracker.summary_size_values() / N, 3),
+                round(error_ratio, 4),
+            ]
+        )
+    return rows
+
+
+def test_bench_e15_historical_quantiles(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        f"E15 — historical quantile summaries (n = {N}, eps = {EPSILON})",
+        [
+            "workload",
+            "n",
+            "|D|-variability",
+            "checkpoints",
+            "summary values",
+            "summary/n",
+            "max rank err / |D|",
+        ],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    low_v = by_name["insert-heavy (low v)"]
+    high_v = by_name["churning (high v)"]
+    for row in rows:
+        # Historical queries stay within ~eps |D(t)| rank error.
+        assert row[6] <= 2 * EPSILON + 1e-9
+        # Checkpoints are bounded by 2 v / eps + 1.
+        assert row[3] <= 2 * row[2] / EPSILON + 1
+    # The summary scales with variability, not with n: the low-variability
+    # workload retains a summary far smaller than the stream, and the churning
+    # workload's summary grows in proportion to its (much larger) variability.
+    assert low_v[4] < 0.5 * N
+    assert high_v[2] > 10 * low_v[2]
+    assert high_v[4] > 5 * low_v[4]

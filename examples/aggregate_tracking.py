@@ -1,0 +1,93 @@
+"""Tracking a general aggregate (the second frequency moment) with one site.
+
+Section 5.2 / Appendix I observe that when there is a single site, *any*
+integer-valued aggregate ``f(D)`` can be tracked to ``eps`` relative error by
+refreshing the coordinator whenever ``|f - fhat| > eps f``, at a cost of
+``O(v/eps)`` messages where ``v`` is the f-variability — the site simply has to
+be able to evaluate ``f``.  This example applies that tracker to the second
+frequency moment ``F2 = sum_l f_l^2`` of an insert/delete item stream:
+
+* the site evaluates ``F2`` exactly (and, for comparison, approximately with an
+  AMS sketch, the small-space substrate a memory-constrained site would use);
+* the coordinator is refreshed only when the relative-error budget is at risk;
+* the number of refreshes is compared against the ``(1+eps)/eps * v`` bound.
+
+``F2`` jumps by more than one per update (inserting an item of current
+frequency ``c`` changes F2 by ``2c + 1``), which also exercises the tracker's
+support for arbitrary integer deltas.
+
+Run with::
+
+    python examples/aggregate_tracking.py
+"""
+
+from __future__ import annotations
+
+import collections
+
+from repro import SingleSiteTracker, variability
+from repro.analysis import format_table, single_site_message_bound
+from repro.sketches.ams import AmsF2Sketch
+from repro.streams import ItemStreamConfig, zipfian_item_stream
+
+
+def main() -> None:
+    epsilon = 0.1
+    config = ItemStreamConfig(length=20_000, universe_size=300, num_sites=1, seed=17)
+    updates = zipfian_item_stream(config, exponent=1.2, deletion_probability=0.25)
+
+    frequencies: collections.Counter = collections.Counter()
+    f2 = 0
+    f2_deltas = []
+    tracker = SingleSiteTracker(epsilon=epsilon)
+    sketch = AmsF2Sketch.from_error(epsilon=0.2, seed=3)
+    sketch_checkpoints = []
+
+    for update in updates:
+        current = frequencies[update.item]
+        new = current + update.delta
+        delta_f2 = new * new - current * current
+        frequencies[update.item] = new
+        f2 += delta_f2
+        f2_deltas.append(delta_f2)
+        tracker.update(delta_f2)
+        sketch.update(update.item, update.delta)
+        if update.time % 5_000 == 0:
+            sketch_checkpoints.append((update.time, f2, sketch.estimate()))
+
+    v = variability(f2_deltas)
+    bound = single_site_message_bound(epsilon, v)
+
+    print("Single-site tracking of a general aggregate: F2 of an insert/delete stream")
+    print(f"  updates n              : {config.length}")
+    print(f"  final F2               : {f2}")
+    print(f"  F2-variability v(n)    : {v:.1f}")
+    print(f"  epsilon                : {epsilon}")
+    print()
+    rows = [
+        ["coordinator refreshes", tracker.messages],
+        ["(1+eps)/eps * v bound", round(bound)],
+        ["naive refreshes (every update)", config.length],
+        ["final coordinator copy", tracker.estimate],
+        ["final relative error", f"{abs(tracker.value - tracker.estimate) / max(tracker.value, 1):.4f}"],
+    ]
+    print(format_table(["quantity", "value"], rows))
+    print()
+    print("Small-space evaluation at the site (AMS sketch, eps ~ 0.2):")
+    print(
+        format_table(
+            ["time", "exact F2", "AMS estimate", "relative error"],
+            [
+                [time, exact, round(estimate), f"{abs(estimate - exact) / exact:.3f}"]
+                for time, exact, estimate in sketch_checkpoints
+            ],
+        )
+    )
+    print()
+    print("F2 mostly grows (the dataset keeps gaining items), so its variability is")
+    print("small and the coordinator needs only a few hundred refreshes for a 10%")
+    print("guarantee — the Appendix I bound in action for a non-count aggregate.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Database-size monitoring: the paper's motivating "nearly monotone" workload.
+
+The introduction argues that many databases mostly grow — deletions happen
+(clean-ups, expirations) but rarely dominate — so the size ``|D(t)|`` has low
+variability and can be tracked cheaply even though the stream is not monotone.
+This example monitors the size of a synthetic database with periodic bulk
+clean-ups across a cluster of ingest nodes (sites), compares the paper's
+deterministic tracker against the naive auditor and against the monotone-only
+Cormode et al. counter (which silently loses its guarantee once deletions
+appear), and shows how the cost tracks the variability rather than the stream
+length.
+
+Run with::
+
+    python examples/database_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CormodeCounter,
+    DeterministicCounter,
+    NaiveCounter,
+    assign_sites,
+    database_size_trace,
+    variability,
+)
+from repro.analysis import compare_trackers, format_table, monotone_variability_bound
+
+
+def main() -> None:
+    num_sites = 6  # ingest nodes
+    epsilon = 0.05  # the auditor wants 5% accuracy at all times
+    length = 80_000
+
+    trace = database_size_trace(
+        length,
+        growth_probability=0.75,
+        cleanup_every=7_500,
+        cleanup_fraction=0.08,
+        seed=2024,
+    )
+    v = variability(trace.deltas)
+
+    print("Database-size monitoring across a cluster")
+    print(f"  updates n          : {length}")
+    print(f"  final size |D(n)|  : {trace.final_value()}")
+    print(f"  variability v(n)   : {v:.1f}  (monotone bound would be {monotone_variability_bound(trace.final_value()):.1f})")
+    print(f"  sites k            : {num_sites}, epsilon: {epsilon}")
+    print()
+
+    comparisons = compare_trackers(
+        {
+            "paper deterministic": DeterministicCounter(num_sites, epsilon),
+            "cormode (monotone-only)": CormodeCounter(num_sites, epsilon),
+            "naive auditing": NaiveCounter(num_sites),
+        },
+        trace,
+        num_sites=num_sites,
+        epsilon=epsilon,
+        record_every=20,
+    )
+    rows = [
+        [
+            c.name,
+            c.messages,
+            f"{c.messages / length:.4f}",
+            f"{c.max_relative_error:.4f}",
+            f"{c.violation_fraction:.4f}",
+        ]
+        for c in comparisons
+    ]
+    print(
+        format_table(
+            ["algorithm", "messages", "msgs/update", "max relative error", "violation fraction"],
+            rows,
+        )
+    )
+    print()
+    print("Reading the table:")
+    print("  * the paper's tracker keeps the 5% guarantee at every step and costs a")
+    print("    small fraction of naive auditing because the trace is nearly monotone;")
+    print("  * the monotone-only counter is as cheap but breaks its guarantee whenever")
+    print("    a clean-up shrinks the database below its stale estimate.")
+
+
+if __name__ == "__main__":
+    main()

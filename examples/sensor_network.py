@@ -1,0 +1,76 @@
+"""Sensor-network monitoring: save radio energy with variability-aware tracking.
+
+The distributed-monitoring model was introduced to minimise radio energy in
+sensor networks: every message a sensor sends costs battery, so the goal is to
+keep the base station's estimate fresh with as few transmissions as possible.
+This example simulates a field of sensors observing a shared mean-reverting
+signal (readings arrive at whichever sensor sees the event, heavily skewed
+toward a hot sensor).  Because the signal hovers around a large baseline, its
+variability is tiny and both Section 3 trackers keep the base station within
+``eps`` while sending a small fraction of the naive per-reading traffic.
+
+Run with::
+
+    python examples/sensor_network.py
+"""
+
+from __future__ import annotations
+
+from repro import DeterministicCounter, NaiveCounter, RandomizedCounter, assign_sites, variability
+from repro.analysis import format_table
+from repro.streams import SkewedAssignment, sensor_temperature_trace
+
+
+def main() -> None:
+    epsilon = 0.2
+    length = 40_000
+    trace = sensor_temperature_trace(length, baseline=5_000, reversion=0.01, seed=9)
+    v = variability(trace.deltas)
+
+    print("Sensor network: estimated reading at the base station")
+    print(f"  updates n        : {length}")
+    print(f"  signal baseline  : ~5000, variability v(n): {v:.1f}")
+    print(f"  epsilon          : {epsilon}")
+    print()
+
+    rows = []
+    for num_sites in (4, 16, 64):
+        updates = assign_sites(
+            trace, num_sites, policy=SkewedAssignment(hot_fraction=0.6, seed=1)
+        )
+        deterministic = DeterministicCounter(num_sites, epsilon).track(updates, record_every=25)
+        randomized = RandomizedCounter(num_sites, epsilon, seed=5).track(updates, record_every=25)
+        naive = NaiveCounter(num_sites).track(updates, record_every=25)
+        rows.append(
+            [
+                num_sites,
+                naive.total_messages,
+                deterministic.total_messages,
+                randomized.total_messages,
+                f"{deterministic.max_relative_error():.4f}",
+                f"{randomized.violation_fraction(epsilon):.4f}",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "sensors k",
+                "naive msgs",
+                "deterministic msgs",
+                "randomized msgs",
+                "det max rel err",
+                "rand violation frac",
+            ],
+            rows,
+        )
+    )
+    print()
+    print("Because the reading stays near its large baseline, v(n) is tiny and both")
+    print("trackers transmit a few percent of the naive per-reading traffic — the")
+    print("radio-energy saving the monitoring model was designed for.  The per-fleet")
+    print("overhead grows with k only through the O(k v) block partition, not with n.")
+
+
+if __name__ == "__main__":
+    main()

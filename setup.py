@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` (and the legacy
+``python setup.py develop``) work on environments without the ``wheel``
+package, such as fully offline machines.
+"""
+
+from setuptools import setup
+
+setup()

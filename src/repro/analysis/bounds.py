@@ -1,0 +1,132 @@
+"""Closed-form versions of the paper's bounds.
+
+These functions return the *functional form* of each bound (with unit leading
+constants unless the paper fixes one), so experiments can compare measured
+quantities against the predicted growth shape rather than against absolute
+constants — which is also how the paper itself states them (big-O).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "monotone_variability_bound",
+    "nearly_monotone_variability_bound",
+    "random_walk_variability_bound",
+    "biased_walk_variability_bound",
+    "deterministic_message_bound",
+    "randomized_message_bound",
+    "block_partition_message_bound",
+    "monotone_message_bound_cormode",
+    "monotone_message_bound_huang",
+    "liu_fair_coin_message_bound",
+    "single_site_message_bound",
+    "deterministic_tracing_space_bound",
+    "randomized_tracing_space_bound",
+]
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+
+
+def monotone_variability_bound(final_value: int) -> float:
+    """Theorem 2.1 with ``beta = 1``: monotone streams have ``v <= 1 + ln f(n)``.
+
+    (The exact value for a +1-only stream is the harmonic number ``H(f(n))``.)
+    """
+    _require_positive("final_value", final_value)
+    return 1.0 + math.log(final_value)
+
+
+def nearly_monotone_variability_bound(beta: float, final_value: int) -> float:
+    """Theorem 2.1: ``v = O(beta log(beta f(n)))`` for nearly monotone streams."""
+    _require_positive("beta", beta)
+    _require_positive("final_value", final_value)
+    return 4.0 * (1.0 + beta) * (1.0 + math.log2(2.0 * (1.0 + beta) * final_value))
+
+
+def random_walk_variability_bound(n: int) -> float:
+    """Theorem 2.2: ``E[v(n)] = O(sqrt(n) log n)`` for fair coin flips."""
+    _require_positive("n", n)
+    return math.sqrt(n) * math.log(max(n, 2))
+
+
+def biased_walk_variability_bound(n: int, drift: float) -> float:
+    """Theorem 2.4: ``E[v(n)] = O(log(n) / mu)`` for drift ``mu``."""
+    _require_positive("n", n)
+    _require_positive("drift", drift)
+    return math.log(max(n, 2)) / drift
+
+
+def block_partition_message_bound(num_sites: int, variability: float) -> float:
+    """Section 3.1: the partition itself uses at most ``25 k v + 3 k`` messages."""
+    _require_positive("num_sites", num_sites)
+    return 25.0 * num_sites * max(variability, 0.0) + 3.0 * num_sites
+
+
+def deterministic_message_bound(num_sites: int, epsilon: float, variability: float) -> float:
+    """Section 3.3: ``O(k v / eps)`` messages (stated constant: ``5 k v / eps``),
+    plus the block-partition messages."""
+    _require_positive("num_sites", num_sites)
+    _require_positive("epsilon", epsilon)
+    return 5.0 * num_sites * max(variability, 0.0) / epsilon + block_partition_message_bound(
+        num_sites, variability
+    )
+
+
+def randomized_message_bound(num_sites: int, epsilon: float, variability: float) -> float:
+    """Section 3.4: ``O((k + sqrt(k)/eps) v)`` expected messages
+    (stated in-block constant: ``30 sqrt(k) v / eps``), plus the partition."""
+    _require_positive("num_sites", num_sites)
+    _require_positive("epsilon", epsilon)
+    return 30.0 * math.sqrt(num_sites) * max(variability, 0.0) / epsilon + (
+        block_partition_message_bound(num_sites, variability)
+    )
+
+
+def monotone_message_bound_cormode(num_sites: int, epsilon: float, n: int) -> float:
+    """Cormode et al.: ``O((k / eps) log n)`` messages for monotone streams."""
+    _require_positive("num_sites", num_sites)
+    _require_positive("epsilon", epsilon)
+    _require_positive("n", n)
+    return (num_sites / epsilon) * math.log(max(n, 2))
+
+
+def monotone_message_bound_huang(num_sites: int, epsilon: float, n: int) -> float:
+    """Huang et al.: ``O((k + sqrt(k) / eps) log n)`` messages for monotone streams."""
+    _require_positive("num_sites", num_sites)
+    _require_positive("epsilon", epsilon)
+    _require_positive("n", n)
+    return (num_sites + math.sqrt(num_sites) / epsilon) * math.log(max(n, 2))
+
+
+def liu_fair_coin_message_bound(num_sites: int, epsilon: float, n: int) -> float:
+    """Liu et al.: ``O((sqrt(k)/eps) sqrt(n log n))`` expected messages, fair coins."""
+    _require_positive("num_sites", num_sites)
+    _require_positive("epsilon", epsilon)
+    _require_positive("n", n)
+    return (math.sqrt(num_sites) / epsilon) * math.sqrt(n * math.log(max(n, 2)))
+
+
+def single_site_message_bound(epsilon: float, variability: float) -> float:
+    """Appendix I: at most ``(1 + eps)/eps * v(n)`` messages for ``k = 1``."""
+    _require_positive("epsilon", epsilon)
+    return (1.0 + epsilon) / epsilon * max(variability, 0.0)
+
+
+def deterministic_tracing_space_bound(epsilon: float, variability: float, n: int) -> float:
+    """Theorem 4.1: ``Omega((v / eps) log n)`` bits of space (returned with unit constant)."""
+    _require_positive("epsilon", epsilon)
+    _require_positive("n", n)
+    return max(variability, 0.0) / epsilon * math.log2(max(n, 2))
+
+
+def randomized_tracing_space_bound(epsilon: float, variability: float) -> float:
+    """Theorem 4.2: ``Omega(v / eps)`` bits of space (returned with unit constant)."""
+    _require_positive("epsilon", epsilon)
+    return max(variability, 0.0) / epsilon

@@ -1,0 +1,140 @@
+"""Small experiment driver shared by benchmarks, examples and tests.
+
+The driver answers the two questions every experiment asks:
+
+* "run this tracker on this stream with ``k`` sites — how wrong was it and
+  how much did it talk?" (:func:`run_tracker_on_stream`,
+  :func:`compare_trackers`), and
+* "what is the (expected) variability of this stream class at this length?"
+  (:func:`repeat_variability`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.variability import variability
+from repro.exceptions import ConfigurationError
+from repro.monitoring.runner import TrackingResult
+from repro.streams.assignment import AssignmentPolicy, RoundRobinAssignment, assign_sites
+from repro.streams.model import StreamSpec
+
+__all__ = [
+    "TrackerComparison",
+    "run_tracker_on_stream",
+    "compare_trackers",
+    "repeat_variability",
+]
+
+
+@dataclass(frozen=True)
+class TrackerComparison:
+    """One tracker's outcome on one stream, in comparable units.
+
+    Attributes:
+        name: Label of the tracker (e.g. ``"deterministic"``).
+        messages: Total messages used.
+        bits: Total message bits used.
+        max_relative_error: Worst relative error over the run.
+        violation_fraction: Fraction of timesteps violating the eps guarantee.
+        variability: The stream's f-variability (same for every tracker).
+        messages_per_variability: ``messages / max(variability, 1)``, the
+            quantity the paper's ``O(poly(k, 1/eps) * v)`` bounds normalise.
+    """
+
+    name: str
+    messages: int
+    bits: int
+    max_relative_error: float
+    violation_fraction: float
+    variability: float
+    messages_per_variability: float
+
+
+def run_tracker_on_stream(
+    factory,
+    spec: StreamSpec,
+    num_sites: int,
+    policy: Optional[AssignmentPolicy] = None,
+    record_every: int = 1,
+) -> TrackingResult:
+    """Distribute a stream over ``num_sites`` sites and run one tracker on it."""
+    updates = assign_sites(spec, num_sites, policy or RoundRobinAssignment())
+    return factory.track(updates, record_every=record_every)
+
+
+def compare_trackers(
+    factories: Mapping[str, object],
+    spec: StreamSpec,
+    num_sites: int,
+    epsilon: float,
+    policy: Optional[AssignmentPolicy] = None,
+    record_every: int = 1,
+) -> List[TrackerComparison]:
+    """Run several trackers on the same distributed stream and tabulate them.
+
+    Args:
+        factories: Mapping from display name to tracker factory.
+        spec: The stream to track.
+        num_sites: Number of sites ``k``.
+        epsilon: Error parameter used for violation accounting.
+        policy: Site-assignment policy (round robin by default).
+        record_every: Per-step recording stride passed to the runner.
+
+    Returns:
+        One :class:`TrackerComparison` per factory, in input order.
+    """
+    if not factories:
+        raise ConfigurationError("factories must not be empty")
+    stream_variability = variability(spec.deltas, start=spec.start)
+    comparisons = []
+    for name, factory in factories.items():
+        result = run_tracker_on_stream(
+            factory, spec, num_sites, policy=policy, record_every=record_every
+        )
+        comparisons.append(
+            TrackerComparison(
+                name=name,
+                messages=result.total_messages,
+                bits=result.total_bits,
+                max_relative_error=result.max_relative_error(),
+                violation_fraction=result.violation_fraction(epsilon),
+                variability=stream_variability,
+                messages_per_variability=result.total_messages
+                / max(stream_variability, 1.0),
+            )
+        )
+    return comparisons
+
+
+def repeat_variability(
+    generator: Callable[[int], StreamSpec],
+    trials: int,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Estimate the expected variability of a random stream class.
+
+    Args:
+        generator: Callable taking a seed and returning a fresh stream.
+        trials: Number of independent streams to average over.
+        seed: Base seed; trial ``i`` uses ``seed + i``.
+
+    Returns:
+        A dict with keys ``mean``, ``std``, ``min`` and ``max``.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    values = []
+    for trial in range(trials):
+        spec = generator(seed + trial)
+        values.append(variability(spec.deltas, start=spec.start))
+    array = np.asarray(values, dtype=float)
+    return {
+        "mean": float(np.mean(array)),
+        "std": float(np.std(array)),
+        "min": float(np.min(array)),
+        "max": float(np.max(array)),
+    }

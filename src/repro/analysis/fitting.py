@@ -1,0 +1,139 @@
+"""Growth-rate fitting used to verify asymptotic shapes empirically.
+
+The reproduction cannot (and should not) match the paper's constants, but it
+can check that a measured quantity grows like the predicted function of ``n``
+(or ``k``, or ``1/eps``).  :func:`fit_growth` fits ``y ~ c * g(x)`` for a
+library of candidate shapes by least squares on the multiplier and reports
+the relative residual of each candidate, so tests and benchmarks can assert
+"the best-fitting shape is the predicted one" or "the predicted shape fits
+within a small relative residual".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["GROWTH_SHAPES", "GrowthFit", "fit_growth"]
+
+
+def _shape_constant(x: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+def _shape_log(x: np.ndarray) -> np.ndarray:
+    return np.log(np.maximum(x, 2.0))
+
+
+def _shape_sqrt(x: np.ndarray) -> np.ndarray:
+    return np.sqrt(x)
+
+
+def _shape_sqrt_log(x: np.ndarray) -> np.ndarray:
+    return np.sqrt(x) * np.log(np.maximum(x, 2.0))
+
+
+def _shape_linear(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _shape_linear_log(x: np.ndarray) -> np.ndarray:
+    return x * np.log(np.maximum(x, 2.0))
+
+
+#: Candidate growth shapes, by name.
+GROWTH_SHAPES: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "constant": _shape_constant,
+    "log": _shape_log,
+    "sqrt": _shape_sqrt,
+    "sqrt_log": _shape_sqrt_log,
+    "linear": _shape_linear,
+    "linear_log": _shape_linear_log,
+}
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """Result of fitting measured values against the candidate shapes.
+
+    Attributes:
+        best_shape: Name of the candidate with the smallest relative residual.
+        best_constant: Fitted multiplier for the best candidate.
+        residuals: Relative root-mean-square residual per candidate name.
+        constants: Fitted multiplier per candidate name.
+    """
+
+    best_shape: str
+    best_constant: float
+    residuals: Mapping[str, float]
+    constants: Mapping[str, float]
+
+    def residual_of(self, shape: str) -> float:
+        """Relative residual of a specific candidate shape."""
+        if shape not in self.residuals:
+            raise ConfigurationError(f"unknown shape {shape!r}")
+        return self.residuals[shape]
+
+    def shape_is_consistent(self, shape: str, tolerance: float = 0.25) -> bool:
+        """Whether ``shape`` fits the data within the given relative residual."""
+        return self.residual_of(shape) <= tolerance
+
+
+def fit_growth(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    shapes: Optional[Sequence[str]] = None,
+) -> GrowthFit:
+    """Fit ``y ~ c * g(x)`` for each candidate shape ``g`` and rank them.
+
+    Args:
+        xs: The independent variable (e.g. stream lengths ``n``).
+        ys: The measured values (e.g. variability or message counts).
+        shapes: Candidate names from :data:`GROWTH_SHAPES` (default: all).
+
+    Returns:
+        A :class:`GrowthFit` with per-shape multipliers and relative residuals.
+
+    Raises:
+        ConfigurationError: On mismatched lengths, fewer than three points, or
+            an unknown shape name.
+    """
+    if len(xs) != len(ys):
+        raise ConfigurationError(
+            f"xs ({len(xs)}) and ys ({len(ys)}) must have equal length"
+        )
+    if len(xs) < 3:
+        raise ConfigurationError("need at least three points to fit a growth shape")
+    names = list(shapes) if shapes is not None else list(GROWTH_SHAPES)
+    for name in names:
+        if name not in GROWTH_SHAPES:
+            raise ConfigurationError(f"unknown shape {name!r}")
+    x_array = np.asarray(xs, dtype=float)
+    y_array = np.asarray(ys, dtype=float)
+    if np.any(x_array <= 0):
+        raise ConfigurationError("xs must be strictly positive")
+    scale = float(np.mean(np.abs(y_array))) or 1.0
+
+    residuals: Dict[str, float] = {}
+    constants: Dict[str, float] = {}
+    for name in names:
+        basis = GROWTH_SHAPES[name](x_array)
+        denominator = float(np.dot(basis, basis))
+        constant = float(np.dot(basis, y_array) / denominator) if denominator > 0 else 0.0
+        prediction = constant * basis
+        residual = float(np.sqrt(np.mean((prediction - y_array) ** 2))) / scale
+        residuals[name] = residual
+        constants[name] = constant
+
+    best = min(residuals, key=residuals.get)
+    return GrowthFit(
+        best_shape=best,
+        best_constant=constants[best],
+        residuals=residuals,
+        constants=constants,
+    )

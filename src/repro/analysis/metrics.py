@@ -1,0 +1,63 @@
+"""Aggregation of repeated randomized trials.
+
+Randomized algorithms (the Section 3.4 tracker, the Huang and Liu baselines,
+random-walk inputs) are evaluated over repeated trials; :func:`summarize_trials`
+reduces a list of per-trial scalar observations to the statistics the
+benchmarks report (mean, standard deviation, min/max and selected quantiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TrialSummary", "summarize_trials"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary statistics of one scalar observed over repeated trials."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    percentile_90: float
+
+    def as_row(self) -> list:
+        """Row form used by the plain-text reports."""
+        return [
+            self.count,
+            round(self.mean, 3),
+            round(self.std, 3),
+            round(self.minimum, 3),
+            round(self.median, 3),
+            round(self.percentile_90, 3),
+            round(self.maximum, 3),
+        ]
+
+
+def summarize_trials(values: Sequence[float]) -> TrialSummary:
+    """Summarise a sequence of per-trial observations.
+
+    Raises:
+        ConfigurationError: If ``values`` is empty.
+    """
+    if len(values) == 0:
+        raise ConfigurationError("cannot summarize an empty list of trials")
+    array = np.asarray(values, dtype=float)
+    return TrialSummary(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        std=float(np.std(array)),
+        minimum=float(np.min(array)),
+        maximum=float(np.max(array)),
+        median=float(np.median(array)),
+        percentile_90=float(np.percentile(array, 90)),
+    )

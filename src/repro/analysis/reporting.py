@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmarks print their measured-versus-predicted tables with
+:func:`format_table`, which right-pads every column so the output reads like
+the tables in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a list of rows as an aligned plain-text table.
+
+    Args:
+        headers: Column names.
+        rows: Row values; every row must have the same number of cells as
+            there are headers.
+
+    Returns:
+        A multi-line string with a header line, a separator and one line per
+        row.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = [_render_cell(value) for value in row]
+        if len(cells) != len(headers):
+            raise ConfigurationError(
+                f"row {cells} has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        rendered_rows.append(cells)
+    widths = [len(str(header)) for header in headers]
+    for cells in rendered_rows:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    separator = "  ".join("-" * widths[i] for i in range(len(headers)))
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+        for cells in rendered_rows
+    ]
+    return "\n".join([header_line, separator] + body)

@@ -1,0 +1,27 @@
+"""Baseline tracking algorithms the paper compares against or builds upon.
+
+* :mod:`repro.baselines.naive` — forward every update to the coordinator
+  (exact, ``n`` messages); the trivial upper bound every algorithm must beat.
+* :mod:`repro.baselines.cormode` — the deterministic monotone counter of
+  Cormode, Muthukrishnan and Yi (``O((k/eps) log n)`` messages, insert-only).
+* :mod:`repro.baselines.huang` — the randomized monotone counter of Huang,
+  Yi and Zhang (``O((k + sqrt(k)/eps) log n)`` messages, insert-only).
+* :mod:`repro.baselines.liu` — a sampling counter in the spirit of Liu,
+  Radunovic and Vojnovic for random (coin-flip) input streams.
+* :mod:`repro.baselines.static_threshold` — a non-adaptive fixed-threshold
+  tracker used as an ablation of the block partition.
+"""
+
+from repro.baselines.cormode import CormodeCounter
+from repro.baselines.huang import HuangCounter
+from repro.baselines.liu import LiuStyleCounter
+from repro.baselines.naive import NaiveCounter
+from repro.baselines.static_threshold import StaticThresholdCounter
+
+__all__ = [
+    "CormodeCounter",
+    "HuangCounter",
+    "LiuStyleCounter",
+    "NaiveCounter",
+    "StaticThresholdCounter",
+]

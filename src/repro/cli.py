@@ -1,0 +1,221 @@
+"""Command-line interface: quick experiments without writing a script.
+
+The CLI exposes the library's main measurement loops so that a user can poke
+at the paper's claims directly from a shell::
+
+    python -m repro variability --stream random_walk --lengths 1000 4000 16000
+    python -m repro tracking --stream biased_walk --sites 8 --epsilon 0.1
+    python -m repro frequency --length 10000 --universe 500 --epsilon 0.2
+    python -m repro lowerbound --n 256 --level 8 --flips 8
+
+Each subcommand prints a plain-text table in the same format the benchmark
+harness uses for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis import compare_trackers, format_table
+from repro.analysis.bounds import deterministic_message_bound
+from repro.baselines import CormodeCounter, LiuStyleCounter, NaiveCounter
+from repro.core import DeterministicCounter, RandomizedCounter, variability
+from repro.core.frequencies import FrequencyTracker, HashReducer, run_frequency_tracking
+from repro.lowerbounds import DeterministicFlipFamily, IndexReduction, TranscriptTracer
+from repro.streams import (
+    ItemStreamConfig,
+    biased_walk_stream,
+    database_size_trace,
+    monotone_stream,
+    nearly_monotone_stream,
+    random_walk_stream,
+    sawtooth_stream,
+    zipfian_item_stream,
+)
+from repro.streams.model import StreamSpec
+
+__all__ = ["main", "build_parser", "STREAM_GENERATORS"]
+
+#: Stream classes selectable from the command line.
+STREAM_GENERATORS: Dict[str, Callable[[int, int], StreamSpec]] = {
+    "monotone": lambda n, seed: monotone_stream(n),
+    "nearly_monotone": lambda n, seed: nearly_monotone_stream(n, seed=seed),
+    "random_walk": lambda n, seed: random_walk_stream(n, seed=seed),
+    "biased_walk": lambda n, seed: biased_walk_stream(n, drift=0.5, seed=seed),
+    "database_trace": lambda n, seed: database_size_trace(n, seed=seed),
+    "sawtooth": lambda n, seed: sawtooth_stream(n, amplitude=max(10, n // 100)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Experiments for the 'Variability in Data Streams' reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    variability_parser = subparsers.add_parser(
+        "variability", help="measure the variability of a stream class across lengths"
+    )
+    variability_parser.add_argument("--stream", choices=STREAM_GENERATORS, default="random_walk")
+    variability_parser.add_argument(
+        "--lengths", type=int, nargs="+", default=[1_000, 4_000, 16_000]
+    )
+    variability_parser.add_argument("--seed", type=int, default=0)
+
+    tracking_parser = subparsers.add_parser(
+        "tracking", help="compare trackers on one distributed stream"
+    )
+    tracking_parser.add_argument("--stream", choices=STREAM_GENERATORS, default="biased_walk")
+    tracking_parser.add_argument("--length", type=int, default=20_000)
+    tracking_parser.add_argument("--sites", type=int, default=4)
+    tracking_parser.add_argument("--epsilon", type=float, default=0.1)
+    tracking_parser.add_argument("--seed", type=int, default=0)
+
+    frequency_parser = subparsers.add_parser(
+        "frequency", help="run the Appendix H frequency tracker on a Zipfian workload"
+    )
+    frequency_parser.add_argument("--length", type=int, default=10_000)
+    frequency_parser.add_argument("--universe", type=int, default=500)
+    frequency_parser.add_argument("--sites", type=int, default=4)
+    frequency_parser.add_argument("--epsilon", type=float, default=0.2)
+    frequency_parser.add_argument("--sketched", action="store_true", help="use the Count-Min reduction")
+    frequency_parser.add_argument("--seed", type=int, default=0)
+
+    lowerbound_parser = subparsers.add_parser(
+        "lowerbound", help="build the Theorem 4.1 family and run the INDEX reduction"
+    )
+    lowerbound_parser.add_argument("--n", type=int, default=128)
+    lowerbound_parser.add_argument("--level", type=int, default=8, help="m = 1/eps")
+    lowerbound_parser.add_argument("--flips", type=int, default=6)
+    lowerbound_parser.add_argument("--samples", type=int, default=3)
+    lowerbound_parser.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_variability(args: argparse.Namespace) -> str:
+    generator = STREAM_GENERATORS[args.stream]
+    rows: List[List[object]] = []
+    for n in args.lengths:
+        spec = generator(n, args.seed)
+        v = variability(spec.deltas, start=spec.start)
+        rows.append([n, round(v, 2), round(v / n, 5), spec.final_value()])
+    return format_table(["n", "v(n)", "v(n)/n", "f(n)"], rows)
+
+
+def _command_tracking(args: argparse.Namespace) -> str:
+    spec = STREAM_GENERATORS[args.stream](args.length, args.seed)
+    comparisons = compare_trackers(
+        {
+            "naive": NaiveCounter(args.sites),
+            "cormode": CormodeCounter(args.sites, args.epsilon),
+            "liu-style": LiuStyleCounter(args.sites, args.epsilon, seed=args.seed),
+            "deterministic": DeterministicCounter(args.sites, args.epsilon),
+            "randomized": RandomizedCounter(args.sites, args.epsilon, seed=args.seed),
+        },
+        spec,
+        num_sites=args.sites,
+        epsilon=args.epsilon,
+        record_every=max(1, args.length // 5_000),
+    )
+    rows = [
+        [
+            c.name,
+            c.messages,
+            round(c.max_relative_error, 4),
+            round(c.violation_fraction, 4),
+            round(c.messages_per_variability, 2),
+        ]
+        for c in comparisons
+    ]
+    header = (
+        f"stream={args.stream} n={args.length} k={args.sites} eps={args.epsilon} "
+        f"v={comparisons[0].variability:.1f} "
+        f"(deterministic bound {deterministic_message_bound(args.sites, args.epsilon, comparisons[0].variability):.0f})"
+    )
+    table = format_table(
+        ["algorithm", "messages", "max rel err", "violation frac", "msgs / v"], rows
+    )
+    return header + "\n" + table
+
+
+def _command_frequency(args: argparse.Namespace) -> str:
+    config = ItemStreamConfig(
+        length=args.length,
+        universe_size=args.universe,
+        num_sites=args.sites,
+        seed=args.seed,
+    )
+    updates = zipfian_item_stream(config, deletion_probability=0.2)
+    reducer = (
+        HashReducer.from_epsilon(args.epsilon, num_rows=3, seed=args.seed)
+        if args.sketched
+        else None
+    )
+    tracker = FrequencyTracker(num_sites=args.sites, epsilon=args.epsilon, reducer=reducer)
+    result = run_frequency_tracking(tracker, updates, audit_every=max(1, args.length // 50))
+    rows = [
+        [
+            "count-min" if args.sketched else "exact",
+            result.total_messages,
+            round(result.max_error_ratio(), 4),
+            result.violations(args.epsilon),
+            round(result.f1_variability, 1),
+        ]
+    ]
+    return format_table(
+        ["variant", "messages", "max err / F1", "violations", "F1-variability"], rows
+    )
+
+
+def _command_lowerbound(args: argparse.Namespace) -> str:
+    family = DeterministicFlipFamily(n=args.n, level=args.level, num_flips=args.flips)
+    reduction = IndexReduction(
+        family,
+        lambda ups: TranscriptTracer(DeterministicCounter(1, family.epsilon / 2)).build(ups),
+        num_sites=1,
+    )
+    indices = family.sample_indices(args.samples, seed=args.seed)
+    reports = reduction.run_many(indices)
+    rows = [
+        [
+            report.encoded_index,
+            report.decoded_index,
+            "yes" if report.correct else "no",
+            round(report.summary_bits, 0),
+            round(report.information_bits, 1),
+        ]
+        for report in reports
+    ]
+    header = (
+        f"family C({args.n}, {args.flips}) = {family.size():,} members, "
+        f"member variability {family.member_variability():.3f}"
+    )
+    return header + "\n" + format_table(
+        ["encoded", "decoded", "correct", "summary bits", "info bits"], rows
+    )
+
+
+_COMMANDS = {
+    "variability": _command_variability,
+    "tracking": _command_tracking,
+    "frequency": _command_frequency,
+    "lowerbound": _command_lowerbound,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

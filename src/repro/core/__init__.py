@@ -1,0 +1,56 @@
+"""Core contribution: variability and variability-aware tracking algorithms.
+
+This package implements the paper's main machinery:
+
+* :mod:`repro.core.variability` — the variability parameter ``v(n)`` of
+  Section 2, in offline and online (streaming) form, for both f-variability
+  and F1-variability.
+* :mod:`repro.core.blocks` — the deterministic partition of time into
+  constant-variability blocks (Section 3.1), as an offline reference
+  implementation used to check the structural facts of that section.
+* :mod:`repro.core.deterministic` / :mod:`repro.core.randomized` — the
+  distributed trackers of Sections 3.3 and 3.4, built on the shared
+  coordinator/site template of Section 3.2.
+* :mod:`repro.core.single_site` — the ``k = 1`` aggregate tracker of
+  Section 5.2 / Appendix I.
+* :mod:`repro.core.frequencies` — distributed item-frequency tracking of
+  Appendix H, optionally on top of Count-Min / CR-precis sketches.
+* :mod:`repro.core.expansion` — expansion of large updates into unit updates
+  (Appendix C).
+"""
+
+from repro.core.blocks import Block, BlockPartitioner
+from repro.core.deterministic import DeterministicCounter
+from repro.core.expansion import expand_stream, expand_update, expansion_variability_overhead
+from repro.core.frequencies import FrequencyTracker, FrequencyTrackingResult
+from repro.core.history_quantiles import HistoricalQuantileTracker, ValueUpdate
+from repro.core.threshold import ThresholdMonitor
+from repro.core.randomized import RandomizedCounter
+from repro.core.single_site import SingleSiteTracker, run_single_site
+from repro.core.variability import (
+    VariabilityTracker,
+    f1_variability,
+    variability,
+    variability_increments,
+)
+
+__all__ = [
+    "Block",
+    "BlockPartitioner",
+    "DeterministicCounter",
+    "expand_stream",
+    "expand_update",
+    "expansion_variability_overhead",
+    "FrequencyTracker",
+    "FrequencyTrackingResult",
+    "HistoricalQuantileTracker",
+    "ValueUpdate",
+    "ThresholdMonitor",
+    "RandomizedCounter",
+    "SingleSiteTracker",
+    "run_single_site",
+    "VariabilityTracker",
+    "f1_variability",
+    "variability",
+    "variability_increments",
+]

@@ -1,0 +1,179 @@
+"""Offline reference implementation of the block partition of Section 3.1.
+
+The distributed trackers divide time into blocks ``B_j = [n_j + 1, n_{j+1}]``
+so that, at each block boundary, the coordinator knows ``n`` and ``f(n)``
+exactly, and so that the variability grows by at least a constant inside every
+completed block.  The block *level* ``r`` is chosen from ``|f(n_j)|`` so that
+
+* ``r = 0`` if ``|f(n_j)| < 4k``, and otherwise
+* ``2^r * 2k <= |f(n_j)| < 2^r * 4k``.
+
+A block at level ``r`` ends once roughly ``max(1, 2^(r-1)) * k`` updates have
+been observed since the block began.  This module applies the same rule
+centrally (the distributed implementation lives in
+:mod:`repro.core.template`), which is what the structural tests and the E4
+benchmark use to check the paper's per-block facts:
+
+* block length is between ``ceil(2^(r-1)) k`` and ``2^r k``  (within a site
+  rounding term in the distributed version);
+* ``|f(n)| <= 2^r * 5k`` for all ``n`` in the block, and ``|f(n)| >= 2^r k``
+  when ``r >= 1``;
+* the variability increases by at least ``1/10`` over every completed block
+  (the paper states ``1/5`` using the looser length bound ``2^r k``; the
+  tighter trigger threshold ``ceil(2^(r-1)) k`` gives ``1/10`` for ``r >= 1``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.core.variability import variability_increment
+
+__all__ = ["block_level", "block_trigger_threshold", "Block", "BlockPartitioner"]
+
+
+def block_level(value: int, num_sites: int) -> int:
+    """Return the block level ``r`` for a boundary value ``f(n_j)``.
+
+    ``r = 0`` when ``|value| < 4k``; otherwise ``r`` is the unique integer with
+    ``2^r * 2k <= |value| < 2^r * 4k``.
+    """
+    if num_sites < 1:
+        raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+    magnitude = abs(value)
+    if magnitude < 4 * num_sites:
+        return 0
+    return int(math.floor(math.log2(magnitude / (2.0 * num_sites))))
+
+
+def block_trigger_threshold(level: int, num_sites: int) -> int:
+    """Number of observed updates after which a block at ``level`` ends.
+
+    This is ``ceil(2^(r-1)) * k``: 1 update per site for ``r = 0`` and
+    ``2^(r-1)`` per site otherwise.
+    """
+    if level < 0:
+        raise ConfigurationError(f"level must be >= 0, got {level}")
+    per_site = max(1, int(math.ceil(2 ** (level - 1))))
+    return per_site * num_sites
+
+
+@dataclass(frozen=True)
+class Block:
+    """One completed (or trailing partial) block of the partition.
+
+    Attributes:
+        index: Block number ``j`` starting at 0.
+        level: The level ``r`` the block was run at.
+        start_time: First timestep in the block (``n_j + 1``).
+        end_time: Last timestep in the block (``n_{j+1}``).
+        start_value: ``f(n_j)``, the exact value at the preceding boundary.
+        end_value: ``f(n_{j+1})``.
+        variability_gain: Increase in ``v`` over the block.
+        complete: Whether the block reached its trigger threshold (the final
+            block of a finite stream may be cut short).
+    """
+
+    index: int
+    level: int
+    start_time: int
+    end_time: int
+    start_value: int
+    end_value: int
+    variability_gain: float
+    complete: bool
+
+    @property
+    def length(self) -> int:
+        """Number of timesteps in the block."""
+        return self.end_time - self.start_time + 1
+
+
+class BlockPartitioner:
+    """Streaming construction of the Section 3.1 block partition.
+
+    Feed updates with :meth:`update`; completed blocks accumulate in
+    :attr:`blocks`.  Call :meth:`finish` at end of stream to flush the trailing
+    partial block (if any).
+    """
+
+    def __init__(self, num_sites: int) -> None:
+        if num_sites < 1:
+            raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+        self._num_sites = num_sites
+        self._time = 0
+        self._value = 0
+        self._level = 0
+        self._block_index = 0
+        self._block_start_time = 1
+        self._block_start_value = 0
+        self._block_updates = 0
+        self._block_variability = 0.0
+        self._finished = False
+        self.blocks: List[Block] = []
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites ``k`` the partition is computed for."""
+        return self._num_sites
+
+    @property
+    def current_level(self) -> int:
+        """Level ``r`` of the block currently being filled."""
+        return self._level
+
+    @property
+    def value(self) -> int:
+        """Current stream value ``f(t)``."""
+        return self._value
+
+    def update(self, delta: int) -> None:
+        """Consume one unit update ``f'(t) = delta`` (must be ``+-1``)."""
+        if self._finished:
+            raise ConfigurationError("partitioner already finished")
+        if delta not in (-1, 1):
+            raise ConfigurationError(
+                f"block partition requires unit updates, got {delta}; "
+                "expand larger updates with repro.core.expansion first"
+            )
+        self._time += 1
+        self._value += delta
+        self._block_updates += 1
+        self._block_variability += variability_increment(self._value, delta)
+        if self._block_updates >= block_trigger_threshold(self._level, self._num_sites):
+            self._close_block(complete=True)
+
+    def update_many(self, deltas: Sequence[int]) -> None:
+        """Consume a sequence of unit updates."""
+        for delta in deltas:
+            self.update(delta)
+
+    def finish(self) -> List[Block]:
+        """Flush the trailing partial block and return all blocks."""
+        if not self._finished:
+            if self._block_updates > 0:
+                self._close_block(complete=False)
+            self._finished = True
+        return self.blocks
+
+    def _close_block(self, complete: bool) -> None:
+        block = Block(
+            index=self._block_index,
+            level=self._level,
+            start_time=self._block_start_time,
+            end_time=self._time,
+            start_value=self._block_start_value,
+            end_value=self._value,
+            variability_gain=self._block_variability,
+            complete=complete,
+        )
+        self.blocks.append(block)
+        self._block_index += 1
+        self._block_start_time = self._time + 1
+        self._block_start_value = self._value
+        self._block_updates = 0
+        self._block_variability = 0.0
+        self._level = block_level(self._value, self._num_sites)

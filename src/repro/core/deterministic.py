@@ -1,0 +1,101 @@
+"""Deterministic variability-aware counter (Section 3.3).
+
+Within each block at level ``r`` every site tracks its local drift ``d_i``
+(the sum of updates it received this block) and the change ``delta_i`` since
+it last reported.  The template slots are:
+
+* **Condition** — report if ``r = 0`` and ``|delta_i| = 1`` (i.e. after every
+  update), or if ``|delta_i| >= eps * 2^r``.
+* **Message** — the new value of ``d_i``.
+* **Update** — the coordinator sets ``d_hat_i = d_i``.
+
+Guarantee: ``|f(n) - fhat(n)| <= eps * |f(n)|`` at every timestep, using at
+most ``O(k v(n) / eps)`` messages in addition to the ``O(k v(n))`` messages of
+the block partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.template import (
+    BlockTrackerFactory,
+    BlockTrackingCoordinator,
+    BlockTrackingSite,
+)
+from repro.monitoring.messages import COORDINATOR, Message, MessageKind
+
+__all__ = ["DeterministicSite", "DeterministicCoordinator", "DeterministicCounter"]
+
+
+class DeterministicSite(BlockTrackingSite):
+    """Site side of the deterministic tracker."""
+
+    def __init__(self, site_id: int, num_sites: int, epsilon: float) -> None:
+        super().__init__(site_id, num_sites, epsilon)
+        #: d_i: drift (sum of updates) received this block.
+        self.drift = 0
+        #: delta_i: change in drift since the last estimation report.
+        self.unreported_drift = 0
+
+    def report_condition(self) -> bool:
+        """The Section 3.3 condition for sending an estimation report."""
+        if self.level == 0:
+            return abs(self.unreported_drift) >= 1
+        return abs(self.unreported_drift) >= self.epsilon * (2 ** self.level)
+
+    def on_stream_update(self, time: int, delta: int) -> None:
+        self.drift += delta
+        self.unreported_drift += delta
+        if self.report_condition():
+            self.unreported_drift = 0
+            self.send(
+                Message(
+                    kind=MessageKind.REPORT,
+                    sender=self.site_id,
+                    receiver=COORDINATOR,
+                    payload={"drift": self.drift},
+                    time=time,
+                )
+            )
+
+    def on_block_start(self, level: int) -> None:
+        self.drift = 0
+        self.unreported_drift = 0
+
+
+class DeterministicCoordinator(BlockTrackingCoordinator):
+    """Coordinator side of the deterministic tracker."""
+
+    def __init__(self, num_sites: int, epsilon: float) -> None:
+        super().__init__(num_sites, epsilon)
+        self._drift_estimates: Dict[int, int] = {}
+
+    def drift_estimate(self) -> float:
+        return float(sum(self._drift_estimates.values()))
+
+    def on_estimation_report(self, message: Message) -> None:
+        self._drift_estimates[message.sender] = int(message.payload["drift"])
+
+    def on_block_start(self, level: int) -> None:
+        self._drift_estimates = {}
+
+
+class DeterministicCounter(BlockTrackerFactory):
+    """Factory for the deterministic tracker of Section 3.3.
+
+    Example:
+        >>> from repro.core import DeterministicCounter
+        >>> from repro.streams import random_walk_stream, assign_sites
+        >>> counter = DeterministicCounter(num_sites=4, epsilon=0.1)
+        >>> updates = assign_sites(random_walk_stream(1000, seed=7), num_sites=4)
+        >>> result = counter.track(updates)
+        >>> result.max_relative_error() <= 0.1
+        True
+    """
+
+    def build_coordinator(self) -> DeterministicCoordinator:
+        return DeterministicCoordinator(self.num_sites, self.epsilon)
+
+    def build_site(self, site_id: int) -> DeterministicSite:
+        return DeterministicSite(site_id, self.num_sites, self.epsilon)

@@ -1,0 +1,98 @@
+"""Expansion of large updates into unit updates (Appendix C).
+
+The Section 3 trackers assume ``f'(n) = +-1``.  Appendix C observes that a
+larger update can be simulated by ``|f'(n)|`` unit updates, and that doing so
+inflates the variability of that timestep by at most an ``O(log max |f'|)``
+factor: for a positive jump the extra cost is a harmonic sum
+(``<= (|f'|/f) (1 + H(|f'|))``), and for a negative jump it is at most
+``3 |f'| / f``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.exceptions import StreamError
+from repro.streams.model import StreamSpec
+
+__all__ = [
+    "expand_update",
+    "expand_stream",
+    "expansion_variability_overhead",
+    "harmonic_number",
+]
+
+
+def harmonic_number(x: int) -> float:
+    """The ``x``-th harmonic number ``H(x) = sum_{i=1..x} 1/i`` (``H(0) = 0``)."""
+    if x < 0:
+        raise StreamError(f"harmonic number needs x >= 0, got {x}")
+    if x < 64:
+        return float(sum(1.0 / i for i in range(1, x + 1)))
+    # Euler–Maclaurin approximation, accurate to well below 1e-10 for x >= 64.
+    return math.log(x) + 0.5772156649015329 + 1.0 / (2 * x) - 1.0 / (12 * x * x)
+
+
+def expand_update(delta: int) -> List[int]:
+    """Expand one update into a list of unit updates with the same total.
+
+    A zero delta expands to the empty list (the timestep simply disappears,
+    which can only lower variability).
+    """
+    if delta == 0:
+        return []
+    sign = 1 if delta > 0 else -1
+    return [sign] * abs(delta)
+
+
+def expand_stream(spec: StreamSpec) -> StreamSpec:
+    """Expand every update of a stream into unit updates.
+
+    The result has length ``sum_t |f'(t)|`` and the same value trajectory
+    (visiting the intermediate values introduced by the expansion).
+    """
+    deltas: List[int] = []
+    for delta in spec.deltas:
+        deltas.extend(expand_update(delta))
+    if not deltas:
+        raise StreamError("expanded stream is empty (all deltas were zero)")
+    return StreamSpec(
+        name=f"{spec.name}_expanded",
+        deltas=tuple(deltas),
+        start=spec.start,
+        params=dict(spec.params, expanded=True),
+    )
+
+
+def expansion_variability_overhead(value_before: int, delta: int) -> float:
+    """Upper bound on the variability of the unit updates simulating ``delta``.
+
+    Implements the two bounds of Theorem C.1 (with the paper's convention
+    ``1/f = 1`` when ``f = 0``):
+
+    * ``delta > 1``:  ``(delta / f_after) * (1 + H(delta))``;
+    * ``delta < -1``: ``3 |delta| / f_after`` (plus ``|delta| / f_after`` if
+      the value hits zero), capped at ``|delta|`` because each unit step
+      contributes at most 1.
+
+    Args:
+        value_before: The value ``f(n-1)`` before the update.
+        delta: The original (large) update ``f'(n)``.
+
+    Returns:
+        An upper bound on the summed variability increments of the expansion.
+    """
+    if delta in (-1, 0, 1):
+        magnitude = abs(delta)
+        return float(magnitude)
+    value_after = value_before + delta
+    scale = abs(value_after) if value_after != 0 else 1
+    magnitude = abs(delta)
+    if delta > 1:
+        bound = (magnitude / scale) * (1.0 + harmonic_number(magnitude))
+    else:
+        bound = 3.0 * magnitude / scale
+        if value_after == 0 or value_before == 0:
+            bound += magnitude / scale
+    return float(min(bound, magnitude))

@@ -1,0 +1,400 @@
+"""Distributed item-frequency tracking (Section 5.1 and Appendix H).
+
+The dataset ``D(t)`` is a multiset over a universe ``U``; every timestep one
+item is inserted at or deleted from one site, and the coordinator must know
+every frequency ``f_l(t)`` to within ``eps * F1(t)`` where ``F1(t) = |D(t)|``.
+
+The algorithm reuses the block partition of Section 3.1 with ``f = F1`` (each
+item update changes ``F1`` by exactly one, so the partition machinery applies
+unchanged).  Within a block at level ``r`` a site keeps, for every *counter*
+``c`` (an item, or a sketch bucket when a reducer is installed), the residue
+between its exact local count and the value the coordinator holds; whenever
+that residue reaches ``eps * 2^r / 3`` the site refreshes the coordinator.
+When a block ends and the level changes, residues that exceed the *new*
+threshold are flushed, so the per-counter error is always below
+``eps * 2^r / 3`` and the total error for any item stays below
+``eps * F1(t)`` (using ``F1 >= 2^r k`` inside level-``r >= 1`` blocks).
+
+To avoid one counter per item per site, Appendix H reduces items to a small
+number of counters with either a single pairwise-independent hash row (the
+Count-Min reduction of Cormode and Muthukrishnan), several such rows, or the
+deterministic CR-precis residue rows; the reductions are provided here as
+*reducers* that plug into the same tracker.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.template import (
+    BlockTrackerFactory,
+    BlockTrackingCoordinator,
+    BlockTrackingSite,
+)
+from repro.core.variability import f1_variability
+from repro.exceptions import ConfigurationError, StreamError
+from repro.monitoring.messages import COORDINATOR, Message, MessageKind
+from repro.monitoring.network import MonitoringNetwork
+from repro.sketches.cr_precis import primes_at_least
+from repro.sketches.hashing import PairwiseHashFamily
+from repro.types import ItemUpdate
+
+__all__ = [
+    "IdentityReducer",
+    "HashReducer",
+    "CRPrecisReducer",
+    "FrequencySite",
+    "FrequencyCoordinator",
+    "FrequencyTracker",
+    "FrequencyTrackingResult",
+    "run_frequency_tracking",
+]
+
+# A counter key is (row, bucket); the identity reduction uses row 0 and the
+# item itself as the bucket.
+CounterKey = Tuple[int, int]
+
+
+class IdentityReducer:
+    """No reduction: one counter per item (exact but space-hungry)."""
+
+    num_rows = 1
+
+    def keys_for(self, item: int) -> Tuple[CounterKey, ...]:
+        """Return the counter keys touched by an update to ``item``."""
+        return ((0, item),)
+
+    def combine(self, row_values: Sequence[float]) -> float:
+        """Combine per-row sums into one frequency estimate."""
+        return float(row_values[0])
+
+
+class HashReducer:
+    """Hash items into ``num_rows`` rows of ``num_buckets`` pairwise-independent buckets.
+
+    With a single row of ``27 / eps`` buckets this is exactly the Count-Min
+    reduction Appendix H cites (estimate = the bucket's value, correct to
+    ``eps F1 / 3`` with probability 8/9); with several rows the median across
+    rows sharpens the failure probability while staying linear (and therefore
+    deletion-safe).
+    """
+
+    def __init__(self, num_buckets: int, num_rows: int = 1, seed: Optional[int] = None) -> None:
+        if num_buckets < 1:
+            raise ConfigurationError(f"num_buckets must be >= 1, got {num_buckets}")
+        if num_rows < 1:
+            raise ConfigurationError(f"num_rows must be >= 1, got {num_rows}")
+        self.num_buckets = num_buckets
+        self.num_rows = num_rows
+        family = PairwiseHashFamily(range_size=num_buckets, seed=seed)
+        self._hashes = family.draw_many(num_rows)
+
+    @classmethod
+    def from_epsilon(cls, epsilon: float, num_rows: int = 1, seed: Optional[int] = None) -> "HashReducer":
+        """Use the Appendix H sizing of ``ceil(27 / eps)`` buckets per row."""
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        return cls(num_buckets=int(math.ceil(27.0 / epsilon)), num_rows=num_rows, seed=seed)
+
+    def keys_for(self, item: int) -> Tuple[CounterKey, ...]:
+        """Return the (row, bucket) pairs item ``item`` maps to."""
+        return tuple((row, self._hashes[row](item)) for row in range(self.num_rows))
+
+    def combine(self, row_values: Sequence[float]) -> float:
+        """Median across rows (equals the single value when ``num_rows = 1``)."""
+        return float(np.median(np.asarray(row_values, dtype=float)))
+
+
+class CRPrecisReducer:
+    """Deterministic reduction: row ``j`` buckets item ``x`` at ``x mod prime_j``."""
+
+    def __init__(self, primes: Sequence[int]) -> None:
+        if not primes:
+            raise ConfigurationError("CRPrecisReducer needs at least one prime")
+        self.primes = [int(p) for p in primes]
+        self.num_rows = len(self.primes)
+
+    @classmethod
+    def from_epsilon(
+        cls, epsilon: float, universe_size: int, rows: Optional[int] = None
+    ) -> "CRPrecisReducer":
+        """Use the Appendix H sizing (``3/eps`` rows of primes of size ``~6 log|U| / (eps log 1/eps)``)."""
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if universe_size < 2:
+            raise ConfigurationError(f"universe_size must be >= 2, got {universe_size}")
+        row_count = rows if rows is not None else int(math.ceil(3.0 / epsilon))
+        denominator = epsilon * max(math.log2(1.0 / epsilon), 1.0)
+        minimum_prime = int(math.ceil(6.0 * math.log2(universe_size) / denominator))
+        return cls(primes_at_least(row_count, minimum_prime))
+
+    def keys_for(self, item: int) -> Tuple[CounterKey, ...]:
+        """Return the (row, residue) pairs for ``item``."""
+        if item < 0:
+            raise ConfigurationError(f"items must be non-negative integers, got {item}")
+        return tuple((row, item % prime) for row, prime in enumerate(self.primes))
+
+    def combine(self, row_values: Sequence[float]) -> float:
+        """Average across rows (linear, deletion-safe; see Appendix H)."""
+        return float(np.mean(np.asarray(row_values, dtype=float)))
+
+
+class FrequencySite(BlockTrackingSite):
+    """Site side: per-counter exact counts plus unsynchronised residues."""
+
+    def __init__(
+        self, site_id: int, num_sites: int, epsilon: float, reducer
+    ) -> None:
+        super().__init__(site_id, num_sites, epsilon)
+        self.reducer = reducer
+        #: Exact lifetime count per counter key at this site.
+        self.counts: Dict[CounterKey, int] = {}
+        #: Residue per counter key: exact count minus the coordinator's copy.
+        self.residues: Dict[CounterKey, int] = {}
+        self._pending_keys: Tuple[CounterKey, ...] = ()
+
+    def residue_threshold(self, level: Optional[int] = None) -> float:
+        """The flush threshold ``eps * 2^r / 3`` for the given (or current) level."""
+        effective = self.level if level is None else level
+        return self.epsilon * (2 ** effective) / 3.0
+
+    def receive_item_update(self, time: int, item: int, delta: int) -> None:
+        """Process one item insert/delete; drives the F1 block machinery too."""
+        if delta not in (-1, 1):
+            raise StreamError(f"item updates must be +-1, got {delta}")
+        self._pending_keys = self.reducer.keys_for(item)
+        self.receive_update(time, delta)
+        self._pending_keys = ()
+
+    def on_stream_update(self, time: int, delta: int) -> None:
+        threshold = self.residue_threshold()
+        for key in self._pending_keys:
+            self.counts[key] = self.counts.get(key, 0) + delta
+            self.residues[key] = self.residues.get(key, 0) + delta
+            if abs(self.residues[key]) >= threshold:
+                self._flush(key, time)
+
+    def on_block_start(self, level: int) -> None:
+        threshold = self.residue_threshold(level)
+        for key in list(self.residues):
+            if abs(self.residues[key]) >= threshold:
+                self._flush(key, time=0)
+
+    def _flush(self, key: CounterKey, time: int) -> None:
+        self.residues[key] = 0
+        self.send(
+            Message(
+                kind=MessageKind.REPORT,
+                sender=self.site_id,
+                receiver=COORDINATOR,
+                payload={"row": key[0], "bucket": key[1], "value": self.counts.get(key, 0)},
+                time=time,
+            )
+        )
+
+
+class FrequencyCoordinator(BlockTrackingCoordinator):
+    """Coordinator side: per-(site, counter) copies plus frequency queries."""
+
+    def __init__(self, num_sites: int, epsilon: float, reducer) -> None:
+        super().__init__(num_sites, epsilon)
+        self.reducer = reducer
+        self._copies: Dict[Tuple[int, CounterKey], int] = {}
+        self._row_site_sums: Dict[CounterKey, int] = {}
+
+    def drift_estimate(self) -> float:
+        # The scalar estimate tracked by the template is F1 at the last block
+        # boundary; the interesting queries are per-item (see :meth:`query`).
+        return 0.0
+
+    def on_estimation_report(self, message: Message) -> None:
+        key: CounterKey = (int(message.payload["row"]), int(message.payload["bucket"]))
+        copy_key = (message.sender, key)
+        new_value = int(message.payload["value"])
+        old_value = self._copies.get(copy_key, 0)
+        self._copies[copy_key] = new_value
+        self._row_site_sums[key] = self._row_site_sums.get(key, 0) + (new_value - old_value)
+
+    def on_block_start(self, level: int) -> None:
+        # Copies persist across blocks; only the level changes.
+        return None
+
+    def counter_estimate(self, key: CounterKey) -> float:
+        """Coordinator's estimate of the global count of one counter key."""
+        return float(self._row_site_sums.get(key, 0))
+
+    def query(self, item: int) -> float:
+        """Estimate the frequency of ``item`` by combining its counter rows."""
+        keys = self.reducer.keys_for(item)
+        row_values = [self.counter_estimate(key) for key in keys]
+        return self.reducer.combine(row_values)
+
+    def estimated_f1(self) -> float:
+        """The coordinator's current estimate of ``F1`` (exact at block boundaries)."""
+        return float(self.boundary_value)
+
+    def known_items(self) -> List[int]:
+        """Items the coordinator can enumerate without a candidate list.
+
+        Only the identity reduction preserves item identities; sketched
+        reductions must be queried with an explicit candidate set.
+        """
+        if not isinstance(self.reducer, IdentityReducer):
+            raise ConfigurationError(
+                "known_items() requires the identity reducer; pass candidates "
+                "explicitly to heavy_hitters() when a sketch reduction is used"
+            )
+        return sorted({key[1] for (_site, key) in self._copies})
+
+    def heavy_hitters(
+        self,
+        fraction: float,
+        candidates: Optional[Iterable[int]] = None,
+    ) -> List[Tuple[int, float]]:
+        """Return items whose estimated frequency is at least ``fraction * F1``.
+
+        Args:
+            fraction: The heavy-hitter threshold ``phi`` in ``(0, 1]``.  With
+                tracking error ``eps * F1`` the output contains every item of
+                true frequency at least ``(phi + eps) F1`` and no item below
+                ``(phi - eps) F1``.
+            candidates: Items to consider; defaults to every item the
+                coordinator has seen (identity reduction only).
+
+        Returns:
+            ``(item, estimated frequency)`` pairs sorted by decreasing estimate.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+        pool = list(candidates) if candidates is not None else self.known_items()
+        cutoff = fraction * max(self.estimated_f1(), 1.0)
+        hitters = [
+            (item, self.query(item)) for item in pool if self.query(item) >= cutoff
+        ]
+        return sorted(hitters, key=lambda pair: (-pair[1], pair[0]))
+
+
+@dataclass
+class FrequencyTrackingResult:
+    """Outcome of running the frequency tracker over an item stream.
+
+    Attributes:
+        checkpoint_times: Times at which frequencies were audited.
+        max_errors: Max absolute frequency error over audited items, per checkpoint.
+        f1_values: ``F1(t)`` at each checkpoint.
+        total_messages: Total messages exchanged.
+        total_bits: Total message bits exchanged.
+        f1_variability: The F1-variability of the processed stream.
+    """
+
+    checkpoint_times: List[int] = field(default_factory=list)
+    max_errors: List[float] = field(default_factory=list)
+    f1_values: List[int] = field(default_factory=list)
+    total_messages: int = 0
+    total_bits: int = 0
+    f1_variability: float = 0.0
+
+    def violations(self, epsilon: float) -> int:
+        """Checkpoints where some audited item missed the ``eps * F1`` guarantee."""
+        return sum(
+            1
+            for error, f1 in zip(self.max_errors, self.f1_values)
+            if error > epsilon * max(f1, 1) + 1e-9
+        )
+
+    def max_error_ratio(self) -> float:
+        """Worst ratio of observed error to ``F1`` across checkpoints."""
+        worst = 0.0
+        for error, f1 in zip(self.max_errors, self.f1_values):
+            worst = max(worst, error / max(f1, 1))
+        return worst
+
+
+class FrequencyTracker(BlockTrackerFactory):
+    """Factory for the Appendix H distributed frequency tracker.
+
+    Args:
+        num_sites: Number of sites ``k``.
+        epsilon: Relative error parameter (against ``F1``).
+        reducer: Optional item-space reduction; defaults to
+            :class:`IdentityReducer` (exact per-item counters).
+    """
+
+    def __init__(self, num_sites: int, epsilon: float, reducer=None) -> None:
+        super().__init__(num_sites, epsilon)
+        self.reducer = reducer if reducer is not None else IdentityReducer()
+
+    def build_coordinator(self) -> FrequencyCoordinator:
+        return FrequencyCoordinator(self.num_sites, self.epsilon, self.reducer)
+
+    def build_site(self, site_id: int) -> FrequencySite:
+        return FrequencySite(site_id, self.num_sites, self.epsilon, self.reducer)
+
+    def track(self, updates, record_every: int = 1):
+        """Frequency tracking uses :func:`run_frequency_tracking`, not the scalar runner."""
+        raise ConfigurationError(
+            "use run_frequency_tracking(tracker, item_updates, ...) for the "
+            "frequency-tracking problem"
+        )
+
+
+def run_frequency_tracking(
+    tracker: FrequencyTracker,
+    item_updates: Sequence[ItemUpdate],
+    audit_items: Optional[Iterable[int]] = None,
+    audit_every: int = 64,
+) -> FrequencyTrackingResult:
+    """Drive an item stream through the frequency tracker and audit its error.
+
+    Args:
+        tracker: The tracker factory (defines ``k``, ``eps`` and the reducer).
+        item_updates: The distributed insert/delete stream.
+        audit_items: Items whose frequency is checked at every checkpoint; by
+            default, every item that appears in the stream.
+        audit_every: Number of timesteps between error audits (audits are
+            exact and therefore slow, so they are sampled).
+
+    Returns:
+        A :class:`FrequencyTrackingResult` with per-checkpoint error and the
+        total communication cost.
+    """
+    if audit_every < 1:
+        raise ConfigurationError(f"audit_every must be >= 1, got {audit_every}")
+    network: MonitoringNetwork = tracker.build_network()
+    coordinator: FrequencyCoordinator = network.coordinator  # type: ignore[assignment]
+    sites: List[FrequencySite] = network.sites  # type: ignore[assignment]
+
+    audited = set(audit_items) if audit_items is not None else {u.item for u in item_updates}
+    true_frequencies: Dict[int, int] = {}
+    f1 = 0
+    f1_series: List[int] = []
+    result = FrequencyTrackingResult()
+
+    for index, update in enumerate(item_updates):
+        sites[update.site].receive_item_update(update.time, update.item, update.delta)
+        true_frequencies[update.item] = true_frequencies.get(update.item, 0) + update.delta
+        if true_frequencies[update.item] < 0:
+            raise StreamError(
+                f"item {update.item} deleted more times than inserted at t={update.time}"
+            )
+        f1 += update.delta
+        f1_series.append(f1)
+        if index % audit_every == 0 or index == len(item_updates) - 1:
+            max_error = 0.0
+            for item in audited:
+                estimate = coordinator.query(item)
+                truth = true_frequencies.get(item, 0)
+                max_error = max(max_error, abs(estimate - truth))
+            result.checkpoint_times.append(update.time)
+            result.max_errors.append(max_error)
+            result.f1_values.append(f1)
+
+    stats = network.stats
+    result.total_messages = stats.messages
+    result.total_bits = stats.bits
+    result.f1_variability = f1_variability(f1_series)
+    return result

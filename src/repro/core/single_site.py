@@ -1,0 +1,122 @@
+"""Single-site aggregate tracking (Section 5.2 and Appendix I).
+
+When ``k = 1`` the site always knows the exact value of the aggregate
+``f(n)``, and the only question is when to refresh the coordinator's copy.
+The paper's algorithm is one line: *whenever* ``|f - fhat| > eps * |f|``
+*send f to the coordinator*.  Appendix I shows, by a potential argument, that
+the number of messages is at most the total increase of the potential
+``Phi(n) = |f(n) - fhat(n)| / |f(n)|``, which is at most
+``(1 + eps) * v(n)`` — i.e. ``O(v(n) / eps)`` messages of one word each
+(each message "spends" at least ``eps`` of accumulated potential).
+
+Unlike the Section 3 trackers this algorithm accepts arbitrary integer deltas
+(not just ``+-1``) because the site evaluates ``f`` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.variability import VariabilityTracker
+from repro.exceptions import ConfigurationError
+from repro.types import EstimateRecord
+
+__all__ = ["SingleSiteTracker", "SingleSiteResult", "run_single_site"]
+
+
+@dataclass
+class SingleSiteResult:
+    """Outcome of a single-site tracking run.
+
+    Attributes:
+        records: Per-timestep records of value, estimate and message count.
+        messages: Total messages sent to the coordinator.
+        variability: The f-variability of the processed stream.
+    """
+
+    records: List[EstimateRecord] = field(default_factory=list)
+    messages: int = 0
+    variability: float = 0.0
+
+    def max_relative_error(self) -> float:
+        """Largest relative error over the run (infinite if wrong at ``f = 0``)."""
+        worst = 0.0
+        for record in self.records:
+            if record.true_value == 0:
+                if record.absolute_error > 1e-9:
+                    return float("inf")
+                continue
+            worst = max(worst, record.absolute_error / abs(record.true_value))
+        return worst
+
+
+class SingleSiteTracker:
+    """Online tracker for the ``k = 1`` problem.
+
+    The tracker plays both roles: it maintains the exact value (the site) and
+    the last transmitted value (the coordinator's copy), and counts one
+    message per refresh.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self._value = 0
+        self._estimate = 0
+        self._messages = 0
+        self._time = 0
+        self._variability = VariabilityTracker()
+
+    @property
+    def value(self) -> int:
+        """Exact current value ``f(t)`` held by the site."""
+        return self._value
+
+    @property
+    def estimate(self) -> int:
+        """The coordinator's current copy ``fhat(t)``."""
+        return self._estimate
+
+    @property
+    def messages(self) -> int:
+        """Messages sent to the coordinator so far."""
+        return self._messages
+
+    @property
+    def variability(self) -> float:
+        """f-variability of the updates processed so far."""
+        return self._variability.total
+
+    def update(self, delta: int) -> bool:
+        """Process one update ``f'(t) = delta``; return True if a message was sent."""
+        self._time += 1
+        self._value += delta
+        self._variability.update(delta)
+        error = abs(self._value - self._estimate)
+        if error > self.epsilon * abs(self._value):
+            self._estimate = self._value
+            self._messages += 1
+            return True
+        return False
+
+
+def run_single_site(deltas: Sequence[int], epsilon: float) -> SingleSiteResult:
+    """Run the Appendix I tracker over a delta sequence and collect records."""
+    tracker = SingleSiteTracker(epsilon)
+    result = SingleSiteResult()
+    for time, delta in enumerate(deltas, start=1):
+        tracker.update(delta)
+        result.records.append(
+            EstimateRecord(
+                time=time,
+                true_value=tracker.value,
+                estimate=float(tracker.estimate),
+                messages=tracker.messages,
+                bits=tracker.messages * 64,
+            )
+        )
+    result.messages = tracker.messages
+    result.variability = tracker.variability
+    return result

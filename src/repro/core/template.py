@@ -1,0 +1,279 @@
+"""Shared block-based tracking template (Sections 3.1 and 3.2).
+
+Both the deterministic and the randomized counters share the same structure:
+
+1. **Block partition (Section 3.1).**  Every site counts the updates it has
+   received since it last told the coordinator (``c_i``) and the change in
+   ``f`` since the last block boundary (``f_i``).  Once ``c_i`` reaches
+   ``ceil(2^(r-1))`` the site reports the count.  The coordinator accumulates
+   reported counts in ``t_hat`` and, once ``t_hat`` reaches
+   ``ceil(2^(r-1)) * k``, closes the block: it requests (``c_i``, ``f_i``)
+   from every site, recovers the exact ``n_j`` and ``f(n_j)``, recomputes the
+   level ``r`` from ``|f(n_j)|``, and broadcasts the new ``r``.
+
+2. **Within-block estimation (Section 3.2).**  Concrete algorithms fill in a
+   *condition* (when a site speaks), a *message* (what it sends) and an
+   *update* (how the coordinator revises its drift estimates ``d_hat_i``).
+   The coordinator's estimate is always ``f(n_j) + sum_i d_hat_i``.
+
+Subclasses implement the hooks marked "estimation hook" below; everything
+about the block protocol is handled here so that the deterministic and
+randomized trackers differ only in the three template slots, exactly as in
+the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, List
+
+from repro.core.blocks import block_level
+from repro.exceptions import ConfigurationError, StreamError
+from repro.monitoring.coordinator import Coordinator
+from repro.monitoring.messages import BROADCAST_SITE, COORDINATOR, Message, MessageKind
+from repro.monitoring.network import MonitoringNetwork
+from repro.monitoring.site import Site
+
+__all__ = [
+    "check_tracking_parameters",
+    "BlockTrackingSite",
+    "BlockTrackingCoordinator",
+    "BlockTrackerFactory",
+]
+
+
+def check_tracking_parameters(num_sites: int, epsilon: float) -> None:
+    """Validate the (k, eps) parameters shared by every tracker."""
+    if num_sites < 1:
+        raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+
+
+class BlockTrackingSite(Site, abc.ABC):
+    """Site side of the block-based template."""
+
+    def __init__(self, site_id: int, num_sites: int, epsilon: float) -> None:
+        check_tracking_parameters(num_sites, epsilon)
+        super().__init__(site_id)
+        self.num_sites = num_sites
+        self.epsilon = epsilon
+        #: Current block level r, as last broadcast by the coordinator.
+        self.level = 0
+        #: c_i: updates received since the last count report (or reply).
+        self.count_since_report = 0
+        #: f_i: change in f received since the last block boundary broadcast.
+        self.block_value_change = 0
+
+    # -- block protocol -----------------------------------------------------
+
+    def count_report_threshold(self) -> int:
+        """Per-site count ``ceil(2^(r-1))`` after which a count report is sent."""
+        return max(1, int(math.ceil(2 ** (self.level - 1))))
+
+    def receive_update(self, time: int, delta: int) -> None:
+        if delta not in (-1, 1):
+            raise StreamError(
+                f"block trackers require unit updates, got {delta}; expand "
+                "larger updates with repro.core.expansion first"
+            )
+        self.count_since_report += 1
+        self.block_value_change += delta
+        self.on_stream_update(time, delta)
+        if self.count_since_report >= self.count_report_threshold():
+            count = self.count_since_report
+            self.count_since_report = 0
+            self.send(
+                Message(
+                    kind=MessageKind.REPORT,
+                    sender=self.site_id,
+                    receiver=COORDINATOR,
+                    payload={"count": count},
+                    time=time,
+                )
+            )
+
+    def receive_message(self, message: Message) -> None:
+        if message.kind is MessageKind.REQUEST:
+            count = self.count_since_report
+            change = self.block_value_change
+            self.count_since_report = 0
+            self.send(
+                Message(
+                    kind=MessageKind.REPLY,
+                    sender=self.site_id,
+                    receiver=COORDINATOR,
+                    payload={"count": count, "change": change},
+                    time=message.time,
+                )
+            )
+        elif message.kind is MessageKind.BROADCAST:
+            self.level = int(message.payload["level"])
+            self.block_value_change = 0
+            self.count_since_report = 0
+            self.on_block_start(self.level)
+        else:
+            raise ConfigurationError(
+                f"site {self.site_id} received unexpected message kind {message.kind}"
+            )
+
+    # -- estimation hooks ----------------------------------------------------
+
+    @abc.abstractmethod
+    def on_stream_update(self, time: int, delta: int) -> None:
+        """Estimation hook: called for every local update, before count logic."""
+
+    @abc.abstractmethod
+    def on_block_start(self, level: int) -> None:
+        """Estimation hook: called when a new block (with level ``r``) begins."""
+
+
+class BlockTrackingCoordinator(Coordinator, abc.ABC):
+    """Coordinator side of the block-based template."""
+
+    def __init__(self, num_sites: int, epsilon: float) -> None:
+        check_tracking_parameters(num_sites, epsilon)
+        super().__init__()
+        self.num_sites = num_sites
+        self.epsilon = epsilon
+        #: Current block level r.
+        self.level = 0
+        #: Exact value f(n_j) at the last block boundary.
+        self.boundary_value = 0
+        #: Exact time n_j of the last block boundary.
+        self.boundary_time = 0
+        #: t_hat: updates reported (in count reports) since the boundary.
+        self.reported_updates = 0
+        #: Number of completed blocks.
+        self.blocks_completed = 0
+        self._collecting_replies = False
+        self._replies: Dict[int, Message] = {}
+
+    # -- estimate ------------------------------------------------------------
+
+    def estimate(self) -> float:
+        """Current estimate ``fhat(n) = f(n_j) + d_hat(n)``."""
+        return self.boundary_value + self.drift_estimate()
+
+    # -- block protocol ------------------------------------------------------
+
+    def block_trigger_threshold(self) -> int:
+        """Reported-update total ``ceil(2^(r-1)) * k`` that closes the block."""
+        per_site = max(1, int(math.ceil(2 ** (self.level - 1))))
+        return per_site * self.num_sites
+
+    def receive_message(self, message: Message) -> None:
+        if message.kind is MessageKind.REPLY:
+            if not self._collecting_replies:
+                raise ConfigurationError(
+                    "coordinator received a reply outside of a block close"
+                )
+            self._replies[message.sender] = message
+            return
+        if message.kind is not MessageKind.REPORT:
+            raise ConfigurationError(
+                f"coordinator received unexpected message kind {message.kind}"
+            )
+        if "count" in message.payload:
+            self.reported_updates += int(message.payload["count"])
+            if self.reported_updates >= self.block_trigger_threshold():
+                self._close_block(message.time)
+        else:
+            self.on_estimation_report(message)
+
+    def _close_block(self, time: int) -> None:
+        self._collecting_replies = True
+        self._replies = {}
+        for site_id in range(self.num_sites):
+            self.send(
+                Message(
+                    kind=MessageKind.REQUEST,
+                    sender=COORDINATOR,
+                    receiver=site_id,
+                    payload={},
+                    time=time,
+                )
+            )
+        self._collecting_replies = False
+        if len(self._replies) != self.num_sites:
+            raise ConfigurationError(
+                f"block close expected {self.num_sites} replies, got {len(self._replies)}"
+            )
+        extra_updates = sum(int(r.payload["count"]) for r in self._replies.values())
+        total_change = sum(int(r.payload["change"]) for r in self._replies.values())
+        self.boundary_time += self.reported_updates + extra_updates
+        self.boundary_value += total_change
+        self.reported_updates = 0
+        self.level = block_level(self.boundary_value, self.num_sites)
+        self.blocks_completed += 1
+        self.on_block_start(self.level)
+        self.send(
+            Message(
+                kind=MessageKind.BROADCAST,
+                sender=COORDINATOR,
+                receiver=BROADCAST_SITE,
+                payload={"level": self.level},
+                time=time,
+            )
+        )
+
+    # -- estimation hooks ----------------------------------------------------
+
+    @abc.abstractmethod
+    def drift_estimate(self) -> float:
+        """Estimation hook: current estimate ``d_hat`` of the in-block drift."""
+
+    @abc.abstractmethod
+    def on_estimation_report(self, message: Message) -> None:
+        """Estimation hook: handle a site's estimation report."""
+
+    @abc.abstractmethod
+    def on_block_start(self, level: int) -> None:
+        """Estimation hook: reset per-block estimation state."""
+
+
+class BlockTrackerFactory(abc.ABC):
+    """Common factory interface for the Section 3 trackers.
+
+    A factory bundles the problem parameters (``k``, ``eps``) and knows how to
+    build a freshly wired :class:`MonitoringNetwork`; convenience method
+    :meth:`track` builds a network and runs a distributed stream through it.
+    """
+
+    def __init__(self, num_sites: int, epsilon: float) -> None:
+        check_tracking_parameters(num_sites, epsilon)
+        self.num_sites = num_sites
+        self.epsilon = epsilon
+
+    @abc.abstractmethod
+    def build_coordinator(self) -> BlockTrackingCoordinator:
+        """Create the coordinator for one run."""
+
+    @abc.abstractmethod
+    def build_site(self, site_id: int) -> BlockTrackingSite:
+        """Create site ``site_id`` for one run."""
+
+    def build_network(self) -> MonitoringNetwork:
+        """Create a wired coordinator + ``k`` sites network."""
+        coordinator = self.build_coordinator()
+        sites: List[BlockTrackingSite] = [
+            self.build_site(site_id) for site_id in range(self.num_sites)
+        ]
+        return MonitoringNetwork(coordinator, sites)
+
+    def track(self, updates, record_every: int = 1):
+        """Build a fresh network and run a distributed stream through it.
+
+        Args:
+            updates: A sequence of :class:`repro.types.Update`.
+            record_every: Passed through to
+                :func:`repro.monitoring.runner.run_tracking`.
+
+        Returns:
+            The :class:`repro.monitoring.runner.TrackingResult` of the run.
+        """
+        from repro.monitoring.runner import run_tracking
+
+        network = self.build_network()
+        return run_tracking(network, updates, record_every=record_every)

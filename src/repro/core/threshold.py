@@ -1,0 +1,116 @@
+"""Thresholded monitoring on top of the continuous trackers.
+
+Section 2 recalls the original thresholded problem ``(k, f, tau, eps)`` of
+Cormode, Muthukrishnan and Yi: at any time the coordinator must be able to say
+whether ``f(D) >= tau`` or ``f(D) <= (1 - eps) tau`` (anything goes in
+between).  A continuous tracker with relative error ``eps/3`` answers this for
+*every* threshold simultaneously: report "over" when the estimate is at least
+``(1 - eps/2) tau`` and "under" otherwise.  :class:`ThresholdMonitor` packages
+that reduction, including the alert stream a monitoring dashboard would
+consume (fire when a threshold is first crossed, clear when the value falls
+back below the hysteresis band).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.monitoring.runner import TrackingResult
+
+__all__ = ["ThresholdDecision", "ThresholdAlert", "ThresholdMonitor"]
+
+
+@dataclass(frozen=True)
+class ThresholdDecision:
+    """The monitor's answer for one threshold at one time.
+
+    Attributes:
+        time: The timestep of the decision.
+        threshold: The threshold ``tau``.
+        over: True if the monitor reports ``f >= tau`` (allowed whenever the
+            true value is above ``(1 - eps) tau``).
+    """
+
+    time: int
+    threshold: float
+    over: bool
+
+
+@dataclass(frozen=True)
+class ThresholdAlert:
+    """A state change of one threshold (fired or cleared)."""
+
+    time: int
+    threshold: float
+    fired: bool
+
+
+class ThresholdMonitor:
+    """Answer thresholded queries from a continuous tracker's estimates."""
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+
+    def tracker_epsilon(self) -> float:
+        """The relative error the underlying tracker must be run with."""
+        return self.epsilon / 3.0
+
+    def decide(self, estimate: float, threshold: float) -> bool:
+        """Decide "over" / "under" for one threshold given the current estimate."""
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be > 0, got {threshold}")
+        return estimate >= (1.0 - self.epsilon / 2.0) * threshold
+
+    def decisions(
+        self, result: TrackingResult, threshold: float
+    ) -> List[ThresholdDecision]:
+        """Evaluate one threshold over a whole tracking run."""
+        return [
+            ThresholdDecision(
+                time=record.time,
+                threshold=threshold,
+                over=self.decide(record.estimate, threshold),
+            )
+            for record in result.records
+        ]
+
+    def alerts(self, result: TrackingResult, threshold: float) -> List[ThresholdAlert]:
+        """Return the fire/clear transitions of one threshold over a run."""
+        alerts: List[ThresholdAlert] = []
+        over = False
+        for decision in self.decisions(result, threshold):
+            if decision.over != over:
+                over = decision.over
+                alerts.append(
+                    ThresholdAlert(time=decision.time, threshold=threshold, fired=over)
+                )
+        return alerts
+
+    def violations(
+        self, result: TrackingResult, threshold: float
+    ) -> int:
+        """Count decisions inconsistent with the (k, f, tau, eps) promise.
+
+        A decision is wrong only when it reports "over" while the true value is
+        at most ``(1 - eps) tau``, or "under" while the true value is at least
+        ``tau``; the band in between allows either answer.
+        """
+        wrong = 0
+        for record, decision in zip(result.records, self.decisions(result, threshold)):
+            if decision.over and record.true_value <= (1.0 - self.epsilon) * threshold:
+                wrong += 1
+            elif not decision.over and record.true_value >= threshold:
+                wrong += 1
+        return wrong
+
+    def sweep(
+        self, result: TrackingResult, thresholds: Sequence[float]
+    ) -> List[int]:
+        """Return the violation count for each threshold in ``thresholds``."""
+        if not thresholds:
+            raise ConfigurationError("thresholds must be non-empty")
+        return [self.violations(result, threshold) for threshold in thresholds]

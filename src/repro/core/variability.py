@@ -1,0 +1,160 @@
+"""The variability parameter ``v(n)`` of Section 2.
+
+The f-variability of a stream is
+
+    v(n) = sum_{t=1..n} v'(t),    v'(t) = min(1, |f'(t) / f(t)|),
+
+with the convention that ``v'(t) = 1`` whenever ``f(t) = 0`` (the paper
+handles that case by communicating it explicitly at every such timestep).
+The F1-variability used by frequency tracking (Appendix H) replaces the
+increment by ``v'(t) = min(1, 1 / F1(t))`` because every item update changes
+some frequency by one while the error scale is ``eps * F1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.exceptions import StreamError
+
+__all__ = [
+    "variability_increment",
+    "variability_increments",
+    "variability",
+    "f1_variability",
+    "VariabilityTracker",
+]
+
+
+def variability_increment(value: int, delta: int) -> float:
+    """Return ``v'(t)`` given the new value ``f(t)`` and the change ``f'(t)``.
+
+    Args:
+        value: The value ``f(t)`` *after* applying the update.
+        delta: The update ``f'(t) = f(t) - f(t-1)``.
+
+    Returns:
+        ``min(1, |delta / value|)``, with the value-zero convention above.
+    """
+    if value == 0:
+        return 1.0
+    if delta == 0:
+        return 0.0
+    return min(1.0, abs(delta) / abs(value))
+
+
+def variability_increments(deltas: Sequence[int], start: int = 0) -> List[float]:
+    """Return the per-timestep increments ``v'(1..n)`` for a delta sequence."""
+    increments = []
+    value = start
+    for delta in deltas:
+        value += delta
+        increments.append(variability_increment(value, delta))
+    return increments
+
+
+def variability(deltas: Sequence[int], start: int = 0) -> float:
+    """Return the total f-variability ``v(n)`` of a delta sequence.
+
+    Args:
+        deltas: The updates ``f'(1..n)``.
+        start: The initial value ``f(0)`` (0 in the paper unless stated).
+    """
+    return float(sum(variability_increments(deltas, start=start)))
+
+
+def f1_variability(f1_values: Sequence[int]) -> float:
+    """Return the F1-variability of an item stream given its ``F1(t)`` values.
+
+    Appendix H defines the per-step increment as ``min(1, 1 / F1(t))`` because
+    each timestep inserts or deletes exactly one item.  ``F1(t) = 0`` steps
+    contribute 1, mirroring the f-variability convention.
+
+    Args:
+        f1_values: The dataset sizes ``F1(1..n)`` after each update.
+
+    Raises:
+        StreamError: If any ``F1(t)`` is negative (more deletions than
+            insertions of some item).
+    """
+    total = 0.0
+    for value in f1_values:
+        if value < 0:
+            raise StreamError(f"F1 must never be negative, got {value}")
+        total += 1.0 if value == 0 else min(1.0, 1.0 / value)
+    return total
+
+
+class VariabilityTracker:
+    """Online (single-pass, O(1)-space) tracker of the variability of a stream.
+
+    The tracker consumes one update at a time and maintains the current value
+    ``f(t)``, the total variability ``v(t)``, and a few useful decompositions
+    (total insertions ``f+``, total deletions ``f-``, number of zero
+    crossings) that the nearly-monotone analysis of Theorem 2.1 refers to.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._value = start
+        self._time = 0
+        self._total = 0.0
+        self._positive_mass = 0
+        self._negative_mass = 0
+        self._zero_count = 0
+        self._last_increment = 0.0
+
+    @property
+    def time(self) -> int:
+        """Number of updates consumed so far."""
+        return self._time
+
+    @property
+    def value(self) -> int:
+        """Current value ``f(t)``."""
+        return self._value
+
+    @property
+    def total(self) -> float:
+        """Total variability ``v(t)`` accumulated so far."""
+        return self._total
+
+    @property
+    def last_increment(self) -> float:
+        """The most recent per-step increment ``v'(t)``."""
+        return self._last_increment
+
+    @property
+    def positive_mass(self) -> int:
+        """Total insertions ``f+(t) = sum of positive deltas``."""
+        return self._positive_mass
+
+    @property
+    def negative_mass(self) -> int:
+        """Total deletions ``f-(t) = sum of |negative deltas|``."""
+        return self._negative_mass
+
+    @property
+    def zero_count(self) -> int:
+        """Number of timesteps at which ``f(t) = 0``."""
+        return self._zero_count
+
+    def update(self, delta: int) -> float:
+        """Consume one update ``f'(t) = delta`` and return the increment ``v'(t)``."""
+        self._time += 1
+        self._value += delta
+        if delta > 0:
+            self._positive_mass += delta
+        elif delta < 0:
+            self._negative_mass += -delta
+        if self._value == 0:
+            self._zero_count += 1
+        increment = variability_increment(self._value, delta)
+        self._total += increment
+        self._last_increment = increment
+        return increment
+
+    def update_many(self, deltas: Iterable[int]) -> float:
+        """Consume a sequence of updates and return the new total variability."""
+        for delta in deltas:
+            self.update(delta)
+        return self._total

@@ -1,0 +1,47 @@
+"""Lower-bound constructions and the tracing problem (Section 4).
+
+The paper's lower bounds go through the *tracing problem*: maintain a small
+summary of the whole history of ``f`` so that any past value ``f(t)`` can be
+recovered to ``eps`` relative error.  Appendix D shows a tracing lower bound
+implies a space+communication lower bound for distributed tracking, because a
+tracking algorithm's communication transcript *is* a tracing summary.
+
+* :mod:`repro.lowerbounds.deterministic_family` — the Theorem 4.1 family of
+  "flip" sequences (values ``m`` / ``m + 3``), whose size forces any exact
+  eps-tracer to use ``Omega((v/eps) log n)`` bits.
+* :mod:`repro.lowerbounds.randomized_family` — the Lemma 4.4 randomized
+  family with pairwise small overlap, used by the INDEX reduction of
+  Lemma 4.3.
+* :mod:`repro.lowerbounds.overlap` — overlap counting and the matching
+  predicate shared by both.
+* :mod:`repro.lowerbounds.markov` — the two-state Markov chain that models the
+  overlap between two random sequences, with its mixing-time bound.
+* :mod:`repro.lowerbounds.tracing` — a tracing summary built by recording a
+  tracker's communication transcript (the Appendix D reduction, executable).
+* :mod:`repro.lowerbounds.index_problem` — the one-way INDEX reduction of
+  Lemma 4.3, runnable end to end on small instances.
+"""
+
+from repro.lowerbounds.deterministic_family import (
+    DeterministicFlipFamily,
+    flip_sequence_values,
+    flip_family_variability,
+)
+from repro.lowerbounds.index_problem import IndexReduction, IndexReductionReport
+from repro.lowerbounds.markov import OverlapChain
+from repro.lowerbounds.overlap import overlap_count, sequences_match
+from repro.lowerbounds.randomized_family import RandomizedFlipFamily
+from repro.lowerbounds.tracing import TranscriptTracer
+
+__all__ = [
+    "DeterministicFlipFamily",
+    "flip_sequence_values",
+    "flip_family_variability",
+    "IndexReduction",
+    "IndexReductionReport",
+    "OverlapChain",
+    "overlap_count",
+    "sequences_match",
+    "RandomizedFlipFamily",
+    "TranscriptTracer",
+]

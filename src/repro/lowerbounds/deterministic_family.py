@@ -1,0 +1,240 @@
+"""The deterministic hard family of Theorem 4.1.
+
+Fix ``eps = 1/m`` for an integer ``m >= 2``, a stream length ``n`` and an even
+number ``r <= n^c`` of "flip" positions.  For every size-``r`` subset ``S`` of
+``{1..n}`` define the sequence ``f_S`` by ``f_S(0) = m`` and
+
+    f_S(t) = f_S(t-1)            if t not in S
+    f_S(t) = (2m + 3) - f_S(t-1) if t in S,
+
+i.e. the value flips between ``m`` and ``m + 3`` exactly at the times in
+``S``.  Properties proved in the paper and checked by the tests/benchmarks:
+
+* distinct subsets give distinct sequences (so the family has ``C(n, r)``
+  members and indexing a member takes ``Omega(r log n)`` bits);
+* every member has f-variability exactly ``(6m + 9) / (2m + 6) * eps * r``
+  (each ``m -> m+3`` flip contributes ``3/(m+3)``, each ``m+3 -> m`` flip
+  contributes ``3/m``);
+* no value within ``eps * m`` of ``m`` is within ``eps * (m + 3)`` of
+  ``m + 3``, so an eps-accurate tracer distinguishes every pair of members
+  and therefore needs ``Omega(r log n) = Omega((v/eps) log n)`` bits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "flip_sequence_values",
+    "flip_sequence_deltas",
+    "flip_family_variability",
+    "DeterministicFlipFamily",
+]
+
+
+def flip_sequence_values(n: int, level: int, flip_times: Sequence[int]) -> List[int]:
+    """Return the value sequence ``f_S(1..n)`` for flip set ``S = flip_times``.
+
+    Args:
+        n: Stream length.
+        level: The lower value ``m`` (the paper uses ``m = 1/eps``).
+        flip_times: The set ``S`` of flip positions, each in ``1..n``.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if level < 2:
+        raise ConfigurationError(f"level m must be >= 2, got {level}")
+    flip_set = set(int(t) for t in flip_times)
+    if flip_set and (min(flip_set) < 1 or max(flip_set) > n):
+        raise ConfigurationError("flip times must lie in 1..n")
+    values = []
+    current = level
+    for t in range(1, n + 1):
+        if t in flip_set:
+            current = (2 * level + 3) - current
+        values.append(current)
+    return values
+
+
+def flip_sequence_deltas(n: int, level: int, flip_times: Sequence[int]) -> List[int]:
+    """Return the delta sequence ``f'(1..n)`` of the flip sequence (with ``f(0) = m``)."""
+    values = flip_sequence_values(n, level, flip_times)
+    deltas = []
+    previous = level
+    for value in values:
+        deltas.append(value - previous)
+        previous = value
+    return deltas
+
+
+def flip_family_variability(level: int, num_flips: int) -> float:
+    """The exact variability ``(6m + 9) / (2m + 6) * eps * r`` of a family member.
+
+    Args:
+        level: The lower value ``m = 1/eps``.
+        num_flips: The (even) number of flips ``r``.
+    """
+    if level < 2:
+        raise ConfigurationError(f"level m must be >= 2, got {level}")
+    if num_flips < 0 or num_flips % 2 != 0:
+        raise ConfigurationError(f"num_flips must be even and >= 0, got {num_flips}")
+    epsilon = 1.0 / level
+    return (6 * level + 9) / (2 * level + 6) * epsilon * num_flips
+
+
+class DeterministicFlipFamily:
+    """The Theorem 4.1 family for parameters ``(n, m, r)``.
+
+    The family is indexed lexicographically by its flip sets, so a member can
+    be addressed by an integer in ``0 .. C(n, r) - 1`` — which is exactly how
+    the INDEX reduction of Lemma 4.3 uses it.
+    """
+
+    def __init__(self, n: int, level: int, num_flips: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        if level < 2:
+            raise ConfigurationError(f"level m must be >= 2, got {level}")
+        if num_flips < 2 or num_flips % 2 != 0:
+            raise ConfigurationError(
+                f"num_flips must be even and >= 2, got {num_flips}"
+            )
+        if num_flips > n:
+            raise ConfigurationError(
+                f"num_flips ({num_flips}) cannot exceed the stream length ({n})"
+            )
+        self.n = n
+        self.level = level
+        self.num_flips = num_flips
+
+    @property
+    def epsilon(self) -> float:
+        """The relative-error parameter ``eps = 1/m`` the family is hard for."""
+        return 1.0 / self.level
+
+    def size(self) -> int:
+        """Family size ``C(n, r)``."""
+        return math.comb(self.n, self.num_flips)
+
+    def index_bits(self) -> float:
+        """Bits needed to index a member, ``log2 C(n, r)``."""
+        return math.log2(self.size())
+
+    def paper_bit_lower_bound(self) -> float:
+        """The ``r log2(n / r)`` bound the paper states (a lower bound on ``index_bits``)."""
+        return self.num_flips * math.log2(self.n / self.num_flips)
+
+    def member_variability(self) -> float:
+        """The common variability of every member."""
+        return flip_family_variability(self.level, self.num_flips)
+
+    def flip_times(self, index: int) -> Tuple[int, ...]:
+        """Return the ``index``-th flip set in lexicographic order.
+
+        Uses the combinatorial number system, so it works for astronomically
+        large families without enumerating them.
+        """
+        if not 0 <= index < self.size():
+            raise ConfigurationError(
+                f"index {index} out of range 0..{self.size() - 1}"
+            )
+        chosen: List[int] = []
+        remaining = index
+        next_candidate = 1
+        slots_left = self.num_flips
+        while slots_left > 0:
+            # Count combinations that keep `next_candidate` out of the set.
+            without = math.comb(self.n - next_candidate, slots_left - 1)
+            if remaining < without:
+                chosen.append(next_candidate)
+                slots_left -= 1
+            else:
+                remaining -= without
+            next_candidate += 1
+        return tuple(chosen)
+
+    def index_of(self, flip_times: Sequence[int]) -> int:
+        """Inverse of :meth:`flip_times` (lexicographic rank of a flip set)."""
+        flips = sorted(int(t) for t in flip_times)
+        if len(flips) != self.num_flips or len(set(flips)) != self.num_flips:
+            raise ConfigurationError(
+                f"expected {self.num_flips} distinct flip times, got {flip_times}"
+            )
+        if flips[0] < 1 or flips[-1] > self.n:
+            raise ConfigurationError("flip times must lie in 1..n")
+        rank = 0
+        previous = 0
+        for position, flip in enumerate(flips):
+            for skipped in range(previous + 1, flip):
+                rank += math.comb(self.n - skipped, self.num_flips - position - 1)
+            previous = flip
+        return rank
+
+    def member_values(self, index: int) -> List[int]:
+        """Return the value sequence of the ``index``-th member."""
+        return flip_sequence_values(self.n, self.level, self.flip_times(index))
+
+    def member_deltas(self, index: int) -> List[int]:
+        """Return the delta sequence of the ``index``-th member."""
+        return flip_sequence_deltas(self.n, self.level, self.flip_times(index))
+
+    def decode(self, values: Sequence[int]) -> int:
+        """Recover the member index from an eps-accurate value sequence.
+
+        Any estimate sequence ``fhat`` with ``|fhat(t) - f(t)| <= eps f(t)``
+        for every ``t`` suffices: round each estimate to whichever of ``m`` or
+        ``m + 3`` it is closer to, read off the flip set, and rank it.
+        """
+        if len(values) != self.n:
+            raise ConfigurationError(
+                f"expected {self.n} values, got {len(values)}"
+            )
+        midpoint = self.level + 1.5
+        flips = []
+        previous_high = False
+        for t, value in enumerate(values, start=1):
+            high = value > midpoint
+            if high != previous_high:
+                flips.append(t)
+                previous_high = high
+        return self.index_of(flips)
+
+    def enumerate_members(self, limit: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+        """Yield flip sets in lexicographic order (up to ``limit`` of them)."""
+        count = 0
+        for combo in itertools.combinations(range(1, self.n + 1), self.num_flips):
+            yield combo
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+    def sample_indices(self, count: int, seed: Optional[int] = None) -> List[int]:
+        """Sample ``count`` distinct member indices uniformly (for experiments).
+
+        The family size ``C(n, r)`` easily exceeds 64-bit integers, so instead
+        of drawing an index directly we draw a uniform random flip *set* (a
+        random ``r``-subset of ``1..n``) and rank it, which induces the same
+        uniform distribution over indices without ever materialising the size
+        as a machine integer.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        size = self.size()
+        if count > size:
+            raise ConfigurationError(
+                f"cannot sample {count} distinct members from a family of size {size}"
+            )
+        rng = np.random.default_rng(seed)
+        if size <= 4 * count:
+            return sorted(int(i) for i in rng.choice(size, size=count, replace=False))
+        picked = set()
+        while len(picked) < count:
+            flips = sorted(int(t) + 1 for t in rng.choice(self.n, size=self.num_flips, replace=False))
+            picked.add(self.index_of(flips))
+        return sorted(picked)

@@ -1,0 +1,107 @@
+"""Two-state Markov chain modelling the overlap of two random flip sequences.
+
+In the Lemma 4.4 construction two independently drawn sequences either agree
+(state ``same``) or disagree (state ``different``) at each time; each step the
+pair stays in its state with probability ``alpha = 1 - 2p(1 - p)`` and
+switches with probability ``1 - alpha`` (both sequences flip independently
+with probability ``p``).  The overlap between the sequences is the number of
+steps spent in state ``same``, whose concentration is controlled by the
+chain's mixing time, ``T <= 3 / (2 p (1 - p)) <= 9 eps n / v`` when
+``p = v / (6 eps n)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["OverlapChain"]
+
+
+class OverlapChain:
+    """The two-state overlap chain with flip probability ``p``."""
+
+    def __init__(self, flip_probability: float) -> None:
+        if not 0.0 < flip_probability < 1.0:
+            raise ConfigurationError(
+                f"flip probability must be in (0, 1), got {flip_probability}"
+            )
+        self.flip_probability = flip_probability
+
+    @property
+    def switch_probability(self) -> float:
+        """Probability ``2p(1-p)`` that the pair changes state in one step."""
+        p = self.flip_probability
+        return 2.0 * p * (1.0 - p)
+
+    @property
+    def stay_probability(self) -> float:
+        """Probability ``alpha = 1 - 2p(1-p)`` of staying in the same state."""
+        return 1.0 - self.switch_probability
+
+    def transition_matrix(self) -> np.ndarray:
+        """Return the 2x2 transition matrix over states (same, different)."""
+        alpha = self.stay_probability
+        return np.array([[alpha, 1.0 - alpha], [1.0 - alpha, alpha]])
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The stationary distribution, which is uniform (1/2, 1/2)."""
+        return np.array([0.5, 0.5])
+
+    def expected_overlap_fraction(self) -> float:
+        """Expected fraction of steps in state ``same`` started from stationarity."""
+        return 0.5
+
+    def mixing_time_bound(self) -> float:
+        """The paper's bound ``3 / (2 p (1 - p))`` on the (1/8)-mixing time."""
+        return 3.0 / self.switch_probability
+
+    def exact_mixing_time(self, total_variation: float = 0.125) -> int:
+        """Smallest ``t`` with ``|alpha'|^t <= 2 * total_variation`` (worst-case start).
+
+        For a two-state symmetric chain the distance from stationarity after
+        ``t`` steps from a point mass is ``|2 alpha - 1|^t / 2``.
+        """
+        if not 0.0 < total_variation < 1.0:
+            raise ConfigurationError(
+                f"total_variation must be in (0, 1), got {total_variation}"
+            )
+        second_eigenvalue = abs(2.0 * self.stay_probability - 1.0)
+        if second_eigenvalue == 0.0:
+            return 1
+        steps = math.log(2.0 * total_variation) / math.log(second_eigenvalue)
+        return max(1, int(math.ceil(steps)))
+
+    def simulate_overlap(
+        self, steps: int, seed: Optional[int] = None
+    ) -> int:
+        """Simulate the chain from stationarity and return the overlap count."""
+        if steps < 1:
+            raise ConfigurationError(f"steps must be >= 1, got {steps}")
+        rng = np.random.default_rng(seed)
+        same = bool(rng.random() < 0.5)
+        overlap = 0
+        switch = self.switch_probability
+        draws = rng.random(steps)
+        for draw in draws:
+            if draw < switch:
+                same = not same
+            if same:
+                overlap += 1
+        return overlap
+
+    def simulate_overlap_fractions(
+        self, steps: int, trials: int, seed: Optional[int] = None
+    ) -> List[float]:
+        """Simulate several walks and return the overlap fraction of each."""
+        if trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        rng = np.random.default_rng(seed)
+        return [
+            self.simulate_overlap(steps, seed=int(rng.integers(0, 2**31))) / steps
+            for _ in range(trials)
+        ]

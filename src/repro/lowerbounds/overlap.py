@@ -1,0 +1,62 @@
+"""Overlap counting and the matching predicate (Section 4.2).
+
+Two sequences ``f`` and ``g`` of equal length *overlap* at a position ``t``
+when ``|f(t) - g(t)| <= eps * max(f(t), g(t))``; they *match* when they
+overlap in at least a ``6/10`` fraction of positions.  The randomized lower
+bound needs a large family in which no two sequences match, because any
+summary good enough to reconstruct 90% of one sequence's positions then
+identifies the sequence uniquely.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["MATCH_FRACTION", "overlap_count", "overlap_fraction", "sequences_match"]
+
+#: Fraction of overlapping positions at which two sequences are said to match.
+MATCH_FRACTION = 0.6
+
+
+def overlap_count(
+    first: Sequence[int], second: Sequence[int], epsilon: float
+) -> int:
+    """Number of positions at which the two sequences overlap.
+
+    Args:
+        first: Value sequence ``f(1..n)``.
+        second: Value sequence ``g(1..n)`` of the same length.
+        epsilon: Relative-error radius used in the overlap test.
+
+    Raises:
+        ConfigurationError: If the sequences have different lengths.
+    """
+    if len(first) != len(second):
+        raise ConfigurationError(
+            f"sequences must have equal length, got {len(first)} and {len(second)}"
+        )
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    overlaps = 0
+    for f_value, g_value in zip(first, second):
+        if abs(f_value - g_value) <= epsilon * max(f_value, g_value):
+            overlaps += 1
+    return overlaps
+
+
+def overlap_fraction(
+    first: Sequence[int], second: Sequence[int], epsilon: float
+) -> float:
+    """Fraction of positions at which the two sequences overlap."""
+    if not first:
+        return 0.0
+    return overlap_count(first, second, epsilon) / len(first)
+
+
+def sequences_match(
+    first: Sequence[int], second: Sequence[int], epsilon: float
+) -> bool:
+    """Whether the two sequences overlap in at least ``MATCH_FRACTION`` of positions."""
+    return overlap_fraction(first, second, epsilon) >= MATCH_FRACTION

@@ -1,0 +1,159 @@
+"""The randomized hard family of Lemma 4.4.
+
+Each member is drawn independently: the initial value is ``m = 1/eps`` or
+``m + 3`` with probability 1/2 each, and at every subsequent step the value
+flips with probability ``p = v / (6 eps n)``.  The lemma shows that (for the
+paper's astronomically large constants) the family simultaneously satisfies
+
+1. no two members *match* (overlap in ``>= 6/10`` of positions), and
+2. every member has variability at most ``v``
+
+with constant probability, and that such a family can be made of size
+``exp(Omega(v / eps))``.  The constants make the full-size construction
+infeasible to instantiate literally, so this module exposes the *sampler* and
+the two property checks; the E10 benchmark samples moderate families and
+verifies both properties empirically (plus the concentration of the overlap
+around its mean of ``n/2``, far below the ``6/10`` matching threshold).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.variability import variability_increment
+from repro.exceptions import ConfigurationError
+from repro.lowerbounds.overlap import overlap_fraction, sequences_match
+
+__all__ = ["RandomizedFamilyReport", "RandomizedFlipFamily"]
+
+
+@dataclass(frozen=True)
+class RandomizedFamilyReport:
+    """Summary statistics of a sampled family (used by tests and the E10 bench).
+
+    Attributes:
+        family_size: Number of sampled sequences.
+        matching_pairs: Number of pairs that match (should be 0 or tiny).
+        max_overlap_fraction: Largest pairwise overlap fraction observed.
+        max_variability: Largest member variability observed.
+        variability_budget: The target bound ``v``.
+        over_budget_members: Members whose variability exceeds ``v``.
+    """
+
+    family_size: int
+    matching_pairs: int
+    max_overlap_fraction: float
+    max_variability: float
+    variability_budget: float
+    over_budget_members: int
+
+
+class RandomizedFlipFamily:
+    """Sampler and property checker for the Lemma 4.4 construction."""
+
+    def __init__(self, n: int, epsilon: float, variability_budget: float) -> None:
+        if n < 2:
+            raise ConfigurationError(f"n must be >= 2, got {n}")
+        if not 0.0 < epsilon <= 0.5:
+            raise ConfigurationError(f"epsilon must be in (0, 0.5], got {epsilon}")
+        if variability_budget <= 0.0:
+            raise ConfigurationError(
+                f"variability budget must be > 0, got {variability_budget}"
+            )
+        flip_probability = variability_budget / (6.0 * epsilon * n)
+        if flip_probability >= 1.0:
+            raise ConfigurationError(
+                "v / (6 eps n) must be < 1; increase n or decrease the budget "
+                f"(got p = {flip_probability:.3f})"
+            )
+        self.n = n
+        self.epsilon = epsilon
+        self.variability_budget = variability_budget
+        self.flip_probability = flip_probability
+        self.level = max(2, int(round(1.0 / epsilon)))
+
+    def expected_flips(self) -> float:
+        """Expected number of flips per member, ``p * n = v / (6 eps)``."""
+        return self.flip_probability * self.n
+
+    def sample_member(self, seed: Optional[int] = None) -> List[int]:
+        """Draw one member's value sequence ``f(1..n)``."""
+        rng = np.random.default_rng(seed)
+        low, high = self.level, self.level + 3
+        current = low if rng.random() < 0.5 else high
+        flips = rng.random(self.n) < self.flip_probability
+        values = []
+        for flip in flips:
+            if flip:
+                current = low + high - current
+            values.append(current)
+        return values
+
+    def sample_family(self, size: int, seed: Optional[int] = None) -> List[List[int]]:
+        """Draw ``size`` independent members."""
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        rng = np.random.default_rng(seed)
+        return [
+            self.sample_member(seed=int(rng.integers(0, 2**31))) for _ in range(size)
+        ]
+
+    def member_variability(self, values: List[int]) -> float:
+        """Exact f-variability of a member (with ``f(0)`` equal to its first value)."""
+        total = 0.0
+        previous = values[0]
+        for value in values:
+            total += variability_increment(value, value - previous)
+            previous = value
+        return total
+
+    def paper_family_size(self) -> float:
+        """The size ``exp(v / (2 * 32400 * eps)) / 10`` from the lemma's proof.
+
+        Returned as a float (it overflows any practical family for realistic
+        parameters); exposed so the benchmark can report how far beyond
+        experimental reach the worst-case constants sit.
+        """
+        exponent = self.variability_budget / (2.0 * 32400.0 * self.epsilon)
+        return math.exp(exponent) / 10.0
+
+    def check_family(self, members: List[List[int]]) -> RandomizedFamilyReport:
+        """Check the two Lemma 4.4 properties on a sampled family."""
+        if not members:
+            raise ConfigurationError("family must contain at least one member")
+        matching_pairs = 0
+        max_overlap = 0.0
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                fraction = overlap_fraction(members[i], members[j], self.epsilon)
+                max_overlap = max(max_overlap, fraction)
+                if sequences_match(members[i], members[j], self.epsilon):
+                    matching_pairs += 1
+        variabilities = [self.member_variability(member) for member in members]
+        over_budget = sum(1 for v in variabilities if v > self.variability_budget)
+        return RandomizedFamilyReport(
+            family_size=len(members),
+            matching_pairs=matching_pairs,
+            max_overlap_fraction=max_overlap,
+            max_variability=max(variabilities),
+            variability_budget=self.variability_budget,
+            over_budget_members=over_budget,
+        )
+
+    def overlap_statistics(
+        self, pairs: int, seed: Optional[int] = None
+    ) -> Tuple[float, float]:
+        """Mean and max overlap fraction over ``pairs`` freshly sampled pairs."""
+        if pairs < 1:
+            raise ConfigurationError(f"pairs must be >= 1, got {pairs}")
+        rng = np.random.default_rng(seed)
+        fractions = []
+        for _ in range(pairs):
+            first = self.sample_member(seed=int(rng.integers(0, 2**31)))
+            second = self.sample_member(seed=int(rng.integers(0, 2**31)))
+            fractions.append(overlap_fraction(first, second, self.epsilon))
+        return float(np.mean(fractions)), float(np.max(fractions))

@@ -1,0 +1,141 @@
+"""The tracing problem and the Appendix D reduction, executable.
+
+The *tracing problem* asks for a small summary of the whole history of ``f``
+from which any past value ``f(t)`` can be recovered to ``eps`` relative error.
+Appendix D observes that any distributed tracking algorithm yields such a
+summary for free: record every message it sent, and to answer a query about
+time ``t`` replay the messages sent up to ``t`` into a fresh coordinator and
+read off its estimate.  The summary size is therefore at most the algorithm's
+communication (plus coordinator state), which is how a space lower bound for
+tracing becomes a space+communication lower bound for tracking.
+
+:class:`TranscriptTracer` implements that reduction literally.  The only
+wrinkle is that the block-based coordinators *pull* information (they request
+exact counts at block boundaries); during replay those pulls are answered
+from the recorded transcript by :class:`_ReplayChannel`, so no live sites are
+needed and the summary remains exactly the recorded communication.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.exceptions import QueryError
+from repro.monitoring.coordinator import Coordinator
+from repro.monitoring.messages import Message, MessageKind
+from repro.monitoring.network import MonitoringNetwork
+from repro.types import Update
+
+__all__ = ["TranscriptTracer"]
+
+
+class _ReplayChannel:
+    """Stands in for the real channel while replaying a transcript.
+
+    Coordinator broadcasts are dropped (sites no longer exist) and coordinator
+    requests are answered with the next recorded, not-yet-consumed reply from
+    the requested site — which is exactly the reply the live run produced at
+    that point, because the block protocol polls sites in a fixed order.
+    """
+
+    def __init__(self, transcript: Sequence[Message]) -> None:
+        self._transcript = list(transcript)
+        self._consumed = [False] * len(self._transcript)
+        self._handler: Optional[Callable[[Message], None]] = None
+
+    def register_coordinator(self, handler: Callable[[Message], None]) -> None:
+        self._handler = handler
+
+    def consume_reports(self, up_to_time: int) -> None:
+        """Deliver all REPORT messages with ``time <= up_to_time`` in order."""
+        if self._handler is None:
+            raise QueryError("replay channel has no coordinator attached")
+        for index, message in enumerate(self._transcript):
+            if message.time > up_to_time:
+                break
+            if self._consumed[index] or message.kind is not MessageKind.REPORT:
+                continue
+            self._consumed[index] = True
+            self._handler(message)
+
+    def send_to_site(self, message: Message) -> None:
+        if message.kind is MessageKind.BROADCAST:
+            return
+        if message.kind is not MessageKind.REQUEST:
+            return
+        if self._handler is None:
+            raise QueryError("replay channel has no coordinator attached")
+        for index, recorded in enumerate(self._transcript):
+            if self._consumed[index] or recorded.kind is not MessageKind.REPLY:
+                continue
+            if recorded.sender == message.receiver:
+                self._consumed[index] = True
+                self._handler(recorded)
+                return
+        raise QueryError(
+            f"transcript has no unconsumed reply from site {message.receiver}; "
+            "the transcript is inconsistent with the coordinator's protocol"
+        )
+
+
+class TranscriptTracer:
+    """A tracing summary built from a tracking algorithm's communication transcript.
+
+    Args:
+        factory: Any tracker factory exposing ``build_network()`` (the
+            Section 3 trackers and all baselines qualify).
+    """
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self._transcript: List[Message] = []
+        self._length = 0
+        self._built = False
+
+    @property
+    def transcript(self) -> List[Message]:
+        """The recorded coordinator-bound message transcript."""
+        return list(self._transcript)
+
+    def summary_bits(self) -> int:
+        """Size of the summary: total bits of the recorded transcript."""
+        return sum(message.bits() for message in self._transcript)
+
+    def summary_messages(self) -> int:
+        """Number of messages in the recorded transcript."""
+        return len(self._transcript)
+
+    def build(self, updates: Sequence[Update]) -> "TranscriptTracer":
+        """Run the tracker over the stream, recording its transcript."""
+        network: MonitoringNetwork = self._factory.build_network()
+        network.channel.enable_log()
+        for update in updates:
+            network.deliver_update(update.time, update.site, update.delta)
+        # Only messages arriving at the coordinator shape its state, so the
+        # replayable summary is the coordinator-bound half of the transcript.
+        self._transcript = [
+            message
+            for message in network.channel.log
+            if message.kind in (MessageKind.REPORT, MessageKind.REPLY)
+        ]
+        self._length = len(updates)
+        self._built = True
+        return self
+
+    def query(self, time: int) -> float:
+        """Return the tracker's estimate of ``f(time)`` by transcript replay."""
+        if not self._built:
+            raise QueryError("build() must be called before query()")
+        if not 1 <= time <= self._length:
+            raise QueryError(f"query time must be in 1..{self._length}, got {time}")
+        coordinator: Coordinator = self._factory.build_coordinator() if hasattr(
+            self._factory, "build_coordinator"
+        ) else self._factory.build_network().coordinator
+        replay = _ReplayChannel(self._transcript)
+        coordinator.attach(replay)
+        replay.consume_reports(time)
+        return coordinator.estimate()
+
+    def trace(self, times: Sequence[int]) -> List[float]:
+        """Answer a batch of historical queries (one replay pass per query)."""
+        return [self.query(time) for time in times]

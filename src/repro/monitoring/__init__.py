@@ -1,0 +1,43 @@
+"""Distributed-monitoring substrate.
+
+This package simulates the coordinator/site model of Cormode, Muthukrishnan
+and Yi: ``k`` sites receive stream updates and exchange messages with a single
+coordinator over counted channels.  Algorithms plug into the substrate by
+implementing the :class:`Site` and :class:`Coordinator` protocols; the
+:class:`MonitoringNetwork` wires them together and the
+:func:`run_tracking` runner drives a stream through the network while
+recording the coordinator's estimate, the exact value, and the communication
+cost after every timestep.
+"""
+
+from repro.monitoring.channel import Channel, ChannelStats
+from repro.monitoring.coordinator import Coordinator
+from repro.monitoring.history import EstimateHistory
+from repro.monitoring.messages import (
+    BROADCAST_SITE,
+    COORDINATOR,
+    Message,
+    MessageKind,
+    integer_bit_length,
+    message_bits,
+)
+from repro.monitoring.network import MonitoringNetwork
+from repro.monitoring.runner import TrackingResult, run_tracking
+from repro.monitoring.site import Site
+
+__all__ = [
+    "Channel",
+    "ChannelStats",
+    "Coordinator",
+    "EstimateHistory",
+    "BROADCAST_SITE",
+    "COORDINATOR",
+    "Message",
+    "MessageKind",
+    "integer_bit_length",
+    "message_bits",
+    "MonitoringNetwork",
+    "TrackingResult",
+    "run_tracking",
+    "Site",
+]

@@ -1,0 +1,121 @@
+"""Counted communication channel between sites and the coordinator.
+
+The channel is the single place where communication cost is accounted, so
+every algorithm measured by the experiments pays for its messages the same
+way.  Broadcasts are charged once per site, matching the paper's accounting
+("k broadcast at n_{j+1}").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.exceptions import ProtocolError
+from repro.monitoring.messages import BROADCAST_SITE, Message
+
+__all__ = ["ChannelStats", "Channel"]
+
+
+@dataclass
+class ChannelStats:
+    """Cumulative communication counters for one simulation run."""
+
+    messages: int = 0
+    bits: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def record(self, message: Message, copies: int = 1) -> None:
+        """Charge ``copies`` transmissions of ``message``."""
+        self.messages += copies
+        self.bits += copies * message.bits()
+        kind = message.kind.value
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + copies
+
+    def snapshot(self) -> "ChannelStats":
+        """Return an independent copy of the current counters."""
+        return ChannelStats(
+            messages=self.messages, bits=self.bits, by_kind=dict(self.by_kind)
+        )
+
+
+class Channel:
+    """Delivers messages between the coordinator and ``k`` sites, counting cost.
+
+    The channel is synchronous: :meth:`send` delivers the message to its
+    destination handler before returning.  Handlers are registered by the
+    :class:`repro.monitoring.network.MonitoringNetwork` when it wires the
+    actors together.
+    """
+
+    def __init__(self, num_sites: int) -> None:
+        if num_sites < 1:
+            raise ProtocolError(f"channel needs at least one site, got {num_sites}")
+        self._num_sites = num_sites
+        self._coordinator_handler: Optional[Callable[[Message], None]] = None
+        self._site_handlers: List[Optional[Callable[[Message], None]]] = [
+            None
+        ] * num_sites
+        self.stats = ChannelStats()
+        self._log: List[Message] = []
+        self._record_log = False
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites attached to this channel."""
+        return self._num_sites
+
+    def enable_log(self) -> None:
+        """Record every delivered message (used by the tracing lower bound)."""
+        self._record_log = True
+
+    @property
+    def log(self) -> List[Message]:
+        """All messages delivered so far, if logging is enabled."""
+        return list(self._log)
+
+    def register_coordinator(self, handler: Callable[[Message], None]) -> None:
+        """Register the coordinator's message handler."""
+        self._coordinator_handler = handler
+
+    def register_site(self, site_id: int, handler: Callable[[Message], None]) -> None:
+        """Register the handler for one site."""
+        if not 0 <= site_id < self._num_sites:
+            raise ProtocolError(f"site id {site_id} out of range 0..{self._num_sites - 1}")
+        self._site_handlers[site_id] = handler
+
+    def send_to_coordinator(self, message: Message) -> None:
+        """Deliver a site-to-coordinator message and charge its cost."""
+        if self._coordinator_handler is None:
+            raise ProtocolError("no coordinator registered on this channel")
+        self.stats.record(message)
+        if self._record_log:
+            self._log.append(message)
+        self._coordinator_handler(message)
+
+    def send_to_site(self, message: Message) -> None:
+        """Deliver a coordinator-to-site message (or broadcast) and charge its cost.
+
+        A broadcast (``receiver == BROADCAST_SITE``) is delivered to every
+        site and charged ``k`` message transmissions, matching the paper.
+        """
+        if message.receiver == BROADCAST_SITE:
+            self.stats.record(message, copies=self._num_sites)
+            if self._record_log:
+                self._log.append(message)
+            for site_id, handler in enumerate(self._site_handlers):
+                if handler is None:
+                    raise ProtocolError(f"site {site_id} has no registered handler")
+                handler(message)
+            return
+        if not 0 <= message.receiver < self._num_sites:
+            raise ProtocolError(
+                f"receiver {message.receiver} out of range 0..{self._num_sites - 1}"
+            )
+        handler = self._site_handlers[message.receiver]
+        if handler is None:
+            raise ProtocolError(f"site {message.receiver} has no registered handler")
+        self.stats.record(message)
+        if self._record_log:
+            self._log.append(message)
+        handler(message)

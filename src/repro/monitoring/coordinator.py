@@ -1,0 +1,47 @@
+"""Coordinator-side protocol for distributed tracking algorithms."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exceptions import ProtocolError
+from repro.monitoring.channel import Channel
+from repro.monitoring.messages import Message
+
+__all__ = ["Coordinator"]
+
+
+class Coordinator(abc.ABC):
+    """Base class for the coordinator side of a tracking algorithm.
+
+    The coordinator reacts to messages from sites (:meth:`receive_message`)
+    and must be able to produce its current estimate at any time via
+    :meth:`estimate`.  It talks to sites exclusively through :meth:`send`,
+    which routes through the counted channel (use
+    ``receiver=BROADCAST_SITE`` for broadcasts).
+    """
+
+    def __init__(self) -> None:
+        self._channel: Channel | None = None
+
+    def attach(self, channel: Channel) -> None:
+        """Connect this coordinator to a channel; called by the network."""
+        self._channel = channel
+        channel.register_coordinator(self.receive_message)
+
+    def send(self, message: Message) -> None:
+        """Send a message to one site (or broadcast) through the counted channel."""
+        if self._channel is None:
+            raise ProtocolError(
+                "coordinator is not attached to a channel; "
+                "add it to a MonitoringNetwork first"
+            )
+        self._channel.send_to_site(message)
+
+    @abc.abstractmethod
+    def receive_message(self, message: Message) -> None:
+        """Handle a message arriving from a site."""
+
+    @abc.abstractmethod
+    def estimate(self) -> float:
+        """Return the coordinator's current estimate ``fhat(n)``."""

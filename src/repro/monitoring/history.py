@@ -1,0 +1,55 @@
+"""Coordinator-side estimate history, supporting historical (tracing) queries.
+
+Because the coordinator retains every message it receives, a distributed
+tracking algorithm doubles as a summary of the whole history of ``f``: replay
+the messages received up to time ``t`` and you recover the estimate the
+coordinator held at time ``t``.  This is exactly the reduction used in
+Appendix D of the paper (tracing lower bounds imply tracking lower bounds).
+:class:`EstimateHistory` records the estimate after every timestep so that
+historical queries can be answered in ``O(log n)`` lookup time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from repro.exceptions import QueryError
+
+__all__ = ["EstimateHistory"]
+
+
+class EstimateHistory:
+    """Append-only log of (time, estimate) pairs with historical lookup."""
+
+    def __init__(self) -> None:
+        self._times: List[int] = []
+        self._estimates: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, time: int, estimate: float) -> None:
+        """Record the coordinator's estimate after timestep ``time``.
+
+        Times must be recorded in strictly increasing order.
+        """
+        if self._times and time <= self._times[-1]:
+            raise QueryError(
+                f"history times must increase; got {time} after {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._estimates.append(estimate)
+
+    def query(self, time: int) -> float:
+        """Return the estimate held at the latest recorded time ``<= time``."""
+        if not self._times:
+            raise QueryError("history is empty")
+        if time < self._times[0]:
+            raise QueryError(f"query time {time} precedes first record {self._times[0]}")
+        index = bisect.bisect_right(self._times, time) - 1
+        return self._estimates[index]
+
+    def as_pairs(self) -> List[Tuple[int, float]]:
+        """Return the full history as a list of ``(time, estimate)`` pairs."""
+        return list(zip(self._times, self._estimates))

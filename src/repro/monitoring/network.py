@@ -1,0 +1,66 @@
+"""Wiring of a coordinator and ``k`` sites over one counted channel."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ProtocolError
+from repro.monitoring.channel import Channel, ChannelStats
+from repro.monitoring.coordinator import Coordinator
+from repro.monitoring.site import Site
+
+__all__ = ["MonitoringNetwork"]
+
+
+class MonitoringNetwork:
+    """A coordinator plus ``k`` sites connected by a counted channel.
+
+    The network owns the channel and therefore the communication counters.
+    Algorithms are built by a factory (see
+    :class:`repro.core.deterministic.DeterministicCounter` and friends) that
+    returns a matched coordinator/site set; the network only handles wiring
+    and update dispatch.
+    """
+
+    def __init__(self, coordinator: Coordinator, sites: Sequence[Site]) -> None:
+        if not sites:
+            raise ProtocolError("a monitoring network needs at least one site")
+        site_ids = sorted(site.site_id for site in sites)
+        if site_ids != list(range(len(sites))):
+            raise ProtocolError(
+                f"site ids must be exactly 0..{len(sites) - 1}, got {site_ids}"
+            )
+        self.coordinator = coordinator
+        self.sites = sorted(sites, key=lambda s: s.site_id)
+        self.channel = Channel(num_sites=len(sites))
+        coordinator.attach(self.channel)
+        for site in self.sites:
+            site.attach(self.channel)
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites ``k`` in the network."""
+        return len(self.sites)
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Live communication counters for this network."""
+        return self.channel.stats
+
+    def deliver_update(self, time: int, site_id: int, delta: int) -> None:
+        """Deliver one stream update to its destination site.
+
+        Local delivery of the update itself is free (it models the site
+        observing its own data); any communication it triggers is charged by
+        the channel.
+        """
+        if not 0 <= site_id < self.num_sites:
+            raise ProtocolError(
+                f"update destined for site {site_id}, but network has "
+                f"{self.num_sites} sites"
+            )
+        self.sites[site_id].receive_update(time, delta)
+
+    def estimate(self) -> float:
+        """Return the coordinator's current estimate."""
+        return self.coordinator.estimate()

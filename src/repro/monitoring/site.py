@@ -1,0 +1,49 @@
+"""Site-side protocol for distributed tracking algorithms."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exceptions import ProtocolError
+from repro.monitoring.channel import Channel
+from repro.monitoring.messages import Message
+
+__all__ = ["Site"]
+
+
+class Site(abc.ABC):
+    """Base class for the site side of a tracking algorithm.
+
+    A concrete site reacts to two kinds of events: a local stream update
+    (:meth:`receive_update`) and a message from the coordinator
+    (:meth:`receive_message`).  It talks back to the coordinator exclusively
+    through :meth:`send`, which routes through the counted channel.
+    """
+
+    def __init__(self, site_id: int) -> None:
+        if site_id < 0:
+            raise ProtocolError(f"site id must be >= 0, got {site_id}")
+        self.site_id = site_id
+        self._channel: Channel | None = None
+
+    def attach(self, channel: Channel) -> None:
+        """Connect this site to a channel; called by the network."""
+        self._channel = channel
+        channel.register_site(self.site_id, self.receive_message)
+
+    def send(self, message: Message) -> None:
+        """Send a message to the coordinator through the counted channel."""
+        if self._channel is None:
+            raise ProtocolError(
+                f"site {self.site_id} is not attached to a channel; "
+                "add it to a MonitoringNetwork first"
+            )
+        self._channel.send_to_coordinator(message)
+
+    @abc.abstractmethod
+    def receive_update(self, time: int, delta: int) -> None:
+        """Handle a stream update ``f'(time) = delta`` arriving at this site."""
+
+    @abc.abstractmethod
+    def receive_message(self, message: Message) -> None:
+        """Handle a message (request or broadcast) from the coordinator."""

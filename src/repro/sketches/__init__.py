@@ -1,0 +1,30 @@
+"""Sketch substrates used by the frequency-tracking extension (Appendix H).
+
+The exact frequency tracker keeps one counter per item per site, which is
+prohibitive for a large universe.  Appendix H reduces the item space with one
+of two linear sketches, both implemented here from scratch:
+
+* the **Count-Min sketch** of Cormode and Muthukrishnan (randomized,
+  pairwise-independent hashing), and
+* the **CR-precis** structure of Ganguly and Majumder (deterministic,
+  residues modulo distinct primes).
+
+Both expose the same point-query interface so the distributed tracker can use
+either interchangeably.
+"""
+
+from repro.sketches.ams import AmsF2Sketch
+from repro.sketches.count_min import CountMinSketch
+from repro.sketches.cr_precis import CRPrecis, first_primes
+from repro.sketches.gk_quantile import GKQuantileSummary
+from repro.sketches.hashing import PairwiseHash, PairwiseHashFamily
+
+__all__ = [
+    "AmsF2Sketch",
+    "CountMinSketch",
+    "CRPrecis",
+    "first_primes",
+    "GKQuantileSummary",
+    "PairwiseHash",
+    "PairwiseHashFamily",
+]

@@ -1,0 +1,103 @@
+"""AMS sketch for the second frequency moment ``F2`` (Alon–Matias–Szegedy).
+
+The paper's introduction lists frequency moments among the aggregates studied
+in the distributed monitoring model, and its Appendix I tracker works for
+*any* integer-valued aggregate of the dataset when there is a single site —
+the site just has to be able to evaluate the aggregate.  The AMS sketch is the
+standard way to evaluate ``F2 = sum_l f_l^2`` in small space over a turnstile
+(insert/delete) stream, so it is the natural substrate for the
+"general aggregate" example.
+
+Each of ``depth x width`` counters maintains ``sum_l s_{r,c}(l) f_l`` for a
+four-wise-independent sign function ``s``; each row's estimate is the mean of
+the squared counters, and the final estimate is the median over rows.  With
+``width = O(1/eps^2)`` the estimate is within ``(1 +- eps) F2`` with constant
+probability per query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sketches.hashing import MERSENNE_PRIME_61
+
+__all__ = ["AmsF2Sketch"]
+
+
+class _FourWiseHash:
+    """Four-wise independent +-1 hash via a random degree-3 polynomial mod p."""
+
+    def __init__(self, coefficients: np.ndarray, prime: int = MERSENNE_PRIME_61) -> None:
+        self._coefficients = [int(c) for c in coefficients]
+        self._prime = prime
+
+    def sign(self, item: int) -> int:
+        value = 0
+        for coefficient in self._coefficients:
+            value = (value * item + coefficient) % self._prime
+        return 1 if value % 2 == 0 else -1
+
+
+class AmsF2Sketch:
+    """Turnstile sketch estimating the second frequency moment ``F2``."""
+
+    def __init__(self, width: int, depth: int, seed: Optional[int] = None) -> None:
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self._hashes = [
+            [_FourWiseHash(rng.integers(1, MERSENNE_PRIME_61, size=4)) for _ in range(width)]
+            for _ in range(depth)
+        ]
+        self._counters = np.zeros((depth, width), dtype=np.int64)
+        self._updates = 0
+
+    @classmethod
+    def from_error(cls, epsilon: float, seed: Optional[int] = None) -> "AmsF2Sketch":
+        """Size the sketch for ``(1 +- eps) F2`` estimates with constant probability."""
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        width = max(1, int(np.ceil(6.0 / (epsilon * epsilon))))
+        return cls(width=width, depth=5, seed=seed)
+
+    @property
+    def updates(self) -> int:
+        """Number of updates applied so far."""
+        return self._updates
+
+    def size_in_counters(self) -> int:
+        """Number of counters held."""
+        return self.width * self.depth
+
+    def update(self, item: int, delta: int = 1) -> None:
+        """Apply ``f_item += delta`` (delta may be negative)."""
+        if item < 0:
+            raise ConfigurationError(f"items must be non-negative integers, got {item}")
+        for row in range(self.depth):
+            for column in range(self.width):
+                self._counters[row, column] += delta * self._hashes[row][column].sign(item)
+        self._updates += 1
+
+    def estimate(self) -> float:
+        """Return the current estimate of ``F2``."""
+        row_estimates = np.mean(self._counters.astype(float) ** 2, axis=1)
+        return float(np.median(row_estimates))
+
+    def merge(self, other: "AmsF2Sketch") -> "AmsF2Sketch":
+        """Return the sketch of the concatenated streams (same shape and seed)."""
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            raise ConfigurationError(
+                "can only merge AMS sketches with identical shape and seed"
+            )
+        merged = AmsF2Sketch(self.width, self.depth, seed=self.seed)
+        merged._counters = self._counters + other._counters
+        merged._updates = self._updates + other._updates
+        return merged

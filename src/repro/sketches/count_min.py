@@ -1,0 +1,107 @@
+"""Count-Min sketch (Cormode & Muthukrishnan, 2005).
+
+A Count-Min sketch is a ``depth x width`` array of counters; item ``x``
+updates counter ``(r, h_r(x))`` in every row ``r``.  For insert-only streams
+the point estimate is the minimum over rows and overestimates the true
+frequency by at most ``eps * F1`` with probability ``1 - (1/2)^depth`` when
+``width = 2/eps``.  For turnstile streams (insertions and deletions, as in
+Appendix H) the median over rows is the standard unbiased-ish alternative;
+both are provided.
+
+The sketch is *linear*: sketches over disjoint sub-streams (e.g. per-site
+sketches in the distributed setting) add coordinate-wise, which is what lets
+the coordinator combine per-site estimates in Appendix H.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.sketches.hashing import PairwiseHash, PairwiseHashFamily
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """A Count-Min sketch with ``depth`` rows of ``width`` counters each."""
+
+    def __init__(self, width: int, depth: int, seed: Optional[int] = None) -> None:
+        if width < 1:
+            raise ConfigurationError(f"width must be >= 1, got {width}")
+        if depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        family = PairwiseHashFamily(range_size=width, seed=seed)
+        self._hashes: list = family.draw_many(depth)
+        self._table = np.zeros((depth, width), dtype=np.int64)
+        self._total = 0
+
+    @classmethod
+    def from_error(
+        cls, epsilon: float, failure_probability: float = 0.01, seed: Optional[int] = None
+    ) -> "CountMinSketch":
+        """Size a sketch for additive error ``eps * F1`` with the given failure probability.
+
+        Uses the standard parameters ``width = ceil(2 / eps)`` and
+        ``depth = ceil(log2(1 / failure_probability))``.
+        """
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if not 0.0 < failure_probability < 1.0:
+            raise ConfigurationError(
+                f"failure_probability must be in (0, 1), got {failure_probability}"
+            )
+        width = int(np.ceil(2.0 / epsilon))
+        depth = max(1, int(np.ceil(np.log2(1.0 / failure_probability))))
+        return cls(width=width, depth=depth, seed=seed)
+
+    @property
+    def total(self) -> int:
+        """Sum of all updates applied (the signed stream mass)."""
+        return self._total
+
+    def counters(self) -> np.ndarray:
+        """A copy of the counter table (for tests and size accounting)."""
+        return self._table.copy()
+
+    def size_in_counters(self) -> int:
+        """Number of counters held (``depth * width``)."""
+        return self.depth * self.width
+
+    def bucket(self, row: int, item: int) -> int:
+        """Return the bucket item ``item`` maps to in ``row``."""
+        if not 0 <= row < self.depth:
+            raise ConfigurationError(f"row {row} out of range 0..{self.depth - 1}")
+        hash_function: PairwiseHash = self._hashes[row]
+        return hash_function(item)
+
+    def update(self, item: int, delta: int = 1) -> None:
+        """Apply ``f_item += delta``."""
+        for row in range(self.depth):
+            self._table[row, self.bucket(row, item)] += delta
+        self._total += delta
+
+    def estimate(self, item: int) -> int:
+        """Point estimate via the row minimum (valid for insert-only streams)."""
+        return int(min(self._table[row, self.bucket(row, item)] for row in range(self.depth)))
+
+    def estimate_median(self, item: int) -> int:
+        """Point estimate via the row median (robust under deletions)."""
+        values = [self._table[row, self.bucket(row, item)] for row in range(self.depth)]
+        return int(np.median(values))
+
+    def merge(self, other: "CountMinSketch") -> "CountMinSketch":
+        """Return the sketch of the concatenated streams (requires same seed/shape)."""
+        if (self.width, self.depth, self.seed) != (other.width, other.depth, other.seed):
+            raise ConfigurationError(
+                "can only merge Count-Min sketches with identical shape and seed"
+            )
+        merged = CountMinSketch(self.width, self.depth, seed=self.seed)
+        merged._table = self._table + other._table
+        merged._total = self._total + other._total
+        return merged

@@ -1,0 +1,140 @@
+"""CR-precis deterministic frequency summary (Ganguly & Majumder, 2006/07).
+
+The CR-precis keeps one row of counters per prime ``t_1 < t_2 < ... < t_r``;
+item ``x`` updates counter ``x mod t_j`` in row ``j``.  By the Chinese
+remainder theorem two distinct items collide in fewer than ``log_{t_1} |U|``
+rows, which yields a deterministic additive-error guarantee of
+``eps * F1 / 3`` when the number of rows and their sizes are chosen as in
+Appendix H (``3/eps`` rows of roughly ``(6 log|U|) / (eps log(1/eps))``
+counters).
+
+Point queries can take the minimum over rows (the original CR-precis rule,
+valid for insert-only streams) or the average (which the paper notes also
+works and keeps the sketch linear, so it remains valid under deletions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["first_primes", "primes_at_least", "CRPrecis"]
+
+
+def _is_prime(candidate: int) -> bool:
+    if candidate < 2:
+        return False
+    if candidate in (2, 3):
+        return True
+    if candidate % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= candidate:
+        if candidate % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def first_primes(count: int) -> List[int]:
+    """Return the first ``count`` primes (2, 3, 5, ...)."""
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    primes: List[int] = []
+    candidate = 2
+    while len(primes) < count:
+        if _is_prime(candidate):
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+def primes_at_least(count: int, lower_bound: int) -> List[int]:
+    """Return the first ``count`` primes that are ``>= lower_bound``."""
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    if lower_bound < 2:
+        lower_bound = 2
+    primes: List[int] = []
+    candidate = lower_bound
+    while len(primes) < count:
+        if _is_prime(candidate):
+            primes.append(candidate)
+        candidate += 1
+    return primes
+
+
+class CRPrecis:
+    """Deterministic frequency summary over rows of prime-modulus counters."""
+
+    def __init__(self, primes: Sequence[int]) -> None:
+        if not primes:
+            raise ConfigurationError("CR-precis needs at least one prime row")
+        unique = sorted(set(int(p) for p in primes))
+        if len(unique) != len(primes):
+            raise ConfigurationError("CR-precis primes must be distinct")
+        for prime in unique:
+            if not _is_prime(prime):
+                raise ConfigurationError(f"{prime} is not prime")
+        self.primes = unique
+        self._rows = [np.zeros(prime, dtype=np.int64) for prime in unique]
+        self._total = 0
+
+    @classmethod
+    def from_epsilon(
+        cls, epsilon: float, universe_size: int, rows: Optional[int] = None
+    ) -> "CRPrecis":
+        """Size the structure per Appendix H for additive error ``eps * F1 / 3``.
+
+        Uses ``rows = ceil(3 / eps)`` rows (unless overridden) of primes at
+        least ``(6 log2 |U|) / (eps log2(1/eps))``.
+        """
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if universe_size < 2:
+            raise ConfigurationError(f"universe_size must be >= 2, got {universe_size}")
+        row_count = rows if rows is not None else int(math.ceil(3.0 / epsilon))
+        if row_count < 1:
+            raise ConfigurationError(f"rows must be >= 1, got {row_count}")
+        denominator = epsilon * max(math.log2(1.0 / epsilon), 1.0)
+        minimum_prime = int(math.ceil(6.0 * math.log2(universe_size) / denominator))
+        return cls(primes_at_least(row_count, minimum_prime))
+
+    @property
+    def total(self) -> int:
+        """Sum of all updates applied."""
+        return self._total
+
+    def size_in_counters(self) -> int:
+        """Total number of counters held (sum of the prime row sizes)."""
+        return sum(self.primes)
+
+    def update(self, item: int, delta: int = 1) -> None:
+        """Apply ``f_item += delta``."""
+        if item < 0:
+            raise ConfigurationError(f"items must be non-negative integers, got {item}")
+        for row, prime in enumerate(self.primes):
+            self._rows[row][item % prime] += delta
+        self._total += delta
+
+    def estimate(self, item: int) -> int:
+        """Point estimate via the row minimum (insert-only streams)."""
+        return int(min(self._rows[row][item % prime] for row, prime in enumerate(self.primes)))
+
+    def estimate_average(self, item: int) -> float:
+        """Point estimate via the row average (linear; valid under deletions)."""
+        values = [self._rows[row][item % prime] for row, prime in enumerate(self.primes)]
+        return float(np.mean(values))
+
+    def merge(self, other: "CRPrecis") -> "CRPrecis":
+        """Return the summary of the concatenated streams (same primes required)."""
+        if self.primes != other.primes:
+            raise ConfigurationError("can only merge CR-precis structures with equal primes")
+        merged = CRPrecis(self.primes)
+        merged._rows = [a + b for a, b in zip(self._rows, other._rows)]
+        merged._total = self._total + other._total
+        return merged

@@ -1,0 +1,145 @@
+"""Greenwald–Khanna quantile summary (insert-only streams).
+
+The distributed-monitoring literature the paper builds on (Cormode et al.,
+Yi & Zhang, Huang et al.) tracks order statistics as well as counts, and the
+block-partition idea itself comes from Tao et al.'s historical quantile
+summaries.  This module provides the classic Greenwald–Khanna (GK) summary as
+a reusable substrate: it maintains, in ``O((1/eps) log(eps n))`` space, enough
+information about an insert-only stream of values to answer any rank or
+quantile query with rank error at most ``eps * n``.
+
+The implementation follows the original paper: tuples ``(value, g, delta)``
+where ``g`` is the gap in minimum rank to the previous tuple and ``delta`` is
+the uncertainty of the tuple's rank; adjacent tuples are merged whenever
+``g_i + g_{i+1} + delta_{i+1} <= 2 eps n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import ConfigurationError, QueryError
+
+__all__ = ["GKTuple", "GKQuantileSummary"]
+
+
+@dataclass
+class GKTuple:
+    """One tuple of the GK summary.
+
+    Attributes:
+        value: The stored stream value.
+        gap: ``g`` — difference between this tuple's minimum rank and the
+            previous tuple's minimum rank.
+        uncertainty: ``delta`` — the maximum rank minus the minimum rank.
+    """
+
+    value: float
+    gap: int
+    uncertainty: int
+
+
+class GKQuantileSummary:
+    """epsilon-approximate quantile summary for insert-only value streams."""
+
+    # Compress after this many inserts since the last compression.
+    _COMPRESS_PERIOD_FACTOR = 0.5
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self._tuples: List[GKTuple] = []
+        self._count = 0
+        self._inserts_since_compress = 0
+        self._compress_period = max(1, int(self._COMPRESS_PERIOD_FACTOR / epsilon))
+
+    @property
+    def count(self) -> int:
+        """Number of values inserted so far."""
+        return self._count
+
+    def size(self) -> int:
+        """Number of tuples currently stored (the summary's space)."""
+        return len(self._tuples)
+
+    def insert(self, value: float) -> None:
+        """Insert one value into the summary."""
+        self._count += 1
+        threshold = self._threshold()
+        position = 0
+        while position < len(self._tuples) and self._tuples[position].value < value:
+            position += 1
+        if position == 0 or position == len(self._tuples):
+            # New minimum or maximum: its rank is known exactly.
+            entry = GKTuple(value=value, gap=1, uncertainty=0)
+        else:
+            entry = GKTuple(value=value, gap=1, uncertainty=max(0, threshold - 1))
+        self._tuples.insert(position, entry)
+        self._inserts_since_compress += 1
+        if self._inserts_since_compress >= self._compress_period:
+            self._compress()
+            self._inserts_since_compress = 0
+
+    def insert_many(self, values: Sequence[float]) -> None:
+        """Insert a sequence of values."""
+        for value in values:
+            self.insert(value)
+
+    def _threshold(self) -> int:
+        return int(math.floor(2.0 * self.epsilon * max(self._count, 1)))
+
+    def _compress(self) -> None:
+        threshold = self._threshold()
+        if len(self._tuples) < 3:
+            return
+        compressed: List[GKTuple] = [self._tuples[0]]
+        for entry in self._tuples[1:-1]:
+            last = compressed[-1]
+            if (
+                len(compressed) > 1
+                and last.gap + entry.gap + entry.uncertainty <= threshold
+            ):
+                # Merge `last` into `entry` (keep the larger value, add gaps).
+                merged = GKTuple(
+                    value=entry.value,
+                    gap=last.gap + entry.gap,
+                    uncertainty=entry.uncertainty,
+                )
+                compressed[-1] = merged
+            else:
+                compressed.append(entry)
+        compressed.append(self._tuples[-1])
+        self._tuples = compressed
+
+    def query_rank(self, rank: int) -> float:
+        """Return a value whose rank is within ``eps * n`` of ``rank`` (1-based)."""
+        if self._count == 0:
+            raise QueryError("cannot query an empty summary")
+        if not 1 <= rank <= self._count:
+            raise QueryError(f"rank must be in 1..{self._count}, got {rank}")
+        allowed = self.epsilon * self._count
+        min_rank = 0
+        for entry in self._tuples:
+            min_rank += entry.gap
+            max_rank = min_rank + entry.uncertainty
+            if rank - min_rank <= allowed and max_rank - rank <= allowed:
+                return entry.value
+        return self._tuples[-1].value
+
+    def query_quantile(self, phi: float) -> float:
+        """Return an eps-approximate ``phi``-quantile (``phi`` in [0, 1])."""
+        if not 0.0 <= phi <= 1.0:
+            raise QueryError(f"phi must be in [0, 1], got {phi}")
+        if self._count == 0:
+            raise QueryError("cannot query an empty summary")
+        rank = min(self._count, max(1, int(math.ceil(phi * self._count))))
+        return self.query_rank(rank)
+
+    def quantiles(self, count: int) -> List[float]:
+        """Return ``count`` evenly spaced approximate quantiles (excluding 0)."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        return [self.query_quantile((i + 1) / (count + 1)) for i in range(count)]

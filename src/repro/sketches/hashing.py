@@ -1,0 +1,65 @@
+"""Pairwise-independent hash functions.
+
+Both the Count-Min sketch and the bucket reduction of Appendix H need hash
+functions drawn from a pairwise-independent family.  We use the standard
+construction ``h(x) = ((a x + b) mod p) mod m`` over a Mersenne prime
+``p = 2^61 - 1`` with ``a`` drawn uniformly from ``1..p-1`` and ``b`` from
+``0..p-1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["MERSENNE_PRIME_61", "PairwiseHash", "PairwiseHashFamily"]
+
+# A Mersenne prime comfortably larger than any 32-bit item universe.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+
+class PairwiseHash:
+    """One hash function ``h(x) = ((a x + b) mod p) mod range_size``."""
+
+    def __init__(self, a: int, b: int, range_size: int, prime: int = MERSENNE_PRIME_61) -> None:
+        if range_size < 1:
+            raise ConfigurationError(f"range_size must be >= 1, got {range_size}")
+        if not 1 <= a < prime:
+            raise ConfigurationError(f"coefficient a must be in 1..p-1, got {a}")
+        if not 0 <= b < prime:
+            raise ConfigurationError(f"coefficient b must be in 0..p-1, got {b}")
+        self.a = a
+        self.b = b
+        self.range_size = range_size
+        self.prime = prime
+
+    def __call__(self, item: int) -> int:
+        """Hash a non-negative integer item into ``0..range_size-1``."""
+        if item < 0:
+            raise ConfigurationError(f"items must be non-negative integers, got {item}")
+        return ((self.a * item + self.b) % self.prime) % self.range_size
+
+
+class PairwiseHashFamily:
+    """A reproducible source of independent :class:`PairwiseHash` functions."""
+
+    def __init__(self, range_size: int, seed: Optional[int] = None) -> None:
+        if range_size < 1:
+            raise ConfigurationError(f"range_size must be >= 1, got {range_size}")
+        self.range_size = range_size
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self) -> PairwiseHash:
+        """Draw one fresh hash function from the family."""
+        a = int(self._rng.integers(1, MERSENNE_PRIME_61))
+        b = int(self._rng.integers(0, MERSENNE_PRIME_61))
+        return PairwiseHash(a=a, b=b, range_size=self.range_size)
+
+    def draw_many(self, count: int) -> List[PairwiseHash]:
+        """Draw ``count`` independent hash functions."""
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        return [self.draw() for _ in range(count)]

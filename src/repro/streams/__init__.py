@@ -1,0 +1,72 @@
+"""Stream workload generators.
+
+The experiments in the paper are driven by synthetic update streams: monotone
+counters, nearly-monotone counters, symmetric and biased random walks, and
+adversarial "flip" families.  This package generates all of them, plus
+insert/delete item streams for frequency tracking and synthetic traces that
+mimic the database-size and sensor-network scenarios the paper's introduction
+motivates.
+"""
+
+from repro.streams.assignment import (
+    RandomAssignment,
+    RoundRobinAssignment,
+    SkewedAssignment,
+    SingleSiteAssignment,
+    assign_sites,
+)
+from repro.streams.generators import (
+    adversarial_flip_stream,
+    biased_walk_stream,
+    bursty_stream,
+    constant_stream,
+    monotone_stream,
+    nearly_monotone_stream,
+    periodic_stream,
+    random_walk_stream,
+    sawtooth_stream,
+    sign_alternating_stream,
+)
+from repro.streams.io import (
+    load_item_stream_csv,
+    load_stream_csv,
+    save_item_stream_csv,
+    save_stream_csv,
+)
+from repro.streams.item_streams import (
+    ItemStreamConfig,
+    sliding_window_item_stream,
+    zipfian_item_stream,
+)
+from repro.streams.model import StreamSpec, deltas_to_updates, updates_to_deltas
+from repro.streams.traces import database_size_trace, sensor_temperature_trace
+
+__all__ = [
+    "RandomAssignment",
+    "RoundRobinAssignment",
+    "SkewedAssignment",
+    "SingleSiteAssignment",
+    "assign_sites",
+    "adversarial_flip_stream",
+    "biased_walk_stream",
+    "bursty_stream",
+    "constant_stream",
+    "monotone_stream",
+    "nearly_monotone_stream",
+    "periodic_stream",
+    "random_walk_stream",
+    "sawtooth_stream",
+    "sign_alternating_stream",
+    "load_item_stream_csv",
+    "load_stream_csv",
+    "save_item_stream_csv",
+    "save_stream_csv",
+    "ItemStreamConfig",
+    "sliding_window_item_stream",
+    "zipfian_item_stream",
+    "StreamSpec",
+    "deltas_to_updates",
+    "updates_to_deltas",
+    "database_size_trace",
+    "sensor_temperature_trace",
+]

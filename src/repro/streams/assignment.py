@@ -1,0 +1,116 @@
+"""Policies for assigning stream updates to sites.
+
+In the distributed monitoring model every update arrives at exactly one of
+``k`` sites.  The paper's bounds hold for any (adversarial) assignment, so the
+experiments exercise several policies: round robin, uniform random, skewed
+(one hot site receives most updates), and the degenerate single-site case used
+for the Appendix I tracker.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.model import StreamSpec, deltas_to_updates
+from repro.types import Update
+
+__all__ = [
+    "AssignmentPolicy",
+    "RoundRobinAssignment",
+    "RandomAssignment",
+    "SkewedAssignment",
+    "SingleSiteAssignment",
+    "assign_sites",
+]
+
+
+class AssignmentPolicy(Protocol):
+    """Protocol for policies mapping timesteps to site identifiers."""
+
+    def assign(self, n: int, num_sites: int) -> Sequence[int]:
+        """Return the destination site for each of ``n`` timesteps."""
+
+
+def _check_sites(num_sites: int) -> None:
+    if num_sites < 1:
+        raise ConfigurationError(f"number of sites must be >= 1, got {num_sites}")
+
+
+class RoundRobinAssignment:
+    """Assign update ``t`` to site ``(t - 1) mod k``."""
+
+    def assign(self, n: int, num_sites: int) -> Sequence[int]:
+        _check_sites(num_sites)
+        return [(t - 1) % num_sites for t in range(1, n + 1)]
+
+
+class RandomAssignment:
+    """Assign each update to a uniformly random site."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed
+
+    def assign(self, n: int, num_sites: int) -> Sequence[int]:
+        _check_sites(num_sites)
+        rng = np.random.default_rng(self._seed)
+        return [int(s) for s in rng.integers(0, num_sites, size=n)]
+
+
+class SkewedAssignment:
+    """Send a fixed fraction of updates to site 0 and spread the rest uniformly.
+
+    Models a sensor network in which one sensor observes most of the activity,
+    which is the regime where per-site thresholds matter most.
+    """
+
+    def __init__(self, hot_fraction: float = 0.8, seed: Optional[int] = None) -> None:
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hot_fraction must be in (0, 1], got {hot_fraction}"
+            )
+        self._hot_fraction = hot_fraction
+        self._seed = seed
+
+    def assign(self, n: int, num_sites: int) -> Sequence[int]:
+        _check_sites(num_sites)
+        rng = np.random.default_rng(self._seed)
+        sites = []
+        for _ in range(n):
+            if num_sites == 1 or rng.random() < self._hot_fraction:
+                sites.append(0)
+            else:
+                sites.append(int(rng.integers(1, num_sites)))
+        return sites
+
+
+class SingleSiteAssignment:
+    """Send every update to site 0 (the ``k = 1`` setting of Section 5.2)."""
+
+    def assign(self, n: int, num_sites: int) -> Sequence[int]:
+        _check_sites(num_sites)
+        return [0] * n
+
+
+def assign_sites(
+    spec: StreamSpec,
+    num_sites: int,
+    policy: Optional[AssignmentPolicy] = None,
+) -> list:
+    """Attach site destinations to a stream, producing :class:`Update` objects.
+
+    Args:
+        spec: The stream to distribute.
+        num_sites: Number of sites ``k``.
+        policy: Assignment policy; defaults to round robin, which is both
+            deterministic and maximally spread out.
+
+    Returns:
+        A list of :class:`repro.types.Update` covering every timestep of the
+        stream.
+    """
+    chosen = policy if policy is not None else RoundRobinAssignment()
+    sites = chosen.assign(spec.length, num_sites)
+    return deltas_to_updates(spec.deltas, sites)

@@ -1,0 +1,305 @@
+"""Generators for the stream classes analysed in the paper.
+
+Section 2.1 analyses the variability of three natural classes: monotone (and
+nearly monotone) streams, symmetric ``+-1`` random walks, and biased ``+-1``
+walks with constant drift.  Section 4 constructs adversarial "flip" streams
+that alternate between two nearby values.  This module generates all of those
+plus a few extra shapes (sawtooth, bursty, periodic) used by ablation
+experiments and examples.
+
+All generators return a :class:`repro.streams.model.StreamSpec` whose deltas
+are ``+-1`` unless documented otherwise, because the upper-bound algorithms of
+Section 3 assume unit updates (Appendix C shows how to expand larger ones).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.model import StreamSpec
+
+__all__ = [
+    "monotone_stream",
+    "nearly_monotone_stream",
+    "random_walk_stream",
+    "biased_walk_stream",
+    "adversarial_flip_stream",
+    "sawtooth_stream",
+    "bursty_stream",
+    "periodic_stream",
+    "constant_stream",
+    "sign_alternating_stream",
+]
+
+
+def _check_length(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"stream length must be >= 1, got {n}")
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def monotone_stream(n: int) -> StreamSpec:
+    """A strictly increasing counter: ``f'(t) = +1`` for every ``t``.
+
+    This is the classic insertion-only stream for which Cormode et al. and
+    Huang et al. give their counting algorithms.  Its variability is the
+    harmonic sum ``H(n) = Theta(log n)``, matching Theorem 2.1 with
+    ``beta = 1``.
+    """
+    _check_length(n)
+    return StreamSpec(name="monotone", deltas=(1,) * n, params={"n": n})
+
+
+def nearly_monotone_stream(
+    n: int,
+    deletion_fraction: float = 0.1,
+    seed: Optional[int] = None,
+) -> StreamSpec:
+    """A mostly increasing stream with a bounded fraction of deletions.
+
+    Theorem 2.1 covers streams whose total deletions ``f-(n)`` stay within a
+    factor ``beta(n)`` of the current value ``f(n)``.  We realise that class by
+    inserting with probability ``1 - deletion_fraction`` and deleting with
+    probability ``deletion_fraction`` (but never letting ``f`` drop below 1
+    after a warm-up prefix), which keeps ``f-(n) <= beta f(n)`` for a constant
+    ``beta`` with overwhelming probability when ``deletion_fraction < 1/2``.
+
+    Args:
+        n: Stream length.
+        deletion_fraction: Probability of a deletion at each step.
+        seed: Seed for reproducibility.
+    """
+    _check_length(n)
+    if not 0.0 <= deletion_fraction < 0.5:
+        raise ConfigurationError(
+            f"deletion_fraction must be in [0, 0.5), got {deletion_fraction}"
+        )
+    rng = _rng(seed)
+    deltas = []
+    value = 0
+    for _ in range(n):
+        if value >= 2 and rng.random() < deletion_fraction:
+            delta = -1
+        else:
+            delta = 1
+        value += delta
+        deltas.append(delta)
+    return StreamSpec(
+        name="nearly_monotone",
+        deltas=tuple(deltas),
+        params={"n": n, "deletion_fraction": deletion_fraction, "seed": seed},
+    )
+
+
+def random_walk_stream(n: int, seed: Optional[int] = None) -> StreamSpec:
+    """A symmetric random walk: i.i.d. fair ``+-1`` increments (Theorem 2.2)."""
+    _check_length(n)
+    rng = _rng(seed)
+    deltas = rng.choice((-1, 1), size=n)
+    return StreamSpec(
+        name="random_walk",
+        deltas=tuple(int(d) for d in deltas),
+        params={"n": n, "seed": seed},
+    )
+
+
+def biased_walk_stream(
+    n: int,
+    drift: float,
+    seed: Optional[int] = None,
+) -> StreamSpec:
+    """A biased random walk with ``P(f'(t) = +1) = (1 + drift) / 2`` (Theorem 2.4).
+
+    Args:
+        n: Stream length.
+        drift: The drift rate ``mu`` in ``(0, 1]``; negative drifts are the
+            mirror image and can be obtained by negating the deltas.
+        seed: Seed for reproducibility.
+    """
+    _check_length(n)
+    if not 0.0 < drift <= 1.0:
+        raise ConfigurationError(f"drift must be in (0, 1], got {drift}")
+    rng = _rng(seed)
+    p_up = (1.0 + drift) / 2.0
+    deltas = np.where(rng.random(n) < p_up, 1, -1)
+    return StreamSpec(
+        name="biased_walk",
+        deltas=tuple(int(d) for d in deltas),
+        params={"n": n, "drift": drift, "seed": seed},
+    )
+
+
+def adversarial_flip_stream(
+    n: int,
+    level: int,
+    flip_times: Sequence[int],
+) -> StreamSpec:
+    """A stream that flips between values ``level`` and ``level + 3``.
+
+    This is the shape used by both lower-bound constructions (Theorem 4.1 and
+    Lemma 4.4): the value starts at ``level`` and at each time in
+    ``flip_times`` it switches between ``level`` and ``level + 3``.  Deltas are
+    ``+-3`` at flip times and ``0`` otherwise, so this stream is *not* a unit
+    stream; it is used directly by the lower-bound modules and can be expanded
+    to unit updates with :func:`repro.core.expansion.expand_stream`.
+
+    Args:
+        n: Stream length.
+        level: The lower of the two values (``m`` in the paper, i.e. ``1/eps``).
+        flip_times: Sorted distinct times in ``1..n`` at which the value flips.
+    """
+    _check_length(n)
+    if level < 1:
+        raise ConfigurationError(f"level must be >= 1, got {level}")
+    flips = sorted(set(int(t) for t in flip_times))
+    if flips and (flips[0] < 1 or flips[-1] > n):
+        raise ConfigurationError("flip times must lie in 1..n")
+    flip_set = set(flips)
+    deltas = []
+    value = level
+    for t in range(1, n + 1):
+        if t in flip_set:
+            target = (2 * level + 3) - value
+            deltas.append(target - value)
+            value = target
+        else:
+            deltas.append(0)
+    return StreamSpec(
+        name="adversarial_flip",
+        deltas=tuple(deltas),
+        start=level,
+        params={"n": n, "level": level, "num_flips": len(flips)},
+    )
+
+
+def sawtooth_stream(n: int, amplitude: int) -> StreamSpec:
+    """A deterministic sawtooth oscillating between 0 and ``amplitude``.
+
+    This is a worst-case style stream for relative-error tracking because it
+    repeatedly revisits small values; its variability grows linearly in the
+    number of teeth, which is what drives the ``Omega(n)`` lower bounds the
+    paper cites for unrestricted non-monotone streams.
+    """
+    _check_length(n)
+    if amplitude < 1:
+        raise ConfigurationError(f"amplitude must be >= 1, got {amplitude}")
+    deltas = []
+    value = 0
+    direction = 1
+    for _ in range(n):
+        if value >= amplitude:
+            direction = -1
+        elif value <= 0:
+            direction = 1
+        deltas.append(direction)
+        value += direction
+    return StreamSpec(
+        name="sawtooth",
+        deltas=tuple(deltas),
+        params={"n": n, "amplitude": amplitude},
+    )
+
+
+def bursty_stream(
+    n: int,
+    burst_length: int = 64,
+    deletion_burst_probability: float = 0.25,
+    seed: Optional[int] = None,
+) -> StreamSpec:
+    """Alternating bursts of insertions and (occasionally) deletions.
+
+    Models a database workload in which batches of inserts are interleaved
+    with occasional bulk clean-ups.  Within each burst all updates share a
+    sign; the sign is negative with probability ``deletion_burst_probability``
+    provided the value stays positive.
+    """
+    _check_length(n)
+    if burst_length < 1:
+        raise ConfigurationError(f"burst_length must be >= 1, got {burst_length}")
+    if not 0.0 <= deletion_burst_probability < 1.0:
+        raise ConfigurationError(
+            "deletion_burst_probability must be in [0, 1), got "
+            f"{deletion_burst_probability}"
+        )
+    rng = _rng(seed)
+    deltas = []
+    value = 0
+    while len(deltas) < n:
+        length = min(burst_length, n - len(deltas))
+        negative = value > length and rng.random() < deletion_burst_probability
+        sign = -1 if negative else 1
+        for _ in range(length):
+            deltas.append(sign)
+            value += sign
+    return StreamSpec(
+        name="bursty",
+        deltas=tuple(deltas),
+        params={
+            "n": n,
+            "burst_length": burst_length,
+            "deletion_burst_probability": deletion_burst_probability,
+            "seed": seed,
+        },
+    )
+
+
+def periodic_stream(n: int, period: int, trend: float = 0.5) -> StreamSpec:
+    """A stream with a periodic component riding on a linear upward trend.
+
+    Models daily/weekly load patterns: the value follows
+    ``trend * t + A * sin(2 pi t / period)`` rounded to integers and emitted as
+    unit updates (several per nominal timestep are collapsed into the nearest
+    ``+-1``), which keeps the stream nearly monotone when ``trend > 0``.
+    """
+    _check_length(n)
+    if period < 2:
+        raise ConfigurationError(f"period must be >= 2, got {period}")
+    if trend <= 0.0:
+        raise ConfigurationError(f"trend must be > 0, got {trend}")
+    amplitude = period / 8.0
+    deltas = []
+    previous = 0
+    for t in range(1, n + 1):
+        target = int(round(trend * t + amplitude * math.sin(2.0 * math.pi * t / period)))
+        step = target - previous
+        if step > 1:
+            step = 1
+        elif step < -1:
+            step = -1
+        deltas.append(step)
+        previous += step
+    return StreamSpec(
+        name="periodic",
+        deltas=tuple(deltas),
+        params={"n": n, "period": period, "trend": trend},
+    )
+
+
+def constant_stream(n: int, value: int) -> StreamSpec:
+    """A stream that jumps to ``value`` at time 1 and never changes again.
+
+    Useful as a degenerate test case: its variability is ``min(1, 1)`` for the
+    first step (if ``f(0) = 0``) and 0 afterwards.
+    """
+    _check_length(n)
+    deltas = [value] + [0] * (n - 1)
+    return StreamSpec(name="constant", deltas=tuple(deltas), params={"n": n, "value": value})
+
+
+def sign_alternating_stream(n: int) -> StreamSpec:
+    """The pathological ``+1, -1, +1, -1, ...`` stream.
+
+    The value oscillates between 1 and 0, so every other step has ``f(t) = 0``
+    and the variability is ``Theta(n)`` — the worst case the paper's
+    ``Omega(n)`` lower-bound citations refer to.
+    """
+    _check_length(n)
+    deltas = tuple(1 if t % 2 == 1 else -1 for t in range(1, n + 1))
+    return StreamSpec(name="sign_alternating", deltas=deltas, params={"n": n})

@@ -1,0 +1,112 @@
+"""Persistence for streams: save and load workloads as CSV files.
+
+Experiments become much easier to audit when the exact workload can be written
+to disk and replayed later (or fed to an external system).  These helpers
+round-trip the two stream kinds the library uses — scalar delta streams
+(:class:`~repro.streams.model.StreamSpec`) and item insert/delete streams —
+through small, human-readable CSV files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import List, Sequence, Union
+
+from repro.exceptions import StreamError
+from repro.streams.model import StreamSpec
+from repro.types import ItemUpdate
+
+__all__ = [
+    "save_stream_csv",
+    "load_stream_csv",
+    "save_item_stream_csv",
+    "load_item_stream_csv",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_stream_csv(spec: StreamSpec, path: PathLike) -> None:
+    """Write a delta stream to ``path`` as CSV (header carries the metadata).
+
+    The first row is a comment-style header ``#name=...,start=...,params=...``
+    followed by a ``time,delta`` table.
+    """
+    target = pathlib.Path(path)
+    with target.open("w", newline="") as handle:
+        handle.write(
+            "#" + json.dumps({"name": spec.name, "start": spec.start, "params": dict(spec.params)})
+            + "\n"
+        )
+        writer = csv.writer(handle)
+        writer.writerow(["time", "delta"])
+        for time, delta in enumerate(spec.deltas, start=1):
+            writer.writerow([time, delta])
+
+
+def load_stream_csv(path: PathLike) -> StreamSpec:
+    """Read a delta stream written by :func:`save_stream_csv`."""
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise StreamError(f"stream file {source} does not exist")
+    with source.open("r", newline="") as handle:
+        first = handle.readline().strip()
+        if not first.startswith("#"):
+            raise StreamError(f"{source} is missing the metadata header line")
+        try:
+            metadata = json.loads(first[1:])
+        except json.JSONDecodeError as error:
+            raise StreamError(f"{source} has a malformed metadata header: {error}") from error
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["time", "delta"]:
+            raise StreamError(f"{source} has an unexpected column header {header}")
+        deltas: List[int] = []
+        for row_number, row in enumerate(reader, start=1):
+            if len(row) != 2:
+                raise StreamError(f"{source} row {row_number} is malformed: {row}")
+            deltas.append(int(row[1]))
+    if not deltas:
+        raise StreamError(f"{source} contains no updates")
+    return StreamSpec(
+        name=str(metadata.get("name", source.stem)),
+        deltas=tuple(deltas),
+        start=int(metadata.get("start", 0)),
+        params=dict(metadata.get("params", {})),
+    )
+
+
+def save_item_stream_csv(updates: Sequence[ItemUpdate], path: PathLike) -> None:
+    """Write an item insert/delete stream to ``path`` as CSV."""
+    target = pathlib.Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", "site", "item", "delta"])
+        for update in updates:
+            writer.writerow([update.time, update.site, update.item, update.delta])
+
+
+def load_item_stream_csv(path: PathLike) -> List[ItemUpdate]:
+    """Read an item stream written by :func:`save_item_stream_csv`."""
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise StreamError(f"item stream file {source} does not exist")
+    updates: List[ItemUpdate] = []
+    with source.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["time", "site", "item", "delta"]:
+            raise StreamError(f"{source} has an unexpected column header {header}")
+        for row_number, row in enumerate(reader, start=1):
+            if len(row) != 4:
+                raise StreamError(f"{source} row {row_number} is malformed: {row}")
+            updates.append(
+                ItemUpdate(
+                    time=int(row[0]), site=int(row[1]), item=int(row[2]), delta=int(row[3])
+                )
+            )
+    if not updates:
+        raise StreamError(f"{source} contains no updates")
+    return updates

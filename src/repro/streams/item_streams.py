@@ -1,0 +1,142 @@
+"""Insert/delete item streams for the frequency-tracking problem (Appendix H).
+
+The frequency-tracking problem maintains a multiset ``D(t)`` over a universe
+``U``; each timestep inserts or deletes one item at one site, and the
+coordinator must track every item frequency to within ``eps * F1(t)`` where
+``F1(t) = |D(t)|``.  The generators here produce Zipf-distributed insertions
+mixed with deletions of previously inserted items, which is the standard
+heavy-hitters workload, plus a sliding-window workload in which items expire
+after a fixed lifetime (a natural source of deletions in monitoring systems).
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import ItemUpdate
+
+__all__ = ["ItemStreamConfig", "zipfian_item_stream", "sliding_window_item_stream"]
+
+
+@dataclass(frozen=True)
+class ItemStreamConfig:
+    """Parameters shared by the item-stream generators.
+
+    Attributes:
+        length: Number of timesteps ``n``.
+        universe_size: Size of the item universe ``|U|``.
+        num_sites: Number of sites updates are spread over (round robin).
+        seed: Seed for reproducibility.
+    """
+
+    length: int
+    universe_size: int
+    num_sites: int = 1
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ConfigurationError(f"length must be >= 1, got {self.length}")
+        if self.universe_size < 1:
+            raise ConfigurationError(
+                f"universe_size must be >= 1, got {self.universe_size}"
+            )
+        if self.num_sites < 1:
+            raise ConfigurationError(f"num_sites must be >= 1, got {self.num_sites}")
+
+
+def _zipf_probabilities(universe_size: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, universe_size + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def zipfian_item_stream(
+    config: ItemStreamConfig,
+    exponent: float = 1.1,
+    deletion_probability: float = 0.2,
+) -> list:
+    """Zipf-distributed insertions with random deletions of live items.
+
+    Args:
+        config: Shared stream parameters.
+        exponent: Zipf skew; larger values concentrate mass on few items.
+        deletion_probability: Probability that a timestep deletes a currently
+            live item instead of inserting a new one (only taken when the
+            dataset is non-empty, so ``F1`` never goes negative).
+
+    Returns:
+        A list of :class:`repro.types.ItemUpdate` of length ``config.length``.
+    """
+    if exponent <= 0.0:
+        raise ConfigurationError(f"exponent must be > 0, got {exponent}")
+    if not 0.0 <= deletion_probability < 1.0:
+        raise ConfigurationError(
+            f"deletion_probability must be in [0, 1), got {deletion_probability}"
+        )
+    rng = np.random.default_rng(config.seed)
+    probabilities = _zipf_probabilities(config.universe_size, exponent)
+    live: collections.Counter = collections.Counter()
+    updates = []
+    for t in range(1, config.length + 1):
+        site = (t - 1) % config.num_sites
+        total_live = sum(live.values())
+        if total_live > 0 and rng.random() < deletion_probability:
+            items = list(live.keys())
+            weights = np.array([live[i] for i in items], dtype=float)
+            weights /= weights.sum()
+            item = int(rng.choice(items, p=weights))
+            live[item] -= 1
+            if live[item] == 0:
+                del live[item]
+            updates.append(ItemUpdate(time=t, site=site, item=item, delta=-1))
+        else:
+            item = int(rng.choice(config.universe_size, p=probabilities))
+            live[item] += 1
+            updates.append(ItemUpdate(time=t, site=site, item=item, delta=+1))
+    return updates
+
+
+def sliding_window_item_stream(
+    config: ItemStreamConfig,
+    window: int = 256,
+    exponent: float = 1.1,
+) -> list:
+    """Insertions whose items expire (are deleted) after ``window`` steps.
+
+    Each nominal event inserts a Zipf-distributed item; once the item has been
+    live for ``window`` events it is deleted.  Inserts and deletes are
+    interleaved into a single update stream, so the output length is
+    ``config.length`` updates in total (roughly half inserts and half deletes
+    once the window has filled).
+
+    Returns:
+        A list of :class:`repro.types.ItemUpdate` of length ``config.length``.
+    """
+    if window < 1:
+        raise ConfigurationError(f"window must be >= 1, got {window}")
+    if exponent <= 0.0:
+        raise ConfigurationError(f"exponent must be > 0, got {exponent}")
+    rng = np.random.default_rng(config.seed)
+    probabilities = _zipf_probabilities(config.universe_size, exponent)
+    pending_deletes: collections.deque = collections.deque()
+    updates = []
+    event_index = 0
+    t = 0
+    while len(updates) < config.length:
+        t += 1
+        site = (t - 1) % config.num_sites
+        if pending_deletes and event_index - pending_deletes[0][0] >= window:
+            _, item = pending_deletes.popleft()
+            updates.append(ItemUpdate(time=t, site=site, item=item, delta=-1))
+        else:
+            item = int(rng.choice(config.universe_size, p=probabilities))
+            event_index += 1
+            pending_deletes.append((event_index, item))
+            updates.append(ItemUpdate(time=t, site=site, item=item, delta=+1))
+    return updates

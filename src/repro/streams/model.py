@@ -1,0 +1,91 @@
+"""Stream specification and conversion helpers.
+
+A stream in the paper is a sequence of integer deltas ``f'(1..n)``; in the
+distributed model each delta additionally carries the site it arrives at.
+:class:`StreamSpec` bundles a delta sequence with metadata that the experiment
+harness uses for reporting (a human-readable name and the generator
+parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.exceptions import StreamError
+from repro.types import Update, prefix_sums
+
+__all__ = ["StreamSpec", "deltas_to_updates", "updates_to_deltas"]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A named update stream together with its generator parameters.
+
+    Attributes:
+        name: Human-readable identifier, e.g. ``"random_walk"``.
+        deltas: The per-timestep changes ``f'(1..n)``.
+        start: The initial value ``f(0)``.
+        params: Generator parameters, recorded for experiment reports.
+    """
+
+    name: str
+    deltas: tuple
+    start: int = 0
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "deltas", tuple(int(d) for d in self.deltas))
+
+    @property
+    def length(self) -> int:
+        """Number of timesteps ``n`` in the stream."""
+        return len(self.deltas)
+
+    def values(self) -> list:
+        """Return the value sequence ``f(1..n)``."""
+        return list(prefix_sums(self.deltas, start=self.start))
+
+    def final_value(self) -> int:
+        """Return ``f(n)``, the value after the last update."""
+        return self.start + sum(self.deltas)
+
+    def is_unit_stream(self) -> bool:
+        """Return whether every delta is ``+-1`` (required by Section 3)."""
+        return all(d in (-1, 1) for d in self.deltas)
+
+    def describe(self) -> str:
+        """Return a one-line description used in experiment reports."""
+        param_text = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.name}(n={self.length}{', ' + param_text if param_text else ''})"
+
+
+def deltas_to_updates(
+    deltas: Sequence[int],
+    sites: Sequence[int],
+) -> list:
+    """Pair each delta with its destination site, producing :class:`Update` objects.
+
+    Args:
+        deltas: The per-timestep changes ``f'(1..n)``.
+        sites: The destination site for each timestep; must have the same length.
+
+    Returns:
+        A list of :class:`repro.types.Update`, one per timestep.
+
+    Raises:
+        StreamError: If the two sequences have different lengths.
+    """
+    if len(deltas) != len(sites):
+        raise StreamError(
+            f"deltas ({len(deltas)}) and sites ({len(sites)}) must have equal length"
+        )
+    return [
+        Update(time=t, site=int(site), delta=int(delta))
+        for t, (delta, site) in enumerate(zip(deltas, sites), start=1)
+    ]
+
+
+def updates_to_deltas(updates: Sequence[Update]) -> list:
+    """Project a sequence of updates back to its bare delta sequence."""
+    return [u.delta for u in updates]

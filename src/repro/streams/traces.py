@@ -1,0 +1,130 @@
+"""Synthetic traces that mimic the application scenarios in the introduction.
+
+The paper motivates distributed monitoring with sensor networks and
+network-traffic / database auditing.  Real traces from those settings are not
+distributed with the paper, so we synthesise traces with the same qualitative
+behaviour: a database-size trace that mostly grows but absorbs periodic
+clean-ups, and a sensor trace driven by a mean-reverting walk.  Both produce
+unit (``+-1``) update streams so they can be fed directly to the Section 3
+trackers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.streams.model import StreamSpec
+
+__all__ = ["database_size_trace", "sensor_temperature_trace"]
+
+
+def database_size_trace(
+    n: int,
+    growth_probability: float = 0.7,
+    cleanup_every: int = 5000,
+    cleanup_fraction: float = 0.05,
+    seed: Optional[int] = None,
+) -> StreamSpec:
+    """Size of a growing database with periodic bulk clean-ups.
+
+    Most timesteps insert a row with probability ``growth_probability`` (and
+    otherwise delete one, if any exist).  Every ``cleanup_every`` steps a
+    clean-up phase begins that deletes ``cleanup_fraction`` of the current
+    rows, one per timestep.  The resulting stream is nearly monotone in the
+    sense of Theorem 2.1, so its variability is polylogarithmic.
+
+    Args:
+        n: Number of timesteps.
+        growth_probability: Probability that a normal step is an insertion.
+        cleanup_every: Interval (in steps) between clean-up phases.
+        cleanup_fraction: Fraction of current rows removed per clean-up.
+        seed: Seed for reproducibility.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not 0.5 < growth_probability <= 1.0:
+        raise ConfigurationError(
+            f"growth_probability must be in (0.5, 1], got {growth_probability}"
+        )
+    if cleanup_every < 1:
+        raise ConfigurationError(f"cleanup_every must be >= 1, got {cleanup_every}")
+    if not 0.0 <= cleanup_fraction < 1.0:
+        raise ConfigurationError(
+            f"cleanup_fraction must be in [0, 1), got {cleanup_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    deltas = []
+    size = 0
+    cleanup_remaining = 0
+    for t in range(1, n + 1):
+        if cleanup_remaining == 0 and cleanup_every > 0 and t % cleanup_every == 0:
+            cleanup_remaining = int(size * cleanup_fraction)
+        if cleanup_remaining > 0 and size > 0:
+            delta = -1
+            cleanup_remaining -= 1
+        elif size > 0 and rng.random() >= growth_probability:
+            delta = -1
+        else:
+            delta = 1
+        size += delta
+        deltas.append(delta)
+    return StreamSpec(
+        name="database_size",
+        deltas=tuple(deltas),
+        params={
+            "n": n,
+            "growth_probability": growth_probability,
+            "cleanup_every": cleanup_every,
+            "cleanup_fraction": cleanup_fraction,
+            "seed": seed,
+        },
+    )
+
+
+def sensor_temperature_trace(
+    n: int,
+    baseline: int = 200,
+    reversion: float = 0.02,
+    seed: Optional[int] = None,
+) -> StreamSpec:
+    """A mean-reverting sensor reading emitted as unit updates.
+
+    The reading performs a random walk pulled back toward ``baseline``; the
+    first ``baseline`` steps ramp the value up from zero so that the stream
+    starts at ``f(0) = 0`` as the paper assumes.  Because the value stays close
+    to ``baseline``, the variability per step is about ``1 / baseline`` and the
+    total variability grows like ``n / baseline`` — an easy but non-monotone
+    workload that sits between the random-walk and nearly-monotone classes.
+
+    Args:
+        n: Number of timesteps.
+        baseline: The level the reading reverts to.
+        reversion: Strength of the pull toward the baseline, in ``[0, 1]``.
+        seed: Seed for reproducibility.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if baseline < 1:
+        raise ConfigurationError(f"baseline must be >= 1, got {baseline}")
+    if not 0.0 <= reversion <= 1.0:
+        raise ConfigurationError(f"reversion must be in [0, 1], got {reversion}")
+    rng = np.random.default_rng(seed)
+    deltas = []
+    value = 0
+    for t in range(1, n + 1):
+        if t <= baseline:
+            delta = 1
+        else:
+            pull = reversion * (baseline - value)
+            p_up = min(max(0.5 + pull, 0.05), 0.95)
+            delta = 1 if rng.random() < p_up else -1
+        value += delta
+        deltas.append(delta)
+    return StreamSpec(
+        name="sensor_temperature",
+        deltas=tuple(deltas),
+        params={"n": n, "baseline": baseline, "reversion": reversion, "seed": seed},
+    )

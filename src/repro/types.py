@@ -1,0 +1,128 @@
+"""Shared type aliases and small value objects used across the library.
+
+The distributed-monitoring model of Cormode, Muthukrishnan and Yi has three
+kinds of actors: a stream of *updates*, a set of *sites* that receive those
+updates, and a single *coordinator* that must maintain an estimate of an
+aggregate of the whole stream.  The dataclasses here are the small, immutable
+values those actors exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "SiteId",
+    "Timestep",
+    "Update",
+    "ItemUpdate",
+    "EstimateRecord",
+    "prefix_sums",
+]
+
+# A site identifier is a small non-negative integer in ``range(k)``.
+SiteId = int
+
+# Timesteps are positive integers; time 0 is the (empty) initial state.
+Timestep = int
+
+
+@dataclass(frozen=True)
+class Update:
+    """A single stream update ``f'(t)`` destined for one site.
+
+    Attributes:
+        time: The timestep ``t`` at which the update arrives (1-based).
+        site: The site ``i(t)`` that receives the update.
+        delta: The change ``f'(t) = f(t) - f(t - 1)``.
+    """
+
+    time: Timestep
+    site: SiteId
+    delta: int
+
+    def __post_init__(self) -> None:
+        if self.time < 1:
+            raise ValueError(f"update time must be >= 1, got {self.time}")
+        if self.site < 0:
+            raise ValueError(f"site id must be >= 0, got {self.site}")
+
+
+@dataclass(frozen=True)
+class ItemUpdate:
+    """An insert/delete of a single item, used by frequency tracking.
+
+    Attributes:
+        time: The timestep of the update (1-based).
+        site: The site that receives the update.
+        item: The item identifier drawn from the universe ``U``.
+        delta: ``+1`` for an insertion of ``item``, ``-1`` for a deletion.
+    """
+
+    time: Timestep
+    site: SiteId
+    item: int
+    delta: int
+
+    def __post_init__(self) -> None:
+        if self.time < 1:
+            raise ValueError(f"update time must be >= 1, got {self.time}")
+        if self.site < 0:
+            raise ValueError(f"site id must be >= 0, got {self.site}")
+        if self.delta not in (-1, 1):
+            raise ValueError(f"item update delta must be +-1, got {self.delta}")
+
+
+@dataclass(frozen=True)
+class EstimateRecord:
+    """The coordinator's view at one timestep, recorded by the runner.
+
+    Attributes:
+        time: The timestep after which the record was taken.
+        true_value: The exact value ``f(t)``.
+        estimate: The coordinator's estimate ``fhat(t)``.
+        messages: Cumulative number of messages exchanged so far.
+        bits: Cumulative number of message bits exchanged so far.
+    """
+
+    time: Timestep
+    true_value: int
+    estimate: float
+    messages: int
+    bits: int
+
+    @property
+    def absolute_error(self) -> float:
+        """Absolute estimation error ``|f(t) - fhat(t)|``."""
+        return abs(self.true_value - self.estimate)
+
+    def within_relative_error(self, epsilon: float) -> bool:
+        """Return whether the estimate satisfies ``|f - fhat| <= eps * |f|``.
+
+        The paper's guarantee is stated against ``eps * f(t)``; when
+        ``f(t) = 0`` the only acceptable estimate is ``0`` (up to floating
+        point rounding for randomized estimators).
+        """
+        return self.absolute_error <= epsilon * abs(self.true_value) + 1e-9
+
+
+def prefix_sums(deltas: Iterable[int], start: int = 0) -> Iterator[int]:
+    """Yield the running values ``f(t)`` of a stream of deltas ``f'(t)``.
+
+    Args:
+        deltas: The per-timestep changes ``f'(1), f'(2), ...``.
+        start: The initial value ``f(0)``; the paper uses 0 unless stated.
+
+    Yields:
+        The values ``f(1), f(2), ...`` in order.
+    """
+    total = start
+    for delta in deltas:
+        total += delta
+        yield total
+
+
+def values_from_updates(updates: Sequence[Update], start: int = 0) -> list[int]:
+    """Return the list of values ``f(1..n)`` induced by a list of updates."""
+    return list(prefix_sums((u.delta for u in updates), start=start))

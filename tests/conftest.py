@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streams import (
+    assign_sites,
+    monotone_stream,
+    nearly_monotone_stream,
+    random_walk_stream,
+    sawtooth_stream,
+)
+
+
+@pytest.fixture(scope="session")
+def small_random_walk():
+    """A 4,000-step fair random walk used by many tracker tests."""
+    return random_walk_stream(4_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_monotone():
+    """A 4,000-step monotone stream."""
+    return monotone_stream(4_000)
+
+
+@pytest.fixture(scope="session")
+def small_nearly_monotone():
+    """A 4,000-step nearly monotone stream."""
+    return nearly_monotone_stream(4_000, deletion_fraction=0.2, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_sawtooth():
+    """A 4,000-step sawtooth between 0 and 50 (high variability)."""
+    return sawtooth_stream(4_000, amplitude=50)
+
+
+@pytest.fixture(scope="session")
+def stream_collection(small_random_walk, small_monotone, small_nearly_monotone, small_sawtooth):
+    """All four stream fixtures keyed by name."""
+    return {
+        "random_walk": small_random_walk,
+        "monotone": small_monotone,
+        "nearly_monotone": small_nearly_monotone,
+        "sawtooth": small_sawtooth,
+    }
+
+
+def distribute(spec, num_sites):
+    """Helper used across tests: round-robin distribution of a stream."""
+    return assign_sites(spec, num_sites)

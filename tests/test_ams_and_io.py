@@ -1,0 +1,143 @@
+"""Tests for the AMS F2 sketch and the stream persistence helpers."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, StreamError
+from repro.sketches.ams import AmsF2Sketch
+from repro.streams import ItemStreamConfig, random_walk_stream, zipfian_item_stream
+from repro.streams.io import (
+    load_item_stream_csv,
+    load_stream_csv,
+    save_item_stream_csv,
+    save_stream_csv,
+)
+from repro.streams.model import StreamSpec
+
+
+def _exact_f2(frequencies):
+    return sum(count * count for count in frequencies.values())
+
+
+class TestAmsF2Sketch:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AmsF2Sketch(width=0, depth=1)
+        with pytest.raises(ConfigurationError):
+            AmsF2Sketch(width=1, depth=0)
+        with pytest.raises(ConfigurationError):
+            AmsF2Sketch.from_error(epsilon=0.0)
+        sketch = AmsF2Sketch(width=4, depth=2, seed=1)
+        with pytest.raises(ConfigurationError):
+            sketch.update(-1)
+
+    def test_single_item_exact(self):
+        sketch = AmsF2Sketch(width=8, depth=3, seed=2)
+        for _ in range(10):
+            sketch.update(5)
+        # F2 of a single item with frequency 10 is 100; every counter is +-10.
+        assert sketch.estimate() == pytest.approx(100.0)
+
+    def test_estimate_within_relative_error(self):
+        epsilon = 0.2
+        sketch = AmsF2Sketch.from_error(epsilon, seed=3)
+        rng = np.random.default_rng(4)
+        frequencies = collections.Counter()
+        for item in (rng.zipf(1.4, size=3_000) % 200):
+            sketch.update(int(item))
+            frequencies[int(item)] += 1
+        exact = _exact_f2(frequencies)
+        assert abs(sketch.estimate() - exact) <= 2 * epsilon * exact
+
+    def test_supports_deletions(self):
+        sketch = AmsF2Sketch(width=64, depth=5, seed=5)
+        frequencies = collections.Counter()
+        rng = np.random.default_rng(6)
+        for _ in range(2_000):
+            item = int(rng.integers(0, 50))
+            if frequencies[item] > 0 and rng.random() < 0.3:
+                sketch.update(item, -1)
+                frequencies[item] -= 1
+            else:
+                sketch.update(item, +1)
+                frequencies[item] += 1
+        exact = _exact_f2(frequencies)
+        assert abs(sketch.estimate() - exact) <= 0.5 * exact
+
+    def test_merge_is_linear(self):
+        first = AmsF2Sketch(width=16, depth=3, seed=7)
+        second = AmsF2Sketch(width=16, depth=3, seed=7)
+        combined = AmsF2Sketch(width=16, depth=3, seed=7)
+        for item in range(40):
+            first.update(item)
+            combined.update(item)
+        for item in range(20, 60):
+            second.update(item)
+            combined.update(item)
+        merged = first.merge(second)
+        assert merged.estimate() == pytest.approx(combined.estimate())
+        with pytest.raises(ConfigurationError):
+            first.merge(AmsF2Sketch(width=16, depth=3, seed=8))
+
+    def test_size_accounting(self):
+        sketch = AmsF2Sketch(width=10, depth=4, seed=9)
+        assert sketch.size_in_counters() == 40
+        assert sketch.updates == 0
+        sketch.update(1)
+        assert sketch.updates == 1
+
+
+class TestStreamCsvRoundtrip:
+    def test_delta_stream_roundtrip(self, tmp_path):
+        spec = random_walk_stream(500, seed=11)
+        path = tmp_path / "walk.csv"
+        save_stream_csv(spec, path)
+        loaded = load_stream_csv(path)
+        assert loaded.deltas == spec.deltas
+        assert loaded.name == spec.name
+        assert loaded.start == spec.start
+        assert loaded.params["seed"] == 11
+
+    def test_delta_stream_with_start_value(self, tmp_path):
+        spec = StreamSpec(name="offset", deltas=(3, -1, 2), start=7, params={"note": "x"})
+        path = tmp_path / "offset.csv"
+        save_stream_csv(spec, path)
+        loaded = load_stream_csv(path)
+        assert loaded.start == 7
+        assert loaded.values() == spec.values()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StreamError):
+            load_stream_csv(tmp_path / "nope.csv")
+
+    def test_malformed_header_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,delta\n1,1\n")
+        with pytest.raises(StreamError):
+            load_stream_csv(path)
+
+    def test_empty_stream_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text('#{"name": "x", "start": 0, "params": {}}\ntime,delta\n')
+        with pytest.raises(StreamError):
+            load_stream_csv(path)
+
+    def test_item_stream_roundtrip(self, tmp_path):
+        config = ItemStreamConfig(length=300, universe_size=20, num_sites=3, seed=12)
+        updates = zipfian_item_stream(config)
+        path = tmp_path / "items.csv"
+        save_item_stream_csv(updates, path)
+        loaded = load_item_stream_csv(path)
+        assert loaded == updates
+
+    def test_item_stream_bad_header(self, tmp_path):
+        path = tmp_path / "bad_items.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(StreamError):
+            load_item_stream_csv(path)
+
+    def test_item_stream_missing_file(self, tmp_path):
+        with pytest.raises(StreamError):
+            load_item_stream_csv(tmp_path / "missing.csv")

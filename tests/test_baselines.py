@@ -1,0 +1,140 @@
+"""Tests for the baseline trackers (naive, Cormode, Huang, Liu-style, static)."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    liu_fair_coin_message_bound,
+    monotone_message_bound_cormode,
+    monotone_message_bound_huang,
+)
+from repro.baselines import (
+    CormodeCounter,
+    HuangCounter,
+    LiuStyleCounter,
+    NaiveCounter,
+    StaticThresholdCounter,
+)
+from repro.exceptions import ConfigurationError
+from repro.streams import assign_sites, monotone_stream, random_walk_stream, sawtooth_stream
+
+
+class TestNaiveCounter:
+    def test_exact_and_one_message_per_update(self):
+        spec = random_walk_stream(1_000, seed=1)
+        result = NaiveCounter(num_sites=3).track(assign_sites(spec, 3))
+        assert result.max_relative_error() == 0.0
+        assert result.total_messages == 1_000
+
+
+class TestCormodeCounter:
+    def test_error_guarantee_on_monotone_streams(self):
+        spec = monotone_stream(10_000)
+        for k in (1, 4, 8):
+            result = CormodeCounter(k, 0.1).track(assign_sites(spec, k))
+            assert result.max_relative_error() <= 0.1 + 1e-12
+
+    def test_message_bound_monotone(self):
+        spec = monotone_stream(20_000)
+        k, epsilon = 4, 0.1
+        result = CormodeCounter(k, epsilon).track(assign_sites(spec, k))
+        # O((k/eps) log n) with a modest constant.
+        assert result.total_messages <= 10 * monotone_message_bound_cormode(k, epsilon, spec.length)
+
+    def test_far_cheaper_than_naive_on_monotone(self):
+        spec = monotone_stream(20_000)
+        cormode = CormodeCounter(2, 0.1).track(assign_sites(spec, 2))
+        assert cormode.total_messages < 0.1 * spec.length
+
+    def test_rounds_advance(self):
+        spec = monotone_stream(5_000)
+        network = CormodeCounter(2, 0.1).build_network()
+        for update in assign_sites(spec, 2):
+            network.deliver_update(update.time, update.site, update.delta)
+        assert network.coordinator.rounds_completed > 5
+
+    def test_no_guarantee_on_non_monotone_streams(self):
+        # The classic counter has no relative-error guarantee once values can
+        # shrink: on a sawtooth crossing small values it is essentially always
+        # stale.  This is the gap the paper's framework addresses.
+        spec = sawtooth_stream(4_000, amplitude=200)
+        result = CormodeCounter(2, 0.1).track(assign_sites(spec, 2))
+        assert result.violation_fraction(0.1) > 0.05
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            CormodeCounter(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            CormodeCounter(2, 0.0)
+
+
+class TestHuangCounter:
+    def test_violation_fraction_small_on_monotone(self):
+        spec = monotone_stream(10_000)
+        result = HuangCounter(4, 0.1, seed=1).track(assign_sites(spec, 4))
+        assert result.violation_fraction(0.1) < 1.0 / 3.0
+
+    def test_message_bound_monotone(self):
+        spec = monotone_stream(20_000)
+        k, epsilon = 4, 0.1
+        result = HuangCounter(k, epsilon, seed=2).track(assign_sites(spec, k))
+        assert result.total_messages <= 20 * monotone_message_bound_huang(k, epsilon, spec.length)
+
+    def test_rejects_deletions(self):
+        network = HuangCounter(1, 0.1, seed=3).build_network()
+        with pytest.raises(ConfigurationError):
+            network.deliver_update(1, 0, -1)
+
+    def test_cheaper_than_cormode_for_many_sites(self):
+        spec = monotone_stream(30_000)
+        k, epsilon = 25, 0.05
+        cormode = CormodeCounter(k, epsilon).track(assign_sites(spec, k))
+        huang = HuangCounter(k, epsilon, seed=4).track(assign_sites(spec, k))
+        assert huang.total_messages < cormode.total_messages
+
+    def test_reproducible(self):
+        spec = monotone_stream(3_000)
+        updates = assign_sites(spec, 3)
+        first = HuangCounter(3, 0.1, seed=9).track(updates)
+        second = HuangCounter(3, 0.1, seed=9).track(updates)
+        assert first.total_messages == second.total_messages
+
+
+class TestLiuStyleCounter:
+    def test_communication_matches_sqrt_n_regime(self):
+        spec = random_walk_stream(20_000, seed=5)
+        k, epsilon = 4, 0.2
+        result = LiuStyleCounter(k, epsilon, seed=6).track(assign_sites(spec, k))
+        assert result.total_messages <= 10 * liu_fair_coin_message_bound(k, epsilon, spec.length)
+        assert result.total_messages < spec.length
+
+    def test_mostly_accurate_on_fair_coins(self):
+        spec = random_walk_stream(10_000, seed=7)
+        result = LiuStyleCounter(4, 0.2, seed=8).track(assign_sites(spec, 4))
+        # Distributional guarantee only: most steps are fine, some are not.
+        assert result.violation_fraction(0.2) < 0.25
+
+    def test_probability_decays_with_time(self):
+        from repro.baselines.liu import LiuStyleSite
+
+        site = LiuStyleSite(0, num_sites=4, epsilon=0.1, seed=1)
+        assert site.report_probability(1) == 1.0
+        assert site.report_probability(10_000) < site.report_probability(100)
+
+
+class TestStaticThresholdCounter:
+    def test_threshold_one_is_exact(self):
+        spec = random_walk_stream(2_000, seed=9)
+        result = StaticThresholdCounter(2, threshold=1).track(assign_sites(spec, 2))
+        assert result.max_relative_error() == 0.0
+        assert result.total_messages == 2_000
+
+    def test_large_threshold_saves_messages_but_loses_guarantee(self):
+        spec = random_walk_stream(5_000, seed=10)
+        updates = assign_sites(spec, 2)
+        coarse = StaticThresholdCounter(2, threshold=20, epsilon=0.1).track(updates)
+        assert coarse.total_messages < 1_000
+        assert coarse.violation_fraction(0.1) > 0.1
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            StaticThresholdCounter(2, threshold=0)

@@ -1,0 +1,139 @@
+"""Tests for the Section 3.1 block partition (offline reference)."""
+
+import pytest
+
+from repro.core.blocks import Block, BlockPartitioner, block_level, block_trigger_threshold
+from repro.exceptions import ConfigurationError
+from repro.streams import biased_walk_stream, monotone_stream, random_walk_stream
+
+
+class TestBlockLevel:
+    def test_small_values_are_level_zero(self):
+        assert block_level(0, num_sites=4) == 0
+        assert block_level(15, num_sites=4) == 0
+        assert block_level(-15, num_sites=4) == 0
+
+    def test_level_one_starts_at_4k(self):
+        # For k = 4: r = 0 while |f| < 16, r = 1 for 16 <= |f| < 32, etc.
+        assert block_level(16, num_sites=4) == 1
+        assert block_level(31, num_sites=4) == 1
+        assert block_level(32, num_sites=4) == 2
+
+    def test_level_satisfies_paper_inequality(self):
+        for k in (1, 3, 8):
+            for value in range(4 * k, 500):
+                r = block_level(value, num_sites=k)
+                assert (2 ** r) * 2 * k <= value < (2 ** r) * 4 * k
+
+    def test_negative_values_use_magnitude(self):
+        assert block_level(-100, num_sites=2) == block_level(100, num_sites=2)
+
+    def test_rejects_bad_site_count(self):
+        with pytest.raises(ConfigurationError):
+            block_level(10, num_sites=0)
+
+
+class TestBlockTriggerThreshold:
+    def test_level_zero_is_k(self):
+        assert block_trigger_threshold(0, num_sites=5) == 5
+
+    def test_higher_levels_double(self):
+        assert block_trigger_threshold(1, num_sites=3) == 3
+        assert block_trigger_threshold(2, num_sites=3) == 6
+        assert block_trigger_threshold(3, num_sites=3) == 12
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(ConfigurationError):
+            block_trigger_threshold(-1, num_sites=2)
+
+
+class TestBlockPartitioner:
+    def _partition(self, spec, k):
+        partitioner = BlockPartitioner(num_sites=k)
+        partitioner.update_many(spec.deltas)
+        return partitioner.finish()
+
+    def test_blocks_cover_stream_contiguously(self):
+        spec = random_walk_stream(3_000, seed=1)
+        blocks = self._partition(spec, 4)
+        assert blocks[0].start_time == 1
+        assert blocks[-1].end_time == 3_000
+        for previous, current in zip(blocks, blocks[1:]):
+            assert current.start_time == previous.end_time + 1
+
+    def test_block_boundaries_record_exact_values(self):
+        spec = random_walk_stream(2_000, seed=2)
+        values = spec.values()
+        blocks = self._partition(spec, 3)
+        for block in blocks:
+            assert block.end_value == values[block.end_time - 1]
+
+    def test_complete_block_lengths_match_threshold(self):
+        spec = biased_walk_stream(5_000, drift=0.6, seed=3)
+        blocks = self._partition(spec, 4)
+        for block in blocks:
+            if block.complete:
+                assert block.length == block_trigger_threshold(block.level, 4)
+                assert block.length <= (2 ** block.level) * 4
+
+    def test_variability_gain_at_least_one_tenth(self):
+        for spec in (
+            random_walk_stream(4_000, seed=4),
+            biased_walk_stream(4_000, drift=0.5, seed=5),
+            monotone_stream(4_000),
+        ):
+            for k in (1, 4):
+                blocks = self._partition(spec, k)
+                for block in blocks:
+                    if block.complete:
+                        assert block.variability_gain >= 0.1 - 1e-12
+
+    def test_value_bounded_within_block(self):
+        spec = biased_walk_stream(6_000, drift=0.7, seed=6)
+        values = spec.values()
+        k = 2
+        blocks = self._partition(spec, k)
+        for block in blocks:
+            window = values[block.start_time - 1 : block.end_time]
+            assert max(abs(v) for v in window) <= (2 ** block.level) * 5 * k
+            if block.level >= 1:
+                assert min(abs(v) for v in window) >= (2 ** block.level) * k
+
+    def test_block_count_tracks_variability_not_length(self):
+        # A monotone stream of the same length produces far fewer blocks than a
+        # sawtooth-like random walk because its variability is logarithmic.
+        monotone_blocks = self._partition(monotone_stream(8_000), 2)
+        walk_blocks = self._partition(random_walk_stream(8_000, seed=7), 2)
+        assert len(monotone_blocks) < len(walk_blocks) / 3
+
+    def test_rejects_non_unit_updates(self):
+        partitioner = BlockPartitioner(num_sites=1)
+        with pytest.raises(ConfigurationError):
+            partitioner.update(2)
+
+    def test_cannot_update_after_finish(self):
+        partitioner = BlockPartitioner(num_sites=1)
+        partitioner.update(1)
+        partitioner.finish()
+        with pytest.raises(ConfigurationError):
+            partitioner.update(1)
+
+    def test_trailing_partial_block_flagged(self):
+        partitioner = BlockPartitioner(num_sites=4)
+        partitioner.update_many([1, 1])  # fewer than k = 4 updates
+        blocks = partitioner.finish()
+        assert len(blocks) == 1
+        assert not blocks[0].complete
+
+    def test_block_dataclass_length(self):
+        block = Block(
+            index=0,
+            level=1,
+            start_time=11,
+            end_time=20,
+            start_value=5,
+            end_value=9,
+            variability_gain=0.5,
+            complete=True,
+        )
+        assert block.length == 10

@@ -1,0 +1,159 @@
+"""Tests for the deterministic tracker of Section 3.3."""
+
+import pytest
+
+from repro.analysis.bounds import deterministic_message_bound
+from repro.core import DeterministicCounter, variability
+from repro.core.deterministic import DeterministicCoordinator, DeterministicSite
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams import (
+    RandomAssignment,
+    SkewedAssignment,
+    assign_sites,
+    biased_walk_stream,
+    monotone_stream,
+    nearly_monotone_stream,
+    random_walk_stream,
+    sawtooth_stream,
+)
+
+
+class TestParameterValidation:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicCounter(num_sites=2, epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            DeterministicCounter(num_sites=2, epsilon=1.5)
+
+    def test_rejects_bad_site_count(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicCounter(num_sites=0, epsilon=0.1)
+
+    def test_rejects_non_unit_updates(self):
+        counter = DeterministicCounter(num_sites=1, epsilon=0.1)
+        network = counter.build_network()
+        with pytest.raises(StreamError):
+            network.deliver_update(1, 0, 3)
+
+
+class TestErrorGuarantee:
+    """The deterministic guarantee |f - fhat| <= eps |f| must hold at every step."""
+
+    @pytest.mark.parametrize("epsilon", [0.25, 0.1, 0.05])
+    @pytest.mark.parametrize("num_sites", [1, 3, 8])
+    def test_random_walk(self, epsilon, num_sites):
+        spec = random_walk_stream(3_000, seed=17)
+        updates = assign_sites(spec, num_sites)
+        result = DeterministicCounter(num_sites, epsilon).track(updates)
+        assert result.max_relative_error() <= epsilon + 1e-12
+        assert result.error_violations(epsilon) == 0
+
+    def test_monotone(self):
+        spec = monotone_stream(5_000)
+        result = DeterministicCounter(4, 0.1).track(assign_sites(spec, 4))
+        assert result.max_relative_error() <= 0.1 + 1e-12
+
+    def test_nearly_monotone(self):
+        spec = nearly_monotone_stream(5_000, deletion_fraction=0.25, seed=3)
+        result = DeterministicCounter(4, 0.1).track(assign_sites(spec, 4))
+        assert result.error_violations(0.1) == 0
+
+    def test_biased_walk(self):
+        spec = biased_walk_stream(5_000, drift=0.3, seed=4)
+        result = DeterministicCounter(6, 0.05).track(assign_sites(spec, 6))
+        assert result.error_violations(0.05) == 0
+
+    def test_sawtooth_through_zero(self):
+        spec = sawtooth_stream(2_000, amplitude=10)
+        result = DeterministicCounter(2, 0.1).track(assign_sites(spec, 2))
+        assert result.error_violations(0.1) == 0
+
+    def test_guarantee_independent_of_assignment(self):
+        spec = random_walk_stream(3_000, seed=5)
+        for policy in (RandomAssignment(seed=1), SkewedAssignment(hot_fraction=0.9, seed=2)):
+            updates = assign_sites(spec, 5, policy=policy)
+            result = DeterministicCounter(5, 0.1).track(updates)
+            assert result.error_violations(0.1) == 0
+
+
+class TestCommunicationBound:
+    """Messages are O(k v / eps); we check against the paper's explicit constants."""
+
+    @pytest.mark.parametrize("num_sites", [1, 4])
+    def test_random_walk_within_bound(self, num_sites):
+        spec = random_walk_stream(4_000, seed=23)
+        v = variability(spec.deltas)
+        result = DeterministicCounter(num_sites, 0.1).track(assign_sites(spec, num_sites))
+        assert result.total_messages <= deterministic_message_bound(num_sites, 0.1, v)
+
+    def test_monotone_within_bound(self):
+        spec = monotone_stream(8_000)
+        v = variability(spec.deltas)
+        result = DeterministicCounter(4, 0.1).track(assign_sites(spec, 4))
+        assert result.total_messages <= deterministic_message_bound(4, 0.1, v)
+
+    def test_monotone_costs_far_less_than_stream_length(self):
+        spec = monotone_stream(16_000)
+        result = DeterministicCounter(2, 0.1).track(assign_sites(spec, 2))
+        assert result.total_messages < 0.2 * spec.length
+
+    def test_messages_scale_with_variability_not_length(self):
+        # Same length, very different variability: the biased walk (low v)
+        # must be much cheaper than the sawtooth (high v).
+        low_v = biased_walk_stream(6_000, drift=0.8, seed=2)
+        high_v = sawtooth_stream(6_000, amplitude=10)
+        counter = DeterministicCounter(2, 0.1)
+        low_cost = counter.track(assign_sites(low_v, 2)).total_messages
+        high_cost = counter.track(assign_sites(high_v, 2)).total_messages
+        assert low_cost < high_cost / 5
+
+    def test_smaller_epsilon_costs_more_messages(self):
+        spec = biased_walk_stream(6_000, drift=0.5, seed=6)
+        updates = assign_sites(spec, 4)
+        loose = DeterministicCounter(4, 0.2).track(updates).total_messages
+        tight = DeterministicCounter(4, 0.02).track(updates).total_messages
+        assert tight > loose
+
+
+class TestInternals:
+    def test_site_condition_level_zero(self):
+        site = DeterministicSite(site_id=0, num_sites=2, epsilon=0.1)
+        site.level = 0
+        site.unreported_drift = 1
+        assert site.report_condition()
+
+    def test_site_condition_higher_level(self):
+        site = DeterministicSite(site_id=0, num_sites=2, epsilon=0.1)
+        site.level = 5  # eps * 2^5 = 3.2
+        site.unreported_drift = 3
+        assert not site.report_condition()
+        site.unreported_drift = 4
+        assert site.report_condition()
+
+    def test_coordinator_estimate_sums_boundary_and_drifts(self):
+        coordinator = DeterministicCoordinator(num_sites=2, epsilon=0.1)
+        coordinator.boundary_value = 10
+        coordinator._drift_estimates = {0: 3, 1: -1}
+        assert coordinator.estimate() == pytest.approx(12.0)
+
+    def test_blocks_completed_counter_advances(self):
+        spec = random_walk_stream(2_000, seed=9)
+        counter = DeterministicCounter(2, 0.1)
+        network = counter.build_network()
+        for update in assign_sites(spec, 2):
+            network.deliver_update(update.time, update.site, update.delta)
+        assert network.coordinator.blocks_completed > 10
+
+    def test_estimate_exact_at_block_boundaries(self):
+        spec = random_walk_stream(1_000, seed=10)
+        counter = DeterministicCounter(1, 0.1)
+        network = counter.build_network()
+        values = spec.values()
+        exact_hits = 0
+        for update in assign_sites(spec, 1):
+            network.deliver_update(update.time, update.site, update.delta)
+            coordinator = network.coordinator
+            if coordinator.boundary_time == update.time:
+                assert coordinator.boundary_value == values[update.time - 1]
+                exact_hits += 1
+        assert exact_hits > 0

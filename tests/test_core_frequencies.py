@@ -1,0 +1,147 @@
+"""Tests for distributed item-frequency tracking (Appendix H)."""
+
+import collections
+
+import pytest
+
+from repro.core.frequencies import (
+    CRPrecisReducer,
+    FrequencyTracker,
+    HashReducer,
+    IdentityReducer,
+    run_frequency_tracking,
+)
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams import ItemStreamConfig, sliding_window_item_stream, zipfian_item_stream
+from repro.types import ItemUpdate
+
+
+def _true_frequencies(updates):
+    counts = collections.Counter()
+    for update in updates:
+        counts[update.item] += update.delta
+    return counts
+
+
+class TestReducers:
+    def test_identity_reducer(self):
+        reducer = IdentityReducer()
+        assert reducer.keys_for(42) == ((0, 42),)
+        assert reducer.combine([7.0]) == 7.0
+
+    def test_hash_reducer_keys_stable_and_in_range(self):
+        reducer = HashReducer(num_buckets=16, num_rows=3, seed=1)
+        keys = reducer.keys_for(1234)
+        assert keys == reducer.keys_for(1234)
+        assert len(keys) == 3
+        for row, bucket in keys:
+            assert 0 <= bucket < 16
+        assert [row for row, _ in keys] == [0, 1, 2]
+
+    def test_hash_reducer_from_epsilon(self):
+        reducer = HashReducer.from_epsilon(0.1, seed=2)
+        assert reducer.num_buckets == 270
+
+    def test_hash_reducer_combine_median(self):
+        reducer = HashReducer(num_buckets=8, num_rows=3, seed=3)
+        assert reducer.combine([1.0, 5.0, 100.0]) == 5.0
+
+    def test_cr_precis_reducer_keys(self):
+        reducer = CRPrecisReducer(primes=[5, 7])
+        assert reducer.keys_for(12) == ((0, 2), (1, 5))
+
+    def test_cr_precis_from_epsilon_rows(self):
+        reducer = CRPrecisReducer.from_epsilon(0.5, universe_size=256, rows=4)
+        assert reducer.num_rows == 4
+        assert all(p >= 2 for p in reducer.primes)
+
+    def test_reducer_validation(self):
+        with pytest.raises(ConfigurationError):
+            HashReducer(num_buckets=0)
+        with pytest.raises(ConfigurationError):
+            CRPrecisReducer(primes=[])
+
+
+class TestExactFrequencyTracking:
+    def test_error_within_epsilon_f1(self):
+        config = ItemStreamConfig(length=3_000, universe_size=40, num_sites=3, seed=1)
+        updates = zipfian_item_stream(config, deletion_probability=0.25)
+        tracker = FrequencyTracker(num_sites=3, epsilon=0.2)
+        result = run_frequency_tracking(tracker, updates, audit_every=100)
+        assert result.violations(0.2) == 0
+        assert result.max_error_ratio() <= 0.2
+
+    def test_small_epsilon_tightens_error(self):
+        config = ItemStreamConfig(length=2_000, universe_size=30, num_sites=2, seed=2)
+        updates = zipfian_item_stream(config)
+        loose = run_frequency_tracking(FrequencyTracker(2, 0.3), updates, audit_every=200)
+        tight = run_frequency_tracking(FrequencyTracker(2, 0.05), updates, audit_every=200)
+        assert tight.max_error_ratio() <= loose.max_error_ratio() + 1e-9
+        assert tight.total_messages >= loose.total_messages
+
+    def test_sliding_window_stream(self):
+        config = ItemStreamConfig(length=2_000, universe_size=24, num_sites=4, seed=3)
+        updates = sliding_window_item_stream(config, window=128)
+        tracker = FrequencyTracker(num_sites=4, epsilon=0.25)
+        result = run_frequency_tracking(tracker, updates, audit_every=150)
+        assert result.violations(0.25) == 0
+
+    def test_final_estimates_close_to_truth(self):
+        config = ItemStreamConfig(length=2_500, universe_size=20, num_sites=2, seed=4)
+        updates = zipfian_item_stream(config, deletion_probability=0.2)
+        tracker = FrequencyTracker(num_sites=2, epsilon=0.1)
+        network = tracker.build_network()
+        for update in updates:
+            network.sites[update.site].receive_item_update(update.time, update.item, update.delta)
+        truth = _true_frequencies(updates)
+        f1 = sum(truth.values())
+        for item, count in truth.items():
+            assert abs(network.coordinator.query(item) - count) <= 0.1 * f1 + 1e-9
+
+    def test_f1_variability_reported(self):
+        config = ItemStreamConfig(length=1_000, universe_size=16, seed=5)
+        updates = zipfian_item_stream(config)
+        result = run_frequency_tracking(FrequencyTracker(1, 0.2), updates, audit_every=100)
+        assert result.f1_variability > 0.0
+        assert result.f1_variability < 1_000.0
+
+    def test_rejects_over_deletion(self):
+        bad = [
+            ItemUpdate(time=1, site=0, item=1, delta=1),
+            ItemUpdate(time=2, site=0, item=1, delta=-1),
+            ItemUpdate(time=3, site=0, item=1, delta=-1),
+        ]
+        with pytest.raises(StreamError):
+            run_frequency_tracking(FrequencyTracker(1, 0.2), bad)
+
+    def test_track_method_redirects(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyTracker(1, 0.2).track([])
+
+    def test_rejects_bad_audit_every(self):
+        with pytest.raises(ConfigurationError):
+            run_frequency_tracking(FrequencyTracker(1, 0.2), [], audit_every=0)
+
+
+class TestSketchedFrequencyTracking:
+    def test_hash_reducer_respects_epsilon_budget(self):
+        config = ItemStreamConfig(length=3_000, universe_size=200, num_sites=2, seed=6)
+        updates = zipfian_item_stream(config, deletion_probability=0.15)
+        reducer = HashReducer.from_epsilon(0.3, num_rows=3, seed=7)
+        tracker = FrequencyTracker(num_sites=2, epsilon=0.3, reducer=reducer)
+        result = run_frequency_tracking(tracker, updates, audit_every=200)
+        # Tracking error (eps/3-ish) plus collision error; the combined budget
+        # of Appendix H is eps * F1.
+        assert result.max_error_ratio() <= 0.3 + 1e-9
+
+    def test_cr_precis_reducer_respects_epsilon_budget(self):
+        config = ItemStreamConfig(length=2_500, universe_size=300, num_sites=2, seed=8)
+        updates = zipfian_item_stream(config, deletion_probability=0.15)
+        reducer = CRPrecisReducer.from_epsilon(0.3, universe_size=300, rows=4)
+        tracker = FrequencyTracker(num_sites=2, epsilon=0.3, reducer=reducer)
+        result = run_frequency_tracking(tracker, updates, audit_every=200)
+        assert result.max_error_ratio() <= 0.3 + 1e-9
+
+    def test_sketched_tracker_uses_fewer_counters_than_universe(self):
+        reducer = HashReducer.from_epsilon(0.25, seed=9)
+        assert reducer.num_buckets < 1_000  # independent of |U|

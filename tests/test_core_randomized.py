@@ -1,0 +1,108 @@
+"""Tests for the randomized tracker of Section 3.4."""
+
+import pytest
+
+from repro.analysis.bounds import randomized_message_bound
+from repro.core import RandomizedCounter, variability
+from repro.core.randomized import report_probability
+from repro.exceptions import ConfigurationError
+from repro.streams import (
+    assign_sites,
+    biased_walk_stream,
+    monotone_stream,
+    random_walk_stream,
+)
+
+
+class TestReportProbability:
+    def test_formula(self):
+        # p = 3 / (eps * 2^r * sqrt(k))
+        assert report_probability(level=4, num_sites=4, epsilon=0.1) == pytest.approx(
+            3.0 / (0.1 * 16 * 2.0)
+        )
+
+    def test_capped_at_one(self):
+        assert report_probability(level=0, num_sites=1, epsilon=0.5) == 1.0
+
+    def test_level_zero_exact_when_k_small(self):
+        # For k <= 9 / eps^2 the level-0 probability is 1 (exact tracking).
+        assert report_probability(level=0, num_sites=9, epsilon=0.9) == pytest.approx(1.0)
+        assert report_probability(level=0, num_sites=4, epsilon=0.1) == 1.0
+
+    def test_decreases_with_level(self):
+        probabilities = [report_probability(r, 16, 0.05) for r in range(8)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+
+class TestCorrectness:
+    """P(|f - fhat| > eps |f|) < 1/3 per timestep; empirically far below."""
+
+    @pytest.mark.parametrize("num_sites", [1, 4, 9])
+    def test_random_walk_violation_fraction(self, num_sites):
+        spec = random_walk_stream(4_000, seed=31)
+        updates = assign_sites(spec, num_sites)
+        result = RandomizedCounter(num_sites, 0.1, seed=7).track(updates)
+        assert result.violation_fraction(0.1) < 1.0 / 3.0
+
+    def test_monotone_violation_fraction(self):
+        spec = monotone_stream(6_000)
+        result = RandomizedCounter(4, 0.1, seed=3).track(assign_sites(spec, 4))
+        assert result.violation_fraction(0.1) < 1.0 / 3.0
+
+    def test_biased_walk_violation_fraction(self):
+        spec = biased_walk_stream(6_000, drift=0.4, seed=8)
+        result = RandomizedCounter(4, 0.1, seed=9).track(assign_sites(spec, 4))
+        assert result.violation_fraction(0.1) < 1.0 / 3.0
+
+    def test_violations_averaged_over_seeds(self):
+        spec = random_walk_stream(2_000, seed=12)
+        updates = assign_sites(spec, 4)
+        fractions = [
+            RandomizedCounter(4, 0.15, seed=seed).track(updates).violation_fraction(0.15)
+            for seed in range(5)
+        ]
+        assert sum(fractions) / len(fractions) < 1.0 / 3.0
+
+    def test_reproducible_with_seed(self):
+        spec = random_walk_stream(1_500, seed=13)
+        updates = assign_sites(spec, 3)
+        first = RandomizedCounter(3, 0.1, seed=42).track(updates)
+        second = RandomizedCounter(3, 0.1, seed=42).track(updates)
+        assert first.total_messages == second.total_messages
+        assert [r.estimate for r in first.records] == [r.estimate for r in second.records]
+
+    def test_different_seeds_differ(self):
+        spec = biased_walk_stream(3_000, drift=0.5, seed=14)
+        updates = assign_sites(spec, 4)
+        first = RandomizedCounter(4, 0.05, seed=1).track(updates)
+        second = RandomizedCounter(4, 0.05, seed=2).track(updates)
+        assert first.total_messages != second.total_messages
+
+
+class TestCommunication:
+    def test_within_expected_bound_with_slack(self):
+        spec = random_walk_stream(5_000, seed=21)
+        v = variability(spec.deltas)
+        result = RandomizedCounter(4, 0.1, seed=5).track(assign_sites(spec, 4))
+        # The bound is on the expectation; allow a factor-2 slack for one run.
+        assert result.total_messages <= 2.0 * randomized_message_bound(4, 0.1, v)
+
+    def test_beats_deterministic_for_many_sites_on_grown_stream(self):
+        # Once |f| is large (levels r >= 1) the randomized tracker's
+        # sqrt(k)/eps per-block cost beats the deterministic k/eps cost.
+        from repro.core import DeterministicCounter
+
+        spec = biased_walk_stream(20_000, drift=0.8, seed=22)
+        num_sites = 64
+        epsilon = 0.2  # keeps k <= 9 / eps^2 so level-0 blocks stay exact
+        updates = assign_sites(spec, num_sites)
+        randomized = RandomizedCounter(num_sites, epsilon, seed=6).track(updates)
+        deterministic = DeterministicCounter(num_sites, epsilon).track(updates)
+        assert randomized.violation_fraction(epsilon) < 1.0 / 3.0
+        assert randomized.total_messages < deterministic.total_messages
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedCounter(num_sites=0, epsilon=0.1)
+        with pytest.raises(ConfigurationError):
+            RandomizedCounter(num_sites=2, epsilon=0.0)

@@ -1,0 +1,137 @@
+"""Tests for the single-site tracker (Appendix I) and update expansion (Appendix C)."""
+
+import pytest
+
+from repro.analysis.bounds import single_site_message_bound
+from repro.core import (
+    SingleSiteTracker,
+    expand_stream,
+    expand_update,
+    run_single_site,
+    variability,
+)
+from repro.core.expansion import expansion_variability_overhead, harmonic_number
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams import monotone_stream, random_walk_stream, sawtooth_stream
+from repro.streams.model import StreamSpec
+
+
+class TestSingleSiteTracker:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            SingleSiteTracker(epsilon=0.0)
+
+    def test_error_guarantee_random_walk(self):
+        spec = random_walk_stream(5_000, seed=1)
+        result = run_single_site(spec.deltas, epsilon=0.1)
+        assert result.max_relative_error() <= 0.1 + 1e-12
+
+    def test_error_guarantee_arbitrary_deltas(self):
+        # Unlike the distributed trackers, arbitrary integer deltas are allowed.
+        deltas = [10, -3, 25, -40, 7, 7, -1, 100, -50, 3]
+        result = run_single_site(deltas, epsilon=0.2)
+        assert result.max_relative_error() <= 0.2 + 1e-12
+
+    def test_message_bound_appendix_i(self):
+        for spec in (
+            random_walk_stream(5_000, seed=2),
+            monotone_stream(5_000),
+            sawtooth_stream(5_000, amplitude=25),
+        ):
+            epsilon = 0.1
+            result = run_single_site(spec.deltas, epsilon)
+            bound = single_site_message_bound(epsilon, result.variability)
+            # +1 covers the very first message out of an empty coordinator.
+            assert result.messages <= bound + 1
+
+    def test_monotone_messages_logarithmic(self):
+        result = run_single_site(monotone_stream(50_000).deltas, epsilon=0.1)
+        # v = H(50000) ~ 11.4, so about 11 / 0.1 messages at the very most.
+        assert result.messages < 150
+
+    def test_message_sent_only_when_violated(self):
+        tracker = SingleSiteTracker(epsilon=0.5)
+        assert tracker.update(10) is True  # 0 vs 10 violates
+        assert tracker.update(1) is False  # 10 vs 11 is within 50%
+        assert tracker.update(20) is True
+
+    def test_variability_reported(self):
+        spec = random_walk_stream(1_000, seed=3)
+        result = run_single_site(spec.deltas, epsilon=0.1)
+        assert result.variability == pytest.approx(variability(spec.deltas))
+
+    def test_estimate_tracks_value_exactly_after_send(self):
+        tracker = SingleSiteTracker(epsilon=0.1)
+        tracker.update(100)
+        assert tracker.estimate == tracker.value == 100
+
+
+class TestExpandUpdate:
+    def test_positive(self):
+        assert expand_update(4) == [1, 1, 1, 1]
+
+    def test_negative(self):
+        assert expand_update(-3) == [-1, -1, -1]
+
+    def test_unit_and_zero(self):
+        assert expand_update(1) == [1]
+        assert expand_update(-1) == [-1]
+        assert expand_update(0) == []
+
+
+class TestExpandStream:
+    def test_total_preserved(self):
+        spec = StreamSpec(name="jumps", deltas=(5, -2, 0, 7, -10, 3))
+        expanded = expand_stream(spec)
+        assert expanded.final_value() == spec.final_value()
+        assert expanded.is_unit_stream()
+        assert expanded.length == sum(abs(d) for d in spec.deltas)
+
+    def test_rejects_all_zero_stream(self):
+        with pytest.raises(StreamError):
+            expand_stream(StreamSpec(name="zeros", deltas=(0, 0)))
+
+    def test_expansion_of_unit_stream_is_identity(self):
+        spec = random_walk_stream(200, seed=5)
+        assert expand_stream(spec).deltas == spec.deltas
+
+    def test_name_and_params_annotated(self):
+        expanded = expand_stream(StreamSpec(name="jumps", deltas=(3,)))
+        assert expanded.name.endswith("_expanded")
+        assert expanded.params["expanded"] is True
+
+
+class TestExpansionOverheadBound:
+    def test_harmonic_number(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(4) == pytest.approx(1.0 + 0.5 + 1.0 / 3 + 0.25)
+        # Approximation branch agrees with the exact sum.
+        exact = sum(1.0 / i for i in range(1, 201))
+        assert harmonic_number(200) == pytest.approx(exact, rel=1e-9)
+
+    def test_bound_dominates_actual_expansion_variability_positive(self):
+        value_before, delta = 10, 40
+        actual = variability(expand_update(delta), start=value_before)
+        assert actual <= expansion_variability_overhead(value_before, delta) + 1e-9
+
+    def test_bound_dominates_actual_expansion_variability_negative(self):
+        value_before, delta = 100, -60
+        actual = variability(expand_update(delta), start=value_before)
+        assert actual <= expansion_variability_overhead(value_before, delta) + 1e-9
+
+    def test_bound_dominates_for_many_cases(self):
+        cases = [(5, 17), (50, 9), (3, 200), (200, -150), (40, -20), (10, -9)]
+        for value_before, delta in cases:
+            actual = variability(expand_update(delta), start=value_before)
+            bound = expansion_variability_overhead(value_before, delta)
+            assert actual <= bound + 1e-9, (value_before, delta)
+
+    def test_bound_never_exceeds_trivial_cap(self):
+        # Each unit step adds at most 1 to the variability.
+        assert expansion_variability_overhead(1, 1000) <= 1000.0
+        assert expansion_variability_overhead(2000, -1000) <= 1000.0
+
+    def test_unit_updates_cost_at_most_one(self):
+        assert expansion_variability_overhead(7, 1) == 1.0
+        assert expansion_variability_overhead(7, 0) == 0.0

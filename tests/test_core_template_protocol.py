@@ -1,0 +1,124 @@
+"""Tests for the shared block-based protocol template (Sections 3.1/3.2)."""
+
+import pytest
+
+from repro.core import DeterministicCounter
+from repro.core.template import check_tracking_parameters
+from repro.exceptions import ConfigurationError
+from repro.monitoring.messages import COORDINATOR, Message, MessageKind
+from repro.streams import assign_sites, biased_walk_stream, random_walk_stream
+
+
+class TestParameterChecks:
+    def test_accepts_valid(self):
+        check_tracking_parameters(1, 0.5)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            check_tracking_parameters(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            check_tracking_parameters(1, 1.0)
+
+
+class TestBlockProtocol:
+    def _run(self, spec, k, epsilon=0.1):
+        factory = DeterministicCounter(k, epsilon)
+        network = factory.build_network()
+        network.channel.enable_log()
+        for update in assign_sites(spec, k):
+            network.deliver_update(update.time, update.site, update.delta)
+        return network
+
+    def test_coordinator_boundary_state_is_exact(self):
+        spec = random_walk_stream(2_000, seed=1)
+        network = self._run(spec, 3)
+        coordinator = network.coordinator
+        values = spec.values()
+        assert coordinator.boundary_time <= 2_000
+        assert coordinator.boundary_value == values[coordinator.boundary_time - 1]
+
+    def test_level_matches_boundary_value(self):
+        spec = biased_walk_stream(6_000, drift=0.7, seed=2)
+        network = self._run(spec, 2)
+        coordinator = network.coordinator
+        k = 2
+        magnitude = abs(coordinator.boundary_value)
+        r = coordinator.level
+        if magnitude < 4 * k:
+            assert r == 0
+        else:
+            assert (2 ** r) * 2 * k <= magnitude < (2 ** r) * 4 * k
+
+    def test_sites_and_coordinator_agree_on_level(self):
+        spec = biased_walk_stream(4_000, drift=0.6, seed=3)
+        network = self._run(spec, 4)
+        for site in network.sites:
+            assert site.level == network.coordinator.level
+
+    def test_message_mix_contains_all_protocol_roles(self):
+        spec = random_walk_stream(3_000, seed=4)
+        network = self._run(spec, 3)
+        kinds = {message.kind for message in network.channel.log}
+        assert kinds == {
+            MessageKind.REPORT,
+            MessageKind.REQUEST,
+            MessageKind.REPLY,
+            MessageKind.BROADCAST,
+        }
+
+    def test_request_reply_broadcast_counts_match_blocks(self):
+        spec = random_walk_stream(3_000, seed=5)
+        k = 3
+        network = self._run(spec, k)
+        by_kind = network.stats.by_kind
+        blocks = network.coordinator.blocks_completed
+        assert by_kind["request"] == blocks * k
+        assert by_kind["reply"] == blocks * k
+        assert by_kind["broadcast"] == blocks * k
+
+    def test_per_block_partition_overhead_is_at_most_5k(self):
+        spec = random_walk_stream(4_000, seed=6)
+        k = 4
+        network = self._run(spec, k)
+        by_kind = network.stats.by_kind
+        blocks = max(network.coordinator.blocks_completed, 1)
+        partition_messages = (
+            by_kind.get("request", 0) + by_kind.get("reply", 0) + by_kind.get("broadcast", 0)
+        )
+        count_reports = sum(
+            1
+            for message in network.channel.log
+            if message.kind is MessageKind.REPORT and "count" in message.payload
+        )
+        assert (partition_messages + count_reports) <= 5 * k * (blocks + 1)
+
+    def test_unexpected_message_kinds_rejected(self):
+        factory = DeterministicCounter(2, 0.1)
+        network = factory.build_network()
+        site = network.sites[0]
+        bogus = Message(kind=MessageKind.REPLY, sender=COORDINATOR, receiver=0, payload={})
+        with pytest.raises(ConfigurationError):
+            site.receive_message(bogus)
+        coordinator = network.coordinator
+        bogus_for_coordinator = Message(
+            kind=MessageKind.BROADCAST, sender=0, receiver=COORDINATOR, payload={}
+        )
+        with pytest.raises(ConfigurationError):
+            coordinator.receive_message(bogus_for_coordinator)
+
+    def test_reply_outside_block_close_rejected(self):
+        factory = DeterministicCounter(1, 0.1)
+        network = factory.build_network()
+        stray_reply = Message(
+            kind=MessageKind.REPLY,
+            sender=0,
+            receiver=COORDINATOR,
+            payload={"count": 0, "change": 0},
+        )
+        with pytest.raises(ConfigurationError):
+            network.coordinator.receive_message(stray_reply)
+
+    def test_single_site_network_still_partitions(self):
+        spec = random_walk_stream(1_000, seed=7)
+        network = self._run(spec, 1)
+        assert network.coordinator.blocks_completed > 100

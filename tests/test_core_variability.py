@@ -1,0 +1,128 @@
+"""Tests for the variability parameter (Section 2)."""
+
+import math
+
+import pytest
+
+from repro.core.variability import (
+    VariabilityTracker,
+    f1_variability,
+    variability,
+    variability_increment,
+    variability_increments,
+)
+from repro.exceptions import StreamError
+from repro.streams import monotone_stream, random_walk_stream, sign_alternating_stream
+
+
+def harmonic(n):
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+class TestVariabilityIncrement:
+    def test_zero_value_counts_one(self):
+        assert variability_increment(0, -1) == 1.0
+        assert variability_increment(0, 0) == 1.0
+
+    def test_zero_delta_nonzero_value(self):
+        assert variability_increment(5, 0) == 0.0
+
+    def test_capped_at_one(self):
+        assert variability_increment(1, 10) == 1.0
+        assert variability_increment(-1, -10) == 1.0
+
+    def test_ratio_below_one(self):
+        assert variability_increment(10, 1) == pytest.approx(0.1)
+        assert variability_increment(-10, -1) == pytest.approx(0.1)
+        assert variability_increment(4, -2) == pytest.approx(0.5)
+
+
+class TestVariability:
+    def test_monotone_stream_is_harmonic(self):
+        n = 500
+        assert variability(monotone_stream(n).deltas) == pytest.approx(harmonic(n))
+
+    def test_sign_alternating_is_linear(self):
+        n = 200
+        assert variability(sign_alternating_stream(n).deltas) == pytest.approx(float(n))
+
+    def test_start_value_matters(self):
+        # Starting at 100, a single +1 update contributes 1/101.
+        assert variability([1], start=100) == pytest.approx(1.0 / 101.0)
+
+    def test_empty_stream(self):
+        assert variability([]) == 0.0
+
+    def test_increments_sum_to_total(self):
+        deltas = random_walk_stream(300, seed=1).deltas
+        assert sum(variability_increments(deltas)) == pytest.approx(variability(deltas))
+
+    def test_bounded_by_length(self):
+        deltas = random_walk_stream(1_000, seed=2).deltas
+        assert 0.0 <= variability(deltas) <= 1_000.0
+
+    def test_monotone_far_below_length(self):
+        n = 10_000
+        assert variability(monotone_stream(n).deltas) < 0.01 * n
+
+
+class TestF1Variability:
+    def test_insert_only_is_harmonic(self):
+        f1_values = list(range(1, 101))
+        assert f1_variability(f1_values) == pytest.approx(harmonic(100))
+
+    def test_zero_counts_one(self):
+        assert f1_variability([1, 0, 1, 0]) == pytest.approx(1.0 + 1.0 + 1.0 + 1.0)
+
+    def test_rejects_negative_f1(self):
+        with pytest.raises(StreamError):
+            f1_variability([1, -1])
+
+
+class TestVariabilityTracker:
+    def test_matches_offline_computation(self):
+        deltas = random_walk_stream(2_000, seed=3).deltas
+        tracker = VariabilityTracker()
+        tracker.update_many(deltas)
+        assert tracker.total == pytest.approx(variability(deltas))
+        assert tracker.time == 2_000
+        assert tracker.value == sum(deltas)
+
+    def test_update_returns_increment(self):
+        tracker = VariabilityTracker()
+        assert tracker.update(1) == 1.0  # f = 1, |delta/f| = 1
+        assert tracker.update(1) == pytest.approx(0.5)
+        assert tracker.last_increment == pytest.approx(0.5)
+
+    def test_positive_and_negative_mass(self):
+        tracker = VariabilityTracker()
+        tracker.update_many([1, 1, -1, 1, -1, -1])
+        assert tracker.positive_mass == 3
+        assert tracker.negative_mass == 3
+        assert tracker.value == 0
+
+    def test_zero_count(self):
+        tracker = VariabilityTracker()
+        tracker.update_many([1, -1, 1, -1])
+        assert tracker.zero_count == 2
+
+    def test_start_value(self):
+        tracker = VariabilityTracker(start=10)
+        tracker.update(1)
+        assert tracker.value == 11
+        assert tracker.total == pytest.approx(1.0 / 11.0)
+
+
+class TestTheorem21MonotoneBound:
+    """Monotone and nearly monotone streams have logarithmic variability."""
+
+    def test_monotone_bound(self):
+        n = 4_096
+        v = variability(monotone_stream(n).deltas)
+        assert v <= 1.0 + math.log(n)
+
+    def test_monotone_variability_grows_logarithmically(self):
+        small = variability(monotone_stream(1_000).deltas)
+        large = variability(monotone_stream(8_000).deltas)
+        # Eight times the length adds about log(8) ~ 2.08 to the variability.
+        assert large - small == pytest.approx(math.log(8.0), abs=0.05)

@@ -1,0 +1,43 @@
+"""Smoke tests: every shipped example runs end to end and prints its report.
+
+These keep the examples honest — if the public API changes, the examples break
+here rather than on a user's machine.  Each example's ``main()`` is imported
+and executed directly (no subprocess) so failures surface with full tracebacks.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_module(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_runs_and_prints(path, capsys):
+    module = _load_module(path)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+    module.main()
+    output = capsys.readouterr().out
+    assert len(output.splitlines()) >= 5, f"{path.name} printed almost nothing"
+
+
+def test_examples_directory_is_complete():
+    names = {path.stem for path in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "database_monitoring",
+        "sensor_network",
+        "frequency_monitoring",
+        "lower_bound_tour",
+    } <= names

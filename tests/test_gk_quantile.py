@@ -1,0 +1,106 @@
+"""Tests for the Greenwald–Khanna quantile summary substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, QueryError
+from repro.sketches import GKQuantileSummary
+
+
+def _rank_error(values, answer, rank):
+    """Rank error of `answer` against the true rank in the sorted values."""
+    sorted_values = sorted(values)
+    low = np.searchsorted(sorted_values, answer, side="left") + 1
+    high = np.searchsorted(sorted_values, answer, side="right")
+    if low <= rank <= high:
+        return 0
+    return min(abs(rank - low), abs(rank - high))
+
+
+class TestGKQuantileSummary:
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            GKQuantileSummary(epsilon=0.0)
+
+    def test_empty_query_raises(self):
+        summary = GKQuantileSummary(epsilon=0.1)
+        with pytest.raises(QueryError):
+            summary.query_quantile(0.5)
+
+    def test_rank_validation(self):
+        summary = GKQuantileSummary(epsilon=0.1)
+        summary.insert(1.0)
+        with pytest.raises(QueryError):
+            summary.query_rank(0)
+        with pytest.raises(QueryError):
+            summary.query_rank(2)
+        with pytest.raises(QueryError):
+            summary.query_quantile(1.5)
+
+    def test_exact_on_tiny_input(self):
+        summary = GKQuantileSummary(epsilon=0.1)
+        summary.insert_many([5.0, 1.0, 3.0])
+        assert summary.query_rank(1) == 1.0
+        assert summary.query_rank(3) == 5.0
+
+    @pytest.mark.parametrize("epsilon", [0.01, 0.05, 0.1])
+    def test_rank_error_uniform_random(self, epsilon):
+        rng = np.random.default_rng(1)
+        values = rng.random(5_000).tolist()
+        summary = GKQuantileSummary(epsilon=epsilon)
+        summary.insert_many(values)
+        n = len(values)
+        for phi in (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            rank = max(1, int(np.ceil(phi * n)))
+            answer = summary.query_rank(rank)
+            assert _rank_error(values, answer, rank) <= epsilon * n
+
+    def test_rank_error_sorted_and_reversed_input(self):
+        epsilon = 0.05
+        for values in (list(range(3_000)), list(range(3_000, 0, -1))):
+            summary = GKQuantileSummary(epsilon=epsilon)
+            summary.insert_many([float(v) for v in values])
+            n = len(values)
+            for phi in (0.1, 0.5, 0.9):
+                rank = max(1, int(np.ceil(phi * n)))
+                answer = summary.query_rank(rank)
+                assert _rank_error(values, answer, rank) <= epsilon * n
+
+    def test_space_far_below_stream_length(self):
+        rng = np.random.default_rng(2)
+        summary = GKQuantileSummary(epsilon=0.05)
+        summary.insert_many(rng.random(20_000).tolist())
+        assert summary.size() < 2_000
+        assert summary.count == 20_000
+
+    def test_space_grows_with_precision(self):
+        rng = np.random.default_rng(3)
+        values = rng.random(10_000).tolist()
+        loose = GKQuantileSummary(epsilon=0.1)
+        tight = GKQuantileSummary(epsilon=0.01)
+        loose.insert_many(values)
+        tight.insert_many(values)
+        assert tight.size() > loose.size()
+
+    def test_quantiles_list_is_sorted(self):
+        rng = np.random.default_rng(4)
+        summary = GKQuantileSummary(epsilon=0.05)
+        summary.insert_many(rng.random(2_000).tolist())
+        quantiles = summary.quantiles(9)
+        assert quantiles == sorted(quantiles)
+        with pytest.raises(ConfigurationError):
+            summary.quantiles(0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_property_rank_error_bounded(self, values):
+        epsilon = 0.1
+        summary = GKQuantileSummary(epsilon=epsilon)
+        summary.insert_many(values)
+        n = len(values)
+        for phi in (0.25, 0.5, 0.75):
+            rank = max(1, int(np.ceil(phi * n)))
+            answer = summary.query_rank(rank)
+            assert _rank_error(values, answer, rank) <= max(1, epsilon * n)

@@ -1,0 +1,89 @@
+"""Tests for the heavy-hitters query API on the frequency coordinator."""
+
+import collections
+
+import pytest
+
+from repro.core.frequencies import FrequencyTracker, HashReducer
+from repro.exceptions import ConfigurationError
+from repro.streams import ItemStreamConfig, zipfian_item_stream
+
+
+def _run_tracker(tracker, updates):
+    network = tracker.build_network()
+    for update in updates:
+        network.sites[update.site].receive_item_update(update.time, update.item, update.delta)
+    return network.coordinator
+
+
+def _truth(updates):
+    counts = collections.Counter()
+    for update in updates:
+        counts[update.item] += update.delta
+    return counts
+
+
+class TestHeavyHitters:
+    def _workload(self, seed=1):
+        config = ItemStreamConfig(length=4_000, universe_size=100, num_sites=3, seed=seed)
+        return zipfian_item_stream(config, exponent=1.4, deletion_probability=0.15)
+
+    def test_contains_all_true_heavy_hitters(self):
+        updates = self._workload()
+        epsilon = 0.05
+        coordinator = _run_tracker(FrequencyTracker(3, epsilon), updates)
+        truth = _truth(updates)
+        f1 = sum(truth.values())
+        fraction = 0.1
+        reported = {item for item, _ in coordinator.heavy_hitters(fraction)}
+        for item, count in truth.items():
+            if count >= (fraction + epsilon) * f1:
+                assert item in reported
+
+    def test_excludes_clearly_light_items(self):
+        updates = self._workload(seed=2)
+        epsilon = 0.05
+        coordinator = _run_tracker(FrequencyTracker(3, epsilon), updates)
+        truth = _truth(updates)
+        f1 = sum(truth.values())
+        fraction = 0.1
+        reported = {item for item, _ in coordinator.heavy_hitters(fraction)}
+        for item in reported:
+            assert truth.get(item, 0) >= (fraction - 2 * epsilon) * f1
+
+    def test_sorted_by_decreasing_estimate(self):
+        updates = self._workload(seed=3)
+        coordinator = _run_tracker(FrequencyTracker(3, 0.1), updates)
+        hitters = coordinator.heavy_hitters(0.02)
+        estimates = [estimate for _, estimate in hitters]
+        assert estimates == sorted(estimates, reverse=True)
+
+    def test_requires_candidates_for_sketched_reduction(self):
+        updates = self._workload(seed=4)
+        reducer = HashReducer.from_epsilon(0.2, seed=5)
+        coordinator = _run_tracker(FrequencyTracker(3, 0.2, reducer=reducer), updates)
+        with pytest.raises(ConfigurationError):
+            coordinator.heavy_hitters(0.1)
+        # With an explicit candidate list the sketched coordinator works too.
+        truth = _truth(updates)
+        hitters = coordinator.heavy_hitters(0.1, candidates=truth.keys())
+        f1 = sum(truth.values())
+        for item, count in truth.items():
+            if count >= 0.35 * f1:
+                assert item in {i for i, _ in hitters}
+
+    def test_fraction_validation(self):
+        updates = self._workload(seed=6)
+        coordinator = _run_tracker(FrequencyTracker(3, 0.2), updates)
+        with pytest.raises(ConfigurationError):
+            coordinator.heavy_hitters(0.0)
+        with pytest.raises(ConfigurationError):
+            coordinator.heavy_hitters(1.5)
+
+    def test_estimated_f1_close_to_truth(self):
+        updates = self._workload(seed=7)
+        coordinator = _run_tracker(FrequencyTracker(3, 0.1), updates)
+        truth_f1 = sum(_truth(updates).values())
+        # F1 is exact at block boundaries; between boundaries it lags by at
+        # most one block's worth of updates.
+        assert coordinator.estimated_f1() == pytest.approx(truth_f1, rel=0.25)

@@ -1,0 +1,135 @@
+"""Tests for variability-driven historical quantile tracking (Tao et al. connection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.history_quantiles import (
+    HistoricalQuantileTracker,
+    QuantileCheckpoint,
+    ValueUpdate,
+)
+from repro.exceptions import ConfigurationError, QueryError, StreamError
+
+
+def _mostly_growing_updates(n, seed, delete_probability=0.2):
+    """Insert random values, occasionally deleting a previously inserted one."""
+    rng = np.random.default_rng(seed)
+    live = []
+    updates = []
+    for _ in range(n):
+        if live and rng.random() < delete_probability:
+            index = int(rng.integers(0, len(live)))
+            value = live.pop(index)
+            updates.append(ValueUpdate(value=value, delta=-1))
+        else:
+            value = float(rng.integers(0, 10_000))
+            live.append(value)
+            updates.append(ValueUpdate(value=value, delta=+1))
+    return updates
+
+
+def _dataset_at(updates, time):
+    """Exact multiset contents after `time` updates."""
+    values = []
+    for update in updates[:time]:
+        if update.delta > 0:
+            values.append(update.value)
+        else:
+            values.remove(update.value)
+    return sorted(values)
+
+
+def _rank_error(sorted_values, answer, rank):
+    low = np.searchsorted(sorted_values, answer, side="left") + 1
+    high = np.searchsorted(sorted_values, answer, side="right")
+    if low <= rank <= high:
+        return 0
+    return min(abs(rank - low), abs(rank - high))
+
+
+class TestValueUpdate:
+    def test_rejects_non_unit_delta(self):
+        with pytest.raises(StreamError):
+            ValueUpdate(value=1.0, delta=2)
+
+
+class TestQuantileCheckpoint:
+    def test_query_rank_picks_nearest_stored_quantile(self):
+        checkpoint = QuantileCheckpoint(time=5, size=100, quantile_values=(1.0, 5.0, 9.0))
+        assert checkpoint.query_rank(1) == 1.0
+        assert checkpoint.query_rank(50) == 5.0
+        assert checkpoint.query_rank(100) == 9.0
+
+    def test_empty_dataset_raises(self):
+        checkpoint = QuantileCheckpoint(time=1, size=0, quantile_values=())
+        with pytest.raises(QueryError):
+            checkpoint.query_rank(1)
+
+
+class TestHistoricalQuantileTracker:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            HistoricalQuantileTracker(epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            HistoricalQuantileTracker(epsilon=0.1, quantiles_per_checkpoint=1)
+
+    def test_rejects_delete_of_missing_value(self):
+        tracker = HistoricalQuantileTracker(epsilon=0.2)
+        with pytest.raises(StreamError):
+            tracker.update(ValueUpdate(value=3.0, delta=-1))
+
+    def test_query_before_first_checkpoint_raises(self):
+        tracker = HistoricalQuantileTracker(epsilon=0.2)
+        with pytest.raises(QueryError):
+            tracker.query_quantile(1, 0.5)
+
+    def test_historical_rank_error_within_budget(self):
+        epsilon = 0.2
+        updates = _mostly_growing_updates(4_000, seed=1)
+        tracker = HistoricalQuantileTracker(epsilon=epsilon)
+        tracker.update_many(updates)
+        rng = np.random.default_rng(2)
+        query_times = sorted(int(t) for t in rng.integers(500, 4_000, size=12))
+        for time in query_times:
+            dataset = _dataset_at(updates, time)
+            size = len(dataset)
+            for phi in (0.25, 0.5, 0.75):
+                rank = max(1, int(np.ceil(phi * size)))
+                answer = tracker.query_rank(time, rank)
+                # Checkpoint staleness plus snapshot compression both stay
+                # within the eps |D(t)| regime (allow a factor-2 constant).
+                assert _rank_error(dataset, answer, rank) <= 2 * epsilon * size + 1
+
+    def test_summary_size_tracks_variability_not_length(self):
+        epsilon = 0.2
+        updates = _mostly_growing_updates(8_000, seed=3, delete_probability=0.1)
+        tracker = HistoricalQuantileTracker(epsilon=epsilon)
+        tracker.update_many(updates)
+        # Checkpoint count is at most 2 v / eps + 1.
+        assert len(tracker.checkpoints) <= 2 * tracker.variability / epsilon + 1
+        # And the retained summary is far smaller than the stream.
+        assert tracker.summary_size_values() < 0.5 * len(updates)
+
+    def test_variability_matches_definition(self):
+        updates = [ValueUpdate(value=float(i), delta=+1) for i in range(100)]
+        tracker = HistoricalQuantileTracker(epsilon=0.1)
+        tracker.update_many(updates)
+        harmonic = sum(1.0 / i for i in range(1, 101))
+        assert tracker.variability == pytest.approx(harmonic)
+
+    def test_checkpoints_are_time_ordered(self):
+        updates = _mostly_growing_updates(2_000, seed=4)
+        tracker = HistoricalQuantileTracker(epsilon=0.25)
+        tracker.update_many(updates)
+        times = [c.time for c in tracker.checkpoints]
+        assert times == sorted(times)
+        assert tracker.time == 2_000
+
+    def test_query_uses_latest_checkpoint_at_or_before(self):
+        tracker = HistoricalQuantileTracker(epsilon=0.5, quantiles_per_checkpoint=3)
+        tracker.update_many([ValueUpdate(value=float(i), delta=+1) for i in range(1, 50)])
+        first_checkpoint_time = tracker.checkpoints[0].time
+        # Query exactly at and just after the first checkpoint returns data
+        # from a checkpoint no later than the query time.
+        answer_at = tracker.query_quantile(first_checkpoint_time, 0.5)
+        assert answer_at <= first_checkpoint_time

@@ -1,0 +1,126 @@
+"""Integration tests: empirical checks of the paper's Section 2 theorems.
+
+These tests check growth *shapes* (the quantity the paper proves), not
+constants, using the fitting helper on moderate stream lengths so the whole
+file stays fast.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import fit_growth, repeat_variability
+from repro.analysis.bounds import (
+    biased_walk_variability_bound,
+    monotone_variability_bound,
+    nearly_monotone_variability_bound,
+    random_walk_variability_bound,
+)
+from repro.core import variability
+from repro.streams import (
+    biased_walk_stream,
+    database_size_trace,
+    monotone_stream,
+    nearly_monotone_stream,
+    random_walk_stream,
+)
+
+
+class TestTheorem21Monotone:
+    """Monotone and nearly monotone streams have (poly)logarithmic variability."""
+
+    def test_monotone_variability_within_bound(self):
+        for n in (1_000, 4_000, 16_000):
+            v = variability(monotone_stream(n).deltas)
+            assert v <= monotone_variability_bound(n)
+
+    def test_monotone_variability_shape_is_logarithmic(self):
+        lengths = [256, 1_024, 4_096, 16_384, 65_536]
+        values = [variability(monotone_stream(n).deltas) for n in lengths]
+        fit = fit_growth(lengths, values)
+        assert fit.best_shape == "log"
+
+    def test_nearly_monotone_within_bound(self):
+        for seed in range(3):
+            spec = nearly_monotone_stream(8_000, deletion_fraction=0.25, seed=seed)
+            v = variability(spec.deltas)
+            final = max(spec.final_value(), 2)
+            # beta = 1 suffices here: deletions never exceed the current value
+            # because the generator keeps the stream positive and grows ~ n/2.
+            assert v <= nearly_monotone_variability_bound(1.0, final)
+
+    def test_nearly_monotone_far_below_linear(self):
+        spec = nearly_monotone_stream(16_000, deletion_fraction=0.3, seed=7)
+        assert variability(spec.deltas) < 0.02 * spec.length
+
+    def test_database_trace_is_low_variability(self):
+        spec = database_size_trace(16_000, seed=1)
+        assert variability(spec.deltas) < 0.02 * spec.length
+
+
+class TestTheorem22RandomWalk:
+    """Fair coin flips: E[v(n)] = O(sqrt(n) log n)."""
+
+    def test_expected_variability_within_bound(self):
+        for n in (1_000, 4_000, 16_000):
+            stats = repeat_variability(
+                lambda seed, n=n: random_walk_stream(n, seed=seed), trials=5, seed=100
+            )
+            assert stats["mean"] <= random_walk_variability_bound(n)
+
+    def test_expected_variability_at_least_sqrt_n(self):
+        n = 16_000
+        stats = repeat_variability(
+            lambda seed: random_walk_stream(n, seed=seed), trials=5, seed=200
+        )
+        assert stats["mean"] >= 0.5 * math.sqrt(n)
+
+    def test_growth_shape_is_between_sqrt_and_linear(self):
+        lengths = [1_000, 4_000, 16_000, 64_000]
+        means = []
+        for n in lengths:
+            stats = repeat_variability(
+                lambda seed, n=n: random_walk_stream(n, seed=seed), trials=3, seed=300
+            )
+            means.append(stats["mean"])
+        fit = fit_growth(lengths, means)
+        assert fit.best_shape in ("sqrt", "sqrt_log")
+        # Far from linear growth.
+        assert not fit.shape_is_consistent("linear", tolerance=0.1)
+
+
+class TestTheorem24BiasedWalk:
+    """Biased coins with drift mu: E[v(n)] = O(log(n) / mu)."""
+
+    def test_expected_variability_within_bound(self):
+        n = 16_000
+        for drift in (0.2, 0.5, 0.8):
+            stats = repeat_variability(
+                lambda seed, d=drift: biased_walk_stream(n, drift=d, seed=seed),
+                trials=4,
+                seed=400,
+            )
+            # The theorem's constant is modest; a factor of 8 covers it safely.
+            assert stats["mean"] <= 8.0 * biased_walk_variability_bound(n, drift)
+
+    def test_variability_decreases_with_drift(self):
+        n = 16_000
+        means = []
+        for drift in (0.1, 0.4, 0.8):
+            stats = repeat_variability(
+                lambda seed, d=drift: biased_walk_stream(n, drift=d, seed=seed),
+                trials=4,
+                seed=500,
+            )
+            means.append(stats["mean"])
+        assert means[0] > means[1] > means[2]
+
+    def test_biased_walk_much_cheaper_than_fair_walk(self):
+        n = 32_000
+        fair = repeat_variability(
+            lambda seed: random_walk_stream(n, seed=seed), trials=3, seed=600
+        )["mean"]
+        biased = repeat_variability(
+            lambda seed: biased_walk_stream(n, drift=0.5, seed=seed), trials=3, seed=700
+        )["mean"]
+        assert biased < fair / 5

@@ -1,0 +1,245 @@
+"""Tests for the hard-instance families of Section 4 (Theorem 4.1 and Lemma 4.4)."""
+
+import math
+
+import pytest
+
+from repro.core.variability import variability
+from repro.exceptions import ConfigurationError
+from repro.lowerbounds import (
+    DeterministicFlipFamily,
+    OverlapChain,
+    RandomizedFlipFamily,
+    flip_family_variability,
+    flip_sequence_values,
+    overlap_count,
+    sequences_match,
+)
+from repro.lowerbounds.deterministic_family import flip_sequence_deltas
+from repro.lowerbounds.overlap import overlap_fraction
+
+
+class TestOverlap:
+    def test_overlap_count_identical(self):
+        assert overlap_count([10, 10, 13], [10, 10, 13], epsilon=0.1) == 3
+
+    def test_overlap_count_m_vs_m_plus_3_never_overlaps(self):
+        # With eps = 1/m there is no value within eps*m of m and eps*(m+3) of m+3.
+        m = 10
+        assert overlap_count([m] * 5, [m + 3] * 5, epsilon=1.0 / m) == 0
+
+    def test_match_threshold(self):
+        first = [10] * 10
+        second = [10] * 6 + [13] * 4
+        assert sequences_match(first, second, epsilon=0.1)
+        third = [10] * 5 + [13] * 5
+        assert not sequences_match(first, third, epsilon=0.1)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            overlap_count([1], [1, 2], epsilon=0.1)
+
+
+class TestFlipSequences:
+    def test_values_flip_at_given_times(self):
+        values = flip_sequence_values(6, level=4, flip_times=[2, 5])
+        assert values == [4, 7, 7, 7, 4, 4]
+
+    def test_deltas_consistent_with_values(self):
+        deltas = flip_sequence_deltas(6, level=4, flip_times=[2, 5])
+        running = 4
+        rebuilt = []
+        for delta in deltas:
+            running += delta
+            rebuilt.append(running)
+        assert rebuilt == flip_sequence_values(6, level=4, flip_times=[2, 5])
+
+    def test_variability_formula(self):
+        # r/2 flips up (3/(m+3) each) and r/2 flips down (3/m each).
+        m, r = 10, 6
+        expected = (r / 2) * (3.0 / (m + 3)) + (r / 2) * (3.0 / m)
+        assert flip_family_variability(m, r) == pytest.approx(expected)
+        # And it matches the closed form (6m+9)/(2m+6) * eps * r.
+        assert flip_family_variability(m, r) == pytest.approx(
+            (6 * m + 9) / (2 * m + 6) * (1.0 / m) * r
+        )
+
+    def test_variability_formula_matches_actual_stream(self):
+        m, n = 8, 40
+        flips = [5, 11, 23, 31]
+        deltas = flip_sequence_deltas(n, m, flips)
+        assert variability(deltas, start=m) == pytest.approx(flip_family_variability(m, len(flips)))
+
+
+class TestDeterministicFlipFamily:
+    def test_family_size_is_binomial(self):
+        family = DeterministicFlipFamily(n=20, level=5, num_flips=4)
+        assert family.size() == math.comb(20, 4)
+
+    def test_rank_unrank_roundtrip(self):
+        family = DeterministicFlipFamily(n=15, level=4, num_flips=4)
+        for index in range(0, family.size(), 37):
+            assert family.index_of(family.flip_times(index)) == index
+
+    def test_flip_times_are_sorted_and_distinct(self):
+        family = DeterministicFlipFamily(n=30, level=6, num_flips=6)
+        times = family.flip_times(1234)
+        assert list(times) == sorted(set(times))
+        assert len(times) == 6
+
+    def test_lexicographic_order(self):
+        family = DeterministicFlipFamily(n=6, level=3, num_flips=2)
+        assert family.flip_times(0) == (1, 2)
+        assert family.flip_times(1) == (1, 3)
+        assert family.flip_times(family.size() - 1) == (5, 6)
+
+    def test_distinct_members_have_distinct_values(self):
+        family = DeterministicFlipFamily(n=10, level=4, num_flips=2)
+        seen = set()
+        for index in range(family.size()):
+            key = tuple(family.member_values(index))
+            assert key not in seen
+            seen.add(key)
+
+    def test_no_two_members_confusable_at_epsilon(self):
+        # Any eps-accurate tracer distinguishes m from m+3, hence any two members.
+        family = DeterministicFlipFamily(n=8, level=5, num_flips=2)
+        eps = family.epsilon
+        members = [family.member_values(i) for i in range(family.size())]
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                differs = any(
+                    abs(a - b) > eps * max(a, b) for a, b in zip(members[i], members[j])
+                )
+                assert differs
+
+    def test_member_variability_matches_formula(self):
+        family = DeterministicFlipFamily(n=40, level=10, num_flips=6)
+        deltas = family.member_deltas(777)
+        assert variability(deltas, start=family.level) == pytest.approx(
+            family.member_variability()
+        )
+
+    def test_decode_exact_values(self):
+        family = DeterministicFlipFamily(n=25, level=7, num_flips=4)
+        index = 1000 % family.size()
+        assert family.decode(family.member_values(index)) == index
+
+    def test_decode_tolerates_epsilon_noise(self):
+        family = DeterministicFlipFamily(n=25, level=7, num_flips=4)
+        index = 4321 % family.size()
+        values = family.member_values(index)
+        noisy = [v * (1 + (family.epsilon * 0.9) * (-1) ** t) for t, v in enumerate(values)]
+        assert family.decode(noisy) == index
+
+    def test_index_bits_at_least_paper_bound(self):
+        family = DeterministicFlipFamily(n=128, level=10, num_flips=8)
+        assert family.index_bits() >= family.paper_bit_lower_bound()
+
+    def test_sample_indices_distinct_and_in_range(self):
+        family = DeterministicFlipFamily(n=64, level=10, num_flips=4)
+        indices = family.sample_indices(20, seed=1)
+        assert len(set(indices)) == 20
+        assert all(0 <= i < family.size() for i in indices)
+
+    def test_enumerate_members_limit(self):
+        family = DeterministicFlipFamily(n=10, level=3, num_flips=2)
+        members = list(family.enumerate_members(limit=5))
+        assert len(members) == 5
+        assert members[0] == (1, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicFlipFamily(n=10, level=1, num_flips=2)
+        with pytest.raises(ConfigurationError):
+            DeterministicFlipFamily(n=10, level=5, num_flips=3)  # odd
+        with pytest.raises(ConfigurationError):
+            DeterministicFlipFamily(n=4, level=5, num_flips=6)  # r > n
+
+
+class TestOverlapChain:
+    def test_probabilities(self):
+        chain = OverlapChain(flip_probability=0.1)
+        assert chain.switch_probability == pytest.approx(2 * 0.1 * 0.9)
+        assert chain.stay_probability == pytest.approx(1 - 0.18)
+
+    def test_transition_matrix_rows_sum_to_one(self):
+        matrix = OverlapChain(0.2).transition_matrix()
+        assert matrix.sum(axis=1) == pytest.approx([1.0, 1.0])
+
+    def test_stationary_uniform(self):
+        chain = OverlapChain(0.3)
+        assert chain.stationary_distribution() == pytest.approx([0.5, 0.5])
+        assert chain.expected_overlap_fraction() == 0.5
+
+    def test_mixing_time_bound_dominates_exact(self):
+        for p in (0.01, 0.05, 0.2, 0.4):
+            chain = OverlapChain(p)
+            assert chain.mixing_time_bound() >= chain.exact_mixing_time()
+
+    def test_simulated_overlap_concentrates_near_half(self):
+        chain = OverlapChain(0.05)
+        fractions = chain.simulate_overlap_fractions(steps=2_000, trials=20, seed=3)
+        assert 0.35 < sum(fractions) / len(fractions) < 0.65
+        assert max(fractions) < 0.8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverlapChain(0.0)
+        with pytest.raises(ConfigurationError):
+            OverlapChain(1.0)
+
+
+class TestRandomizedFlipFamily:
+    def _family(self):
+        return RandomizedFlipFamily(n=2_000, epsilon=0.25, variability_budget=300.0)
+
+    def test_flip_probability_formula(self):
+        family = self._family()
+        assert family.flip_probability == pytest.approx(300.0 / (6 * 0.25 * 2_000))
+
+    def test_members_use_two_levels(self):
+        family = self._family()
+        member = family.sample_member(seed=1)
+        assert set(member) <= {family.level, family.level + 3}
+        assert len(member) == 2_000
+
+    def test_sampled_family_satisfies_lemma_properties(self):
+        family = self._family()
+        members = family.sample_family(12, seed=7)
+        report = family.check_family(members)
+        assert report.matching_pairs == 0
+        assert report.max_overlap_fraction < 0.6
+        assert report.over_budget_members == 0
+        assert report.max_variability <= family.variability_budget
+
+    def test_pairwise_overlap_concentrates_near_half(self):
+        family = self._family()
+        mean_fraction, max_fraction = family.overlap_statistics(pairs=30, seed=9)
+        assert 0.4 < mean_fraction < 0.6
+        assert max_fraction < 0.75
+
+    def test_member_variability_consistent_with_global_function(self):
+        family = self._family()
+        member = family.sample_member(seed=11)
+        deltas = [member[0] - member[0]] + [b - a for a, b in zip(member, member[1:])]
+        # Recompute with the library's variability on deltas relative to f(0)=member[0].
+        assert family.member_variability(member) == pytest.approx(
+            variability(deltas, start=member[0])
+        )
+
+    def test_paper_family_size_is_astronomical_for_small_eps(self):
+        family = RandomizedFlipFamily(n=10**6, epsilon=0.01, variability_budget=5_000)
+        assert family.paper_family_size() > 1.0  # finite but already non-trivial
+
+    def test_expected_flips(self):
+        family = self._family()
+        assert family.expected_flips() == pytest.approx(300.0 / (6 * 0.25))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedFlipFamily(n=10, epsilon=0.25, variability_budget=1_000.0)  # p >= 1
+        with pytest.raises(ConfigurationError):
+            RandomizedFlipFamily(n=100, epsilon=0.9, variability_budget=1.0)  # eps too big
+        with pytest.raises(ConfigurationError):
+            RandomizedFlipFamily(n=100, epsilon=0.2, variability_budget=0.0)

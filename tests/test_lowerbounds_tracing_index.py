@@ -1,0 +1,165 @@
+"""Tests for the tracing reduction (Appendix D) and the INDEX reduction (Lemma 4.3)."""
+
+import pytest
+
+from repro.baselines import LiuStyleCounter, NaiveCounter, StaticThresholdCounter
+from repro.core import DeterministicCounter, RandomizedCounter
+from repro.exceptions import QueryError
+from repro.lowerbounds import DeterministicFlipFamily, IndexReduction, TranscriptTracer
+from repro.streams import assign_sites, biased_walk_stream, random_walk_stream
+
+
+def _values(updates):
+    total, out = 0, []
+    for update in updates:
+        total += update.delta
+        out.append(total)
+    return out
+
+
+class TestTranscriptTracer:
+    def test_replay_matches_live_estimates_deterministic(self):
+        spec = random_walk_stream(1_500, seed=1)
+        updates = assign_sites(spec, 2)
+        factory = DeterministicCounter(2, 0.1)
+        live = factory.track(updates)
+        tracer = TranscriptTracer(factory).build(updates)
+        for record in live.records[::97]:
+            assert tracer.query(record.time) == pytest.approx(record.estimate)
+
+    def test_replay_matches_live_estimates_naive(self):
+        spec = random_walk_stream(500, seed=2)
+        updates = assign_sites(spec, 3)
+        factory = NaiveCounter(3)
+        live = factory.track(updates)
+        tracer = TranscriptTracer(factory).build(updates)
+        for record in live.records[::41]:
+            assert tracer.query(record.time) == pytest.approx(record.estimate)
+
+    def test_replay_matches_live_estimates_static_threshold(self):
+        spec = random_walk_stream(800, seed=3)
+        updates = assign_sites(spec, 2)
+        factory = StaticThresholdCounter(2, threshold=5)
+        live = factory.track(updates)
+        tracer = TranscriptTracer(factory).build(updates)
+        for record in live.records[::53]:
+            assert tracer.query(record.time) == pytest.approx(record.estimate)
+
+    def test_traced_estimates_satisfy_epsilon_guarantee(self):
+        spec = biased_walk_stream(2_000, drift=0.4, seed=4)
+        updates = assign_sites(spec, 2)
+        tracer = TranscriptTracer(DeterministicCounter(2, 0.1)).build(updates)
+        values = _values(updates)
+        for time in range(50, 2_001, 111):
+            estimate = tracer.query(time)
+            true_value = values[time - 1]
+            assert abs(estimate - true_value) <= 0.1 * abs(true_value) + 1e-9
+
+    def test_summary_size_tracks_communication(self):
+        spec = random_walk_stream(1_000, seed=5)
+        updates = assign_sites(spec, 2)
+        factory = DeterministicCounter(2, 0.1)
+        live = factory.track(updates)
+        tracer = TranscriptTracer(factory).build(updates)
+        # Coordinator-bound messages are a subset of all messages.
+        assert tracer.summary_messages() <= live.total_messages
+        assert tracer.summary_bits() <= live.total_bits
+        assert tracer.summary_bits() > 0
+
+    def test_cheaper_tracker_means_smaller_summary(self):
+        spec = biased_walk_stream(4_000, drift=0.7, seed=6)
+        updates = assign_sites(spec, 2)
+        cheap = TranscriptTracer(DeterministicCounter(2, 0.2)).build(updates)
+        expensive = TranscriptTracer(NaiveCounter(2)).build(updates)
+        assert cheap.summary_bits() < expensive.summary_bits()
+
+    def test_query_validation(self):
+        tracer = TranscriptTracer(NaiveCounter(1))
+        with pytest.raises(QueryError):
+            tracer.query(1)  # not built
+        spec = random_walk_stream(10, seed=7)
+        tracer.build(assign_sites(spec, 1))
+        with pytest.raises(QueryError):
+            tracer.query(0)
+        with pytest.raises(QueryError):
+            tracer.query(11)
+
+    def test_trace_batch(self):
+        spec = random_walk_stream(200, seed=8)
+        updates = assign_sites(spec, 1)
+        tracer = TranscriptTracer(DeterministicCounter(1, 0.1)).build(updates)
+        values = tracer.trace([10, 100, 200])
+        assert len(values) == 3
+
+
+class TestIndexReduction:
+    def _family(self):
+        return DeterministicFlipFamily(n=48, level=10, num_flips=4)
+
+    def test_exact_summary_always_decodes(self):
+        family = self._family()
+
+        class ExactSummary:
+            def __init__(self, updates):
+                self._values = _values(updates)
+
+            def query(self, time):
+                return self._values[time - 1]
+
+            def summary_bits(self):
+                return 64 * len(self._values)
+
+        reduction = IndexReduction(family, ExactSummary)
+        indices = family.sample_indices(8, seed=1)
+        assert reduction.success_rate(indices) == 1.0
+
+    def test_deterministic_tracker_summary_decodes(self):
+        family = self._family()
+        reduction = IndexReduction(
+            family,
+            lambda ups: TranscriptTracer(DeterministicCounter(1, family.epsilon / 2)).build(ups),
+            num_sites=1,
+        )
+        indices = family.sample_indices(5, seed=2)
+        reports = reduction.run_many(indices)
+        assert all(report.correct for report in reports)
+        for report in reports:
+            assert report.max_relative_error <= family.epsilon
+            assert report.summary_bits > 0
+
+    def test_distributed_tracker_summary_decodes(self):
+        family = self._family()
+        reduction = IndexReduction(
+            family,
+            lambda ups: TranscriptTracer(DeterministicCounter(3, family.epsilon / 2)).build(ups),
+            num_sites=3,
+        )
+        report = reduction.run(family.size() // 2)
+        assert report.correct
+
+    def test_randomized_tracker_summary_usually_decodes(self):
+        family = self._family()
+        reduction = IndexReduction(
+            family,
+            lambda ups: TranscriptTracer(
+                RandomizedCounter(1, family.epsilon / 2, seed=3)
+            ).build(ups),
+            num_sites=1,
+        )
+        indices = family.sample_indices(4, seed=3)
+        assert reduction.success_rate(indices) >= 0.5
+
+    def test_report_records_information_content(self):
+        family = self._family()
+
+        class ExactSummary:
+            def __init__(self, updates):
+                self._values = _values(updates)
+
+            def query(self, time):
+                return self._values[time - 1]
+
+        report = IndexReduction(family, ExactSummary).run(0)
+        assert report.information_bits == pytest.approx(family.index_bits())
+        assert report.encoded_index == 0
+        assert report.decoded_index == 0

@@ -1,0 +1,129 @@
+"""Tests for messages, bit accounting and the counted channel."""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.monitoring import (
+    BROADCAST_SITE,
+    COORDINATOR,
+    Channel,
+    Message,
+    MessageKind,
+    integer_bit_length,
+    message_bits,
+)
+
+
+def _report(payload=None, sender=0):
+    return Message(
+        kind=MessageKind.REPORT,
+        sender=sender,
+        receiver=COORDINATOR,
+        payload=payload or {},
+        time=1,
+    )
+
+
+class TestBitAccounting:
+    def test_integer_bit_length_small(self):
+        assert integer_bit_length(0) == 2  # sign + one magnitude bit
+        assert integer_bit_length(1) == 2
+        assert integer_bit_length(-1) == 2
+
+    def test_integer_bit_length_grows_logarithmically(self):
+        assert integer_bit_length(255) == 9
+        assert integer_bit_length(256) == 10
+        assert integer_bit_length(2**20) == 22
+
+    def test_float_payload_charged_as_word(self):
+        assert integer_bit_length(0.5) == 32
+
+    def test_message_bits_header_plus_payload(self):
+        empty = _report()
+        with_payload = _report({"count": 255})
+        assert message_bits(empty) == 16
+        assert message_bits(with_payload) == 16 + 9
+        assert with_payload.bits() == message_bits(with_payload)
+
+
+class TestChannel:
+    def test_requires_at_least_one_site(self):
+        with pytest.raises(ProtocolError):
+            Channel(num_sites=0)
+
+    def test_send_to_coordinator_counts(self):
+        channel = Channel(num_sites=2)
+        received = []
+        channel.register_coordinator(received.append)
+        channel.register_site(0, lambda m: None)
+        channel.register_site(1, lambda m: None)
+        channel.send_to_coordinator(_report({"count": 3}))
+        assert channel.stats.messages == 1
+        assert channel.stats.bits == 16 + 3
+        assert len(received) == 1
+
+    def test_send_without_coordinator_raises(self):
+        channel = Channel(num_sites=1)
+        with pytest.raises(ProtocolError):
+            channel.send_to_coordinator(_report())
+
+    def test_broadcast_charged_per_site(self):
+        channel = Channel(num_sites=3)
+        delivered = []
+        channel.register_coordinator(lambda m: None)
+        for site_id in range(3):
+            channel.register_site(site_id, lambda m, s=site_id: delivered.append(s))
+        broadcast = Message(
+            kind=MessageKind.BROADCAST,
+            sender=COORDINATOR,
+            receiver=BROADCAST_SITE,
+            payload={"level": 2},
+            time=1,
+        )
+        channel.send_to_site(broadcast)
+        assert delivered == [0, 1, 2]
+        assert channel.stats.messages == 3
+
+    def test_unicast_to_unknown_site_raises(self):
+        channel = Channel(num_sites=1)
+        channel.register_coordinator(lambda m: None)
+        channel.register_site(0, lambda m: None)
+        bad = Message(kind=MessageKind.REQUEST, sender=COORDINATOR, receiver=5, payload={})
+        with pytest.raises(ProtocolError):
+            channel.send_to_site(bad)
+
+    def test_stats_by_kind(self):
+        channel = Channel(num_sites=1)
+        channel.register_coordinator(lambda m: None)
+        channel.register_site(0, lambda m: None)
+        channel.send_to_coordinator(_report())
+        channel.send_to_coordinator(
+            Message(kind=MessageKind.REPLY, sender=0, receiver=COORDINATOR, payload={})
+        )
+        assert channel.stats.by_kind == {"report": 1, "reply": 1}
+
+    def test_log_disabled_by_default(self):
+        channel = Channel(num_sites=1)
+        channel.register_coordinator(lambda m: None)
+        channel.register_site(0, lambda m: None)
+        channel.send_to_coordinator(_report())
+        assert channel.log == []
+
+    def test_log_records_when_enabled(self):
+        channel = Channel(num_sites=1)
+        channel.enable_log()
+        channel.register_coordinator(lambda m: None)
+        channel.register_site(0, lambda m: None)
+        channel.send_to_coordinator(_report({"count": 1}))
+        assert len(channel.log) == 1
+        assert channel.log[0].payload["count"] == 1
+
+    def test_stats_snapshot_is_independent(self):
+        channel = Channel(num_sites=1)
+        channel.register_coordinator(lambda m: None)
+        channel.register_site(0, lambda m: None)
+        channel.send_to_coordinator(_report())
+        snapshot = channel.stats.snapshot()
+        channel.send_to_coordinator(_report())
+        assert snapshot.messages == 1
+        assert channel.stats.messages == 2

@@ -1,0 +1,116 @@
+"""Tests for network wiring, the simulation runner and the estimate history."""
+
+import pytest
+
+from repro.baselines import NaiveCounter
+from repro.baselines.naive import NaiveCoordinator, NaiveSite
+from repro.exceptions import ProtocolError, QueryError
+from repro.monitoring import EstimateHistory, MonitoringNetwork, run_tracking
+from repro.streams import assign_sites, random_walk_stream
+from repro.types import Update
+
+
+class TestMonitoringNetwork:
+    def test_wires_sites_in_order(self):
+        network = MonitoringNetwork(NaiveCoordinator(), [NaiveSite(1), NaiveSite(0)])
+        assert [s.site_id for s in network.sites] == [0, 1]
+        assert network.num_sites == 2
+
+    def test_requires_contiguous_site_ids(self):
+        with pytest.raises(ProtocolError):
+            MonitoringNetwork(NaiveCoordinator(), [NaiveSite(0), NaiveSite(2)])
+
+    def test_requires_at_least_one_site(self):
+        with pytest.raises(ProtocolError):
+            MonitoringNetwork(NaiveCoordinator(), [])
+
+    def test_deliver_update_routes_to_site(self):
+        network = MonitoringNetwork(NaiveCoordinator(), [NaiveSite(0), NaiveSite(1)])
+        network.deliver_update(1, 1, 1)
+        network.deliver_update(2, 0, -1)
+        assert network.estimate() == pytest.approx(0.0)
+        assert network.stats.messages == 2
+
+    def test_deliver_update_rejects_unknown_site(self):
+        network = MonitoringNetwork(NaiveCoordinator(), [NaiveSite(0)])
+        with pytest.raises(ProtocolError):
+            network.deliver_update(1, 3, 1)
+
+    def test_unattached_site_cannot_send(self):
+        site = NaiveSite(0)
+        with pytest.raises(ProtocolError):
+            site.receive_update(1, 1)
+
+
+class TestRunTracking:
+    def test_naive_tracker_is_exact(self):
+        spec = random_walk_stream(500, seed=1)
+        updates = assign_sites(spec, 2)
+        result = NaiveCounter(num_sites=2).track(updates)
+        assert result.length == 500
+        assert result.max_relative_error() == 0.0
+        assert result.total_messages == 500
+        assert result.error_violations(0.01) == 0
+
+    def test_record_every_subsamples(self):
+        spec = random_walk_stream(100, seed=2)
+        updates = assign_sites(spec, 1)
+        result = NaiveCounter(num_sites=1).track(updates, record_every=10)
+        assert result.length == 11  # every 10th step plus the final step
+        assert result.records[-1].time == 100
+
+    def test_records_track_true_value(self):
+        updates = [Update(time=t, site=0, delta=1) for t in range(1, 6)]
+        result = NaiveCounter(num_sites=1).track(updates)
+        assert [r.true_value for r in result.records] == [1, 2, 3, 4, 5]
+        assert [r.estimate for r in result.records] == [1, 2, 3, 4, 5]
+
+    def test_rejects_bad_record_every(self):
+        network = NaiveCounter(num_sites=1).build_network()
+        with pytest.raises(ValueError):
+            run_tracking(network, [], record_every=0)
+
+    def test_violation_fraction_empty_run(self):
+        network = NaiveCounter(num_sites=1).build_network()
+        result = run_tracking(network, [])
+        assert result.violation_fraction(0.1) == 0.0
+
+    def test_messages_by_kind_reported(self):
+        spec = random_walk_stream(50, seed=3)
+        result = NaiveCounter(num_sites=1).track(assign_sites(spec, 1))
+        assert result.messages_by_kind == {"report": 50}
+
+
+class TestEstimateHistory:
+    def test_query_returns_latest_at_or_before(self):
+        history = EstimateHistory()
+        history.record(1, 10.0)
+        history.record(5, 20.0)
+        history.record(9, 30.0)
+        assert history.query(1) == 10.0
+        assert history.query(4) == 10.0
+        assert history.query(5) == 20.0
+        assert history.query(100) == 30.0
+
+    def test_query_before_first_record_raises(self):
+        history = EstimateHistory()
+        history.record(5, 1.0)
+        with pytest.raises(QueryError):
+            history.query(4)
+
+    def test_empty_history_raises(self):
+        with pytest.raises(QueryError):
+            EstimateHistory().query(1)
+
+    def test_times_must_increase(self):
+        history = EstimateHistory()
+        history.record(3, 1.0)
+        with pytest.raises(QueryError):
+            history.record(3, 2.0)
+
+    def test_as_pairs_and_len(self):
+        history = EstimateHistory()
+        history.record(1, 1.0)
+        history.record(2, 2.0)
+        assert history.as_pairs() == [(1, 1.0), (2, 2.0)]
+        assert len(history) == 2

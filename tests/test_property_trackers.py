@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for tracker invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.analysis.bounds import single_site_message_bound
+from repro.core import DeterministicCounter, run_single_site
+from repro.lowerbounds import DeterministicFlipFamily
+from repro.sketches import CountMinSketch
+from repro.streams.model import deltas_to_updates
+
+unit_deltas = st.lists(st.sampled_from([-1, 1]), min_size=1, max_size=250)
+integer_deltas = st.lists(st.integers(min_value=-30, max_value=30), min_size=1, max_size=250)
+
+
+class TestDeterministicTrackerProperties:
+    @given(
+        unit_deltas,
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from([0.05, 0.1, 0.3]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_error_guarantee_holds_on_arbitrary_unit_streams(self, deltas, num_sites, epsilon):
+        sites = [(t - 1) % num_sites for t in range(1, len(deltas) + 1)]
+        updates = deltas_to_updates(deltas, sites)
+        result = DeterministicCounter(num_sites, epsilon).track(updates)
+        assert result.error_violations(epsilon) == 0
+
+    @given(unit_deltas, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_messages_never_exceed_constant_times_updates(self, deltas, num_sites):
+        # Per update: <= 1 count report + 1 estimation report, plus <= 3k per
+        # block and blocks are at least k updates long -> at most 5 messages
+        # per update plus the final partial block's overhead.
+        sites = [(t - 1) % num_sites for t in range(1, len(deltas) + 1)]
+        updates = deltas_to_updates(deltas, sites)
+        result = DeterministicCounter(num_sites, 0.1).track(updates)
+        assert result.total_messages <= 5 * len(deltas) + 3 * num_sites
+
+
+class TestSingleSiteProperties:
+    @given(integer_deltas, st.sampled_from([0.05, 0.1, 0.25]))
+    @settings(max_examples=60, deadline=None)
+    def test_error_and_message_bound(self, deltas, epsilon):
+        result = run_single_site(deltas, epsilon)
+        assert result.max_relative_error() <= epsilon + 1e-12
+        assert result.messages <= single_site_message_bound(epsilon, result.variability) + 1
+
+
+class TestCountMinProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=300),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_underestimates(self, items, query_item):
+        sketch = CountMinSketch(width=32, depth=3, seed=12)
+        for item in items:
+            sketch.update(item)
+        assert sketch.estimate(query_item) >= items.count(query_item)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_total_preserved(self, items):
+        sketch = CountMinSketch(width=16, depth=2, seed=3)
+        for item in items:
+            sketch.update(item)
+        assert sketch.total == len(items)
+
+
+class TestFlipFamilyProperties:
+    @given(st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_rank_unrank_roundtrip(self, data):
+        n = data.draw(st.integers(min_value=8, max_value=40))
+        num_flips = data.draw(st.sampled_from([2, 4, 6]))
+        if num_flips > n:
+            return
+        family = DeterministicFlipFamily(n=n, level=5, num_flips=num_flips)
+        index = data.draw(st.integers(min_value=0, max_value=family.size() - 1))
+        assert family.index_of(family.flip_times(index)) == index
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_decode_inverts_encode(self, data):
+        family = DeterministicFlipFamily(n=30, level=6, num_flips=4)
+        index = data.draw(st.integers(min_value=0, max_value=family.size() - 1))
+        assert family.decode(family.member_values(index)) == index

@@ -1,0 +1,112 @@
+"""Property-based tests (hypothesis) for the variability machinery."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.blocks import BlockPartitioner, block_trigger_threshold
+from repro.core.variability import VariabilityTracker, variability, variability_increments
+from repro.core.expansion import expand_stream, expand_update
+from repro.streams.model import StreamSpec
+
+# Unit (+-1) delta sequences of moderate length.
+unit_deltas = st.lists(st.sampled_from([-1, 1]), min_size=1, max_size=400)
+
+# Arbitrary bounded integer delta sequences (may include zero and large jumps).
+integer_deltas = st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=200)
+
+
+class TestVariabilityProperties:
+    @given(unit_deltas)
+    def test_bounded_between_zero_and_length(self, deltas):
+        v = variability(deltas)
+        assert 0.0 <= v <= len(deltas) + 1e-9
+
+    @given(integer_deltas)
+    def test_increments_in_unit_interval(self, deltas):
+        for increment in variability_increments(deltas):
+            assert 0.0 <= increment <= 1.0
+
+    @given(unit_deltas)
+    def test_online_tracker_matches_offline(self, deltas):
+        tracker = VariabilityTracker()
+        tracker.update_many(deltas)
+        assert tracker.total == pytest.approx(variability(deltas))
+
+    @given(unit_deltas)
+    def test_prefix_monotonicity(self, deltas):
+        # Variability only accumulates: v over a prefix is at most v over the whole.
+        half = len(deltas) // 2
+        assert variability(deltas[:half]) <= variability(deltas) + 1e-9
+
+    @given(integer_deltas)
+    def test_mirrored_stream_has_equal_variability(self, deltas):
+        mirrored = [-d for d in deltas]
+        assert variability(deltas) == pytest.approx(variability(mirrored))
+
+    @given(st.integers(min_value=1, max_value=2_000))
+    def test_monotone_variability_is_harmonic(self, n):
+        v = variability([1] * n)
+        harmonic = sum(1.0 / i for i in range(1, n + 1))
+        assert v == pytest.approx(harmonic)
+        assert v <= 1.0 + math.log(n) + 1e-9
+
+    @given(unit_deltas)
+    def test_mass_decomposition(self, deltas):
+        tracker = VariabilityTracker()
+        tracker.update_many(deltas)
+        assert tracker.positive_mass - tracker.negative_mass == sum(deltas)
+        assert tracker.positive_mass + tracker.negative_mass == len(deltas)
+
+
+class TestBlockPartitionProperties:
+    @given(unit_deltas, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60)
+    def test_blocks_partition_time(self, deltas, num_sites):
+        partitioner = BlockPartitioner(num_sites=num_sites)
+        partitioner.update_many(deltas)
+        blocks = partitioner.finish()
+        assert sum(block.length for block in blocks) == len(deltas)
+        assert blocks[0].start_time == 1
+        assert blocks[-1].end_time == len(deltas)
+        for previous, current in zip(blocks, blocks[1:]):
+            assert current.start_time == previous.end_time + 1
+
+    @given(unit_deltas, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60)
+    def test_complete_blocks_have_constant_variability_gain(self, deltas, num_sites):
+        partitioner = BlockPartitioner(num_sites=num_sites)
+        partitioner.update_many(deltas)
+        for block in partitioner.finish():
+            if block.complete:
+                assert block.variability_gain >= 0.1 - 1e-12
+                assert block.length == block_trigger_threshold(block.level, num_sites)
+
+    @given(unit_deltas, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60)
+    def test_boundary_values_are_exact(self, deltas, num_sites):
+        partitioner = BlockPartitioner(num_sites=num_sites)
+        partitioner.update_many(deltas)
+        blocks = partitioner.finish()
+        running = list(StreamSpec(name="x", deltas=tuple(deltas)).values())
+        for block in blocks:
+            assert block.end_value == running[block.end_time - 1]
+
+
+class TestExpansionProperties:
+    @given(st.integers(min_value=-200, max_value=200))
+    def test_expand_update_sums_to_delta(self, delta):
+        assert sum(expand_update(delta)) == delta
+        assert all(step in (-1, 1) for step in expand_update(delta))
+
+    @given(integer_deltas)
+    def test_expand_stream_preserves_final_value(self, deltas):
+        spec = StreamSpec(name="jumps", deltas=tuple(deltas))
+        if all(d == 0 for d in deltas):
+            return
+        expanded = expand_stream(spec)
+        assert expanded.final_value() == spec.final_value()
+        assert expanded.is_unit_stream()
+        assert expanded.length == sum(abs(d) for d in deltas)

@@ -1,0 +1,178 @@
+"""Tests for the sketch substrates: hashing, Count-Min and CR-precis."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sketches import CountMinSketch, CRPrecis, PairwiseHash, PairwiseHashFamily, first_primes
+from repro.sketches.cr_precis import primes_at_least
+
+
+class TestPairwiseHash:
+    def test_deterministic(self):
+        family = PairwiseHashFamily(range_size=32, seed=1)
+        h = family.draw()
+        assert h(12345) == h(12345)
+
+    def test_range(self):
+        h = PairwiseHashFamily(range_size=10, seed=2).draw()
+        assert all(0 <= h(x) < 10 for x in range(1_000))
+
+    def test_roughly_uniform(self):
+        h = PairwiseHashFamily(range_size=8, seed=3).draw()
+        counts = collections.Counter(h(x) for x in range(8_000))
+        assert min(counts.values()) > 700
+        assert max(counts.values()) < 1_300
+
+    def test_distinct_draws_differ(self):
+        family = PairwiseHashFamily(range_size=1_000, seed=4)
+        first, second = family.draw(), family.draw()
+        assert any(first(x) != second(x) for x in range(100))
+
+    def test_rejects_negative_items(self):
+        h = PairwiseHashFamily(range_size=4, seed=5).draw()
+        with pytest.raises(ConfigurationError):
+            h(-1)
+
+    def test_invalid_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            PairwiseHash(a=0, b=0, range_size=4)
+        with pytest.raises(ConfigurationError):
+            PairwiseHash(a=1, b=0, range_size=0)
+
+    def test_family_draw_many(self):
+        family = PairwiseHashFamily(range_size=16, seed=6)
+        assert len(family.draw_many(5)) == 5
+        with pytest.raises(ConfigurationError):
+            family.draw_many(0)
+
+
+class TestCountMinSketch:
+    def test_never_underestimates_insert_only(self):
+        sketch = CountMinSketch(width=64, depth=4, seed=1)
+        rng = np.random.default_rng(2)
+        truth = collections.Counter()
+        for item in rng.integers(0, 500, size=5_000):
+            sketch.update(int(item))
+            truth[int(item)] += 1
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    def test_error_bounded_by_epsilon_f1(self):
+        epsilon = 0.05
+        sketch = CountMinSketch.from_error(epsilon, failure_probability=0.01, seed=3)
+        rng = np.random.default_rng(4)
+        truth = collections.Counter()
+        for item in rng.zipf(1.3, size=8_000) % 1_000:
+            sketch.update(int(item))
+            truth[int(item)] += 1
+        f1 = sum(truth.values())
+        overestimates = [sketch.estimate(item) - count for item, count in truth.items()]
+        assert np.mean([o <= epsilon * f1 for o in overestimates]) > 0.95
+
+    def test_from_error_sizing(self):
+        sketch = CountMinSketch.from_error(0.01, failure_probability=1.0 / 16.0)
+        assert sketch.width == 200
+        assert sketch.depth == 4
+
+    def test_supports_deletions_via_median(self):
+        sketch = CountMinSketch(width=128, depth=5, seed=5)
+        for _ in range(50):
+            sketch.update(7, +1)
+        for _ in range(20):
+            sketch.update(7, -1)
+        assert sketch.estimate_median(7) >= 30  # collisions only add
+        assert sketch.total == 30
+
+    def test_merge_is_linear(self):
+        first = CountMinSketch(width=32, depth=3, seed=6)
+        second = CountMinSketch(width=32, depth=3, seed=6)
+        for item in range(100):
+            first.update(item)
+        for item in range(50, 150):
+            second.update(item)
+        merged = first.merge(second)
+        combined = CountMinSketch(width=32, depth=3, seed=6)
+        for item in list(range(100)) + list(range(50, 150)):
+            combined.update(item)
+        assert np.array_equal(merged.counters(), combined.counters())
+
+    def test_merge_requires_matching_shape(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(8, 2, seed=1).merge(CountMinSketch(8, 2, seed=2))
+
+    def test_size_in_counters(self):
+        assert CountMinSketch(width=10, depth=3, seed=0).size_in_counters() == 30
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=0, depth=1)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch.from_error(epsilon=0.0)
+
+
+class TestPrimes:
+    def test_first_primes(self):
+        assert first_primes(6) == [2, 3, 5, 7, 11, 13]
+
+    def test_primes_at_least(self):
+        assert primes_at_least(3, 10) == [11, 13, 17]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            first_primes(0)
+
+
+class TestCRPrecis:
+    def test_never_underestimates_insert_only(self):
+        sketch = CRPrecis(primes=primes_at_least(4, 50))
+        rng = np.random.default_rng(7)
+        truth = collections.Counter()
+        for item in rng.integers(0, 400, size=4_000):
+            sketch.update(int(item))
+            truth[int(item)] += 1
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    def test_from_epsilon_deterministic_error(self):
+        epsilon = 0.25
+        universe = 512
+        sketch = CRPrecis.from_epsilon(epsilon, universe_size=universe)
+        rng = np.random.default_rng(8)
+        truth = collections.Counter()
+        for item in rng.integers(0, universe, size=3_000):
+            sketch.update(int(item))
+            truth[int(item)] += 1
+        f1 = sum(truth.values())
+        for item, count in truth.items():
+            assert sketch.estimate(item) - count <= epsilon * f1
+
+    def test_average_estimate_is_linear_under_deletions(self):
+        sketch = CRPrecis(primes=[101, 103, 107])
+        for _ in range(40):
+            sketch.update(11, +1)
+        for _ in range(15):
+            sketch.update(11, -1)
+        assert sketch.estimate_average(11) >= 25.0
+        assert sketch.total == 25
+
+    def test_merge(self):
+        first = CRPrecis(primes=[11, 13])
+        second = CRPrecis(primes=[11, 13])
+        first.update(3, 5)
+        second.update(3, 2)
+        merged = first.merge(second)
+        assert merged.estimate(3) == 7
+        with pytest.raises(ConfigurationError):
+            first.merge(CRPrecis(primes=[11, 17]))
+
+    def test_distinct_primes_required(self):
+        with pytest.raises(ConfigurationError):
+            CRPrecis(primes=[7, 7])
+        with pytest.raises(ConfigurationError):
+            CRPrecis(primes=[9])
+
+    def test_size_in_counters(self):
+        assert CRPrecis(primes=[5, 7]).size_in_counters() == 12

@@ -1,0 +1,82 @@
+"""Statistical tests of the randomized estimator properties (Fact 3.1).
+
+Fact 3.1 (Lemma 2.1 of Huang et al.) states that the corrected per-site
+estimate ``d_hat_i = d_i - 1 + 1/p`` kept by the coordinator is an unbiased
+estimator of the site's drift with variance at most ``1/p^2``.  These tests
+check both moments empirically for the building block itself and for the full
+randomized tracker's global estimate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RandomizedCounter
+from repro.core.randomized import report_probability
+from repro.streams import assign_sites, biased_walk_stream
+
+
+def _simulate_estimator(drift_total, probability, trials, seed):
+    """Simulate the Huang et al. estimator for a single monotone counter.
+
+    The counter increases by one per step; with probability ``p`` the current
+    value is reported and the coordinator stores ``value - 1 + 1/p``; the
+    estimate after the stream ends is the last stored value (or ``0`` if no
+    report ever happened, matching the tracker's initial estimate of zero).
+    """
+    rng = np.random.default_rng(seed)
+    estimates = np.zeros(trials)
+    for trial in range(trials):
+        last = 0.0
+        reports = rng.random(drift_total) < probability
+        for step in range(1, drift_total + 1):
+            if reports[step - 1]:
+                last = step - 1.0 + 1.0 / probability
+        estimates[trial] = last
+    return estimates
+
+
+class TestFact31Estimator:
+    def test_unbiased_within_sampling_error(self):
+        drift, probability, trials = 200, 0.25, 4_000
+        estimates = _simulate_estimator(drift, probability, trials, seed=1)
+        standard_error = np.std(estimates) / np.sqrt(trials)
+        assert abs(np.mean(estimates) - drift) <= 4 * standard_error + 0.5
+
+    def test_variance_bounded_by_inverse_p_squared(self):
+        drift, probability, trials = 200, 0.25, 4_000
+        estimates = _simulate_estimator(drift, probability, trials, seed=2)
+        assert np.var(estimates) <= 1.2 / (probability * probability)
+
+    @pytest.mark.parametrize("probability", [0.1, 0.5, 0.9])
+    def test_variance_shrinks_with_probability(self, probability):
+        estimates = _simulate_estimator(100, probability, 2_000, seed=3)
+        assert np.var(estimates) <= 1.5 / (probability * probability)
+
+
+class TestRandomizedTrackerEstimate:
+    def test_global_estimate_is_nearly_unbiased_across_seeds(self):
+        # Run the full tracker over the same distributed stream with many
+        # seeds and check that the mean final estimate is close to the truth
+        # relative to the spread of the estimates.
+        spec = biased_walk_stream(4_000, drift=0.6, seed=21)
+        updates = assign_sites(spec, 4)
+        truth = spec.final_value()
+        finals = []
+        for seed in range(30):
+            result = RandomizedCounter(4, 0.2, seed=seed).track(updates, record_every=4_000)
+            finals.append(result.records[-1].estimate)
+        finals = np.asarray(finals)
+        spread = max(np.std(finals), 1.0)
+        assert abs(np.mean(finals) - truth) <= spread
+
+    def test_report_probability_matches_fact_requirements(self):
+        # The probability is exactly the one that makes Chebyshev give < 1/3:
+        # std <= sqrt(2k)/p = eps 2^r k sqrt(2/9) < eps 2^r k / sqrt(3).
+        for level in range(1, 8):
+            for num_sites in (2, 8, 32):
+                epsilon = 0.1
+                p = report_probability(level, num_sites, epsilon)
+                if p < 1.0:
+                    std_bound = np.sqrt(2.0 * num_sites) / p
+                    chebyshev = (std_bound / (epsilon * (2 ** level) * num_sites)) ** 2
+                    assert chebyshev < 1.0 / 3.0

@@ -1,0 +1,185 @@
+"""Tests for the stream generators."""
+
+import pytest
+
+from repro.core.variability import variability
+from repro.exceptions import ConfigurationError
+from repro.streams import (
+    adversarial_flip_stream,
+    biased_walk_stream,
+    bursty_stream,
+    constant_stream,
+    monotone_stream,
+    nearly_monotone_stream,
+    periodic_stream,
+    random_walk_stream,
+    sawtooth_stream,
+    sign_alternating_stream,
+)
+
+
+class TestMonotoneStream:
+    def test_all_plus_one(self):
+        spec = monotone_stream(100)
+        assert spec.deltas == (1,) * 100
+        assert spec.final_value() == 100
+
+    def test_values_increasing(self):
+        values = monotone_stream(50).values()
+        assert values == list(range(1, 51))
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            monotone_stream(0)
+
+
+class TestNearlyMonotoneStream:
+    def test_length_and_unit_deltas(self):
+        spec = nearly_monotone_stream(500, deletion_fraction=0.2, seed=1)
+        assert spec.length == 500
+        assert spec.is_unit_stream()
+
+    def test_never_goes_negative(self):
+        spec = nearly_monotone_stream(2_000, deletion_fraction=0.3, seed=2)
+        assert min(spec.values()) >= 0
+
+    def test_grows_overall(self):
+        spec = nearly_monotone_stream(2_000, deletion_fraction=0.2, seed=3)
+        assert spec.final_value() > 500
+
+    def test_zero_deletion_fraction_is_monotone(self):
+        spec = nearly_monotone_stream(200, deletion_fraction=0.0, seed=4)
+        assert spec.deltas == (1,) * 200
+
+    def test_rejects_large_deletion_fraction(self):
+        with pytest.raises(ConfigurationError):
+            nearly_monotone_stream(100, deletion_fraction=0.6)
+
+    def test_reproducible_with_seed(self):
+        first = nearly_monotone_stream(300, seed=9)
+        second = nearly_monotone_stream(300, seed=9)
+        assert first.deltas == second.deltas
+
+
+class TestRandomWalkStream:
+    def test_unit_deltas(self):
+        spec = random_walk_stream(1_000, seed=0)
+        assert spec.is_unit_stream()
+
+    def test_reproducible(self):
+        assert random_walk_stream(100, seed=7).deltas == random_walk_stream(100, seed=7).deltas
+
+    def test_different_seeds_differ(self):
+        assert random_walk_stream(200, seed=1).deltas != random_walk_stream(200, seed=2).deltas
+
+    def test_roughly_balanced(self):
+        spec = random_walk_stream(10_000, seed=3)
+        assert abs(spec.final_value()) < 1_000
+
+
+class TestBiasedWalkStream:
+    def test_positive_drift_grows(self):
+        spec = biased_walk_stream(5_000, drift=0.4, seed=1)
+        assert spec.final_value() > 1_000
+
+    def test_drift_close_to_expectation(self):
+        spec = biased_walk_stream(20_000, drift=0.3, seed=2)
+        assert spec.final_value() == pytest.approx(0.3 * 20_000, rel=0.2)
+
+    def test_rejects_zero_drift(self):
+        with pytest.raises(ConfigurationError):
+            biased_walk_stream(100, drift=0.0)
+
+    def test_rejects_drift_above_one(self):
+        with pytest.raises(ConfigurationError):
+            biased_walk_stream(100, drift=1.5)
+
+    def test_drift_one_is_monotone(self):
+        spec = biased_walk_stream(100, drift=1.0, seed=0)
+        assert spec.deltas == (1,) * 100
+
+
+class TestAdversarialFlipStream:
+    def test_values_flip_between_levels(self):
+        spec = adversarial_flip_stream(10, level=5, flip_times=[3, 7])
+        values = spec.values()
+        assert values[:2] == [5, 5]
+        assert values[2:6] == [8, 8, 8, 8]
+        assert values[6:] == [5, 5, 5, 5]
+
+    def test_start_value_is_level(self):
+        spec = adversarial_flip_stream(5, level=4, flip_times=[])
+        assert spec.start == 4
+        assert set(spec.values()) == {4}
+
+    def test_rejects_out_of_range_flips(self):
+        with pytest.raises(ConfigurationError):
+            adversarial_flip_stream(10, level=5, flip_times=[11])
+
+    def test_variability_matches_flip_count(self):
+        spec = adversarial_flip_stream(100, level=10, flip_times=[10, 20, 30, 40])
+        expected = 2 * (3 / 13) + 2 * (3 / 10)
+        assert variability(spec.deltas, start=spec.start) == pytest.approx(expected)
+
+
+class TestSawtoothStream:
+    def test_bounded_between_zero_and_amplitude(self):
+        spec = sawtooth_stream(1_000, amplitude=20)
+        values = spec.values()
+        assert min(values) >= 0
+        assert max(values) <= 20
+
+    def test_unit_deltas(self):
+        assert sawtooth_stream(100, amplitude=10).is_unit_stream()
+
+    def test_high_variability(self):
+        spec = sawtooth_stream(5_000, amplitude=10)
+        # Each tooth of ~20 steps contributes ~2-3 variability, so it is ~linear.
+        assert variability(spec.deltas) > 500
+
+    def test_rejects_zero_amplitude(self):
+        with pytest.raises(ConfigurationError):
+            sawtooth_stream(100, amplitude=0)
+
+
+class TestBurstyStream:
+    def test_length(self):
+        spec = bursty_stream(777, burst_length=50, seed=1)
+        assert spec.length == 777
+
+    def test_unit_deltas_and_non_negative(self):
+        spec = bursty_stream(3_000, burst_length=32, seed=2)
+        assert spec.is_unit_stream()
+        assert min(spec.values()) >= -32  # a deletion burst can only start when value > burst
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            bursty_stream(100, burst_length=0)
+        with pytest.raises(ConfigurationError):
+            bursty_stream(100, deletion_burst_probability=1.5)
+
+
+class TestPeriodicStream:
+    def test_trend_dominates(self):
+        spec = periodic_stream(4_000, period=200, trend=0.5)
+        assert spec.final_value() > 1_000
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            periodic_stream(100, period=1)
+
+    def test_rejects_non_positive_trend(self):
+        with pytest.raises(ConfigurationError):
+            periodic_stream(100, period=10, trend=0.0)
+
+
+class TestDegenerateStreams:
+    def test_constant_stream(self):
+        spec = constant_stream(10, value=7)
+        assert spec.values() == [7] * 10
+        assert variability(spec.deltas) == pytest.approx(1.0)
+
+    def test_sign_alternating_stream_variability_is_linear(self):
+        spec = sign_alternating_stream(1_000)
+        assert set(spec.values()) == {0, 1}
+        assert variability(spec.deltas) == pytest.approx(1_000.0)

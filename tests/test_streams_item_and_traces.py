@@ -1,0 +1,137 @@
+"""Tests for item-stream generators and the synthetic application traces."""
+
+import collections
+
+import pytest
+
+from repro.core.variability import variability
+from repro.exceptions import ConfigurationError
+from repro.streams import (
+    ItemStreamConfig,
+    database_size_trace,
+    sensor_temperature_trace,
+    sliding_window_item_stream,
+    zipfian_item_stream,
+)
+
+
+class TestItemStreamConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ItemStreamConfig(length=0, universe_size=10)
+        with pytest.raises(ConfigurationError):
+            ItemStreamConfig(length=10, universe_size=0)
+        with pytest.raises(ConfigurationError):
+            ItemStreamConfig(length=10, universe_size=10, num_sites=0)
+
+
+class TestZipfianItemStream:
+    def _frequencies(self, updates):
+        counts = collections.Counter()
+        for update in updates:
+            counts[update.item] += update.delta
+        return counts
+
+    def test_length_and_unit_deltas(self):
+        config = ItemStreamConfig(length=1_000, universe_size=64, seed=1)
+        updates = zipfian_item_stream(config)
+        assert len(updates) == 1_000
+        assert all(u.delta in (-1, 1) for u in updates)
+
+    def test_frequencies_never_negative(self):
+        config = ItemStreamConfig(length=5_000, universe_size=32, seed=2)
+        updates = zipfian_item_stream(config, deletion_probability=0.4)
+        counts = collections.Counter()
+        for update in updates:
+            counts[update.item] += update.delta
+            assert counts[update.item] >= 0
+
+    def test_zipf_skew_concentrates_mass(self):
+        config = ItemStreamConfig(length=5_000, universe_size=100, seed=3)
+        updates = zipfian_item_stream(config, exponent=1.5, deletion_probability=0.0)
+        counts = self._frequencies(updates)
+        top_item = max(counts, key=counts.get)
+        assert top_item < 5  # the heaviest item is among the lowest-ranked ids
+        assert counts[top_item] > 0.15 * len(updates)
+
+    def test_sites_round_robin(self):
+        config = ItemStreamConfig(length=9, universe_size=10, num_sites=3, seed=4)
+        updates = zipfian_item_stream(config)
+        assert [u.site for u in updates] == [0, 1, 2] * 3
+
+    def test_reproducible(self):
+        config = ItemStreamConfig(length=200, universe_size=16, seed=5)
+        first = zipfian_item_stream(config)
+        second = zipfian_item_stream(config)
+        assert [(u.item, u.delta) for u in first] == [(u.item, u.delta) for u in second]
+
+    def test_parameter_validation(self):
+        config = ItemStreamConfig(length=10, universe_size=4)
+        with pytest.raises(ConfigurationError):
+            zipfian_item_stream(config, exponent=0.0)
+        with pytest.raises(ConfigurationError):
+            zipfian_item_stream(config, deletion_probability=1.0)
+
+
+class TestSlidingWindowItemStream:
+    def test_length(self):
+        config = ItemStreamConfig(length=500, universe_size=20, seed=1)
+        assert len(sliding_window_item_stream(config, window=32)) == 500
+
+    def test_deletions_follow_insertions(self):
+        config = ItemStreamConfig(length=2_000, universe_size=16, seed=2)
+        updates = sliding_window_item_stream(config, window=16)
+        counts = collections.Counter()
+        for update in updates:
+            counts[update.item] += update.delta
+            assert counts[update.item] >= 0
+
+    def test_dataset_size_stays_near_window(self):
+        config = ItemStreamConfig(length=3_000, universe_size=16, seed=3)
+        updates = sliding_window_item_stream(config, window=64)
+        size = sum(u.delta for u in updates)
+        assert 0 <= size <= 2 * 64
+
+    def test_rejects_bad_window(self):
+        config = ItemStreamConfig(length=10, universe_size=4)
+        with pytest.raises(ConfigurationError):
+            sliding_window_item_stream(config, window=0)
+
+
+class TestDatabaseSizeTrace:
+    def test_unit_and_non_negative(self):
+        spec = database_size_trace(5_000, seed=1)
+        assert spec.is_unit_stream()
+        assert min(spec.values()) >= 0
+
+    def test_grows_overall(self):
+        spec = database_size_trace(10_000, seed=2)
+        assert spec.final_value() > 1_000
+
+    def test_low_variability(self):
+        spec = database_size_trace(10_000, seed=3)
+        # Nearly monotone: variability should be polylogarithmic, far below n.
+        assert variability(spec.deltas) < 0.05 * spec.length
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            database_size_trace(100, growth_probability=0.4)
+        with pytest.raises(ConfigurationError):
+            database_size_trace(100, cleanup_fraction=1.0)
+
+
+class TestSensorTemperatureTrace:
+    def test_unit_stream(self):
+        assert sensor_temperature_trace(2_000, seed=1).is_unit_stream()
+
+    def test_hovers_near_baseline(self):
+        spec = sensor_temperature_trace(20_000, baseline=300, seed=2)
+        tail = spec.values()[1_000:]
+        assert min(tail) > 150
+        assert max(tail) < 450
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            sensor_temperature_trace(100, baseline=0)
+        with pytest.raises(ConfigurationError):
+            sensor_temperature_trace(100, reversion=2.0)

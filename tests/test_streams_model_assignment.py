@@ -1,0 +1,103 @@
+"""Tests for StreamSpec, delta/update conversion and site-assignment policies."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, StreamError
+from repro.streams import (
+    RandomAssignment,
+    RoundRobinAssignment,
+    SingleSiteAssignment,
+    SkewedAssignment,
+    assign_sites,
+    monotone_stream,
+    random_walk_stream,
+)
+from repro.streams.model import StreamSpec, deltas_to_updates, updates_to_deltas
+
+
+class TestStreamSpec:
+    def test_values_and_final_value(self):
+        spec = StreamSpec(name="toy", deltas=(1, -1, 1, 1), start=2)
+        assert spec.values() == [3, 2, 3, 4]
+        assert spec.final_value() == 4
+
+    def test_length(self):
+        assert StreamSpec(name="toy", deltas=(1, 1, 1)).length == 3
+
+    def test_is_unit_stream(self):
+        assert StreamSpec(name="toy", deltas=(1, -1)).is_unit_stream()
+        assert not StreamSpec(name="toy", deltas=(1, 2)).is_unit_stream()
+
+    def test_describe_includes_params(self):
+        spec = StreamSpec(name="toy", deltas=(1,), params={"seed": 3})
+        assert "toy" in spec.describe()
+        assert "seed=3" in spec.describe()
+
+    def test_deltas_coerced_to_int_tuple(self):
+        spec = StreamSpec(name="toy", deltas=[1.0, -1.0])
+        assert spec.deltas == (1, -1)
+        assert isinstance(spec.deltas, tuple)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        deltas = [1, -1, 1, 1, -1]
+        updates = deltas_to_updates(deltas, sites=[0, 1, 0, 1, 0])
+        assert updates_to_deltas(updates) == deltas
+        assert [u.time for u in updates] == [1, 2, 3, 4, 5]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(StreamError):
+            deltas_to_updates([1, 1], sites=[0])
+
+
+class TestAssignmentPolicies:
+    def test_round_robin_cycles(self):
+        sites = RoundRobinAssignment().assign(7, num_sites=3)
+        assert sites == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_round_robin_single_site(self):
+        assert RoundRobinAssignment().assign(4, num_sites=1) == [0, 0, 0, 0]
+
+    def test_random_assignment_in_range_and_reproducible(self):
+        first = RandomAssignment(seed=3).assign(100, num_sites=5)
+        second = RandomAssignment(seed=3).assign(100, num_sites=5)
+        assert first == second
+        assert set(first) <= set(range(5))
+
+    def test_random_assignment_uses_all_sites(self):
+        sites = RandomAssignment(seed=1).assign(1_000, num_sites=4)
+        assert set(sites) == {0, 1, 2, 3}
+
+    def test_skewed_assignment_prefers_site_zero(self):
+        sites = SkewedAssignment(hot_fraction=0.9, seed=2).assign(2_000, num_sites=4)
+        assert sites.count(0) > 1_500
+
+    def test_skewed_assignment_validates_fraction(self):
+        with pytest.raises(ConfigurationError):
+            SkewedAssignment(hot_fraction=0.0)
+
+    def test_single_site_assignment(self):
+        assert SingleSiteAssignment().assign(5, num_sites=3) == [0] * 5
+
+    def test_policies_reject_non_positive_sites(self):
+        for policy in (RoundRobinAssignment(), RandomAssignment(), SingleSiteAssignment()):
+            with pytest.raises(ConfigurationError):
+                policy.assign(10, num_sites=0)
+
+
+class TestAssignSites:
+    def test_default_round_robin(self):
+        spec = monotone_stream(6)
+        updates = assign_sites(spec, num_sites=2)
+        assert [u.site for u in updates] == [0, 1, 0, 1, 0, 1]
+
+    def test_preserves_deltas(self):
+        spec = random_walk_stream(100, seed=4)
+        updates = assign_sites(spec, num_sites=3)
+        assert tuple(u.delta for u in updates) == spec.deltas
+
+    def test_custom_policy(self):
+        spec = monotone_stream(4)
+        updates = assign_sites(spec, num_sites=3, policy=SingleSiteAssignment())
+        assert {u.site for u in updates} == {0}

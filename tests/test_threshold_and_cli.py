@@ -1,0 +1,114 @@
+"""Tests for thresholded monitoring and the command-line interface."""
+
+import pytest
+
+from repro.cli import STREAM_GENERATORS, build_parser, main
+from repro.core import DeterministicCounter, ThresholdMonitor
+from repro.exceptions import ConfigurationError
+from repro.streams import assign_sites, biased_walk_stream, sawtooth_stream
+
+
+class TestThresholdMonitor:
+    def _run(self, spec, epsilon):
+        monitor = ThresholdMonitor(epsilon)
+        tracker = DeterministicCounter(4, monitor.tracker_epsilon())
+        result = tracker.track(assign_sites(spec, 4), record_every=5)
+        return monitor, result
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdMonitor(epsilon=0.0)
+        monitor = ThresholdMonitor(epsilon=0.1)
+        with pytest.raises(ConfigurationError):
+            monitor.decide(10.0, threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            monitor.sweep(None, [])
+
+    def test_tracker_epsilon_is_one_third(self):
+        assert ThresholdMonitor(0.3).tracker_epsilon() == pytest.approx(0.1)
+
+    def test_no_violations_on_growing_stream(self):
+        spec = biased_walk_stream(8_000, drift=0.6, seed=1)
+        monitor, result = self._run(spec, epsilon=0.3)
+        final = spec.final_value()
+        thresholds = [final // 8, final // 4, final // 2, final]
+        assert monitor.sweep(result, thresholds) == [0, 0, 0, 0]
+
+    def test_no_violations_on_oscillating_stream(self):
+        spec = sawtooth_stream(4_000, amplitude=200)
+        monitor, result = self._run(spec, epsilon=0.3)
+        assert monitor.violations(result, threshold=150) == 0
+
+    def test_alerts_fire_once_per_crossing(self):
+        spec = biased_walk_stream(6_000, drift=0.7, seed=2)
+        monitor, result = self._run(spec, epsilon=0.2)
+        alerts = monitor.alerts(result, threshold=spec.final_value() // 2)
+        # A drifting stream crosses a mid-range threshold once and stays above.
+        assert len(alerts) == 1
+        assert alerts[0].fired is True
+
+    def test_alerts_fire_and_clear_on_sawtooth(self):
+        spec = sawtooth_stream(4_000, amplitude=100)
+        monitor, result = self._run(spec, epsilon=0.2)
+        alerts = monitor.alerts(result, threshold=80)
+        fired = [a for a in alerts if a.fired]
+        cleared = [a for a in alerts if not a.fired]
+        assert len(fired) >= 2
+        assert len(cleared) >= 1
+
+    def test_decisions_cover_every_record(self):
+        spec = biased_walk_stream(2_000, drift=0.5, seed=3)
+        monitor, result = self._run(spec, epsilon=0.3)
+        decisions = monitor.decisions(result, threshold=100)
+        assert len(decisions) == len(result.records)
+
+
+class TestCli:
+    def test_parser_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_stream_choices_cover_generators(self):
+        parser = build_parser()
+        args = parser.parse_args(["variability", "--stream", "monotone", "--lengths", "100"])
+        assert args.stream in STREAM_GENERATORS
+
+    def test_variability_command_prints_table(self, capsys):
+        exit_code = main(["variability", "--stream", "monotone", "--lengths", "100", "500"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "v(n)" in captured
+        assert "500" in captured
+
+    def test_tracking_command_prints_all_algorithms(self, capsys):
+        exit_code = main(
+            ["tracking", "--stream", "biased_walk", "--length", "3000", "--sites", "2",
+             "--epsilon", "0.2", "--seed", "1"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("naive", "cormode", "liu-style", "deterministic", "randomized"):
+            assert name in captured
+
+    def test_frequency_command_exact_and_sketched(self, capsys):
+        assert main(["frequency", "--length", "1500", "--universe", "60", "--sites", "2"]) == 0
+        exact_output = capsys.readouterr().out
+        assert "exact" in exact_output
+        assert (
+            main(
+                ["frequency", "--length", "1500", "--universe", "60", "--sites", "2", "--sketched"]
+            )
+            == 0
+        )
+        sketched_output = capsys.readouterr().out
+        assert "count-min" in sketched_output
+
+    def test_lowerbound_command_decodes(self, capsys):
+        exit_code = main(
+            ["lowerbound", "--n", "64", "--level", "6", "--flips", "4", "--samples", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "yes" in captured
+        assert "members" in captured

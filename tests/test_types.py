@@ -1,0 +1,79 @@
+"""Tests for the shared value objects in repro.types."""
+
+import pytest
+
+from repro.types import EstimateRecord, ItemUpdate, Update, prefix_sums, values_from_updates
+
+
+class TestUpdate:
+    def test_valid_update(self):
+        update = Update(time=1, site=0, delta=-1)
+        assert update.time == 1
+        assert update.site == 0
+        assert update.delta == -1
+
+    def test_rejects_non_positive_time(self):
+        with pytest.raises(ValueError):
+            Update(time=0, site=0, delta=1)
+
+    def test_rejects_negative_site(self):
+        with pytest.raises(ValueError):
+            Update(time=1, site=-1, delta=1)
+
+    def test_is_frozen(self):
+        update = Update(time=1, site=0, delta=1)
+        with pytest.raises(AttributeError):
+            update.delta = 2
+
+
+class TestItemUpdate:
+    def test_valid_item_update(self):
+        update = ItemUpdate(time=3, site=1, item=42, delta=-1)
+        assert update.item == 42
+
+    def test_rejects_non_unit_delta(self):
+        with pytest.raises(ValueError):
+            ItemUpdate(time=1, site=0, item=1, delta=2)
+
+    def test_rejects_zero_delta(self):
+        with pytest.raises(ValueError):
+            ItemUpdate(time=1, site=0, item=1, delta=0)
+
+
+class TestEstimateRecord:
+    def test_absolute_error(self):
+        record = EstimateRecord(time=1, true_value=10, estimate=11.0, messages=0, bits=0)
+        assert record.absolute_error == pytest.approx(1.0)
+
+    def test_within_relative_error_true(self):
+        record = EstimateRecord(time=1, true_value=100, estimate=105.0, messages=0, bits=0)
+        assert record.within_relative_error(0.05)
+
+    def test_within_relative_error_false(self):
+        record = EstimateRecord(time=1, true_value=100, estimate=106.0, messages=0, bits=0)
+        assert not record.within_relative_error(0.05)
+
+    def test_zero_value_requires_zero_estimate(self):
+        good = EstimateRecord(time=1, true_value=0, estimate=0.0, messages=0, bits=0)
+        bad = EstimateRecord(time=1, true_value=0, estimate=1.0, messages=0, bits=0)
+        assert good.within_relative_error(0.1)
+        assert not bad.within_relative_error(0.1)
+
+    def test_negative_values_supported(self):
+        record = EstimateRecord(time=1, true_value=-100, estimate=-104.0, messages=0, bits=0)
+        assert record.within_relative_error(0.05)
+
+
+class TestPrefixSums:
+    def test_basic(self):
+        assert list(prefix_sums([1, 1, -1])) == [1, 2, 1]
+
+    def test_start_value(self):
+        assert list(prefix_sums([1, -1], start=5)) == [6, 5]
+
+    def test_empty(self):
+        assert list(prefix_sums([])) == []
+
+    def test_values_from_updates(self):
+        updates = [Update(time=t, site=0, delta=d) for t, d in enumerate([2, -1, 3], start=1)]
+        assert values_from_updates(updates) == [2, 1, 4]
