@@ -11,13 +11,14 @@ The driver answers the two questions every experiment asks:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.variability import variability
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ProtocolError
 from repro.monitoring.runner import TrackingResult
 from repro.streams.assignment import AssignmentPolicy, RoundRobinAssignment, assign_sites
 from repro.streams.model import StreamSpec
@@ -26,6 +27,7 @@ __all__ = [
     "TrackerComparison",
     "run_tracker_on_stream",
     "compare_trackers",
+    "measure_engine_throughput",
     "repeat_variability",
 ]
 
@@ -60,10 +62,11 @@ def run_tracker_on_stream(
     num_sites: int,
     policy: Optional[AssignmentPolicy] = None,
     record_every: int = 1,
+    batched: Optional[bool] = None,
 ) -> TrackingResult:
     """Distribute a stream over ``num_sites`` sites and run one tracker on it."""
     updates = assign_sites(spec, num_sites, policy or RoundRobinAssignment())
-    return factory.track(updates, record_every=record_every)
+    return factory.track(updates, record_every=record_every, batched=batched)
 
 
 def compare_trackers(
@@ -73,6 +76,7 @@ def compare_trackers(
     epsilon: float,
     policy: Optional[AssignmentPolicy] = None,
     record_every: int = 1,
+    batched: Optional[bool] = None,
 ) -> List[TrackerComparison]:
     """Run several trackers on the same distributed stream and tabulate them.
 
@@ -83,6 +87,8 @@ def compare_trackers(
         epsilon: Error parameter used for violation accounting.
         policy: Site-assignment policy (round robin by default).
         record_every: Per-step recording stride passed to the runner.
+        batched: Delivery-engine selector passed to the runner (``None`` =
+            auto, ``True`` = batched fast path, ``False`` = per-update).
 
     Returns:
         One :class:`TrackerComparison` per factory, in input order.
@@ -93,7 +99,12 @@ def compare_trackers(
     comparisons = []
     for name, factory in factories.items():
         result = run_tracker_on_stream(
-            factory, spec, num_sites, policy=policy, record_every=record_every
+            factory,
+            spec,
+            num_sites,
+            policy=policy,
+            record_every=record_every,
+            batched=batched,
         )
         comparisons.append(
             TrackerComparison(
@@ -108,6 +119,47 @@ def compare_trackers(
             )
         )
     return comparisons
+
+
+def measure_engine_throughput(
+    factory,
+    updates: Sequence,
+    record_every: int = 20_000,
+) -> Tuple[float, float, float]:
+    """Time both runner engines on the same updates and verify they agree.
+
+    Runs the per-update engine, then the batched engine, on ``updates``
+    (which must be a materialised sequence so both runs see the same data
+    and ``len()`` is known for the rate).  Raises
+    :class:`~repro.exceptions.ProtocolError` if the engines disagree on
+    message totals, bit totals or any recorded estimate — they are
+    bit-for-bit equivalent by contract, so a divergence is always a bug.
+
+    Returns:
+        ``(per_update_rate, batched_rate, speedup)`` in updates/second and
+        the wall-clock ratio between the two engines.
+
+    Used by both the throughput benchmark (``benchmarks/
+    test_bench_e17_throughput.py``) and ``python -m repro throughput`` so
+    the two tables cannot drift apart.
+    """
+    start = time.perf_counter()
+    slow = factory.track(updates, record_every=record_every, batched=False)
+    slow_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    fast = factory.track(updates, record_every=record_every, batched=True)
+    fast_seconds = time.perf_counter() - start
+    if (
+        slow.total_messages != fast.total_messages
+        or slow.total_bits != fast.total_bits
+        or [r.estimate for r in slow.records] != [r.estimate for r in fast.records]
+    ):
+        raise ProtocolError(
+            "batched and per-update engines disagree on the same stream; "
+            "this violates the equivalence contract — please report"
+        )
+    n = len(updates)
+    return n / slow_seconds, n / fast_seconds, slow_seconds / fast_seconds
 
 
 def repeat_variability(

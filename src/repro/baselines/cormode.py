@@ -148,8 +148,10 @@ class CormodeCounter:
         sites = [CormodeSite(i) for i in range(self.num_sites)]
         return MonitoringNetwork(coordinator, sites)
 
-    def track(self, updates, record_every: int = 1):
+    def track(self, updates, record_every: int = 1, batched=None):
         """Run a distributed (monotone) stream through a fresh network."""
         from repro.monitoring.runner import run_tracking
 
-        return run_tracking(self.build_network(), updates, record_every=record_every)
+        return run_tracking(
+            self.build_network(), updates, record_every=record_every, batched=batched
+        )

@@ -199,8 +199,10 @@ class HuangCounter:
         ]
         return MonitoringNetwork(coordinator, sites)
 
-    def track(self, updates, record_every: int = 1):
+    def track(self, updates, record_every: int = 1, batched=None):
         """Run a distributed insertion-only stream through a fresh network."""
         from repro.monitoring.runner import run_tracking
 
-        return run_tracking(self.build_network(), updates, record_every=record_every)
+        return run_tracking(
+            self.build_network(), updates, record_every=record_every, batched=batched
+        )

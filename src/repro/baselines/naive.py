@@ -64,8 +64,10 @@ class NaiveCounter:
         sites: List[NaiveSite] = [NaiveSite(i) for i in range(self.num_sites)]
         return MonitoringNetwork(NaiveCoordinator(), sites)
 
-    def track(self, updates, record_every: int = 1):
+    def track(self, updates, record_every: int = 1, batched=None):
         """Run a distributed stream through a fresh naive network."""
         from repro.monitoring.runner import run_tracking
 
-        return run_tracking(self.build_network(), updates, record_every=record_every)
+        return run_tracking(
+            self.build_network(), updates, record_every=record_every, batched=batched
+        )

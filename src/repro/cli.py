@@ -7,9 +7,14 @@ at the paper's claims directly from a shell::
     python -m repro tracking --stream biased_walk --sites 8 --epsilon 0.1
     python -m repro frequency --length 10000 --universe 500 --epsilon 0.2
     python -m repro lowerbound --n 256 --level 8 --flips 8
+    python -m repro throughput --length 1000000 --sites 4 16 64
 
 Each subcommand prints a plain-text table in the same format the benchmark
-harness uses for EXPERIMENTS.md.
+harness uses for EXPERIMENTS.md.  The ``tracking`` subcommand accepts
+``--engine {auto,batched,per-update}`` to select the runner's delivery
+engine (both produce identical results; see
+:mod:`repro.monitoring.runner`), and ``throughput`` measures what the
+batched engine buys on a long random walk.
 """
 
 from __future__ import annotations
@@ -18,14 +23,16 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis import compare_trackers, format_table
+from repro.analysis import compare_trackers, format_table, measure_engine_throughput
 from repro.analysis.bounds import deterministic_message_bound
 from repro.baselines import CormodeCounter, LiuStyleCounter, NaiveCounter
 from repro.core import DeterministicCounter, RandomizedCounter, variability
 from repro.core.frequencies import FrequencyTracker, HashReducer, run_frequency_tracking
 from repro.lowerbounds import DeterministicFlipFamily, IndexReduction, TranscriptTracer
 from repro.streams import (
+    BlockedAssignment,
     ItemStreamConfig,
+    assign_sites,
     biased_walk_stream,
     database_size_trace,
     monotone_stream,
@@ -74,6 +81,28 @@ def build_parser() -> argparse.ArgumentParser:
     tracking_parser.add_argument("--sites", type=int, default=4)
     tracking_parser.add_argument("--epsilon", type=float, default=0.1)
     tracking_parser.add_argument("--seed", type=int, default=0)
+    tracking_parser.add_argument(
+        "--engine",
+        choices=["auto", "batched", "per-update"],
+        default="auto",
+        help="delivery engine for the runner (identical results either way)",
+    )
+
+    throughput_parser = subparsers.add_parser(
+        "throughput",
+        help="measure the batched engine's speedup over per-update dispatch",
+    )
+    throughput_parser.add_argument("--length", type=int, default=1_000_000)
+    throughput_parser.add_argument("--sites", type=int, nargs="+", default=[4, 16, 64])
+    throughput_parser.add_argument("--epsilon", type=float, default=0.1)
+    throughput_parser.add_argument(
+        "--block-length",
+        type=int,
+        default=4_096,
+        help="contiguous updates per site (sharded-ingestion assignment)",
+    )
+    throughput_parser.add_argument("--record-every", type=int, default=20_000)
+    throughput_parser.add_argument("--seed", type=int, default=31)
 
     frequency_parser = subparsers.add_parser(
         "frequency", help="run the Appendix H frequency tracker on a Zipfian workload"
@@ -109,6 +138,7 @@ def _command_variability(args: argparse.Namespace) -> str:
 
 def _command_tracking(args: argparse.Namespace) -> str:
     spec = STREAM_GENERATORS[args.stream](args.length, args.seed)
+    batched = {"auto": None, "batched": True, "per-update": False}[args.engine]
     comparisons = compare_trackers(
         {
             "naive": NaiveCounter(args.sites),
@@ -121,6 +151,7 @@ def _command_tracking(args: argparse.Namespace) -> str:
         num_sites=args.sites,
         epsilon=args.epsilon,
         record_every=max(1, args.length // 5_000),
+        batched=batched,
     )
     rows = [
         [
@@ -172,6 +203,36 @@ def _command_frequency(args: argparse.Namespace) -> str:
     )
 
 
+def _command_throughput(args: argparse.Namespace) -> str:
+    spec = random_walk_stream(args.length, seed=args.seed)
+    rows: List[List[object]] = []
+    for num_sites in args.sites:
+        updates = assign_sites(spec, num_sites, BlockedAssignment(args.block_length))
+        for name, factory in (
+            ("deterministic", DeterministicCounter(num_sites, args.epsilon)),
+            ("randomized", RandomizedCounter(num_sites, args.epsilon, seed=args.seed)),
+        ):
+            slow_rate, fast_rate, speedup = measure_engine_throughput(
+                factory, updates, record_every=args.record_every
+            )
+            rows.append(
+                [
+                    name,
+                    num_sites,
+                    round(slow_rate),
+                    round(fast_rate),
+                    round(speedup, 2),
+                ]
+            )
+    header = (
+        f"random_walk n={args.length} eps={args.epsilon} "
+        f"block={args.block_length} record_every={args.record_every}"
+    )
+    return header + "\n" + format_table(
+        ["algorithm", "k", "per-update up/s", "batched up/s", "speedup"], rows
+    )
+
+
 def _command_lowerbound(args: argparse.Namespace) -> str:
     family = DeterministicFlipFamily(n=args.n, level=args.level, num_flips=args.flips)
     reduction = IndexReduction(
@@ -203,6 +264,7 @@ def _command_lowerbound(args: argparse.Namespace) -> str:
 _COMMANDS = {
     "variability": _command_variability,
     "tracking": _command_tracking,
+    "throughput": _command_throughput,
     "frequency": _command_frequency,
     "lowerbound": _command_lowerbound,
 }

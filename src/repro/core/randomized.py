@@ -26,16 +26,24 @@ Expected communication: ``O((k + sqrt(k)/eps) v(n))`` messages.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.template import (
+    _SCALAR_SPAN,
     BlockTrackerFactory,
     BlockTrackingCoordinator,
     BlockTrackingSite,
 )
-from repro.monitoring.messages import COORDINATOR, Message, MessageKind
+from repro.monitoring.messages import (
+    COORDINATOR,
+    HEADER_BITS,
+    Message,
+    MessageKind,
+    integer_bit_length,
+    integer_bit_lengths,
+)
 
 __all__ = [
     "report_probability",
@@ -88,6 +96,149 @@ class RandomizedSite(BlockTrackingSite):
     def on_block_start(self, level: int) -> None:
         self.positive_drift = 0
         self.negative_drift = 0
+
+    def on_stream_update_superseded(self, time: int, delta: int) -> None:
+        if delta > 0:
+            self.positive_drift += 1
+            drift = self.positive_drift
+        else:
+            self.negative_drift += 1
+            drift = self.negative_drift
+        probability = report_probability(self.level, self.num_sites, self.epsilon)
+        if probability >= 1.0 or self._rng.random() < probability:
+            self._channel.charge(
+                MessageKind.REPORT,
+                1,
+                HEADER_BITS + integer_bit_length(1) + integer_bit_length(drift),
+            )
+
+    def on_stream_batch(
+        self, times: Sequence[int], deltas: np.ndarray, start: int, length: int
+    ) -> int:
+        """Vectorise the per-update coin flips over the whole span.
+
+        Within the span the level is fixed (no block close can occur), so
+        the report probability is constant and all coin flips can be drawn
+        in one call — NumPy generators produce the identical float sequence
+        for one ``random(length)`` call as for ``length`` scalar ``random()``
+        calls, so the batch consumes the RNG bit-for-bit like the per-update
+        path.  With ``p >= 1`` every step reports and no randomness is drawn,
+        again matching per-update behaviour exactly.
+
+        Drift values at reporting steps come from cumulative counts of the
+        two sub-streams.  The coordinator keeps only the latest report per
+        sign, so within the span all but the last report of each sign are
+        superseded: they are charged in bulk with vectorised bit accounting
+        and only the final report per sign is delivered as a real message.
+        """
+        probability = report_probability(self.level, self.num_sites, self.epsilon)
+        if length < _SCALAR_SPAN:
+            return self._scalar_batch(times, deltas, start, length, probability)
+        window = deltas[start : start + length]
+        positive_mask = window > 0
+        positive = self.positive_drift + np.cumsum(positive_mask)
+        negative = self.negative_drift + np.cumsum(~positive_mask)
+        if probability >= 1.0:
+            # Dense regime: the per-update path draws no randomness and
+            # reports after every update.
+            report_offsets = np.arange(length)
+        else:
+            draws = self._rng.random(length)
+            report_offsets = np.flatnonzero(draws < probability)
+        if report_offsets.size:
+            report_signs = positive_mask[report_offsets]
+            report_drifts = np.where(
+                report_signs, positive[report_offsets], negative[report_offsets]
+            )
+            keep = np.zeros(report_offsets.size, dtype=bool)
+            positive_reports = np.flatnonzero(report_signs)
+            negative_reports = np.flatnonzero(~report_signs)
+            if positive_reports.size:
+                keep[positive_reports[-1]] = True
+            if negative_reports.size:
+                keep[negative_reports[-1]] = True
+            superseded = ~keep
+            if superseded.any():
+                sign_bits = integer_bit_length(1)
+                bit_lengths = integer_bit_lengths(report_drifts[superseded])
+                self._channel.charge(
+                    MessageKind.REPORT,
+                    int(superseded.sum()),
+                    int(bit_lengths.sum())
+                    + int(superseded.sum()) * (HEADER_BITS + sign_bits),
+                )
+            for position in np.flatnonzero(keep).tolist():
+                offset = int(report_offsets[position])
+                self.send(
+                    Message(
+                        kind=MessageKind.REPORT,
+                        sender=self.site_id,
+                        receiver=COORDINATOR,
+                        payload={
+                            "sign": 1 if bool(report_signs[position]) else -1,
+                            "drift": int(report_drifts[position]),
+                        },
+                        time=times[start + offset],
+                    )
+                )
+        self.positive_drift = int(positive[-1])
+        self.negative_drift = int(negative[-1])
+        return length
+
+    def _scalar_batch(
+        self, times, deltas: np.ndarray, start: int, length: int, probability: float
+    ) -> int:
+        """Plain-Python span simulation; faster than NumPy below ~64 steps.
+
+        Same semantics as the vectorised path: one batch RNG draw covers the
+        span (bit-identical to scalar draws), superseded reports (all but
+        the last per sign) are charged, and the last report of each sign is
+        delivered for real in chronological order.
+        """
+        draws = None if probability >= 1.0 else self._rng.random(length).tolist()
+        positive = self.positive_drift
+        negative = self.negative_drift
+        sign_bits = integer_bit_length(1)
+        charged = 0
+        charged_bits = 0
+        last_by_sign = {1: None, -1: None}
+        for offset, delta in enumerate(deltas[start : start + length].tolist()):
+            if delta > 0:
+                sign = 1
+                positive += 1
+                drift = positive
+            else:
+                sign = -1
+                negative += 1
+                drift = negative
+            if draws is None or draws[offset] < probability:
+                previous = last_by_sign[sign]
+                if previous is not None:
+                    charged += 1
+                    charged_bits += (
+                        HEADER_BITS + sign_bits + integer_bit_length(previous[1])
+                    )
+                last_by_sign[sign] = (offset, drift)
+        if charged:
+            self._channel.charge(MessageKind.REPORT, charged, charged_bits)
+        finals = [
+            (record[0], sign, record[1])
+            for sign, record in last_by_sign.items()
+            if record is not None
+        ]
+        for offset, sign, drift in sorted(finals):
+            self.send(
+                Message(
+                    kind=MessageKind.REPORT,
+                    sender=self.site_id,
+                    receiver=COORDINATOR,
+                    payload={"sign": sign, "drift": drift},
+                    time=times[start + offset],
+                )
+            )
+        self.positive_drift = positive
+        self.negative_drift = negative
+        return length
 
 
 class RandomizedCoordinator(BlockTrackingCoordinator):

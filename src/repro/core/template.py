@@ -26,12 +26,21 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Dict, List
+from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.core.blocks import block_level
-from repro.exceptions import ConfigurationError, StreamError
+from repro.exceptions import ConfigurationError, ProtocolError, StreamError
 from repro.monitoring.coordinator import Coordinator
-from repro.monitoring.messages import BROADCAST_SITE, COORDINATOR, Message, MessageKind
+from repro.monitoring.messages import (
+    BROADCAST_SITE,
+    COORDINATOR,
+    HEADER_BITS,
+    Message,
+    MessageKind,
+    integer_bit_length,
+)
 from repro.monitoring.network import MonitoringNetwork
 from repro.monitoring.site import Site
 
@@ -41,6 +50,15 @@ __all__ = [
     "BlockTrackingCoordinator",
     "BlockTrackerFactory",
 ]
+
+#: Below this run length the batched site path falls back to the per-update
+#: loop: NumPy setup costs more than it saves on tiny runs.
+_MIN_FAST_BATCH = 16
+
+#: Below this span length the trackers' estimation hooks use plain-Python
+#: simulation instead of NumPy (shared by the deterministic and randomized
+#: sites so the crossover stays consistent).
+_SCALAR_SPAN = 64
 
 
 def check_tracking_parameters(num_sites: int, epsilon: float) -> None:
@@ -118,6 +136,206 @@ class BlockTrackingSite(Site, abc.ABC):
                 f"site {self.site_id} received unexpected message kind {message.kind}"
             )
 
+    # -- batched fast path ---------------------------------------------------
+
+    def receive_batch(
+        self,
+        times: Sequence[int],
+        deltas: Sequence[int],
+        network=None,
+    ) -> None:
+        """Consume a contiguous run of local updates in closed-form spans.
+
+        The run is processed as an alternation of *simulated spans* and
+        *block-close steps*.  Knowing the coordinator, the next block trigger
+        point is computed in closed form: within the current block this
+        site's count reports arrive every ``ceil(2^(r-1))`` updates and each
+        advances the coordinator's ``t_hat`` by exactly that amount, so the
+        step at which one of them would fire the block trigger is arithmetic.
+        Every step strictly before that trigger step is simulated in bulk —
+        the :meth:`on_stream_batch` hook reproduces the estimation-side
+        traffic from cumulative sums, and the template charges the span's
+        count reports in one bulk accounting call while advancing ``t_hat``
+        through :meth:`BlockTrackingCoordinator.absorb_count_reports`.  The
+        trigger step is simulated by :meth:`_fast_close_step`, which applies
+        the full request/reply/broadcast block close in closed form (peer
+        sites are idle during a contiguous single-site run, so their replies
+        are read — and reset — directly).
+
+        Correctness-sensitive cases fall back to the ordinary per-update
+        path: short runs, non-unit deltas, an unknown coordinator or peer
+        site type, and message logging (the tracing reduction needs the real
+        per-message transcript).
+
+        The result is observationally identical to per-update delivery:
+        identical site and coordinator state, identical message counts, bit
+        counts and per-kind breakdown at every point the runner can observe.
+        """
+        if len(times) != len(deltas):
+            raise ProtocolError(
+                f"batch times ({len(times)}) and deltas ({len(deltas)}) must "
+                "have equal length"
+            )
+        length = len(deltas)
+        coordinator = network.coordinator if network is not None else None
+        if (
+            length < _MIN_FAST_BATCH
+            or not isinstance(coordinator, BlockTrackingCoordinator)
+            or self._channel is None
+            or self._channel.log_enabled
+        ):
+            for time, delta in zip(times, deltas):
+                self.receive_update(time, delta)
+            return
+        array = np.asarray(deltas, dtype=np.int64)
+        if not np.all(np.abs(array) == 1):
+            # Replay per update so the StreamError for the first non-unit
+            # delta fires after exactly the same prefix as the slow path.
+            for time, delta in zip(times, deltas):
+                self.receive_update(time, delta)
+            return
+        can_fast_close = all(
+            isinstance(site, BlockTrackingSite) for site in network.sites
+        )
+        index = 0
+        while index < length:
+            count_threshold = self.count_report_threshold()
+            # Reported updates still needed to fire the block trigger, and
+            # from it the 1-based step offset of the count report that would
+            # close the block.  Everything strictly before is trigger-free.
+            trigger_gap = (
+                coordinator.block_trigger_threshold() - coordinator.reported_updates
+            )
+            reports_to_close = -(-trigger_gap // count_threshold)
+            close_offset = (
+                (count_threshold - self.count_since_report)
+                + (reports_to_close - 1) * count_threshold
+            )
+            span = min(length - index, close_offset - 1)
+            consumed = 0
+            if span > 0:
+                consumed = self.on_stream_batch(times, array, index, span)
+            if consumed > 0:
+                total_count = self.count_since_report + consumed
+                num_reports = total_count // count_threshold
+                self.count_since_report = total_count % count_threshold
+                if num_reports:
+                    # All count reports in the span carry the same payload
+                    # (the threshold is fixed while the block is open), so
+                    # one bulk charge covers them; absorb_count_reports
+                    # applies their cumulative t_hat effect.
+                    self._channel.charge(
+                        MessageKind.REPORT,
+                        num_reports,
+                        num_reports
+                        * (HEADER_BITS + integer_bit_length(count_threshold)),
+                    )
+                    coordinator.absorb_count_reports(num_reports, count_threshold)
+                self.block_value_change += int(array[index : index + consumed].sum())
+                index += consumed
+            elif can_fast_close:
+                self._fast_close_step(
+                    network, coordinator, times[index], int(array[index])
+                )
+                index += 1
+            else:
+                # Trigger step (or a hook fallback): the per-update path
+                # produces the count report and the block close it fires.
+                self.receive_update(times[index], int(array[index]))
+                index += 1
+
+    def _fast_close_step(self, network, coordinator, time: int, delta: int) -> None:
+        """Process one update step, simulating any block close it triggers.
+
+        Drop-in equivalent of :meth:`receive_update` for a unit delta, used
+        at the closed-form trigger step of a batched run.  The estimation
+        side runs through the real :meth:`on_stream_update` (so estimation
+        reports and RNG draws are exact); the count report and the block
+        close it fires are applied in closed form: peer sites are idle during
+        a contiguous single-site run, so their request replies are read — and
+        their counters reset — directly, with every elided message charged at
+        exactly the cost the per-update path would record.
+        """
+        self.count_since_report += 1
+        self.block_value_change += delta
+        will_report = self.count_since_report >= self.count_report_threshold()
+        will_close = will_report and (
+            coordinator.reported_updates + self.count_since_report
+            >= coordinator.block_trigger_threshold()
+        )
+        if not will_close:
+            # Defensive: the trigger arithmetic said otherwise.  Fall back to
+            # exact per-update behaviour (minus the already-applied counters).
+            self.on_stream_update(time, delta)
+            if will_report:
+                count = self.count_since_report
+                self.count_since_report = 0
+                self.send(
+                    Message(
+                        kind=MessageKind.REPORT,
+                        sender=self.site_id,
+                        receiver=COORDINATOR,
+                        payload={"count": count},
+                        time=time,
+                    )
+                )
+            return
+        # The step's estimation report (if any) reaches the coordinator just
+        # before the close wipes all estimation state, so it can be charged
+        # instead of delivered.
+        self.on_stream_update_superseded(time, delta)
+        count = self.count_since_report
+        self.count_since_report = 0
+        channel = self._channel
+        num_sites = network.num_sites
+        # The closing count report, then one request per site.
+        channel.charge(
+            MessageKind.REPORT, 1, HEADER_BITS + integer_bit_length(count)
+        )
+        channel.charge(MessageKind.REQUEST, num_sites, num_sites * HEADER_BITS)
+        # Replies: read every site's exact counters directly (this site
+        # included), resetting the count exactly as a real request would.
+        # Peer sites are idle mid-run, so almost all replies are {0, 0}.
+        zero_reply_bits = HEADER_BITS + 2 * integer_bit_length(0)
+        extra_updates = 0
+        total_change = 0
+        reply_bits = 0
+        for site in network.sites:
+            site_count = site.count_since_report
+            site_change = site.block_value_change
+            if site_count or site_change:
+                site.count_since_report = 0
+                extra_updates += site_count
+                total_change += site_change
+                reply_bits += (
+                    HEADER_BITS
+                    + integer_bit_length(site_count)
+                    + integer_bit_length(site_change)
+                )
+            else:
+                reply_bits += zero_reply_bits
+        channel.charge(MessageKind.REPLY, num_sites, reply_bits)
+        # Coordinator side of the close, mirroring _close_block exactly.
+        coordinator.boundary_time += coordinator.reported_updates + count + extra_updates
+        coordinator.boundary_value += total_change
+        coordinator.reported_updates = 0
+        coordinator.level = block_level(
+            coordinator.boundary_value, coordinator.num_sites
+        )
+        coordinator.blocks_completed += 1
+        coordinator.on_block_start(coordinator.level)
+        # The level broadcast: charged once per site, delivered by resetting
+        # every site's block state exactly as the broadcast handler would.
+        broadcast_bits = HEADER_BITS + integer_bit_length(coordinator.level)
+        channel.charge(
+            MessageKind.BROADCAST, num_sites, num_sites * broadcast_bits
+        )
+        for site in network.sites:
+            site.level = coordinator.level
+            site.block_value_change = 0
+            site.count_since_report = 0
+            site.on_block_start(site.level)
+
     # -- estimation hooks ----------------------------------------------------
 
     @abc.abstractmethod
@@ -127,6 +345,39 @@ class BlockTrackingSite(Site, abc.ABC):
     @abc.abstractmethod
     def on_block_start(self, level: int) -> None:
         """Estimation hook: called when a new block (with level ``r``) begins."""
+
+    def on_stream_update_superseded(self, time: int, delta: int) -> None:
+        """Estimation hook for a step whose report the block close supersedes.
+
+        Called by :meth:`_fast_close_step` in place of
+        :meth:`on_stream_update` when the same step provably closes the
+        block: any estimation report the step produces reaches the
+        coordinator only to be wiped by the block start, so implementations
+        may charge it (identical cost accounting) instead of delivering it.
+        State updates and RNG draws must stay exact.  The default delegates
+        to :meth:`on_stream_update`, which is always correct.
+        """
+        self.on_stream_update(time, delta)
+
+    def on_stream_batch(
+        self, times: Sequence[int], deltas: np.ndarray, start: int, length: int
+    ) -> int:
+        """Estimation hook (batch fast path): consume up to ``length`` steps.
+
+        Implementations may consume a prefix of ``deltas[start:start+length]``
+        in bulk and must reproduce *exactly* the estimation-side effects the
+        per-update path would have over those steps: estimation state, RNG
+        consumption, and every estimation report — either sent as a real
+        message or, when a later report in the same span supersedes its
+        coordinator-side effect, charged through
+        :meth:`repro.monitoring.channel.Channel.charge` with
+        identical cost.  The window is guaranteed trigger-free (no block
+        close can occur inside it), so the block level — and with it every
+        threshold and probability — is fixed throughout.  Returns the number
+        of steps consumed; ``0`` (the default) defers the next step to the
+        per-update path, which is always correct.
+        """
+        return 0
 
 
 class BlockTrackingCoordinator(Coordinator, abc.ABC):
@@ -162,6 +413,23 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
         """Reported-update total ``ceil(2^(r-1)) * k`` that closes the block."""
         per_site = max(1, int(math.ceil(2 ** (self.level - 1))))
         return per_site * self.num_sites
+
+    def absorb_count_reports(self, num_reports: int, count_each: int) -> None:
+        """Bulk-apply ``num_reports`` count reports that provably miss the trigger.
+
+        Fast-path equivalent of receiving ``num_reports`` REPORT messages with
+        payload ``{"count": count_each}``: advances ``t_hat`` by their total.
+        The caller must have established (in closed form) that the trigger is
+        not reached, so no block close is due; this is verified defensively.
+        """
+        total = num_reports * count_each
+        if self.reported_updates + total >= self.block_trigger_threshold():
+            raise ConfigurationError(
+                f"bulk-absorbing {num_reports} count reports of {count_each} "
+                "would cross the block trigger; the closing report must go "
+                "through the per-update path"
+            )
+        self.reported_updates += total
 
     def receive_message(self, message: Message) -> None:
         if message.kind is MessageKind.REPLY:
@@ -262,12 +530,15 @@ class BlockTrackerFactory(abc.ABC):
         ]
         return MonitoringNetwork(coordinator, sites)
 
-    def track(self, updates, record_every: int = 1):
+    def track(self, updates, record_every: int = 1, batched=None):
         """Build a fresh network and run a distributed stream through it.
 
         Args:
-            updates: A sequence of :class:`repro.types.Update`.
+            updates: Any iterable of :class:`repro.types.Update` (lists,
+                generators, lazy readers).
             record_every: Passed through to
+                :func:`repro.monitoring.runner.run_tracking`.
+            batched: Delivery-engine selector, passed through to
                 :func:`repro.monitoring.runner.run_tracking`.
 
         Returns:
@@ -276,4 +547,6 @@ class BlockTrackerFactory(abc.ABC):
         from repro.monitoring.runner import run_tracking
 
         network = self.build_network()
-        return run_tracking(network, updates, record_every=record_every)
+        return run_tracking(
+            network, updates, record_every=record_every, batched=batched
+        )

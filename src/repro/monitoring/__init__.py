@@ -7,7 +7,18 @@ implementing the :class:`Site` and :class:`Coordinator` protocols; the
 :class:`MonitoringNetwork` wires them together and the
 :func:`run_tracking` runner drives a stream through the network while
 recording the coordinator's estimate, the exact value, and the communication
-cost after every timestep.
+cost at every recording point.
+
+Two delivery engines share identical protocol semantics.  The per-update
+engine dispatches every update through
+:meth:`MonitoringNetwork.deliver_update`.  The batched engine groups
+contiguous same-site runs into :meth:`MonitoringNetwork.deliver_batch`
+calls, which lets block-template sites simulate whole protocol spans in
+closed form (NumPy cumulative sums for report conditions, arithmetic for
+block trigger points, bulk cost accounting for superseded messages) — 5-15x
+faster on long streams while staying bit-for-bit identical in estimates,
+message counts and bit counts.  ``run_tracking`` accepts any iterable of
+updates (no ``len()`` required) and keeps memory at ``O(records)``.
 """
 
 from repro.monitoring.channel import Channel, ChannelStats

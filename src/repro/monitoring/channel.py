@@ -32,6 +32,16 @@ class ChannelStats:
         kind = message.kind.value
         self.by_kind[kind] = self.by_kind.get(kind, 0) + copies
 
+    def record_bulk(self, kind_value: str, copies: int, total_bits: int) -> None:
+        """Charge ``copies`` messages of one kind totalling ``total_bits``.
+
+        Used by the batched fast path to account for messages it has
+        simulated in closed form without constructing them one by one.
+        """
+        self.messages += copies
+        self.bits += total_bits
+        self.by_kind[kind_value] = self.by_kind.get(kind_value, 0) + copies
+
     def snapshot(self) -> "ChannelStats":
         """Return an independent copy of the current counters."""
         return ChannelStats(
@@ -70,8 +80,18 @@ class Channel:
         self._record_log = True
 
     @property
+    def log_enabled(self) -> bool:
+        """Whether every delivered message is being recorded in the log."""
+        return self._record_log
+
+    @property
     def log(self) -> List[Message]:
-        """All messages delivered so far, if logging is enabled."""
+        """All messages delivered so far, if logging is enabled.
+
+        The log mirrors the channel's *charged* traffic one entry per
+        transmission: a broadcast delivered to ``k`` sites appears ``k``
+        times, matching the ``k`` message copies it is charged.
+        """
         return list(self._log)
 
     def register_coordinator(self, handler: Callable[[Message], None]) -> None:
@@ -93,6 +113,30 @@ class Channel:
             self._log.append(message)
         self._coordinator_handler(message)
 
+    def charge(self, kind: MessageKind, copies: int, total_bits: int) -> None:
+        """Charge ``copies`` already-simulated messages without delivering them.
+
+        The batched fast path uses this for messages whose receiver-side
+        effect it has already established in closed form (bulk count-report
+        absorption, simulated block closes) or that a later real message
+        subsumes (superseded estimation reports).  Cost accounting is
+        identical to sending each message individually; only the Python-level
+        construction and dispatch are elided.  Refuses to run while the
+        message log is enabled, because charged messages would never appear
+        in the log — callers must fall back to per-update delivery when
+        tracing.
+        """
+        if self._record_log:
+            raise ProtocolError(
+                "charge-only accounting would desynchronise the message log; "
+                "use per-update delivery while logging is enabled"
+            )
+        if copies < 0 or total_bits < 0:
+            raise ProtocolError(
+                f"cannot charge {copies} messages / {total_bits} bits"
+            )
+        self.stats.record_bulk(kind.value, copies, total_bits)
+
     def send_to_site(self, message: Message) -> None:
         """Deliver a coordinator-to-site message (or broadcast) and charge its cost.
 
@@ -102,7 +146,7 @@ class Channel:
         if message.receiver == BROADCAST_SITE:
             self.stats.record(message, copies=self._num_sites)
             if self._record_log:
-                self._log.append(message)
+                self._log.extend([message] * self._num_sites)
             for site_id, handler in enumerate(self._site_handlers):
                 if handler is None:
                     raise ProtocolError(f"site {site_id} has no registered handler")

@@ -13,12 +13,16 @@ import numbers
 from dataclasses import dataclass, field
 from typing import Mapping
 
+import numpy as np
+
 __all__ = [
     "MessageKind",
     "Message",
     "BROADCAST_SITE",
     "COORDINATOR",
+    "HEADER_BITS",
     "integer_bit_length",
+    "integer_bit_lengths",
     "message_bits",
 ]
 
@@ -29,7 +33,7 @@ BROADCAST_SITE = -1
 COORDINATOR = -2
 
 # Fixed header cost (message kind + addressing), in bits.
-_HEADER_BITS = 16
+HEADER_BITS = 16
 
 
 class MessageKind(enum.Enum):
@@ -76,13 +80,28 @@ def integer_bit_length(value: float) -> int:
     Floats (used by randomized estimators for ``1/p`` corrections) are charged
     as 32-bit quantities, matching the word-size accounting of the paper.
     """
+    if type(value) is int:  # fast path for the overwhelmingly common case
+        return 1 + max(1, abs(value).bit_length())
     if isinstance(value, numbers.Integral):
         magnitude = abs(int(value))
         return 1 + max(1, magnitude.bit_length())
     return 32
 
 
+def integer_bit_lengths(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`integer_bit_length` for arrays of integers.
+
+    Exact for ``|value| < 2**53``: ``np.frexp`` returns the binary exponent,
+    which for a positive integer equals its bit length (and 0 for 0, which the
+    ``max(1, .)`` clamp maps to the same 1-bit charge as the scalar version).
+    Payload magnitudes in this codebase are bounded by stream length, far
+    below the 2**53 float-precision limit.
+    """
+    exponents = np.frexp(np.abs(values).astype(np.float64))[1]
+    return 1 + np.maximum(exponents, 1)
+
+
 def message_bits(message: Message) -> int:
     """Total bit cost of a message: header plus payload encoding."""
     payload_bits = sum(integer_bit_length(v) for v in message.payload.values())
-    return _HEADER_BITS + payload_bits
+    return HEADER_BITS + payload_bits

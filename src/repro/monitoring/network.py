@@ -1,4 +1,12 @@
-"""Wiring of a coordinator and ``k`` sites over one counted channel."""
+"""Wiring of a coordinator and ``k`` sites over one counted channel.
+
+Updates reach sites either one at a time (:meth:`MonitoringNetwork.deliver_update`)
+or as contiguous same-site runs (:meth:`MonitoringNetwork.deliver_batch`), the
+fast path used by the batched streaming engine in
+:mod:`repro.monitoring.runner`.  Both paths are protocol-equivalent: batch
+delivery produces the same messages, in the same order, with the same counted
+cost as per-update delivery.
+"""
 
 from __future__ import annotations
 
@@ -60,6 +68,24 @@ class MonitoringNetwork:
                 f"{self.num_sites} sites"
             )
         self.sites[site_id].receive_update(time, delta)
+
+    def deliver_batch(
+        self, site_id: int, times: Sequence[int], deltas: Sequence[int]
+    ) -> None:
+        """Deliver a contiguous run of updates, all destined for one site.
+
+        Equivalent to calling :meth:`deliver_update` once per pair, but lets
+        the site absorb communication-free prefixes of the run in bulk.  Like
+        per-update delivery, local delivery itself is free; any communication
+        the run triggers is charged by the channel exactly as in the
+        per-update path.
+        """
+        if not 0 <= site_id < self.num_sites:
+            raise ProtocolError(
+                f"batch destined for site {site_id}, but network has "
+                f"{self.num_sites} sites"
+            )
+        self.sites[site_id].receive_batch(times, deltas, network=self)
 
     def estimate(self) -> float:
         """Return the coordinator's current estimate."""

@@ -1,8 +1,17 @@
-"""Site-side protocol for distributed tracking algorithms."""
+"""Site-side protocol for distributed tracking algorithms.
+
+Sites consume local updates one at a time (:meth:`Site.receive_update`) or in
+contiguous batches (:meth:`Site.receive_batch`).  The batch entry point exists
+for the streaming engine's fast path: a site that can prove a prefix of a run
+triggers no communication may absorb it in bulk, but the default
+implementation simply replays the run update by update, so batch delivery is
+always protocol-equivalent to per-update delivery.
+"""
 
 from __future__ import annotations
 
 import abc
+from typing import Sequence
 
 from repro.exceptions import ProtocolError
 from repro.monitoring.channel import Channel
@@ -43,6 +52,39 @@ class Site(abc.ABC):
     @abc.abstractmethod
     def receive_update(self, time: int, delta: int) -> None:
         """Handle a stream update ``f'(time) = delta`` arriving at this site."""
+
+    def receive_batch(
+        self,
+        times: Sequence[int],
+        deltas: Sequence[int],
+        network=None,
+    ) -> None:
+        """Handle a contiguous run of local updates.
+
+        The contract is observational equivalence: after ``receive_batch``
+        the site state, the coordinator state, and all communication counters
+        (messages, bits, per-kind breakdown) must be identical to calling
+        ``receive_update(t, d)`` for each pair in order.  The base
+        implementation guarantees this trivially by doing exactly that;
+        subclasses may override it with a vectorised fast path as long as
+        they preserve the contract (see
+        :class:`repro.core.template.BlockTrackingSite`).
+
+        Args:
+            times: Timesteps of the run, in order.
+            deltas: Matching per-timestep changes.
+            network: The :class:`~repro.monitoring.network.MonitoringNetwork`
+                delivering the run, if the caller can provide it.  Fast paths
+                may use it to compute protocol trigger points in closed form;
+                the base implementation ignores it.
+        """
+        if len(times) != len(deltas):
+            raise ProtocolError(
+                f"batch times ({len(times)}) and deltas ({len(deltas)}) must "
+                "have equal length"
+            )
+        for time, delta in zip(times, deltas):
+            self.receive_update(time, delta)
 
     @abc.abstractmethod
     def receive_message(self, message: Message) -> None:

@@ -9,11 +9,13 @@ motivates.
 """
 
 from repro.streams.assignment import (
+    BlockedAssignment,
     RandomAssignment,
     RoundRobinAssignment,
     SkewedAssignment,
     SingleSiteAssignment,
     assign_sites,
+    assign_sites_iter,
 )
 from repro.streams.generators import (
     adversarial_flip_stream,
@@ -42,11 +44,13 @@ from repro.streams.model import StreamSpec, deltas_to_updates, updates_to_deltas
 from repro.streams.traces import database_size_trace, sensor_temperature_trace
 
 __all__ = [
+    "BlockedAssignment",
     "RandomAssignment",
     "RoundRobinAssignment",
     "SkewedAssignment",
     "SingleSiteAssignment",
     "assign_sites",
+    "assign_sites_iter",
     "adversarial_flip_stream",
     "biased_walk_stream",
     "bursty_stream",

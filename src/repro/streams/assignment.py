@@ -3,13 +3,19 @@
 In the distributed monitoring model every update arrives at exactly one of
 ``k`` sites.  The paper's bounds hold for any (adversarial) assignment, so the
 experiments exercise several policies: round robin, uniform random, skewed
-(one hot site receives most updates), and the degenerate single-site case used
-for the Appendix I tracker.
+(one hot site receives most updates), blocked (contiguous runs per site, the
+batch-friendly shape of sharded ingestion), and the degenerate single-site
+case used for the Appendix I tracker.
+
+For very long streams, :func:`assign_sites_iter` yields the assigned updates
+lazily so the runner's streaming engine can consume them without ever
+materialising the update list.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence
+from itertools import repeat
+from typing import Iterator, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -22,8 +28,10 @@ __all__ = [
     "RoundRobinAssignment",
     "RandomAssignment",
     "SkewedAssignment",
+    "BlockedAssignment",
     "SingleSiteAssignment",
     "assign_sites",
+    "assign_sites_iter",
 ]
 
 
@@ -45,6 +53,11 @@ class RoundRobinAssignment:
     def assign(self, n: int, num_sites: int) -> Sequence[int]:
         _check_sites(num_sites)
         return [(t - 1) % num_sites for t in range(1, n + 1)]
+
+    def assign_iter(self, n: int, num_sites: int) -> Iterator[int]:
+        """Lazy variant of :meth:`assign`; yields the identical sequence."""
+        _check_sites(num_sites)
+        return ((t - 1) % num_sites for t in range(1, n + 1))
 
 
 class RandomAssignment:
@@ -86,12 +99,47 @@ class SkewedAssignment:
         return sites
 
 
+class BlockedAssignment:
+    """Round-robin over contiguous blocks of ``block_length`` updates.
+
+    Models sharded ingestion, where each site observes (and forwards) a
+    buffer of consecutive updates at a time.  This is the batch-friendly
+    regime of the streaming engine: every site receives long contiguous runs,
+    so :meth:`repro.monitoring.network.MonitoringNetwork.deliver_batch` can
+    absorb them in closed form.  The paper's guarantees hold for any
+    assignment, so blocked assignment changes performance, never correctness.
+    """
+
+    def __init__(self, block_length: int = 1024) -> None:
+        if block_length < 1:
+            raise ConfigurationError(
+                f"block_length must be >= 1, got {block_length}"
+            )
+        self._block_length = block_length
+
+    def assign(self, n: int, num_sites: int) -> Sequence[int]:
+        _check_sites(num_sites)
+        block = self._block_length
+        return [(t // block) % num_sites for t in range(n)]
+
+    def assign_iter(self, n: int, num_sites: int) -> Iterator[int]:
+        """Lazy variant of :meth:`assign`; yields the identical sequence."""
+        _check_sites(num_sites)
+        block = self._block_length
+        return ((t // block) % num_sites for t in range(n))
+
+
 class SingleSiteAssignment:
     """Send every update to site 0 (the ``k = 1`` setting of Section 5.2)."""
 
     def assign(self, n: int, num_sites: int) -> Sequence[int]:
         _check_sites(num_sites)
         return [0] * n
+
+    def assign_iter(self, n: int, num_sites: int) -> Iterator[int]:
+        """Lazy variant of :meth:`assign`; yields the identical sequence."""
+        _check_sites(num_sites)
+        return repeat(0, n)
 
 
 def assign_sites(
@@ -114,3 +162,30 @@ def assign_sites(
     chosen = policy if policy is not None else RoundRobinAssignment()
     sites = chosen.assign(spec.length, num_sites)
     return deltas_to_updates(spec.deltas, sites)
+
+
+def assign_sites_iter(
+    spec: StreamSpec,
+    num_sites: int,
+    policy: Optional[AssignmentPolicy] = None,
+) -> Iterator[Update]:
+    """Lazily yield the assigned updates of a stream, one at a time.
+
+    Streaming companion of :func:`assign_sites` for feeding
+    :func:`repro.monitoring.runner.run_tracking` (which accepts any iterable
+    and never calls ``len()``): the :class:`repro.types.Update` objects are
+    created on demand instead of being materialised as one list.  Policies
+    that are pure functions of the timestep (round robin, blocked, single
+    site) expose an ``assign_iter`` method and are consumed lazily too, so
+    nothing per-update is materialised at all; stateful policies (random,
+    skewed) fall back to their eager ``assign``, which keeps the site
+    sequence identical to :func:`assign_sites` for the same policy instance.
+    """
+    chosen = policy if policy is not None else RoundRobinAssignment()
+    assign_lazy = getattr(chosen, "assign_iter", None)
+    if assign_lazy is not None:
+        sites = assign_lazy(spec.length, num_sites)
+    else:
+        sites = chosen.assign(spec.length, num_sites)
+    for time, (delta, site) in enumerate(zip(spec.deltas, sites), start=1):
+        yield Update(time=time, site=int(site), delta=int(delta))

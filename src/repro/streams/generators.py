@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StreamError
 from repro.streams.model import StreamSpec
 
 __all__ = [
@@ -254,9 +254,17 @@ def periodic_stream(n: int, period: int, trend: float = 0.5) -> StreamSpec:
     """A stream with a periodic component riding on a linear upward trend.
 
     Models daily/weekly load patterns: the value follows
-    ``trend * t + A * sin(2 pi t / period)`` rounded to integers and emitted as
-    unit updates (several per nominal timestep are collapsed into the nearest
-    ``+-1``), which keeps the stream nearly monotone when ``trend > 0``.
+    ``trend * t + A * sin(2 pi t / period)`` rounded to integers and emitted
+    as unit updates: each nominal timestep is collapsed into the nearest
+    ``+-1``, and timesteps at which the rounded target does not move are
+    skipped entirely, so the result is a genuine unit stream that the
+    Section 3 trackers accept directly.  The emitted length is therefore at
+    most ``n`` (the skipped zero steps cannot increase variability).  The
+    stream stays nearly monotone when ``trend > 0``.
+
+    Raises:
+        StreamError: If every nominal timestep rounds to a zero step (only
+            possible for tiny ``n`` and ``trend``), leaving an empty stream.
     """
     _check_length(n)
     if period < 2:
@@ -273,12 +281,19 @@ def periodic_stream(n: int, period: int, trend: float = 0.5) -> StreamSpec:
             step = 1
         elif step < -1:
             step = -1
+        elif step == 0:
+            continue
         deltas.append(step)
         previous += step
+    if not deltas:
+        raise StreamError(
+            f"periodic_stream(n={n}, period={period}, trend={trend}) rounds "
+            "to zero change at every timestep; increase n or trend"
+        )
     return StreamSpec(
         name="periodic",
         deltas=tuple(deltas),
-        params={"n": n, "period": period, "trend": trend},
+        params={"n": n, "period": period, "trend": trend, "emitted": len(deltas)},
     )
 
 

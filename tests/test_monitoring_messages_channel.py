@@ -127,3 +127,54 @@ class TestChannel:
         channel.send_to_coordinator(_report())
         assert snapshot.messages == 1
         assert channel.stats.messages == 2
+
+
+class TestBroadcastLogAccounting:
+    """Regression: a broadcast is charged k copies and must log k entries."""
+
+    def _broadcast(self):
+        return Message(
+            kind=MessageKind.BROADCAST,
+            sender=COORDINATOR,
+            receiver=BROADCAST_SITE,
+            payload={"level": 3},
+        )
+
+    def test_broadcast_logs_one_entry_per_charged_copy(self):
+        channel = Channel(num_sites=4)
+        channel.enable_log()
+        channel.register_coordinator(lambda m: None)
+        for site_id in range(4):
+            channel.register_site(site_id, lambda m: None)
+        channel.send_to_site(self._broadcast())
+        assert channel.stats.messages == 4
+        assert len(channel.log) == channel.stats.messages
+        assert all(m.kind is MessageKind.BROADCAST for m in channel.log)
+
+    def test_log_length_matches_charged_messages_over_a_full_run(self):
+        from repro.core import DeterministicCounter
+        from repro.streams import assign_sites, random_walk_stream
+
+        factory = DeterministicCounter(3, 0.1)
+        network = factory.build_network()
+        network.channel.enable_log()
+        updates = assign_sites(random_walk_stream(2_000, seed=13), 3)
+        for update in updates:
+            network.deliver_update(update.time, update.site, update.delta)
+        assert network.coordinator.blocks_completed > 0  # broadcasts occurred
+        assert len(network.channel.log) == network.stats.messages
+
+    def test_charge_bulk_accounting_matches_record(self):
+        channel = Channel(num_sites=1)
+        channel.register_coordinator(lambda m: None)
+        channel.register_site(0, lambda m: None)
+        message = _report({"count": 5})
+        channel.charge(MessageKind.REPORT, 3, 3 * message.bits())
+        reference = Channel(num_sites=1)
+        reference.register_coordinator(lambda m: None)
+        reference.register_site(0, lambda m: None)
+        for _ in range(3):
+            reference.send_to_coordinator(_report({"count": 5}))
+        assert channel.stats.messages == reference.stats.messages
+        assert channel.stats.bits == reference.stats.bits
+        assert channel.stats.by_kind == reference.stats.by_kind

@@ -1,11 +1,14 @@
 """Tests for the stream generators."""
 
+import math
+
 import pytest
 
 from repro.core.variability import variability
 from repro.exceptions import ConfigurationError
 from repro.streams import (
     adversarial_flip_stream,
+    assign_sites,
     biased_walk_stream,
     bursty_stream,
     constant_stream,
@@ -163,6 +166,27 @@ class TestPeriodicStream:
     def test_trend_dominates(self):
         spec = periodic_stream(4_000, period=200, trend=0.5)
         assert spec.final_value() > 1_000
+
+    def test_emits_a_genuine_unit_stream(self):
+        # Regression: the generator used to emit zero deltas (169 of 500 at
+        # period=24, trend=0.5) despite promising collapse into +-1 steps.
+        spec = periodic_stream(500, period=24, trend=0.5)
+        assert spec.is_unit_stream()
+        assert 0 < spec.length <= 500
+        assert spec.params["emitted"] == spec.length
+
+    def test_zero_steps_preserve_the_value_trajectory_endpoint(self):
+        spec = periodic_stream(500, period=24, trend=0.5)
+        # Skipping zero steps must not change where the stream ends up.
+        assert spec.final_value() == int(round(0.5 * 500 + (24 / 8.0) * math.sin(2.0 * math.pi * 500 / 24)))
+
+    def test_tracks_end_to_end_without_stream_error(self):
+        # Regression: tracking used to raise StreamError on the zero deltas.
+        from repro.core import DeterministicCounter
+
+        spec = periodic_stream(500, period=24, trend=0.5)
+        result = DeterministicCounter(4, 0.1).track(assign_sites(spec, 4))
+        assert result.error_violations(0.1) == 0
 
     def test_rejects_bad_period(self):
         with pytest.raises(ConfigurationError):

@@ -101,3 +101,30 @@ class TestAssignSites:
         spec = monotone_stream(4)
         updates = assign_sites(spec, num_sites=3, policy=SingleSiteAssignment())
         assert {u.site for u in updates} == {0}
+
+
+class TestLazyAssignment:
+    def test_assign_iter_matches_assign_for_index_pure_policies(self):
+        from repro.streams import BlockedAssignment, assign_sites_iter
+        from repro.streams.generators import random_walk_stream
+
+        for policy in (
+            RoundRobinAssignment(),
+            BlockedAssignment(7),
+            SingleSiteAssignment(),
+        ):
+            assert list(policy.assign_iter(50, 3)) == list(policy.assign(50, 3))
+
+        spec = random_walk_stream(40, seed=2)
+        lazy = list(assign_sites_iter(spec, 3, BlockedAssignment(7)))
+        eager = assign_sites(spec, 3, BlockedAssignment(7))
+        assert lazy == eager
+
+    def test_assign_sites_iter_falls_back_for_stateful_policies(self):
+        from repro.streams import assign_sites_iter
+        from repro.streams.generators import random_walk_stream
+
+        spec = random_walk_stream(40, seed=2)
+        lazy = list(assign_sites_iter(spec, 3, RandomAssignment(seed=5)))
+        eager = assign_sites(spec, 3, RandomAssignment(seed=5))
+        assert lazy == eager

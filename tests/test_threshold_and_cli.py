@@ -112,3 +112,43 @@ class TestCli:
         assert exit_code == 0
         assert "yes" in captured
         assert "members" in captured
+
+
+class TestCliBatchEngine:
+    def test_tracking_accepts_engine_flag(self, capsys):
+        for engine in ("auto", "batched", "per-update"):
+            assert (
+                main(
+                    [
+                        "tracking",
+                        "--stream",
+                        "random_walk",
+                        "--length",
+                        "600",
+                        "--engine",
+                        engine,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "deterministic" in out
+
+    def test_throughput_command_prints_speedup_table(self, capsys):
+        assert (
+            main(
+                [
+                    "throughput",
+                    "--length",
+                    "20000",
+                    "--sites",
+                    "4",
+                    "--record-every",
+                    "2000",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "batched up/s" in out
