@@ -1,0 +1,35 @@
+"""Shared sizing and assertion support for the benchmark harness.
+
+The benchmarks double as CI artifacts: a smoke-mode job runs the whole
+directory with tiny parameters on every push (uploading the
+pytest-benchmark JSON so the perf trajectory is tracked over time), while
+local full runs keep the paper-scale parameters and their quantitative
+assertions.  Set ``REPRO_BENCH_SMOKE=1`` to switch modes:
+
+* :func:`size` picks the tiny workload size instead of the full one;
+* :func:`check` skips *quantitative* claims (speedup floors, error decay
+  rates) that only hold at full scale — structural assertions (equivalence,
+  exactness, monotone shapes that hold at any size) should stay plain
+  ``assert`` so smoke mode still verifies correctness.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["SMOKE", "size", "check"]
+
+#: True when the harness runs in CI smoke mode (tiny parameters).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+
+def size(full: int, smoke: int) -> int:
+    """Return the workload size for the current mode."""
+    return smoke if SMOKE else full
+
+
+def check(condition: bool, message: str = "") -> None:
+    """Assert a quantitative claim, unless smoke-mode parameters void it."""
+    if SMOKE:
+        return
+    assert condition, message

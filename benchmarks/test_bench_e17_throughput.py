@@ -14,13 +14,14 @@ together), so the assertions check ratios, not absolute rates.
 """
 
 import pytest
+from bench_support import check, size
 
 from repro.analysis import measure_engine_throughput
 from repro.core import DeterministicCounter, RandomizedCounter
 from repro.streams import BlockedAssignment, assign_sites, random_walk_stream
 
-SWEEP_N = 150_000
-HEADLINE_N = 1_000_000
+SWEEP_N = size(150_000, 10_000)
+HEADLINE_N = size(1_000_000, 20_000)
 SITE_COUNTS = [4, 16, 64]
 EPSILON = 0.1
 BLOCK_LENGTH = 4_096
@@ -71,14 +72,14 @@ def test_bench_e17_throughput(benchmark, table_printer):
     )
     # The batched engine must never lose to per-update dispatch.
     for row in rows:
-        assert row[5] >= 1.0
+        check(row[5] >= 1.0)
     # Headline: >= 5x on random_walk_stream(1_000_000) (measured ~7-8x; the
     # margin below absorbs machine noise without weakening the claim).
     headline = rows[-1]
     assert headline[2] == HEADLINE_N
-    assert headline[5] >= 5.0
+    check(headline[5] >= 5.0)
     # The sweep should already show substantial wins at k >= 16 (measured
     # 6-15x; the low floor keeps timing noise from failing the suite).
     for row in rows:
         if row[1] >= 16:
-            assert row[5] >= 1.5
+            check(row[5] >= 1.5)

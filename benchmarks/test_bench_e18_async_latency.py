@@ -1,0 +1,120 @@
+"""E18 (asynchrony): delivery latency versus achieved error and staleness.
+
+The paper proves its guarantees in an instant-delivery model; the
+asynchronous transport (:mod:`repro.asynchrony`) measures what survives when
+delivery takes time.  This benchmark sweeps the latency scale for the
+Section 3.3 deterministic tracker on a biased walk and reports achieved
+error next to the staleness signals (message age, in-flight high-water
+mark), plus a FIFO-versus-reordering comparison at a fixed scale.
+
+Pinned shapes:
+
+* the zero-latency row is *identical* to the synchronous engine (messages
+  and bits — the transports share one counting contract), at any size;
+* staleness tracks the cause: mean delivered age grows with the scale;
+* accuracy decays: time-averaged error and violation fraction grow with
+  the scale (quantitative, full parameters only).
+"""
+
+from bench_support import check, size
+
+from repro.analysis import run_latency_sweep, time_averaged_relative_error
+from repro.core import DeterministicCounter
+from repro.streams import assign_sites, biased_walk_stream
+
+LENGTH = size(20_000, 2_000)
+NUM_SITES = 8
+EPSILON = 0.1
+SCALES = [0.0, 1.0, 4.0, 16.0, 64.0]
+RECORD_EVERY = 25
+
+
+def _measure():
+    spec = biased_walk_stream(LENGTH, drift=0.5, seed=3)
+    updates = assign_sites(spec, NUM_SITES)
+    points = run_latency_sweep(
+        lambda: DeterministicCounter(NUM_SITES, EPSILON),
+        updates,
+        epsilon=EPSILON,
+        scales=SCALES,
+        record_every=RECORD_EVERY,
+        seed=0,
+    )
+    reordered = run_latency_sweep(
+        lambda: DeterministicCounter(NUM_SITES, EPSILON),
+        updates,
+        epsilon=EPSILON,
+        scales=[8.0],
+        record_every=RECORD_EVERY,
+        seed=0,
+        preserve_order=False,
+    )[0]
+    sync = DeterministicCounter(NUM_SITES, EPSILON).track(
+        updates, record_every=RECORD_EVERY
+    )
+    return points, reordered, sync
+
+
+def test_bench_e18_async_latency(benchmark, table_printer):
+    points, reordered, sync = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows = [
+        [
+            point.scale,
+            point.messages,
+            round(point.time_avg_error, 4),
+            round(point.violation_fraction, 3),
+            round(point.staleness.mean_age, 2),
+            point.staleness.inflight_highwater,
+            point.staleness.reordered,
+        ]
+        for point in points
+    ] + [
+        [
+            "8.0 (reorder)",
+            reordered.messages,
+            round(reordered.time_avg_error, 4),
+            round(reordered.violation_fraction, 3),
+            round(reordered.staleness.mean_age, 2),
+            reordered.staleness.inflight_highwater,
+            reordered.staleness.reordered,
+        ]
+    ]
+    table_printer(
+        "E18 / asynchrony — latency scale vs error and staleness "
+        f"(biased walk, n={LENGTH}, k={NUM_SITES})",
+        [
+            "scale",
+            "messages",
+            "time-avg err",
+            "violation frac",
+            "mean age",
+            "in-flight hwm",
+            "reordered",
+        ],
+        rows,
+    )
+    zero = points[0]
+    # Zero latency is the synchronous engine: identical counters at any size.
+    assert zero.messages == sync.total_messages
+    assert zero.bits == sync.total_bits
+    assert zero.max_relative_error == sync.max_relative_error()
+    assert zero.staleness.inflight_highwater == 0
+    assert time_averaged_relative_error(sync.records) == zero.time_avg_error
+    # Staleness tracks its cause at any size: delivered age grows with scale.
+    ages = [point.staleness.mean_age for point in points]
+    assert ages == sorted(ages)
+    assert points[-1].staleness.inflight_highwater > 0
+    # Reordering is detected only when FIFO is off.
+    assert all(point.staleness.reordered == 0 for point in points)
+    assert reordered.staleness.reordered > 0
+    # Quantitative decay shapes need full-scale parameters.
+    errors = [point.time_avg_error for point in points]
+    check(errors == sorted(errors), f"error not monotone in scale: {errors}")
+    check(
+        points[-1].violation_fraction > 0.9,
+        "large latency should break the guarantee almost everywhere",
+    )
+    check(
+        points[-1].messages > zero.messages,
+        "stale block levels should cost extra messages",
+    )

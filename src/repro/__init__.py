@@ -69,6 +69,15 @@ from repro.lowerbounds import (
     RandomizedFlipFamily,
     TranscriptTracer,
 )
+from repro.asynchrony import (
+    AsyncChannel,
+    AsyncTrackingResult,
+    ConstantLatency,
+    HeavyTailLatency,
+    UniformLatency,
+    build_async_network,
+    run_tracking_async,
+)
 from repro.monitoring import MonitoringNetwork, TrackingResult, run_tracking
 from repro.sketches import AmsF2Sketch, CountMinSketch, CRPrecis
 from repro.streams import (
@@ -124,6 +133,14 @@ __all__ = [
     "MonitoringNetwork",
     "TrackingResult",
     "run_tracking",
+    # asynchrony
+    "AsyncChannel",
+    "AsyncTrackingResult",
+    "ConstantLatency",
+    "UniformLatency",
+    "HeavyTailLatency",
+    "build_async_network",
+    "run_tracking_async",
     # streams
     "assign_sites",
     "monotone_stream",

@@ -32,6 +32,14 @@ from repro.analysis.experiments import (
 from repro.analysis.fitting import GrowthFit, fit_growth
 from repro.analysis.metrics import TrialSummary, summarize_trials
 from repro.analysis.reporting import format_table
+from repro.analysis.staleness import (
+    LatencySweepPoint,
+    StalenessSummary,
+    error_over_time,
+    run_latency_sweep,
+    summarize_staleness,
+    time_averaged_relative_error,
+)
 
 __all__ = [
     "biased_walk_variability_bound",
@@ -55,4 +63,10 @@ __all__ = [
     "TrialSummary",
     "summarize_trials",
     "format_table",
+    "LatencySweepPoint",
+    "StalenessSummary",
+    "error_over_time",
+    "run_latency_sweep",
+    "summarize_staleness",
+    "time_averaged_relative_error",
 ]

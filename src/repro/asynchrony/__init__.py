@@ -1,0 +1,53 @@
+"""Discrete-event asynchronous transport for the monitoring substrate.
+
+The paper's model delivers every site-to-coordinator message synchronously
+and instantly.  This package asks what happens when delivery takes time: a
+deterministic discrete-event scheduler (:mod:`repro.asynchrony.events`),
+pluggable latency models (:mod:`repro.asynchrony.latency`), a latency-aware
+:class:`AsyncChannel` that conforms to the synchronous channel's counting
+contract while holding messages in flight (:mod:`repro.asynchrony.channel`),
+and an event-driven runner that interleaves stream updates with deliveries
+on a virtual clock (:mod:`repro.asynchrony.runner`).
+
+Existing algorithms — the Section 3 trackers and every baseline — run
+unmodified over this transport via :func:`build_async_network`; the
+coordinator close protocols complete when the last (possibly delayed) reply
+lands, which over a synchronous channel degenerates to exactly the paper's
+reentrant behaviour.  The zero-latency configuration is bit-for-bit
+identical to the synchronous engine (estimates, message counts, bit counts,
+transcript order), which anchors every latency experiment to the paper's
+semantics.  Staleness aggregates live in
+:mod:`repro.analysis.staleness`.
+"""
+
+from repro.asynchrony.channel import AsyncChannel, InFlightMessage
+from repro.asynchrony.events import EventScheduler, ScheduledEvent
+from repro.asynchrony.latency import (
+    ZERO_LATENCY,
+    AsymmetricLatency,
+    ConstantLatency,
+    HeavyTailLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.asynchrony.runner import (
+    AsyncTrackingResult,
+    build_async_network,
+    run_tracking_async,
+)
+
+__all__ = [
+    "AsyncChannel",
+    "InFlightMessage",
+    "EventScheduler",
+    "ScheduledEvent",
+    "ZERO_LATENCY",
+    "AsymmetricLatency",
+    "ConstantLatency",
+    "HeavyTailLatency",
+    "LatencyModel",
+    "UniformLatency",
+    "AsyncTrackingResult",
+    "build_async_network",
+    "run_tracking_async",
+]

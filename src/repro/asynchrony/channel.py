@@ -1,0 +1,241 @@
+"""Latency-aware asynchronous channel with in-flight messages.
+
+:class:`AsyncChannel` conforms to the :class:`repro.monitoring.channel.Channel`
+counting contract — every transmission is charged (messages, bits, per-kind
+breakdown, optional transcript log) at *send* time, exactly like the
+synchronous channel — but delivery happens later: each message is held in
+flight and handed to its destination handler at a scheduled virtual time,
+``send instant + sampled latency``.  The channel owns the virtual clock; the
+event-driven runner (:func:`repro.asynchrony.runner.run_tracking_async`)
+advances it as stream updates arrive and drains the queue between them.
+
+Ordering semantics are explicit:
+
+* ``preserve_order=True`` (default) keeps each directed link (one site to the
+  coordinator, or the coordinator to one site) FIFO, like a TCP connection:
+  a message never overtakes an earlier one on the same link, even when the
+  latency model hands it a smaller delay.
+* ``preserve_order=False`` allows reordering within a link (UDP-like); the
+  channel counts how many deliveries arrived out of send order so experiments
+  can correlate reordering with estimate error.
+
+A sampled delay of exactly zero is delivered *inline*, synchronously, through
+the same code path as the synchronous channel (provided the link has nothing
+in flight that FIFO would force it behind).  Under ``ConstantLatency(0)``
+every message takes this path, which is why the zero-latency asynchronous
+engine is bit-for-bit identical to the synchronous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.asynchrony.events import EventScheduler
+from repro.asynchrony.latency import ZERO_LATENCY, LatencyModel
+from repro.exceptions import ProtocolError
+from repro.monitoring.channel import Channel
+from repro.monitoring.messages import BROADCAST_SITE, COORDINATOR, Message
+
+__all__ = ["InFlightMessage", "AsyncChannel"]
+
+#: A directed link: ("up", site_id) for site-to-coordinator traffic and
+#: ("down", site_id) for coordinator-to-site traffic (broadcast copies use the
+#: receiving site's down link, one in-flight copy per site).
+Link = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class InFlightMessage:
+    """One transmission travelling through the asynchronous channel.
+
+    Attributes:
+        message: The message being delivered (already charged at send time).
+        handler: Destination handler to invoke at delivery.
+        link: Directed link the transmission travels on.
+        link_order: Send index on that link (0-based), used to detect
+            reordered deliveries.
+        sent_at: Virtual time at which the transmission was sent.
+    """
+
+    message: Message
+    handler: Callable[[Message], None]
+    link: Link
+    link_order: int
+    sent_at: float
+
+
+class AsyncChannel(Channel):
+    """A counted channel whose deliveries take (virtual) time.
+
+    Cost accounting is identical to the synchronous :class:`Channel` — the
+    shared ``_account`` helper charges every transmission at send time — so
+    experiments compare communication bounds across transports without
+    recalibration.  What changes is *when* handlers run: messages wait in a
+    deterministic heap-based event queue and are delivered by
+    :meth:`advance_to` / :meth:`drain` in ``(due time, send order)`` order.
+
+    Staleness instrumentation is collected as messages flow: the age of every
+    delivery (virtual time spent in flight), the in-flight high-water mark,
+    and the number of deliveries that arrived out of send order on their
+    link.  :func:`repro.analysis.staleness.summarize_staleness` aggregates
+    these into a report.
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        latency: LatencyModel = ZERO_LATENCY,
+        seed: Optional[int] = 0,
+        preserve_order: bool = True,
+    ) -> None:
+        super().__init__(num_sites)
+        self._latency = latency
+        self._rng = np.random.default_rng(seed)
+        self._preserve_order = preserve_order
+        self._scheduler = EventScheduler()
+        self._clock = 0.0
+        # Per-link bookkeeping: queued-but-undelivered count (FIFO inline
+        # guard), latest scheduled due time (FIFO delivery floor), send and
+        # delivery counters (reordering detection).
+        self._link_pending: Dict[Link, int] = {}
+        self._link_front: Dict[Link, float] = {}
+        self._link_sent: Dict[Link, int] = {}
+        self._link_delivered_high: Dict[Link, int] = {}
+        #: Virtual-time age of every delivery so far, in send order of
+        #: delivery (inline deliveries contribute 0.0).
+        self.delivery_ages: List[float] = []
+        #: Largest number of messages simultaneously in flight.
+        self.inflight_highwater = 0
+        #: Deliveries that arrived out of send order on their link.
+        self.reordered_deliveries = 0
+
+    # -- clock & queue introspection ----------------------------------------
+
+    @property
+    def is_synchronous(self) -> bool:
+        """Asynchronous delivery: closed-form fast paths must not be used."""
+        return False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (monotone; advanced by the runner)."""
+        return self._clock
+
+    @property
+    def in_flight(self) -> int:
+        """Number of messages currently travelling through the channel."""
+        return len(self._scheduler)
+
+    @property
+    def delivered_count(self) -> int:
+        """Total deliveries so far (inline and queued)."""
+        return len(self.delivery_ages)
+
+    # -- send paths (Channel contract) ---------------------------------------
+
+    def send_to_coordinator(self, message: Message) -> None:
+        """Charge a site-to-coordinator message and put it in flight."""
+        if self._coordinator_handler is None:
+            raise ProtocolError("no coordinator registered on this channel")
+        self._account(message)
+        delay = self._latency.sample(self._rng, message.sender, COORDINATOR)
+        self._transmit(
+            message, self._coordinator_handler, ("up", message.sender), delay
+        )
+
+    def send_to_site(self, message: Message) -> None:
+        """Charge a coordinator-to-site message (or broadcast) and put it in flight.
+
+        A broadcast is charged ``k`` transmissions, exactly like the
+        synchronous channel, and each copy samples its *own* latency: under
+        jitter, different sites learn new protocol parameters at different
+        virtual times.
+        """
+        if message.receiver == BROADCAST_SITE:
+            handlers = [
+                self._site_handler(site_id) for site_id in range(self._num_sites)
+            ]
+            self._account(message, copies=self._num_sites)
+            for site_id, handler in enumerate(handlers):
+                delay = self._latency.sample(self._rng, COORDINATOR, site_id)
+                self._transmit(message, handler, ("down", site_id), delay)
+            return
+        handler = self._site_handler(message.receiver)
+        self._account(message)
+        delay = self._latency.sample(self._rng, COORDINATOR, message.receiver)
+        self._transmit(message, handler, ("down", message.receiver), delay)
+
+    # -- scheduling and delivery ---------------------------------------------
+
+    def _transmit(
+        self,
+        message: Message,
+        handler: Callable[[Message], None],
+        link: Link,
+        delay: float,
+    ) -> None:
+        """Deliver inline (zero effective delay) or schedule for later."""
+        delay = max(0.0, float(delay))
+        order = self._link_sent.get(link, 0)
+        self._link_sent[link] = order + 1
+        item = InFlightMessage(
+            message=message,
+            handler=handler,
+            link=link,
+            link_order=order,
+            sent_at=self._clock,
+        )
+        fifo_clear = not self._preserve_order or self._link_pending.get(link, 0) == 0
+        if delay == 0.0 and fifo_clear:
+            # Synchronous degenerate case: same reentrant delivery as the
+            # synchronous channel, so zero latency is provably equivalent.
+            self._deliver(item, self._clock)
+            return
+        due = self._clock + delay
+        if self._preserve_order:
+            due = max(due, self._link_front.get(link, 0.0))
+            self._link_front[link] = due
+        self._link_pending[link] = self._link_pending.get(link, 0) + 1
+        self._scheduler.push(due, item)
+        self.inflight_highwater = max(self.inflight_highwater, len(self._scheduler))
+
+    def _deliver(self, item: InFlightMessage, at: float) -> None:
+        """Hand one in-flight message to its handler at virtual time ``at``."""
+        self._clock = at
+        self.delivery_ages.append(at - item.sent_at)
+        high = self._link_delivered_high.get(item.link, -1)
+        if item.link_order < high:
+            self.reordered_deliveries += 1
+        else:
+            self._link_delivered_high[item.link] = item.link_order
+        item.handler(item.message)
+
+    def advance_to(self, until: float) -> None:
+        """Advance the virtual clock to ``until``, delivering everything due.
+
+        Deliveries happen in ``(due time, send order)`` order; a delivery
+        that sends further messages (a reply, a broadcast) may have them
+        delivered in the same sweep when their due times also fall inside
+        the window.  The clock never moves backwards: a stale ``until`` just
+        delivers nothing.
+        """
+        for event in self._scheduler.pop_due(float(until)):
+            item = event.payload
+            self._link_pending[item.link] -= 1
+            self._deliver(item, event.due)
+        self._clock = max(self._clock, float(until))
+
+    def drain(self) -> float:
+        """Deliver every remaining in-flight message; return the final clock.
+
+        Used at end of stream so the coordinator settles on its final
+        estimate once the last in-flight message lands.
+        """
+        for event in self._scheduler.pop_all():
+            item = event.payload
+            self._link_pending[item.link] -= 1
+            self._deliver(item, event.due)
+        return self._clock

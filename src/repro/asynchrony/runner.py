@@ -1,0 +1,151 @@
+"""Event-driven runner: interleave stream updates with delayed deliveries.
+
+:func:`run_tracking_async` is the asynchronous counterpart of
+:func:`repro.monitoring.runner.run_tracking`.  Both consume any iterable of
+updates in time order and record the coordinator's estimate against the exact
+value at a configurable stride; the difference is the clock.  The
+asynchronous runner drives the channel's *virtual* clock: before the update
+at timestep ``t`` is handed to its site, every in-flight message due at or
+before ``t`` is delivered (in deterministic ``(due, send order)`` order), so
+protocol reactions and stream progress interleave exactly as they would on a
+network where delivery takes time.  After the last update the channel is
+drained, letting the coordinator settle on its final estimate.
+
+Under the zero-latency model every message is delivered inline at its send
+instant, the event queue stays empty, and the run is bit-for-bit identical —
+estimates, message counts, bit counts, transcript order — to the synchronous
+engine (``tests/test_async_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.staleness import StalenessSummary, summarize_staleness
+from repro.asynchrony.channel import AsyncChannel
+from repro.asynchrony.latency import ZERO_LATENCY, LatencyModel
+from repro.exceptions import ProtocolError
+from repro.monitoring.network import MonitoringNetwork
+from repro.monitoring.runner import TrackingResult, _record
+from repro.types import Update
+
+__all__ = ["AsyncTrackingResult", "run_tracking_async", "build_async_network"]
+
+
+@dataclass
+class AsyncTrackingResult(TrackingResult):
+    """A :class:`TrackingResult` plus the asynchronous run's staleness signals.
+
+    Attributes:
+        staleness: Message-age, in-flight and reordering aggregates.
+        final_clock: Virtual time at which the last in-flight message landed.
+        final_estimate: The coordinator's estimate after the drain — with
+            zero latency this equals the last record's estimate; with real
+            latency it shows where the estimate *settles* once the backlog
+            clears.
+        final_true_value: The exact ``f(n)`` at end of stream.
+    """
+
+    staleness: StalenessSummary = field(default_factory=StalenessSummary)
+    final_clock: float = 0.0
+    final_estimate: float = 0.0
+    final_true_value: int = 0
+
+    def settled_error(self) -> float:
+        """Absolute estimate error after every in-flight message landed."""
+        return abs(self.final_true_value - self.final_estimate)
+
+
+def build_async_network(
+    factory,
+    latency: LatencyModel = ZERO_LATENCY,
+    seed: Optional[int] = 0,
+    preserve_order: bool = True,
+) -> MonitoringNetwork:
+    """Wire a tracker factory's coordinator and sites over an async channel.
+
+    Works with any factory exposing ``build_network()`` (the Section 3
+    trackers and every baseline), so existing algorithms run unmodified over
+    the asynchronous transport: the factory builds its usual actors, and this
+    helper re-wires them onto a fresh :class:`AsyncChannel`.
+
+    Args:
+        factory: Tracker factory (e.g. ``DeterministicCounter(k, eps)``).
+        latency: Delivery-latency model for the channel.
+        seed: Seed for the channel's latency RNG.
+        preserve_order: Per-link FIFO (default) versus reordering allowed.
+
+    Returns:
+        A :class:`MonitoringNetwork` whose channel is the async transport.
+    """
+    base = factory.build_network()
+    channel = AsyncChannel(
+        base.num_sites, latency=latency, seed=seed, preserve_order=preserve_order
+    )
+    return MonitoringNetwork(base.coordinator, base.sites, channel=channel)
+
+
+def run_tracking_async(
+    network: MonitoringNetwork,
+    updates: Iterable[Update],
+    record_every: int = 1,
+    drain: bool = True,
+) -> AsyncTrackingResult:
+    """Run a distributed stream over the asynchronous transport.
+
+    Args:
+        network: A network wired over an :class:`AsyncChannel` (see
+            :func:`build_async_network`).
+        updates: The distributed stream, one update per timestep, in time
+            order; any iterable works and is consumed exactly once.
+        record_every: Record an estimate-vs-truth point every this many
+            timesteps (the final timestep is always recorded).  Records taken
+            while messages are in flight show the *stale* estimate — that is
+            the instrumentation this runner exists for.
+        drain: Deliver all remaining in-flight messages after the stream
+            ends (default).  Disable to inspect the undelivered backlog on
+            the channel instead.
+
+    Returns:
+        An :class:`AsyncTrackingResult` with per-step records, total costs
+        and staleness aggregates.
+    """
+    channel = network.channel
+    if not isinstance(channel, AsyncChannel):
+        raise ProtocolError(
+            "run_tracking_async needs a network wired over an AsyncChannel; "
+            "build one with repro.asynchrony.build_async_network (use "
+            "run_tracking for synchronous channels)"
+        )
+    if record_every < 1:
+        raise ValueError(f"record_every must be >= 1, got {record_every}")
+    result = AsyncTrackingResult()
+    true_value = 0
+    last_time = 0
+    seen_any = False
+    recorded_last = False
+    for index, update in enumerate(updates):
+        channel.advance_to(update.time)
+        network.deliver_update(update.time, update.site, update.delta)
+        true_value += update.delta
+        last_time = update.time
+        seen_any = True
+        if index % record_every == 0:
+            _record(result, network, update.time, true_value)
+            recorded_last = True
+        else:
+            recorded_last = False
+    if seen_any and not recorded_last:
+        _record(result, network, last_time, true_value)
+    if drain:
+        channel.drain()
+    stats = network.stats
+    result.total_messages = stats.messages
+    result.total_bits = stats.bits
+    result.messages_by_kind = dict(stats.by_kind)
+    result.staleness = summarize_staleness(channel)
+    result.final_clock = channel.now
+    result.final_estimate = network.estimate()
+    result.final_true_value = true_value
+    return result

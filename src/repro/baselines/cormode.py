@@ -22,7 +22,7 @@ Section 3 trackers on monotone inputs.
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Dict
 
 from repro.core.template import check_tracking_parameters
 from repro.exceptions import ConfigurationError
@@ -87,7 +87,8 @@ class CormodeCoordinator(Coordinator):
         self.signals = 0
         self.rounds_completed = 0
         self._collecting = False
-        self._residuals: List[int] = []
+        self._residuals: Dict[int, int] = {}
+        self._close_time = 0
 
     def estimate(self) -> float:
         return float(self.round_base + self.signals * self.threshold)
@@ -96,17 +97,27 @@ class CormodeCoordinator(Coordinator):
         if message.kind is MessageKind.REPLY:
             if not self._collecting:
                 raise ConfigurationError("reply received outside of a round close")
-            self._residuals.append(int(message.payload["residual"]))
+            self._residuals[message.sender] = int(message.payload["residual"])
+            if len(self._residuals) == self.num_sites:
+                self._finish_round()
             return
         if message.kind is not MessageKind.REPORT:
             raise ConfigurationError(f"unexpected message kind {message.kind}")
         self.signals += 1
-        if self.signals >= self.num_sites:
+        if self.signals >= self.num_sites and not self._collecting:
             self._close_round(message.time)
 
     def _close_round(self, time: int) -> None:
+        """Start a round close by polling every site for its exact residual.
+
+        Over a synchronous channel the replies arrive reentrantly and the
+        round completes within this call; over an asynchronous channel the
+        poll is in flight for a while and :meth:`_finish_round` runs when the
+        last (possibly delayed) reply lands.
+        """
         self._collecting = True
-        self._residuals = []
+        self._residuals = {}
+        self._close_time = time
         for site_id in range(self.num_sites):
             self.send(
                 Message(
@@ -117,8 +128,20 @@ class CormodeCoordinator(Coordinator):
                     time=time,
                 )
             )
+        if self._channel is not None and self._channel.is_synchronous:
+            if self._collecting:
+                raise ConfigurationError(
+                    f"round close expected {self.num_sites} replies, "
+                    f"got {len(self._residuals)}"
+                )
+
+    def _finish_round(self) -> None:
         self._collecting = False
-        exact = self.round_base + self.signals * self.threshold + sum(self._residuals)
+        exact = (
+            self.round_base
+            + self.signals * self.threshold
+            + sum(self._residuals.values())
+        )
         self.round_base = exact
         self.signals = 0
         self.rounds_completed += 1
@@ -129,7 +152,7 @@ class CormodeCoordinator(Coordinator):
                 sender=COORDINATOR,
                 receiver=BROADCAST_SITE,
                 payload={"threshold": self.threshold},
-                time=time,
+                time=self._close_time,
             )
         )
 

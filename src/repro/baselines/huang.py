@@ -29,7 +29,7 @@ compares the two on monotone streams.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -121,7 +121,8 @@ class HuangCoordinator(Coordinator):
         self.rounds_completed = 0
         self._estimates: Dict[int, float] = {}
         self._collecting = False
-        self._replies: List[int] = []
+        self._replies: Dict[int, int] = {}
+        self._close_time = 0
 
     def estimate(self) -> float:
         return float(self.round_base + sum(self._estimates.values()))
@@ -130,13 +131,15 @@ class HuangCoordinator(Coordinator):
         if message.kind is MessageKind.REPLY:
             if not self._collecting:
                 raise ConfigurationError("reply received outside of a round close")
-            self._replies.append(int(message.payload["count"]))
+            self._replies[message.sender] = int(message.payload["count"])
+            if len(self._replies) == self.num_sites:
+                self._finish_round()
             return
         if message.kind is not MessageKind.REPORT:
             raise ConfigurationError(f"unexpected message kind {message.kind}")
         if "signal" in message.payload:
             self.signals += 1
-            if self.signals >= self.num_sites:
+            if self.signals >= self.num_sites and not self._collecting:
                 self._close_round(message.time)
             return
         corrected = (
@@ -145,8 +148,15 @@ class HuangCoordinator(Coordinator):
         self._estimates[message.sender] = corrected
 
     def _close_round(self, time: int) -> None:
+        """Start a round close; completes when the last reply arrives.
+
+        Synchronous channels deliver the replies reentrantly, so the round
+        completes within this call; asynchronous channels finish it from
+        :meth:`receive_message` when the ``k``-th delayed reply lands.
+        """
         self._collecting = True
-        self._replies = []
+        self._replies = {}
+        self._close_time = time
         for site_id in range(self.num_sites):
             self.send(
                 Message(
@@ -157,8 +167,16 @@ class HuangCoordinator(Coordinator):
                     time=time,
                 )
             )
+        if self._channel is not None and self._channel.is_synchronous:
+            if self._collecting:
+                raise ConfigurationError(
+                    f"round close expected {self.num_sites} replies, "
+                    f"got {len(self._replies)}"
+                )
+
+    def _finish_round(self) -> None:
         self._collecting = False
-        exact = self.round_base + sum(self._replies)
+        exact = self.round_base + sum(self._replies.values())
         self.round_base = exact
         self.signals = 0
         self.rounds_completed += 1
@@ -176,7 +194,7 @@ class HuangCoordinator(Coordinator):
                     "probability": self.report_probability,
                     "signal_threshold": self.signal_threshold,
                 },
-                time=time,
+                time=self._close_time,
             )
         )
 

@@ -8,13 +8,16 @@ at the paper's claims directly from a shell::
     python -m repro frequency --length 10000 --universe 500 --epsilon 0.2
     python -m repro lowerbound --n 256 --level 8 --flips 8
     python -m repro throughput --length 1000000 --sites 4 16 64
+    python -m repro latency --stream biased_walk --scales 0 1 4 16 64
 
 Each subcommand prints a plain-text table in the same format the benchmark
 harness uses for EXPERIMENTS.md.  The ``tracking`` subcommand accepts
 ``--engine {auto,batched,per-update}`` to select the runner's delivery
 engine (both produce identical results; see
-:mod:`repro.monitoring.runner`), and ``throughput`` measures what the
-batched engine buys on a long random walk.
+:mod:`repro.monitoring.runner`), ``throughput`` measures what the
+batched engine buys on a long random walk, and ``latency`` sweeps the
+asynchronous transport's delivery-latency scale against the achieved
+error and staleness (:mod:`repro.asynchrony`).
 """
 
 from __future__ import annotations
@@ -103,6 +106,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     throughput_parser.add_argument("--record-every", type=int, default=20_000)
     throughput_parser.add_argument("--seed", type=int, default=31)
+
+    latency_parser = subparsers.add_parser(
+        "latency",
+        help="sweep delivery-latency scales on the asynchronous transport",
+    )
+    latency_parser.add_argument("--stream", choices=STREAM_GENERATORS, default="biased_walk")
+    latency_parser.add_argument("--length", type=int, default=20_000)
+    latency_parser.add_argument("--sites", type=int, default=8)
+    latency_parser.add_argument("--epsilon", type=float, default=0.1)
+    latency_parser.add_argument(
+        "--scales",
+        type=float,
+        nargs="+",
+        default=[0.0, 1.0, 4.0, 16.0, 64.0],
+        help="latency scales in virtual-time units (0 = the paper's synchronous model)",
+    )
+    latency_parser.add_argument(
+        "--algorithm",
+        choices=["deterministic", "randomized", "naive"],
+        default="deterministic",
+    )
+    latency_parser.add_argument(
+        "--model",
+        choices=["constant", "uniform", "heavytail"],
+        default="uniform",
+        help="latency distribution: constant delay, uniform jitter on "
+        "[scale/2, 3*scale/2], or Pareto tail around the scale",
+    )
+    latency_parser.add_argument(
+        "--allow-reordering",
+        action="store_true",
+        help="let messages overtake each other on a link (default: per-link FIFO)",
+    )
+    latency_parser.add_argument("--record-every", type=int, default=25)
+    latency_parser.add_argument("--seed", type=int, default=0)
 
     frequency_parser = subparsers.add_parser(
         "frequency", help="run the Appendix H frequency tracker on a Zipfian workload"
@@ -233,6 +271,70 @@ def _command_throughput(args: argparse.Namespace) -> str:
     )
 
 
+def _command_latency(args: argparse.Namespace) -> str:
+    from repro.analysis.staleness import run_latency_sweep
+    from repro.asynchrony import ConstantLatency, HeavyTailLatency
+    from repro.streams import assign_sites as _assign
+
+    spec = STREAM_GENERATORS[args.stream](args.length, args.seed)
+    updates = _assign(spec, args.sites)
+    factories = {
+        "deterministic": lambda: DeterministicCounter(args.sites, args.epsilon),
+        "randomized": lambda: RandomizedCounter(args.sites, args.epsilon, seed=args.seed),
+        "naive": lambda: NaiveCounter(args.sites),
+    }
+    models = {
+        "constant": lambda scale: ConstantLatency(scale),
+        # None = run_latency_sweep's default uniform jitter on [s/2, 3s/2].
+        "uniform": None,
+        "heavytail": lambda scale: HeavyTailLatency(scale, alpha=1.5, cap=100.0 * scale),
+    }
+    points = run_latency_sweep(
+        factories[args.algorithm],
+        updates,
+        epsilon=args.epsilon,
+        scales=args.scales,
+        model_for_scale=models[args.model],
+        record_every=args.record_every,
+        seed=args.seed,
+        preserve_order=not args.allow_reordering,
+    )
+    rows = [
+        [
+            p.scale,
+            p.messages,
+            round(p.max_relative_error, 4),
+            round(p.violation_fraction, 4),
+            round(p.time_avg_error, 4),
+            round(p.staleness.mean_age, 2),
+            round(p.staleness.max_age, 2),
+            p.staleness.inflight_highwater,
+            p.staleness.reordered,
+        ]
+        for p in points
+    ]
+    header = (
+        f"stream={args.stream} n={args.length} k={args.sites} eps={args.epsilon} "
+        f"algo={args.algorithm} model={args.model} "
+        f"order={'reordering' if args.allow_reordering else 'fifo'} seed={args.seed}"
+    )
+    table = format_table(
+        [
+            "scale",
+            "messages",
+            "max rel err",
+            "violation frac",
+            "time-avg err",
+            "mean age",
+            "max age",
+            "in-flight hwm",
+            "reordered",
+        ],
+        rows,
+    )
+    return header + "\n" + table
+
+
 def _command_lowerbound(args: argparse.Namespace) -> str:
     family = DeterministicFlipFamily(n=args.n, level=args.level, num_flips=args.flips)
     reduction = IndexReduction(
@@ -265,6 +367,7 @@ _COMMANDS = {
     "variability": _command_variability,
     "tracking": _command_tracking,
     "throughput": _command_throughput,
+    "latency": _command_latency,
     "frequency": _command_frequency,
     "lowerbound": _command_lowerbound,
 }

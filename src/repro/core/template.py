@@ -183,6 +183,7 @@ class BlockTrackingSite(Site, abc.ABC):
             or not isinstance(coordinator, BlockTrackingCoordinator)
             or self._channel is None
             or self._channel.log_enabled
+            or not self._channel.is_synchronous
         ):
             for time, delta in zip(times, deltas):
                 self.receive_update(time, delta)
@@ -400,6 +401,7 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
         self.blocks_completed = 0
         self._collecting_replies = False
         self._replies: Dict[int, Message] = {}
+        self._close_time = 0
 
     # -- estimate ------------------------------------------------------------
 
@@ -438,6 +440,8 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
                     "coordinator received a reply outside of a block close"
                 )
             self._replies[message.sender] = message
+            if len(self._replies) == self.num_sites:
+                self._finish_close()
             return
         if message.kind is not MessageKind.REPORT:
             raise ConfigurationError(
@@ -445,14 +449,29 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
             )
         if "count" in message.payload:
             self.reported_updates += int(message.payload["count"])
-            if self.reported_updates >= self.block_trigger_threshold():
+            if (
+                not self._collecting_replies
+                and self.reported_updates >= self.block_trigger_threshold()
+            ):
                 self._close_block(message.time)
         else:
             self.on_estimation_report(message)
 
     def _close_block(self, time: int) -> None:
+        """Start a block close: request (``c_i``, ``f_i``) from every site.
+
+        The close *finishes* (:meth:`_finish_close`) once all ``k`` replies
+        have arrived.  Over a synchronous channel the replies come back
+        reentrantly while the requests are being sent, so the close completes
+        within this call, exactly as in the paper's instant-delivery model.
+        Over an asynchronous channel the requests and replies are in flight
+        for a while; the coordinator keeps absorbing reports in the meantime
+        (count reports accumulate in ``t_hat`` but cannot re-trigger a close
+        until the pending one finishes).
+        """
         self._collecting_replies = True
         self._replies = {}
+        self._close_time = time
         for site_id in range(self.num_sites):
             self.send(
                 Message(
@@ -463,11 +482,19 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
                     time=time,
                 )
             )
+        if self._channel is not None and self._channel.is_synchronous:
+            # Synchronous delivery must have completed the close reentrantly;
+            # a missing reply (a site mishandling REQUEST) is a wiring bug
+            # and must fail loudly, not freeze all future closes.
+            if self._collecting_replies:
+                raise ConfigurationError(
+                    f"block close expected {self.num_sites} replies, "
+                    f"got {len(self._replies)}"
+                )
+
+    def _finish_close(self) -> None:
+        """Complete the block close once every site has replied."""
         self._collecting_replies = False
-        if len(self._replies) != self.num_sites:
-            raise ConfigurationError(
-                f"block close expected {self.num_sites} replies, got {len(self._replies)}"
-            )
         extra_updates = sum(int(r.payload["count"]) for r in self._replies.values())
         total_change = sum(int(r.payload["change"]) for r in self._replies.values())
         self.boundary_time += self.reported_updates + extra_updates
@@ -482,7 +509,7 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
                 sender=COORDINATOR,
                 receiver=BROADCAST_SITE,
                 payload={"level": self.level},
-                time=time,
+                time=self._close_time,
             )
         )
 

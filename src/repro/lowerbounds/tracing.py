@@ -38,6 +38,10 @@ class _ReplayChannel:
     that point, because the block protocol polls sites in a fixed order.
     """
 
+    #: Replay delivers replies reentrantly on request, like the live
+    #: synchronous channel it stands in for.
+    is_synchronous = True
+
     def __init__(self, transcript: Sequence[Message]) -> None:
         self._transcript = list(transcript)
         self._consumed = [False] * len(self._transcript)

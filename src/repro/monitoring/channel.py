@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.exceptions import ProtocolError
-from repro.monitoring.messages import BROADCAST_SITE, Message
+from repro.monitoring.messages import BROADCAST_SITE, Message, MessageKind
 
 __all__ = ["ChannelStats", "Channel"]
 
@@ -23,14 +23,22 @@ class ChannelStats:
 
     messages: int = 0
     bits: int = 0
-    by_kind: dict = field(default_factory=dict)
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def _charge(self, kind_value: str, copies: int, total_bits: int) -> None:
+        """Single accounting primitive every charge path funnels through.
+
+        Both :meth:`record` (real messages, synchronous or asynchronous) and
+        :meth:`record_bulk` (closed-form simulated messages) delegate here, so
+        the counters cannot drift between delivery engines or channel types.
+        """
+        self.messages += copies
+        self.bits += total_bits
+        self.by_kind[kind_value] = self.by_kind.get(kind_value, 0) + copies
 
     def record(self, message: Message, copies: int = 1) -> None:
         """Charge ``copies`` transmissions of ``message``."""
-        self.messages += copies
-        self.bits += copies * message.bits()
-        kind = message.kind.value
-        self.by_kind[kind] = self.by_kind.get(kind, 0) + copies
+        self._charge(message.kind.value, copies, copies * message.bits())
 
     def record_bulk(self, kind_value: str, copies: int, total_bits: int) -> None:
         """Charge ``copies`` messages of one kind totalling ``total_bits``.
@@ -38,9 +46,7 @@ class ChannelStats:
         Used by the batched fast path to account for messages it has
         simulated in closed form without constructing them one by one.
         """
-        self.messages += copies
-        self.bits += total_bits
-        self.by_kind[kind_value] = self.by_kind.get(kind_value, 0) + copies
+        self._charge(kind_value, copies, total_bits)
 
     def snapshot(self) -> "ChannelStats":
         """Return an independent copy of the current counters."""
@@ -75,6 +81,31 @@ class Channel:
         """Number of sites attached to this channel."""
         return self._num_sites
 
+    @property
+    def is_synchronous(self) -> bool:
+        """Whether :meth:`send_to_coordinator`/:meth:`send_to_site` deliver inline.
+
+        Synchronous delivery is what the closed-form batched fast path relies
+        on (it reads peer state mid-run); asynchronous subclasses return
+        ``False`` so that fast path falls back to per-update delivery.
+        """
+        return True
+
+    def _account(self, message: Message, copies: int = 1) -> None:
+        """Charge (and, when enabled, log) ``copies`` transmissions.
+
+        Single accounting entry point shared by the synchronous send paths
+        and any delaying subclass, so cost and transcript semantics cannot
+        drift between transports: every transmission is charged at *send*
+        time, one log entry per charged copy.
+        """
+        self.stats.record(message, copies=copies)
+        if self._record_log:
+            if copies == 1:
+                self._log.append(message)
+            else:
+                self._log.extend([message] * copies)
+
     def enable_log(self) -> None:
         """Record every delivered message (used by the tracing lower bound)."""
         self._record_log = True
@@ -108,9 +139,7 @@ class Channel:
         """Deliver a site-to-coordinator message and charge its cost."""
         if self._coordinator_handler is None:
             raise ProtocolError("no coordinator registered on this channel")
-        self.stats.record(message)
-        if self._record_log:
-            self._log.append(message)
+        self._account(message)
         self._coordinator_handler(message)
 
     def charge(self, kind: MessageKind, copies: int, total_bits: int) -> None:
@@ -144,22 +173,23 @@ class Channel:
         site and charged ``k`` message transmissions, matching the paper.
         """
         if message.receiver == BROADCAST_SITE:
-            self.stats.record(message, copies=self._num_sites)
-            if self._record_log:
-                self._log.extend([message] * self._num_sites)
+            self._account(message, copies=self._num_sites)
             for site_id, handler in enumerate(self._site_handlers):
                 if handler is None:
                     raise ProtocolError(f"site {site_id} has no registered handler")
                 handler(message)
             return
-        if not 0 <= message.receiver < self._num_sites:
-            raise ProtocolError(
-                f"receiver {message.receiver} out of range 0..{self._num_sites - 1}"
-            )
-        handler = self._site_handlers[message.receiver]
-        if handler is None:
-            raise ProtocolError(f"site {message.receiver} has no registered handler")
-        self.stats.record(message)
-        if self._record_log:
-            self._log.append(message)
+        handler = self._site_handler(message.receiver)
+        self._account(message)
         handler(message)
+
+    def _site_handler(self, site_id: int) -> Callable[[Message], None]:
+        """Return the registered handler for one site, validating the id."""
+        if not 0 <= site_id < self._num_sites:
+            raise ProtocolError(
+                f"receiver {site_id} out of range 0..{self._num_sites - 1}"
+            )
+        handler = self._site_handlers[site_id]
+        if handler is None:
+            raise ProtocolError(f"site {site_id} has no registered handler")
+        return handler

@@ -10,7 +10,7 @@ cost as per-update delivery.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.exceptions import ProtocolError
 from repro.monitoring.channel import Channel, ChannelStats
@@ -24,13 +24,21 @@ class MonitoringNetwork:
     """A coordinator plus ``k`` sites connected by a counted channel.
 
     The network owns the channel and therefore the communication counters.
+    By default the channel is the synchronous counted :class:`Channel`; a
+    transport with different delivery semantics (e.g. the latency-aware
+    :class:`repro.asynchrony.AsyncChannel`) can be injected via ``channel``.
     Algorithms are built by a factory (see
     :class:`repro.core.deterministic.DeterministicCounter` and friends) that
     returns a matched coordinator/site set; the network only handles wiring
     and update dispatch.
     """
 
-    def __init__(self, coordinator: Coordinator, sites: Sequence[Site]) -> None:
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        sites: Sequence[Site],
+        channel: Optional[Channel] = None,
+    ) -> None:
         if not sites:
             raise ProtocolError("a monitoring network needs at least one site")
         site_ids = sorted(site.site_id for site in sites)
@@ -38,9 +46,14 @@ class MonitoringNetwork:
             raise ProtocolError(
                 f"site ids must be exactly 0..{len(sites) - 1}, got {site_ids}"
             )
+        if channel is not None and channel.num_sites != len(sites):
+            raise ProtocolError(
+                f"injected channel serves {channel.num_sites} sites, "
+                f"network has {len(sites)}"
+            )
         self.coordinator = coordinator
         self.sites = sorted(sites, key=lambda s: s.site_id)
-        self.channel = Channel(num_sites=len(sites))
+        self.channel = channel if channel is not None else Channel(num_sites=len(sites))
         coordinator.attach(self.channel)
         for site in self.sites:
             site.attach(self.channel)

@@ -33,6 +33,7 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from repro.exceptions import ProtocolError
 from repro.monitoring.history import EstimateHistory
 from repro.monitoring.network import MonitoringNetwork
 from repro.types import EstimateRecord, Update
@@ -220,6 +221,13 @@ def run_tracking(
     """
     if record_every < 1:
         raise ValueError(f"record_every must be >= 1, got {record_every}")
+    if not network.channel.is_synchronous:
+        raise ProtocolError(
+            "run_tracking drives synchronous channels only; this network is "
+            "wired over an asynchronous channel — use "
+            "repro.asynchrony.run_tracking_async, which advances the virtual "
+            "clock and drains in-flight messages"
+        )
     use_batch = batched if batched is not None else record_every > 1
     result = TrackingResult()
     if use_batch:

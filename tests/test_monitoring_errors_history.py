@@ -1,0 +1,204 @@
+"""Focused coverage for monitoring error paths and the estimate history.
+
+The attach/send error paths of :class:`repro.monitoring.coordinator.Coordinator`
+and :class:`repro.monitoring.site.Site`, the channel's registration
+validation, and :mod:`repro.monitoring.history` were previously exercised
+only incidentally by integration tests; this module pins their contracts
+down directly.
+"""
+
+import pytest
+
+from repro.baselines.naive import NaiveCoordinator, NaiveSite
+from repro.exceptions import ProtocolError, QueryError
+from repro.monitoring import Channel, EstimateHistory
+from repro.monitoring.messages import BROADCAST_SITE, COORDINATOR, Message, MessageKind
+
+
+def _message(receiver=0):
+    return Message(
+        kind=MessageKind.REQUEST,
+        sender=COORDINATOR,
+        receiver=receiver,
+        payload={},
+        time=1,
+    )
+
+
+class TestCoordinatorSendErrors:
+    def test_unattached_coordinator_cannot_send(self):
+        coordinator = NaiveCoordinator()
+        with pytest.raises(ProtocolError, match="not attached"):
+            coordinator.send(_message())
+
+    def test_attach_registers_handler_and_enables_send(self):
+        coordinator = NaiveCoordinator()
+        channel = Channel(num_sites=1)
+        channel.register_site(0, lambda m: None)
+        coordinator.attach(channel)
+        coordinator.send(_message(receiver=0))
+        assert channel.stats.messages == 1
+        # The attach wired receive_message as the coordinator handler.
+        channel.send_to_coordinator(
+            Message(
+                kind=MessageKind.REPORT,
+                sender=0,
+                receiver=COORDINATOR,
+                payload={"delta": 3},
+                time=1,
+            )
+        )
+        assert coordinator.estimate() == 3.0
+
+
+class TestSiteAttachErrors:
+    def test_negative_site_id_rejected(self):
+        with pytest.raises(ProtocolError, match="site id"):
+            NaiveSite(-1)
+
+    def test_unattached_site_cannot_send(self):
+        site = NaiveSite(0)
+        with pytest.raises(ProtocolError, match="not attached"):
+            site.receive_update(1, 1)  # the naive site sends on every update
+
+    def test_attach_rejects_out_of_range_site_id(self):
+        channel = Channel(num_sites=2)
+        with pytest.raises(ProtocolError, match="out of range"):
+            NaiveSite(2).attach(channel)
+
+    def test_batch_length_mismatch_rejected(self):
+        site = NaiveSite(0)
+        with pytest.raises(ProtocolError, match="equal length"):
+            site.receive_batch([1, 2], [1])
+
+
+class TestChannelRegistrationErrors:
+    def test_channel_requires_at_least_one_site(self):
+        with pytest.raises(ProtocolError):
+            Channel(num_sites=0)
+
+    def test_send_without_coordinator_registered(self):
+        channel = Channel(num_sites=1)
+        with pytest.raises(ProtocolError, match="no coordinator"):
+            channel.send_to_coordinator(
+                Message(
+                    kind=MessageKind.REPORT,
+                    sender=0,
+                    receiver=COORDINATOR,
+                    payload={},
+                    time=1,
+                )
+            )
+
+    def test_send_to_unregistered_site(self):
+        channel = Channel(num_sites=2)
+        channel.register_site(0, lambda m: None)
+        with pytest.raises(ProtocolError, match="no registered handler"):
+            channel.send_to_site(_message(receiver=1))
+
+    def test_broadcast_with_missing_handler(self):
+        channel = Channel(num_sites=2)
+        channel.register_site(0, lambda m: None)
+        with pytest.raises(ProtocolError, match="no registered handler"):
+            channel.send_to_site(_message(receiver=BROADCAST_SITE))
+
+    def test_receiver_out_of_range(self):
+        channel = Channel(num_sites=2)
+        with pytest.raises(ProtocolError, match="out of range"):
+            channel.send_to_site(_message(receiver=5))
+
+    def test_charge_rejects_negative_amounts(self):
+        channel = Channel(num_sites=1)
+        with pytest.raises(ProtocolError):
+            channel.charge(MessageKind.REPORT, -1, 10)
+        with pytest.raises(ProtocolError):
+            channel.charge(MessageKind.REPORT, 1, -10)
+
+    def test_stats_record_and_bulk_share_accounting(self):
+        """The per-message and bulk charge paths agree on every counter."""
+        message = Message(
+            kind=MessageKind.REPORT,
+            sender=0,
+            receiver=COORDINATOR,
+            payload={"drift": 5},
+            time=1,
+        )
+        per_message = Channel(num_sites=1).stats
+        bulk = Channel(num_sites=1).stats
+        per_message.record(message, copies=3)
+        bulk.record_bulk(message.kind.value, 3, 3 * message.bits())
+        assert per_message.messages == bulk.messages
+        assert per_message.bits == bulk.bits
+        assert per_message.by_kind == bulk.by_kind == {"report": 3}
+        snapshot = per_message.snapshot()
+        per_message.record(message)
+        assert snapshot.messages == 3  # snapshot is independent of later charges
+        assert snapshot.by_kind == {"report": 3}
+
+
+class TestSynchronousCloseInvariant:
+    """A dropped reply on a *synchronous* channel must fail loudly.
+
+    The close protocols complete on the k-th reply (so they also work over
+    delayed transport); on a synchronous channel all replies arrive
+    reentrantly during the request loop, and a missing one is a wiring bug
+    that must raise rather than freeze every future close.
+    """
+
+    def test_block_close_with_dropped_reply_raises(self):
+        from repro.core import DeterministicCounter
+        from repro.exceptions import ConfigurationError
+
+        network = DeterministicCounter(2, 0.1).build_network()
+        # Re-register site 1's handler with one that drops every message.
+        network.channel.register_site(1, lambda message: None)
+        with pytest.raises(ConfigurationError, match="expected 2 replies"):
+            for time in range(1, 10):
+                network.deliver_update(time, 0, 1)
+
+    def test_cormode_round_close_with_dropped_reply_raises(self):
+        from repro.baselines import CormodeCounter
+        from repro.exceptions import ConfigurationError
+
+        network = CormodeCounter(2, 0.1).build_network()
+        network.channel.register_site(1, lambda message: None)
+        with pytest.raises(ConfigurationError, match="expected 2 replies"):
+            for time in range(1, 10):
+                network.deliver_update(time, 0, 1)
+
+
+class TestEstimateHistoryEdgeCases:
+    def test_record_query_roundtrip_dense(self):
+        history = EstimateHistory()
+        for time in range(1, 101):
+            history.record(time, float(time * 2))
+        assert history.query(1) == 2.0
+        assert history.query(57) == 114.0
+        assert history.query(100) == 200.0
+        assert history.query(10_000) == 200.0
+        assert len(history) == 100
+
+    def test_times_must_strictly_increase(self):
+        history = EstimateHistory()
+        history.record(5, 1.0)
+        with pytest.raises(QueryError, match="must increase"):
+            history.record(5, 2.0)
+        with pytest.raises(QueryError, match="must increase"):
+            history.record(4, 2.0)
+        # The failed records left no partial state behind.
+        assert history.as_pairs() == [(5, 1.0)]
+
+    def test_query_empty_and_too_early(self):
+        history = EstimateHistory()
+        with pytest.raises(QueryError, match="empty"):
+            history.query(1)
+        history.record(10, 1.0)
+        with pytest.raises(QueryError, match="precedes"):
+            history.query(9)
+
+    def test_as_pairs_returns_copy(self):
+        history = EstimateHistory()
+        history.record(1, 1.0)
+        pairs = history.as_pairs()
+        pairs.append((99, 99.0))
+        assert history.as_pairs() == [(1, 1.0)]
