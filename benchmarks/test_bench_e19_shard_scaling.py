@@ -1,0 +1,116 @@
+"""E19 (sharding): shard-scaling sweep at fixed ``k``.
+
+The sharded hierarchy (:mod:`repro.monitoring.sharding`) exists so that the
+monitored site count can scale past what one coordinator object absorbs.
+This benchmark holds ``k`` and the stream fixed, sweeps the shard count, and
+reports how the communication redistributes: shard-local traffic, the
+shard-to-root hop count in total and *per shard*, the load imbalance across
+shards, and the achieved error of the merged estimate.
+
+Pinned shapes:
+
+* the single-shard row is *bit-for-bit* the flat engine (estimates, message
+  counts, bit counts), at any size — the hierarchy adds nothing until it is
+  asked to;
+* root-side messages per shard decrease as the shard count grows: each
+  shard serves fewer sites, sees less of the stream, and therefore refreshes
+  the root less often (the root-side load per aggregation unit is what the
+  hierarchy exists to bound);
+* contiguous sharding over a round-robin assignment keeps shards balanced
+  (imbalance stays near 1).
+"""
+
+from bench_support import check, size
+
+from repro.analysis import shard_imbalance
+from repro.core import DeterministicCounter
+from repro.monitoring import build_sharded_network, run_tracking
+from repro.streams import assign_sites, biased_walk_stream
+
+LENGTH = size(120_000, 4_000)
+NUM_SITES = 32
+EPSILON = 0.1
+SHARD_COUNTS = [1, 2, 4, 8, 16]
+RECORD_EVERY = size(2_000, 100)
+
+
+def _measure():
+    spec = biased_walk_stream(LENGTH, drift=0.5, seed=19)
+    updates = assign_sites(spec, NUM_SITES)
+    flat = DeterministicCounter(NUM_SITES, EPSILON).track(
+        updates, record_every=RECORD_EVERY, batched=True
+    )
+    rows = []
+    for num_shards in SHARD_COUNTS:
+        network = build_sharded_network(
+            DeterministicCounter(NUM_SITES, EPSILON), num_shards
+        )
+        result = run_tracking(
+            network, updates, record_every=RECORD_EVERY, batched=True
+        )
+        rows.append(
+            {
+                "shards": num_shards,
+                "result": result,
+                "local": network.local_stats,
+                "root": network.root_stats,
+                "imbalance": shard_imbalance(network.shard_stats()),
+            }
+        )
+    return flat, rows
+
+
+def test_bench_e19_shard_scaling(benchmark, table_printer):
+    flat, rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        "E19 / sharding — shard count vs communication split "
+        f"(biased walk, n={LENGTH}, k={NUM_SITES}, eps={EPSILON})",
+        [
+            "shards",
+            "local msgs",
+            "root msgs",
+            "root msgs / shard",
+            "imbalance",
+            "max rel err",
+        ],
+        [
+            [
+                row["shards"],
+                row["local"].messages,
+                row["root"].messages,
+                round(row["root"].messages / row["shards"], 1),
+                round(row["imbalance"], 3),
+                round(row["result"].max_relative_error(), 4),
+            ]
+            for row in rows
+        ],
+    )
+    # Single shard is the flat engine, bit for bit — at any size.
+    single = rows[0]["result"]
+    assert rows[0]["shards"] == 1
+    assert single.total_messages == flat.total_messages
+    assert single.total_bits == flat.total_bits
+    assert [r.estimate for r in single.records] == [r.estimate for r in flat.records]
+    assert rows[0]["root"].messages == 0
+    # Root-side messages per shard decrease as the shard count grows (the
+    # acceptance shape of the hierarchy), at any size.
+    per_shard = [
+        row["root"].messages / row["shards"] for row in rows if row["shards"] > 1
+    ]
+    assert per_shard == sorted(per_shard, reverse=True), (
+        f"root messages per shard did not decrease: {per_shard}"
+    )
+    assert per_shard[-1] < per_shard[0]
+    # Balanced partition over a round-robin assignment: near-even shard load.
+    check(
+        all(row["imbalance"] < 1.5 for row in rows),
+        f"contiguous shards unexpectedly imbalanced: "
+        f"{[row['imbalance'] for row in rows]}",
+    )
+    # The merged estimate stays accurate on a drifting stream (each shard
+    # guarantees eps against its own substream; on a biased walk the
+    # substream magnitudes add up, so the merged error stays near eps).
+    check(
+        all(row["result"].max_relative_error() <= 3 * EPSILON for row in rows),
+        "sharded tracking error drifted far beyond the per-shard guarantee",
+    )

@@ -76,9 +76,17 @@ from repro.asynchrony import (
     HeavyTailLatency,
     UniformLatency,
     build_async_network,
+    build_sharded_async_network,
     run_tracking_async,
 )
-from repro.monitoring import MonitoringNetwork, TrackingResult, run_tracking
+from repro.monitoring import (
+    MonitoringNetwork,
+    ShardedNetwork,
+    TrackingResult,
+    build_sharded_network,
+    run_tracking,
+    run_tracking_arrays,
+)
 from repro.sketches import AmsF2Sketch, CountMinSketch, CRPrecis
 from repro.streams import (
     assign_sites,
@@ -131,8 +139,12 @@ __all__ = [
     "ThresholdMonitor",
     # monitoring
     "MonitoringNetwork",
+    "ShardedNetwork",
     "TrackingResult",
+    "build_sharded_network",
     "run_tracking",
+    "run_tracking_arrays",
+    "build_sharded_async_network",
     # asynchrony
     "AsyncChannel",
     "AsyncTrackingResult",

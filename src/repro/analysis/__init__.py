@@ -30,7 +30,7 @@ from repro.analysis.experiments import (
     repeat_variability,
 )
 from repro.analysis.fitting import GrowthFit, fit_growth
-from repro.analysis.metrics import TrialSummary, summarize_trials
+from repro.analysis.metrics import TrialSummary, shard_imbalance, summarize_trials
 from repro.analysis.reporting import format_table
 from repro.analysis.staleness import (
     LatencySweepPoint,
@@ -61,6 +61,7 @@ __all__ = [
     "GrowthFit",
     "fit_growth",
     "TrialSummary",
+    "shard_imbalance",
     "summarize_trials",
     "format_table",
     "LatencySweepPoint",

@@ -63,10 +63,23 @@ def run_tracker_on_stream(
     policy: Optional[AssignmentPolicy] = None,
     record_every: int = 1,
     batched: Optional[bool] = None,
+    shards: int = 1,
+    sharding=None,
 ) -> TrackingResult:
-    """Distribute a stream over ``num_sites`` sites and run one tracker on it."""
+    """Distribute a stream over ``num_sites`` sites and run one tracker on it.
+
+    With ``shards > 1`` the tracker runs as a two-level sharded hierarchy
+    (:mod:`repro.monitoring.sharding`): the reported totals then include the
+    shard-to-root hops on top of the shard-local traffic.
+    """
     updates = assign_sites(spec, num_sites, policy or RoundRobinAssignment())
-    return factory.track(updates, record_every=record_every, batched=batched)
+    if shards <= 1:
+        return factory.track(updates, record_every=record_every, batched=batched)
+    from repro.monitoring.runner import run_tracking
+    from repro.monitoring.sharding import build_sharded_network
+
+    network = build_sharded_network(factory, shards, sharding=sharding)
+    return run_tracking(network, updates, record_every=record_every, batched=batched)
 
 
 def compare_trackers(
@@ -77,6 +90,8 @@ def compare_trackers(
     policy: Optional[AssignmentPolicy] = None,
     record_every: int = 1,
     batched: Optional[bool] = None,
+    shards: int = 1,
+    sharding=None,
 ) -> List[TrackerComparison]:
     """Run several trackers on the same distributed stream and tabulate them.
 
@@ -89,6 +104,9 @@ def compare_trackers(
         record_every: Per-step recording stride passed to the runner.
         batched: Delivery-engine selector passed to the runner (``None`` =
             auto, ``True`` = batched fast path, ``False`` = per-update).
+        shards: Coordinator shards; above 1 every tracker runs as a sharded
+            hierarchy and its totals include the shard-to-root hops.
+        sharding: Site-to-shard partition policy (contiguous by default).
 
     Returns:
         One :class:`TrackerComparison` per factory, in input order.
@@ -105,6 +123,8 @@ def compare_trackers(
             policy=policy,
             record_every=record_every,
             batched=batched,
+            shards=shards,
+            sharding=sharding,
         )
         comparisons.append(
             TrackerComparison(
@@ -125,6 +145,7 @@ def measure_engine_throughput(
     factory,
     updates: Sequence,
     record_every: int = 20_000,
+    shards: int = 1,
 ) -> Tuple[float, float, float]:
     """Time both runner engines on the same updates and verify they agree.
 
@@ -135,6 +156,13 @@ def measure_engine_throughput(
     message totals, bit totals or any recorded estimate — they are
     bit-for-bit equivalent by contract, so a divergence is always a bug.
 
+    With ``shards > 1`` both engines drive a fresh sharded hierarchy
+    (:mod:`repro.monitoring.sharding`).  Recorded estimates and the merged
+    *shard-local* counters must still agree exactly; the shard-to-root hop
+    count is excluded from the check because estimate pushes happen per
+    delivery event, and the engines legitimately batch deliveries
+    differently (see the push-granularity note in the sharding module).
+
     Returns:
         ``(per_update_rate, batched_rate, speedup)`` in updates/second and
         the wall-clock ratio between the two engines.
@@ -143,17 +171,38 @@ def measure_engine_throughput(
     test_bench_e17_throughput.py``) and ``python -m repro throughput`` so
     the two tables cannot drift apart.
     """
-    start = time.perf_counter()
-    slow = factory.track(updates, record_every=record_every, batched=False)
-    slow_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    fast = factory.track(updates, record_every=record_every, batched=True)
-    fast_seconds = time.perf_counter() - start
-    if (
-        slow.total_messages != fast.total_messages
-        or slow.total_bits != fast.total_bits
-        or [r.estimate for r in slow.records] != [r.estimate for r in fast.records]
-    ):
+    if shards > 1:
+        from repro.monitoring.runner import run_tracking
+        from repro.monitoring.sharding import build_sharded_network
+
+        def run(batched: bool):
+            network = build_sharded_network(factory, shards)
+            begin = time.perf_counter()
+            result = run_tracking(
+                network, updates, record_every=record_every, batched=batched
+            )
+            return result, network.local_stats, time.perf_counter() - begin
+
+        slow, slow_local, slow_seconds = run(False)
+        fast, fast_local, fast_seconds = run(True)
+        agree = (
+            slow_local.messages == fast_local.messages
+            and slow_local.bits == fast_local.bits
+            and [r.estimate for r in slow.records] == [r.estimate for r in fast.records]
+        )
+    else:
+        start = time.perf_counter()
+        slow = factory.track(updates, record_every=record_every, batched=False)
+        slow_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        fast = factory.track(updates, record_every=record_every, batched=True)
+        fast_seconds = time.perf_counter() - start
+        agree = (
+            slow.total_messages == fast.total_messages
+            and slow.total_bits == fast.total_bits
+            and [r.estimate for r in slow.records] == [r.estimate for r in fast.records]
+        )
+    if not agree:
         raise ProtocolError(
             "batched and per-update engines disagree on the same stream; "
             "this violates the equivalence contract — please report"

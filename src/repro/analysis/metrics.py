@@ -1,9 +1,11 @@
-"""Aggregation of repeated randomized trials.
+"""Aggregation of repeated randomized trials and per-shard accounting.
 
 Randomized algorithms (the Section 3.4 tracker, the Huang and Liu baselines,
 random-walk inputs) are evaluated over repeated trials; :func:`summarize_trials`
 reduces a list of per-trial scalar observations to the statistics the
 benchmarks report (mean, standard deviation, min/max and selected quantiles).
+For the sharded hierarchy, :func:`shard_imbalance` condenses the per-shard
+communication counters into one load-skew number.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["TrialSummary", "summarize_trials"]
+__all__ = ["TrialSummary", "summarize_trials", "shard_imbalance"]
 
 
 @dataclass(frozen=True)
@@ -61,3 +63,25 @@ def summarize_trials(values: Sequence[float]) -> TrialSummary:
         median=float(np.median(array)),
         percentile_90=float(np.percentile(array, 90)),
     )
+
+
+def shard_imbalance(shard_stats: Sequence) -> float:
+    """Load skew across shards: hottest shard's messages over the mean.
+
+    Takes the per-shard counters of a
+    :class:`repro.monitoring.sharding.ShardedNetwork` (``shard_stats()``, or
+    anything exposing ``.messages``) and returns
+    ``max(messages) / mean(messages)``: ``1.0`` means perfectly balanced
+    shards; ``num_shards`` means one shard carried all the traffic.  A
+    communication-silent topology (no messages anywhere) counts as balanced.
+
+    Raises:
+        ConfigurationError: If ``shard_stats`` is empty.
+    """
+    if len(shard_stats) == 0:
+        raise ConfigurationError("shard_imbalance needs at least one shard")
+    counts = np.asarray([stats.messages for stats in shard_stats], dtype=float)
+    mean = float(counts.mean())
+    if mean == 0.0:
+        return 1.0
+    return float(counts.max() / mean)

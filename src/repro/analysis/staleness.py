@@ -158,6 +158,8 @@ def run_latency_sweep(
     record_every: int = 1,
     seed: int = 0,
     preserve_order: bool = True,
+    shards: int = 1,
+    sharding=None,
 ) -> List[LatencySweepPoint]:
     """Sweep delivery-latency scales and measure achieved error and staleness.
 
@@ -181,6 +183,11 @@ def run_latency_sweep(
         seed: Seed for the channel's latency RNG (same for every scale, so
             rows differ only by the model).
         preserve_order: Per-link FIFO (default) versus reordering allowed.
+        shards: Coordinator shards; above 1 each scale runs the two-level
+            sharded hierarchy, with the *same* latency model on the
+            shard-local legs and on the shard-to-root leg — every estimate
+            crosses two delays before the root sees it.
+        sharding: Site-to-shard partition policy (contiguous by default).
 
     Returns:
         One :class:`LatencySweepPoint` per scale, in input order.
@@ -192,6 +199,7 @@ def run_latency_sweep(
         ConstantLatency,
         UniformLatency,
         build_async_network,
+        build_sharded_async_network,
         run_tracking_async,
     )
 
@@ -204,12 +212,22 @@ def run_latency_sweep(
         if scale < 0:
             raise ConfigurationError(f"latency scale must be >= 0, got {scale}")
         model = ConstantLatency(0.0) if scale == 0 else model_for_scale(scale)
-        network = build_async_network(
-            factory_builder(),
-            latency=model,
-            seed=seed,
-            preserve_order=preserve_order,
-        )
+        if shards > 1:
+            network = build_sharded_async_network(
+                factory_builder(),
+                shards,
+                latency=model,
+                seed=seed,
+                preserve_order=preserve_order,
+                sharding=sharding,
+            )
+        else:
+            network = build_async_network(
+                factory_builder(),
+                latency=model,
+                seed=seed,
+                preserve_order=preserve_order,
+            )
         result = run_tracking_async(network, updates, record_every=record_every)
         points.append(
             LatencySweepPoint(

@@ -33,6 +33,7 @@ from repro.asynchrony.latency import (
 from repro.asynchrony.runner import (
     AsyncTrackingResult,
     build_async_network,
+    build_sharded_async_network,
     run_tracking_async,
 )
 
@@ -49,5 +50,6 @@ __all__ = [
     "UniformLatency",
     "AsyncTrackingResult",
     "build_async_network",
+    "build_sharded_async_network",
     "run_tracking_async",
 ]

@@ -168,6 +168,25 @@ class AsyncChannel(Channel):
         delay = self._latency.sample(self._rng, COORDINATOR, message.receiver)
         self._transmit(message, handler, ("down", message.receiver), delay)
 
+    def multicast(self, message: Message, receivers) -> None:
+        """Charge one copy per receiver and put each copy in flight.
+
+        Same accounting as the synchronous channel's multicast; like a
+        broadcast, every copy samples its *own* latency, so different shards
+        learn a new global level at different virtual times.
+        """
+        if not receivers:
+            raise ProtocolError("multicast needs at least one receiver")
+        if len(set(receivers)) != len(receivers):
+            raise ProtocolError(
+                f"multicast receivers must be distinct, got {list(receivers)}"
+            )
+        handlers = [self._site_handler(site_id) for site_id in receivers]
+        self._account(message, copies=len(receivers))
+        for site_id, handler in zip(receivers, handlers):
+            delay = self._latency.sample(self._rng, COORDINATOR, site_id)
+            self._transmit(message, handler, ("down", site_id), delay)
+
     # -- scheduling and delivery ---------------------------------------------
 
     def _transmit(

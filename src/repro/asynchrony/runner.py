@@ -28,9 +28,19 @@ from repro.asynchrony.latency import ZERO_LATENCY, LatencyModel
 from repro.exceptions import ProtocolError
 from repro.monitoring.network import MonitoringNetwork
 from repro.monitoring.runner import TrackingResult, _record
+from repro.monitoring.sharding import (
+    ShardedNetwork,
+    ShardingPolicy,
+    build_sharded_network,
+)
 from repro.types import Update
 
-__all__ = ["AsyncTrackingResult", "run_tracking_async", "build_async_network"]
+__all__ = [
+    "AsyncTrackingResult",
+    "run_tracking_async",
+    "build_async_network",
+    "build_sharded_async_network",
+]
 
 
 @dataclass
@@ -86,6 +96,71 @@ def build_async_network(
     return MonitoringNetwork(base.coordinator, base.sites, channel=channel)
 
 
+def build_sharded_async_network(
+    factory,
+    num_shards: int,
+    latency: LatencyModel = ZERO_LATENCY,
+    root_latency: Optional[LatencyModel] = None,
+    seed: Optional[int] = 0,
+    preserve_order: bool = True,
+    sharding: Optional[ShardingPolicy] = None,
+) -> ShardedNetwork:
+    """Wire a sharded hierarchy whose both levels are latency-aware.
+
+    Every shard's site-to-coordinator channel and the shard-to-root channel
+    become :class:`AsyncChannel` instances, so a shard estimate crosses *two*
+    latency legs before the root sees it: site to shard coordinator, then
+    shard to root.  Each channel draws from its own deterministic RNG (shard
+    ``s`` from ``seed + 1 + s``, the root from ``seed``), so runs reproduce
+    exactly.  With zero latency at both levels the run is bit-for-bit the
+    synchronous sharded engine.
+
+    Args:
+        factory: Flat tracker factory exposing ``num_sites``/``shard_factory``.
+        num_shards: Number of shards (1 = flat topology, no root leg).
+        latency: Latency model for the shard-local (site-to-coordinator) legs.
+        root_latency: Latency model for the shard-to-root leg; defaults to
+            the shard-local model.
+        seed: Base seed for the channels' latency RNGs.
+        preserve_order: Per-link FIFO (default) versus reordering allowed.
+
+    Returns:
+        A :class:`~repro.monitoring.sharding.ShardedNetwork` over async
+        channels, ready for :func:`run_tracking_async`.
+    """
+    chosen_root_latency = latency if root_latency is None else root_latency
+
+    def local_channel(shard_id: int, group_size: int) -> AsyncChannel:
+        # A single shard has no root leg, and its channel must draw exactly
+        # the same latency sequence as build_async_network's — that is what
+        # keeps shards=1 bit-for-bit the flat async engine under jitter.
+        local_seed = seed if num_shards == 1 else (
+            None if seed is None else seed + 1 + shard_id
+        )
+        return AsyncChannel(
+            group_size,
+            latency=latency,
+            seed=local_seed,
+            preserve_order=preserve_order,
+        )
+
+    def root_channel(shard_count: int) -> AsyncChannel:
+        return AsyncChannel(
+            shard_count,
+            latency=chosen_root_latency,
+            seed=seed,
+            preserve_order=preserve_order,
+        )
+
+    return build_sharded_network(
+        factory,
+        num_shards,
+        sharding=sharding,
+        local_channel_factory=local_channel,
+        root_channel_factory=root_channel,
+    )
+
+
 def run_tracking_async(
     network: MonitoringNetwork,
     updates: Iterable[Update],
@@ -96,7 +171,12 @@ def run_tracking_async(
 
     Args:
         network: A network wired over an :class:`AsyncChannel` (see
-            :func:`build_async_network`).
+            :func:`build_async_network`), or a
+            :class:`~repro.monitoring.sharding.ShardedNetwork` whose shard
+            and root channels are all asynchronous (see
+            :func:`build_sharded_async_network`) — there the shard-to-root
+            hop is scheduled as a second latency leg after the site-to-shard
+            one.
         updates: The distributed stream, one update per timestep, in time
             order; any iterable works and is consumed exactly once.
         record_every: Record an estimate-vs-truth point every this many
@@ -112,7 +192,24 @@ def run_tracking_async(
         and staleness aggregates.
     """
     channel = network.channel
-    if not isinstance(channel, AsyncChannel):
+    if isinstance(network, ShardedNetwork):
+        # Sharded hierarchy: the network advances every shard clock, pushes
+        # fresh estimates onto the root channel (the second latency leg) and
+        # advances the root — see ShardedNetwork.advance_to.  All underlying
+        # channels must be latency-aware.
+        if not all(isinstance(ch, AsyncChannel) for ch in channel.channels):
+            raise ProtocolError(
+                "run_tracking_async needs every shard channel and the root "
+                "channel to be asynchronous; build the network with "
+                "repro.asynchrony.build_sharded_async_network (use "
+                "run_tracking for synchronous channels)"
+            )
+        advance = network.advance_to
+        drain_all = network.drain
+    elif isinstance(channel, AsyncChannel):
+        advance = channel.advance_to
+        drain_all = channel.drain
+    else:
         raise ProtocolError(
             "run_tracking_async needs a network wired over an AsyncChannel; "
             "build one with repro.asynchrony.build_async_network (use "
@@ -126,7 +223,7 @@ def run_tracking_async(
     seen_any = False
     recorded_last = False
     for index, update in enumerate(updates):
-        channel.advance_to(update.time)
+        advance(update.time)
         network.deliver_update(update.time, update.site, update.delta)
         true_value += update.delta
         last_time = update.time
@@ -139,7 +236,7 @@ def run_tracking_async(
     if seen_any and not recorded_last:
         _record(result, network, last_time, true_value)
     if drain:
-        channel.drain()
+        drain_all()
     stats = network.stats
     result.total_messages = stats.messages
     result.total_bits = stats.bits

@@ -165,6 +165,10 @@ class CormodeCounter:
         self.num_sites = num_sites
         self.epsilon = epsilon
 
+    def shard_factory(self, num_sites: int, shard_id: int) -> "CormodeCounter":
+        """Per-shard clone for the sharded hierarchy (same ``eps``, local ``k``)."""
+        return CormodeCounter(num_sites, self.epsilon)
+
     def build_network(self) -> MonitoringNetwork:
         """Create a wired coordinator + ``k`` sites running the CMY protocol."""
         coordinator = CormodeCoordinator(self.num_sites, self.epsilon)

@@ -208,6 +208,11 @@ class HuangCounter:
         self.epsilon = epsilon
         self.seed = seed
 
+    def shard_factory(self, num_sites: int, shard_id: int) -> "HuangCounter":
+        """Per-shard clone; shard ``s`` draws from base seed ``seed + s``."""
+        seed = None if self.seed is None else self.seed + shard_id
+        return HuangCounter(num_sites, self.epsilon, seed=seed)
+
     def build_network(self) -> MonitoringNetwork:
         """Create a wired coordinator + ``k`` sites running the HYZ protocol."""
         coordinator = HuangCoordinator(self.num_sites, self.epsilon)

@@ -59,6 +59,10 @@ class NaiveCounter:
         self.num_sites = num_sites
         self.epsilon = epsilon
 
+    def shard_factory(self, num_sites: int, shard_id: int) -> "NaiveCounter":
+        """Per-shard clone for the sharded hierarchy."""
+        return NaiveCounter(num_sites, self.epsilon)
+
     def build_network(self) -> MonitoringNetwork:
         """Create a wired coordinator + ``k`` naive sites."""
         sites: List[NaiveSite] = [NaiveSite(i) for i in range(self.num_sites)]

@@ -17,7 +17,10 @@ engine (both produce identical results; see
 :mod:`repro.monitoring.runner`), ``throughput`` measures what the
 batched engine buys on a long random walk, and ``latency`` sweeps the
 asynchronous transport's delivery-latency scale against the achieved
-error and staleness (:mod:`repro.asynchrony`).
+error and staleness (:mod:`repro.asynchrony`).  ``tracking``,
+``throughput`` and ``latency`` all accept ``--shards`` to run the
+two-level sharded coordinator hierarchy
+(:mod:`repro.monitoring.sharding`) instead of the flat star.
 """
 
 from __future__ import annotations
@@ -90,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="delivery engine for the runner (identical results either way)",
     )
+    tracking_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="coordinator shards; above 1 every tracker runs as a two-level "
+        "hierarchy (disjoint site groups under a root aggregator) and message "
+        "totals include the shard-to-root hops",
+    )
 
     throughput_parser = subparsers.add_parser(
         "throughput",
@@ -102,7 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--block-length",
         type=int,
         default=4_096,
-        help="contiguous updates per site (sharded-ingestion assignment)",
+        help="contiguous updates per site (blocked stream-to-site assignment; "
+        "unrelated to coordinator sharding — that is --shards)",
+    )
+    throughput_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="coordinator shards for both engines (1 = flat topology)",
     )
     throughput_parser.add_argument("--record-every", type=int, default=20_000)
     throughput_parser.add_argument("--seed", type=int, default=31)
@@ -138,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--allow-reordering",
         action="store_true",
         help="let messages overtake each other on a link (default: per-link FIFO)",
+    )
+    latency_parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="coordinator shards; above 1 the shard-to-root hop becomes a "
+        "second latency leg with the same model",
     )
     latency_parser.add_argument("--record-every", type=int, default=25)
     latency_parser.add_argument("--seed", type=int, default=0)
@@ -190,6 +215,7 @@ def _command_tracking(args: argparse.Namespace) -> str:
         epsilon=args.epsilon,
         record_every=max(1, args.length // 5_000),
         batched=batched,
+        shards=args.shards,
     )
     rows = [
         [
@@ -203,6 +229,7 @@ def _command_tracking(args: argparse.Namespace) -> str:
     ]
     header = (
         f"stream={args.stream} n={args.length} k={args.sites} eps={args.epsilon} "
+        f"shards={args.shards} "
         f"v={comparisons[0].variability:.1f} "
         f"(deterministic bound {deterministic_message_bound(args.sites, args.epsilon, comparisons[0].variability):.0f})"
     )
@@ -251,7 +278,7 @@ def _command_throughput(args: argparse.Namespace) -> str:
             ("randomized", RandomizedCounter(num_sites, args.epsilon, seed=args.seed)),
         ):
             slow_rate, fast_rate, speedup = measure_engine_throughput(
-                factory, updates, record_every=args.record_every
+                factory, updates, record_every=args.record_every, shards=args.shards
             )
             rows.append(
                 [
@@ -264,7 +291,8 @@ def _command_throughput(args: argparse.Namespace) -> str:
             )
     header = (
         f"random_walk n={args.length} eps={args.epsilon} "
-        f"block={args.block_length} record_every={args.record_every}"
+        f"block={args.block_length} shards={args.shards} "
+        f"record_every={args.record_every}"
     )
     return header + "\n" + format_table(
         ["algorithm", "k", "per-update up/s", "batched up/s", "speedup"], rows
@@ -298,6 +326,7 @@ def _command_latency(args: argparse.Namespace) -> str:
         record_every=args.record_every,
         seed=args.seed,
         preserve_order=not args.allow_reordering,
+        shards=args.shards,
     )
     rows = [
         [
@@ -315,7 +344,7 @@ def _command_latency(args: argparse.Namespace) -> str:
     ]
     header = (
         f"stream={args.stream} n={args.length} k={args.sites} eps={args.epsilon} "
-        f"algo={args.algorithm} model={args.model} "
+        f"shards={args.shards} algo={args.algorithm} model={args.model} "
         f"order={'reordering' if args.allow_reordering else 'fifo'} seed={args.seed}"
     )
     table = format_table(

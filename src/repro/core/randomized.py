@@ -281,6 +281,11 @@ class RandomizedCounter(BlockTrackerFactory):
         super().__init__(num_sites, epsilon)
         self.seed = seed
 
+    def shard_factory(self, num_sites: int, shard_id: int) -> "RandomizedCounter":
+        """Per-shard clone; shard ``s`` draws from base seed ``seed + s``."""
+        seed = None if self.seed is None else self.seed + shard_id
+        return RandomizedCounter(num_sites, self.epsilon, seed=seed)
+
     def build_coordinator(self) -> RandomizedCoordinator:
         return RandomizedCoordinator(self.num_sites, self.epsilon)
 

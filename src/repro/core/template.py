@@ -433,6 +433,17 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
             )
         self.reported_updates += total
 
+    @property
+    def reply_quorum(self) -> int:
+        """Replies that complete a block close: every site *this* coordinator serves.
+
+        In the flat topology that is the global ``k``.  Inside the sharded
+        hierarchy (:mod:`repro.monitoring.sharding`) each shard's coordinator
+        is built for its own site group, so closes complete on the shard's
+        reply count — never on the global site total.
+        """
+        return self.num_sites
+
     def receive_message(self, message: Message) -> None:
         if message.kind is MessageKind.REPLY:
             if not self._collecting_replies:
@@ -440,7 +451,7 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
                     "coordinator received a reply outside of a block close"
                 )
             self._replies[message.sender] = message
-            if len(self._replies) == self.num_sites:
+            if len(self._replies) == self.reply_quorum:
                 self._finish_close()
             return
         if message.kind is not MessageKind.REPORT:
@@ -488,7 +499,7 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
             # and must fail loudly, not freeze all future closes.
             if self._collecting_replies:
                 raise ConfigurationError(
-                    f"block close expected {self.num_sites} replies, "
+                    f"block close expected {self.reply_quorum} replies, "
                     f"got {len(self._replies)}"
                 )
 
@@ -548,6 +559,18 @@ class BlockTrackerFactory(abc.ABC):
     @abc.abstractmethod
     def build_site(self, site_id: int) -> BlockTrackingSite:
         """Create site ``site_id`` for one run."""
+
+    def shard_factory(self, num_sites: int, shard_id: int) -> "BlockTrackerFactory":
+        """Clone this factory for one shard's site group.
+
+        Hook used by :func:`repro.monitoring.sharding.build_sharded_network`:
+        shard ``shard_id`` runs an independent copy of this tracker over its
+        ``num_sites``-site group, so every protocol threshold and the block
+        close's reply quorum are derived from the shard's own size, never the
+        global ``k``.  Factories with extra construction state (seeds)
+        override this to derive per-shard values deterministically.
+        """
+        return type(self)(num_sites, self.epsilon)
 
     def build_network(self) -> MonitoringNetwork:
         """Create a wired coordinator + ``k`` sites network."""

@@ -19,6 +19,13 @@ block trigger points, bulk cost accounting for superseded messages) — 5-15x
 faster on long streams while staying bit-for-bit identical in estimates,
 message counts and bit counts.  ``run_tracking`` accepts any iterable of
 updates (no ``len()`` required) and keeps memory at ``O(records)``.
+
+Past what one coordinator can serve, :mod:`repro.monitoring.sharding` scales
+the substrate into a two-level hierarchy: disjoint site groups each run an
+unmodified coordinator locally (:class:`ShardCoordinator`), and a
+:class:`RootAggregator` merges the shard estimates over a second counted
+channel — communication stays separately accounted per shard, and the
+single-shard configuration is bit-for-bit the flat engine.
 """
 
 from repro.monitoring.channel import Channel, ChannelStats
@@ -33,7 +40,16 @@ from repro.monitoring.messages import (
     message_bits,
 )
 from repro.monitoring.network import MonitoringNetwork
-from repro.monitoring.runner import TrackingResult, run_tracking
+from repro.monitoring.runner import TrackingResult, run_tracking, run_tracking_arrays
+from repro.monitoring.sharding import (
+    ContiguousSharding,
+    RootAggregator,
+    ShardCoordinator,
+    ShardedNetwork,
+    ShardingPolicy,
+    StridedSharding,
+    build_sharded_network,
+)
 from repro.monitoring.site import Site
 
 __all__ = [
@@ -50,5 +66,13 @@ __all__ = [
     "MonitoringNetwork",
     "TrackingResult",
     "run_tracking",
+    "run_tracking_arrays",
+    "ContiguousSharding",
+    "RootAggregator",
+    "ShardCoordinator",
+    "ShardedNetwork",
+    "ShardingPolicy",
+    "StridedSharding",
+    "build_sharded_network",
     "Site",
 ]

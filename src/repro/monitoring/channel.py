@@ -9,7 +9,7 @@ way.  Broadcasts are charged once per site, matching the paper's accounting
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.exceptions import ProtocolError
 from repro.monitoring.messages import BROADCAST_SITE, Message, MessageKind
@@ -53,6 +53,48 @@ class ChannelStats:
         return ChannelStats(
             messages=self.messages, bits=self.bits, by_kind=dict(self.by_kind)
         )
+
+    def __add__(self, other: "ChannelStats") -> "ChannelStats":
+        """Combine two counters into a new, independent one.
+
+        This is how per-shard accounting aggregates (the sharded hierarchy
+        keeps one :class:`ChannelStats` per shard channel plus one for the
+        root channel); summing counters never requires hand-rolled dict math.
+        """
+        if not isinstance(other, ChannelStats):
+            return NotImplemented
+        by_kind = dict(self.by_kind)
+        for kind, count in other.by_kind.items():
+            by_kind[kind] = by_kind.get(kind, 0) + count
+        return ChannelStats(
+            messages=self.messages + other.messages,
+            bits=self.bits + other.bits,
+            by_kind=by_kind,
+        )
+
+    def __radd__(self, other: object) -> "ChannelStats":
+        """Support ``sum(stats_iterable)`` (and ``sum(..., ChannelStats())``)."""
+        if other == 0:
+            return self.snapshot()
+        if isinstance(other, ChannelStats):
+            return other.__add__(self)
+        return NotImplemented
+
+    @classmethod
+    def merge(cls, stats: "Iterable[ChannelStats]") -> "ChannelStats":
+        """Combine any number of counters into one fresh total.
+
+        ``ChannelStats.merge(network.shard_stats())`` is the canonical way to
+        aggregate the per-shard accounting of a
+        :class:`repro.monitoring.sharding.ShardedNetwork`.
+        """
+        total = cls()
+        for item in stats:
+            total.messages += item.messages
+            total.bits += item.bits
+            for kind, count in item.by_kind.items():
+                total.by_kind[kind] = total.by_kind.get(kind, 0) + count
+        return total
 
 
 class Channel:
@@ -182,6 +224,24 @@ class Channel:
         handler = self._site_handler(message.receiver)
         self._account(message)
         handler(message)
+
+    def multicast(self, message: Message, receivers: Sequence[int]) -> None:
+        """Deliver one coordinator message to a subset of sites.
+
+        Shard-aware middle ground between unicast and broadcast: the message
+        is charged once per listed receiver (exactly as a broadcast charges
+        once per site) and delivered to exactly those sites.  The root
+        aggregator of the sharded hierarchy uses this to re-send level
+        changes only to the shards whose recorded level is stale.
+        """
+        if not receivers:
+            raise ProtocolError("multicast needs at least one receiver")
+        if len(set(receivers)) != len(receivers):
+            raise ProtocolError(f"multicast receivers must be distinct, got {list(receivers)}")
+        handlers = [self._site_handler(site_id) for site_id in receivers]
+        self._account(message, copies=len(receivers))
+        for handler in handlers:
+            handler(message)
 
     def _site_handler(self, site_id: int) -> Callable[[Message], None]:
         """Return the registered handler for one site, validating the id."""

@@ -38,6 +38,20 @@ class Coordinator(abc.ABC):
             )
         self._channel.send_to_site(message)
 
+    def multicast(self, message: Message, receivers) -> None:
+        """Send one message to a subset of sites, charged once per receiver.
+
+        Used by shard-aware coordinators (the root aggregator of
+        :mod:`repro.monitoring.sharding`) to refresh exactly the stale
+        receivers instead of broadcasting to everyone.
+        """
+        if self._channel is None:
+            raise ProtocolError(
+                "coordinator is not attached to a channel; "
+                "add it to a MonitoringNetwork first"
+            )
+        self._channel.multicast(message, receivers)
+
     @abc.abstractmethod
     def receive_message(self, message: Message) -> None:
         """Handle a message arriving from a site."""

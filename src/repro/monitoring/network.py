@@ -6,6 +6,14 @@ fast path used by the batched streaming engine in
 :mod:`repro.monitoring.runner`.  Both paths are protocol-equivalent: batch
 delivery produces the same messages, in the same order, with the same counted
 cost as per-update delivery.
+
+A :class:`MonitoringNetwork` is one *flat* star: one coordinator, ``k``
+sites, one channel.  The two-level sharded topology
+(:mod:`repro.monitoring.sharding`) composes flat networks: each shard is a
+flat network over its own site group, and a second flat network — whose
+"sites" are the shard uplinks — connects the shard coordinators to the root
+aggregator.  :meth:`MonitoringNetwork.multicast` is the shard-aware delivery
+primitive that topology adds to the substrate.
 """
 
 from __future__ import annotations
@@ -99,6 +107,15 @@ class MonitoringNetwork:
                 f"{self.num_sites} sites"
             )
         self.sites[site_id].receive_batch(times, deltas, network=self)
+
+    def multicast(self, message, site_ids) -> None:
+        """Deliver one coordinator message to a subset of this network's sites.
+
+        Charged once per listed receiver, like a broadcast restricted to
+        ``site_ids``.  The sharded hierarchy's root network uses this to
+        refresh only the shards whose recorded global level is stale.
+        """
+        self.channel.multicast(message, site_ids)
 
     def estimate(self) -> float:
         """Return the coordinator's current estimate."""

@@ -38,7 +38,7 @@ from repro.monitoring.history import EstimateHistory
 from repro.monitoring.network import MonitoringNetwork
 from repro.types import EstimateRecord, Update
 
-__all__ = ["TrackingResult", "run_tracking"]
+__all__ = ["TrackingResult", "run_tracking", "run_tracking_arrays"]
 
 #: Maximum number of updates buffered at once by the batched engine.  Bounds
 #: the engine's working memory independently of ``record_every``.
@@ -136,6 +136,23 @@ def _run_per_update(
         _record(result, network, last_time, true_value)
 
 
+def _segment_cuts(site_array: np.ndarray, start_index: int, record_every: int):
+    """Exclusive end offsets splitting a chunk into deliverable segments.
+
+    Cuts fall wherever the destination site changes, after every global
+    recording point (``start_index`` is the global index of the chunk's
+    first update), and at the chunk end.  Shared by the batched and columnar
+    engines so their segmentation — and with it the bit-for-bit record
+    contract — can never drift apart.
+    """
+    length = len(site_array)
+    cuts = set((np.flatnonzero(site_array[1:] != site_array[:-1]) + 1).tolist())
+    first_record = (-start_index) % record_every
+    cuts.update(range(first_record + 1, length + 1, record_every))
+    cuts.add(length)
+    return sorted(cuts)
+
+
 def _run_batched(
     network: MonitoringNetwork,
     updates: Iterable[Update],
@@ -163,15 +180,8 @@ def _run_batched(
         sites = [u.site for u in chunk]
         times = [u.time for u in chunk]
         deltas = [u.delta for u in chunk]
-        # Segment boundaries (exclusive end offsets): wherever the destination
-        # site changes, after every recording point, and at the chunk end.
-        site_array = np.asarray(sites)
-        cuts = set((np.flatnonzero(site_array[1:] != site_array[:-1]) + 1).tolist())
-        first_record = (-index) % record_every
-        cuts.update(range(first_record + 1, length + 1, record_every))
-        cuts.add(length)
         start = 0
-        for end in sorted(cuts):
+        for end in _segment_cuts(np.asarray(sites), index, record_every):
             run_times = times[start:end]
             run_deltas = deltas[start:end]
             if end - start == 1:
@@ -234,6 +244,81 @@ def run_tracking(
         _run_batched(network, updates, record_every, result)
     else:
         _run_per_update(network, updates, record_every, result)
+    final_stats = network.stats
+    result.total_messages = final_stats.messages
+    result.total_bits = final_stats.bits
+    result.messages_by_kind = dict(final_stats.by_kind)
+    return result
+
+
+def run_tracking_arrays(
+    network: MonitoringNetwork,
+    times,
+    sites,
+    deltas,
+    record_every: int = 1,
+) -> TrackingResult:
+    """Columnar engine: drive a network from ``times``/``sites``/``deltas`` arrays.
+
+    The array-native counterpart of :func:`run_tracking` for replayed traces
+    (see :func:`repro.streams.io.load_trace_columns`): contiguous same-site
+    runs are cut directly out of the arrays and fed to
+    :meth:`~repro.monitoring.network.MonitoringNetwork.deliver_batch`, so no
+    per-:class:`~repro.types.Update` objects are ever constructed.  Runs are
+    split at recording points exactly like the batched engine, and the result
+    is bit-for-bit identical — estimates, message counts, bit counts — to
+    ``run_tracking`` over the equivalent update sequence
+    (``tests/test_columnar_runner.py``).
+
+    Args:
+        network: The wired network to drive (flat or sharded).
+        times: 1-D integer array of update timesteps, in order.
+        sites: Matching array of destination site ids.
+        deltas: Matching array of per-timestep changes.
+        record_every: Recording stride, as in :func:`run_tracking`; the final
+            timestep is always recorded.
+
+    Returns:
+        A :class:`TrackingResult` with per-step records and total costs.
+    """
+    if record_every < 1:
+        raise ValueError(f"record_every must be >= 1, got {record_every}")
+    if not network.channel.is_synchronous:
+        raise ProtocolError(
+            "run_tracking_arrays drives synchronous channels only; use "
+            "repro.asynchrony.run_tracking_async for latency-aware transports"
+        )
+    times = np.asarray(times, dtype=np.int64)
+    sites = np.asarray(sites, dtype=np.int64)
+    deltas = np.asarray(deltas, dtype=np.int64)
+    if times.ndim != 1 or times.shape != sites.shape or times.shape != deltas.shape:
+        raise ProtocolError(
+            "columnar tracking needs equal-length 1-D times/sites/deltas, got "
+            f"shapes {times.shape}/{sites.shape}/{deltas.shape}"
+        )
+    result = TrackingResult()
+    length = int(times.size)
+    if length:
+        running = np.cumsum(deltas)
+        start = 0
+        recorded_last = False
+        for end in _segment_cuts(sites, 0, record_every):
+            if end - start == 1:
+                network.deliver_update(
+                    int(times[start]), int(sites[start]), int(deltas[start])
+                )
+            else:
+                network.deliver_batch(
+                    int(sites[start]), times[start:end], deltas[start:end]
+                )
+            if (end - 1) % record_every == 0:
+                _record(result, network, int(times[end - 1]), int(running[end - 1]))
+                recorded_last = True
+            else:
+                recorded_last = False
+            start = end
+        if not recorded_last:
+            _record(result, network, int(times[-1]), int(running[-1]))
     final_stats = network.stats
     result.total_messages = final_stats.messages
     result.total_bits = final_stats.bits

@@ -1,0 +1,658 @@
+"""Two-level sharded hierarchy: shard coordinators under a root aggregator.
+
+The flat topology puts one coordinator in front of all ``k`` sites, which
+caps scalability at what a single Python object (and a single message queue)
+can absorb.  This module refactors the substrate into a two-level hierarchy:
+
+* a :class:`ShardCoordinator` owns a *disjoint group* of sites and runs any
+  existing :class:`~repro.monitoring.coordinator.Coordinator` — the block
+  template, Cormode, Huang, the naive counter — locally over its own counted
+  channel, completely unmodified (the inner coordinator is built for the
+  shard's group size, so block closes complete on the shard's own reply
+  count, never the global ``k``);
+* a :class:`RootAggregator` merges the shard-level estimates into the global
+  estimate and re-sends global level changes down to the shards whose
+  recorded level is stale (a shard-aware multicast, charged per receiver).
+
+Both levels run over ordinary counted channels, so **communication stays
+separately accounted per shard**: each shard channel counts the up/down
+traffic between its sites and its coordinator, and the root channel counts
+the shard-to-root hops.  Injecting latency-aware channels at either level
+(:func:`repro.asynchrony.build_sharded_async_network`) turns the shard-to-root
+hop into a second latency leg.
+
+Estimate contract (the hierarchical-merge property, pinned by
+``tests/test_sharding_property.py``): every shard behaves *bit-for-bit* like a
+flat coordinator run over its own substream, and the root's estimate is the
+exact sum of the shard estimates.  With ``num_shards == 1`` the hierarchy
+degenerates to the flat network itself — no root hop exists, and runs are
+bit-for-bit identical to the flat engine in estimates, message counts, bit
+counts and transcript order, across the per-update, batched and asynchronous
+engines (``tests/test_sharding.py``).
+
+Push granularity: a shard pushes its estimate to the root whenever the
+estimate changed since the last push, evaluated after each delivery event
+(one update on the per-update engine, one contiguous run on the batched
+engine) and after each virtual-clock advance on the asynchronous engine.
+Shard-local traffic is engine-invariant by the existing batched-equivalence
+contract; the *root-hop count* depends on delivery granularity, exactly like
+transport-level batching on a real uplink.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.monitoring.channel import Channel, ChannelStats
+from repro.monitoring.coordinator import Coordinator
+from repro.monitoring.messages import (
+    BROADCAST_SITE,
+    COORDINATOR,
+    Message,
+    MessageKind,
+)
+from repro.monitoring.network import MonitoringNetwork
+from repro.monitoring.site import Site
+
+__all__ = [
+    "ShardingPolicy",
+    "ContiguousSharding",
+    "StridedSharding",
+    "ShardUplink",
+    "ShardCoordinator",
+    "RootAggregator",
+    "ShardedChannelView",
+    "ShardedNetwork",
+    "build_sharded_network",
+]
+
+
+def _check_shard_counts(num_sites: int, num_shards: int) -> None:
+    if num_sites < 1:
+        raise ConfigurationError(f"num_sites must be >= 1, got {num_sites}")
+    if not 1 <= num_shards <= num_sites:
+        raise ConfigurationError(
+            f"num_shards must be in 1..{num_sites} (one site per shard at "
+            f"least), got {num_shards}"
+        )
+
+
+class ShardingPolicy:
+    """Protocol for policies partitioning global site ids into shard groups.
+
+    ``partition(num_sites, num_shards)`` must return ``num_shards`` disjoint,
+    non-empty groups of global site ids that together cover
+    ``range(num_sites)``.  The order of ids within a group defines the
+    shard-local site ids ``0..len(group) - 1``.
+    """
+
+    def partition(self, num_sites: int, num_shards: int) -> List[List[int]]:
+        raise NotImplementedError
+
+
+class ContiguousSharding(ShardingPolicy):
+    """Each shard owns a contiguous range of sites, balanced to within one.
+
+    The natural layout for blocked ingestion: consecutive site ids land in
+    the same shard, so contiguous site runs stay shard-local.
+    """
+
+    def partition(self, num_sites: int, num_shards: int) -> List[List[int]]:
+        _check_shard_counts(num_sites, num_shards)
+        base, extra = divmod(num_sites, num_shards)
+        groups: List[List[int]] = []
+        start = 0
+        for shard_id in range(num_shards):
+            size = base + (1 if shard_id < extra else 0)
+            groups.append(list(range(start, start + size)))
+            start += size
+        return groups
+
+
+class StridedSharding(ShardingPolicy):
+    """Site ``i`` goes to shard ``i mod num_shards`` (round-robin interleave).
+
+    Spreads a round-robin site assignment evenly over the shards, the
+    balanced counterpart to :class:`ContiguousSharding` for interleaved
+    workloads.
+    """
+
+    def partition(self, num_sites: int, num_shards: int) -> List[List[int]]:
+        _check_shard_counts(num_sites, num_shards)
+        return [
+            [site for site in range(num_sites) if site % num_shards == shard_id]
+            for shard_id in range(num_shards)
+        ]
+
+
+class ShardUplink(Site):
+    """A shard coordinator's port on the root channel.
+
+    The root network treats each shard as a "site" with id ``shard_id``; the
+    uplink relays root messages to its shard and gives the shard a counted
+    :meth:`~repro.monitoring.site.Site.send` path to the root.  Stream
+    updates never travel on the root channel.
+    """
+
+    def __init__(self, shard: "ShardCoordinator") -> None:
+        super().__init__(shard.shard_id)
+        self._shard = shard
+
+    def receive_update(self, time: int, delta: int) -> None:
+        raise ProtocolError(
+            "the root channel carries shard estimates and level changes, "
+            "never stream updates; deliver updates through the ShardedNetwork"
+        )
+
+    def receive_message(self, message: Message) -> None:
+        self._shard.on_root_message(message)
+
+
+class ShardCoordinator:
+    """One shard: an unmodified flat network over a disjoint site group.
+
+    The shard runs any existing coordinator/site set (built by the tracker
+    factory for the *group's* size, so every protocol threshold and reply
+    quorum is shard-local) over its own counted channel, and pushes its
+    estimate to the root whenever it changes.
+
+    Attributes:
+        shard_id: Position of this shard on the root channel.
+        network: The shard-local :class:`MonitoringNetwork`.
+        site_ids: Global site ids owned by this shard; the position of an id
+            in this tuple is its shard-local site id.
+        root_level: Last global level received from the root aggregator
+            (diagnostic — shard-local protocol behaviour never depends on it,
+            which is what makes the hierarchy exactly compositional).
+        uplink: This shard's port on the root channel.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        network: MonitoringNetwork,
+        site_ids: Sequence[int],
+    ) -> None:
+        if shard_id < 0:
+            raise ConfigurationError(f"shard id must be >= 0, got {shard_id}")
+        if len(site_ids) != network.num_sites:
+            raise ConfigurationError(
+                f"shard {shard_id} owns {len(site_ids)} global sites but its "
+                f"network serves {network.num_sites}"
+            )
+        self.shard_id = shard_id
+        self.network = network
+        self.site_ids: Tuple[int, ...] = tuple(int(site) for site in site_ids)
+        self.root_level = 0
+        self.uplink = ShardUplink(self)
+        self._last_pushed = 0.0
+        #: Estimate pushes sent to the root so far (per-shard root-hop count).
+        self.pushes = 0
+
+    @property
+    def num_sites(self) -> int:
+        """Number of sites this shard serves."""
+        return self.network.num_sites
+
+    @property
+    def coordinator(self) -> Coordinator:
+        """The unmodified inner coordinator running this shard's protocol."""
+        return self.network.coordinator
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Live communication counters of the shard-local channel."""
+        return self.network.stats
+
+    def estimate(self) -> float:
+        """The shard's current estimate of its local substream value."""
+        return self.network.estimate()
+
+    def push_estimate(self, time: int) -> None:
+        """Push the local estimate to the root if it changed since last push.
+
+        The initial value 0.0 is the root's prior for every shard, so a shard
+        that never communicates never pushes — matching the flat protocols,
+        which also say nothing while their estimate sits at zero.
+        """
+        estimate = self.network.estimate()
+        if estimate == self._last_pushed:
+            return
+        self._last_pushed = estimate
+        self.pushes += 1
+        self.uplink.send(
+            Message(
+                kind=MessageKind.REPORT,
+                sender=self.shard_id,
+                receiver=COORDINATOR,
+                payload={"estimate": float(estimate)},
+                time=time,
+            )
+        )
+
+    def on_root_message(self, message: Message) -> None:
+        """Record a level change re-sent by the root aggregator."""
+        if message.kind is not MessageKind.BROADCAST:
+            raise ConfigurationError(
+                f"shard {self.shard_id} received unexpected root message kind "
+                f"{message.kind}"
+            )
+        self.root_level = int(message.payload["level"])
+
+
+class RootAggregator(Coordinator):
+    """Root of the hierarchy: merges shard estimates, re-sends level changes.
+
+    The root's estimate is the exact sum of the last estimate each shard
+    pushed.  From the merged value it maintains the *global* block level
+    (:func:`repro.core.blocks.block_level` with the global ``k``) and, when
+    the level changes, multicasts it on the root channel to exactly the
+    shards whose recorded level is stale — charged once per receiver, like a
+    broadcast restricted to the stale subset.
+    """
+
+    def __init__(self, num_shards: int, num_sites: int) -> None:
+        if num_shards < 2:
+            raise ConfigurationError(
+                f"a root aggregator needs at least two shards, got {num_shards} "
+                "(a single shard is served by the flat network directly)"
+            )
+        super().__init__()
+        self.num_shards = num_shards
+        #: Global number of sites ``k`` (all shards together) — the level
+        #: rule is evaluated against the global topology, not a shard's.
+        self.num_sites = num_sites
+        self._estimates: Dict[int, float] = {s: 0.0 for s in range(num_shards)}
+        #: Global block level derived from the merged estimate.
+        self.level = 0
+        self._shard_levels: Dict[int, int] = {s: 0 for s in range(num_shards)}
+        #: Estimate reports received, total and per shard.
+        self.reports = 0
+        self.reports_by_shard: Dict[int, int] = {s: 0 for s in range(num_shards)}
+
+    def estimate(self) -> float:
+        """Merged estimate: the sum of the shards' pushed estimates."""
+        return float(sum(self._estimates.values()))
+
+    def receive_message(self, message: Message) -> None:
+        if message.kind is not MessageKind.REPORT:
+            raise ConfigurationError(
+                f"root aggregator received unexpected message kind {message.kind}"
+            )
+        shard_id = message.sender
+        if shard_id not in self._estimates:
+            raise ProtocolError(
+                f"estimate report from unknown shard {shard_id}; root serves "
+                f"shards 0..{self.num_shards - 1}"
+            )
+        self._estimates[shard_id] = float(message.payload["estimate"])
+        self.reports += 1
+        self.reports_by_shard[shard_id] += 1
+        self._refresh_level(message.time)
+
+    def _refresh_level(self, time: int) -> None:
+        """Recompute the global level; re-send it to shards that are stale."""
+        # Imported lazily: repro.core builds on repro.monitoring, so a
+        # module-level import here would be circular.  At call time the core
+        # package is fully initialised.
+        from repro.core.blocks import block_level
+
+        self.level = block_level(int(round(self.estimate())), self.num_sites)
+        stale = [
+            shard_id
+            for shard_id in range(self.num_shards)
+            if self._shard_levels[shard_id] != self.level
+        ]
+        if not stale:
+            return
+        self.multicast(
+            Message(
+                kind=MessageKind.BROADCAST,
+                sender=COORDINATOR,
+                receiver=BROADCAST_SITE,
+                payload={"level": self.level},
+                time=time,
+            ),
+            stale,
+        )
+        for shard_id in stale:
+            self._shard_levels[shard_id] = self.level
+
+
+class ShardedChannelView:
+    """Read-only aggregate over the shard channels plus the root channel.
+
+    Presents the runner-facing slice of the channel interface —
+    ``is_synchronous`` and merged ``stats`` for the synchronous engines, the
+    staleness signals (``delivery_ages``, ``inflight_highwater``,
+    ``reordered_deliveries``), ``in_flight`` and ``now`` for the
+    asynchronous one — so both runners drive a sharded network exactly like
+    a flat one.  ``inflight_highwater`` is the *sum* of the per-channel
+    high-water marks (channels peak at different instants, so this is an
+    upper bound on the true global peak).
+    """
+
+    def __init__(
+        self,
+        local_channels: Sequence[Channel],
+        root_channel: Optional[Channel],
+    ) -> None:
+        self._locals = tuple(local_channels)
+        self._root = root_channel
+
+    @property
+    def channels(self) -> Tuple[Channel, ...]:
+        """All underlying channels: one per shard, then the root (if any)."""
+        if self._root is None:
+            return self._locals
+        return self._locals + (self._root,)
+
+    @property
+    def is_synchronous(self) -> bool:
+        """Whether every underlying channel delivers inline."""
+        return all(channel.is_synchronous for channel in self.channels)
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Merged counters over every shard channel and the root channel."""
+        return ChannelStats.merge(channel.stats for channel in self.channels)
+
+    def enable_log(self) -> None:
+        """Enable the per-transmission log on every underlying channel."""
+        for channel in self.channels:
+            channel.enable_log()
+
+    @property
+    def log_enabled(self) -> bool:
+        """Whether any underlying channel records its transcript."""
+        return any(channel.log_enabled for channel in self.channels)
+
+    # -- asynchronous aggregates (duck-typed for summarize_staleness) --------
+
+    @property
+    def delivery_ages(self) -> List[float]:
+        """All channels' delivery ages, shard order then root."""
+        ages: List[float] = []
+        for channel in self.channels:
+            ages.extend(getattr(channel, "delivery_ages", ()))
+        return ages
+
+    @property
+    def inflight_highwater(self) -> int:
+        """Sum of the per-channel in-flight high-water marks."""
+        return sum(getattr(channel, "inflight_highwater", 0) for channel in self.channels)
+
+    @property
+    def reordered_deliveries(self) -> int:
+        """Total out-of-send-order deliveries across all channels."""
+        return sum(
+            getattr(channel, "reordered_deliveries", 0) for channel in self.channels
+        )
+
+    @property
+    def in_flight(self) -> int:
+        """Messages currently travelling on any underlying channel."""
+        return sum(getattr(channel, "in_flight", 0) for channel in self.channels)
+
+    @property
+    def now(self) -> float:
+        """Latest virtual clock across the underlying channels."""
+        return max(
+            (getattr(channel, "now", 0.0) for channel in self.channels), default=0.0
+        )
+
+
+class ShardedNetwork:
+    """A two-level hierarchy of shard networks under one root aggregator.
+
+    Exposes the same driving surface as :class:`MonitoringNetwork`
+    (``deliver_update``, ``deliver_batch``, ``estimate``, ``stats``,
+    ``channel``), so :func:`repro.monitoring.runner.run_tracking` and
+    :func:`repro.asynchrony.run_tracking_async` run it unmodified.  Updates
+    are routed to the owning shard (global site id to shard-local id), each
+    shard's batched fast path runs against its own unmodified coordinator,
+    and after every delivery the affected shard pushes its estimate to the
+    root if it changed.
+
+    With one shard there is no root: the network is the flat topology
+    itself, bit-for-bit, and :meth:`estimate` reads the single shard
+    directly.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ShardCoordinator],
+        root_network: Optional[MonitoringNetwork],
+    ) -> None:
+        if not shards:
+            raise ConfigurationError("a sharded network needs at least one shard")
+        self.shards: Tuple[ShardCoordinator, ...] = tuple(shards)
+        if len(self.shards) == 1:
+            if root_network is not None:
+                raise ConfigurationError(
+                    "a single-shard network is the flat topology; it takes no "
+                    "root network (and pays no root hop)"
+                )
+        elif root_network is None:
+            raise ConfigurationError(
+                f"{len(self.shards)} shards need a root network to merge them"
+            )
+        elif root_network.num_sites != len(self.shards):
+            raise ConfigurationError(
+                f"root network serves {root_network.num_sites} uplinks, "
+                f"topology has {len(self.shards)} shards"
+            )
+        self.root_network = root_network
+        self._route: Dict[int, Tuple[ShardCoordinator, int]] = {}
+        for shard in self.shards:
+            for local_id, global_id in enumerate(shard.site_ids):
+                if global_id in self._route:
+                    raise ConfigurationError(
+                        f"site {global_id} is owned by more than one shard"
+                    )
+                self._route[global_id] = (shard, local_id)
+        expected = set(range(len(self._route)))
+        if set(self._route) != expected:
+            raise ConfigurationError(
+                "shard site groups must cover exactly 0..k-1, got "
+                f"{sorted(self._route)}"
+            )
+        self.channel = ShardedChannelView(
+            [shard.network.channel for shard in self.shards],
+            None if root_network is None else root_network.channel,
+        )
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def num_sites(self) -> int:
+        """Global number of sites ``k`` across all shards."""
+        return len(self._route)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the hierarchy."""
+        return len(self.shards)
+
+    @property
+    def root(self) -> Optional[RootAggregator]:
+        """The root aggregator, or ``None`` in the single-shard topology."""
+        if self.root_network is None:
+            return None
+        return self.root_network.coordinator
+
+    def shard_of(self, site_id: int) -> ShardCoordinator:
+        """Return the shard that owns global site ``site_id``."""
+        return self._locate(site_id)[0]
+
+    def _locate(self, site_id: int) -> Tuple[ShardCoordinator, int]:
+        try:
+            return self._route[int(site_id)]
+        except KeyError:
+            raise ProtocolError(
+                f"update destined for site {site_id}, but network has "
+                f"{self.num_sites} sites"
+            ) from None
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def stats(self) -> ChannelStats:
+        """Merged counters: every shard channel plus the root channel."""
+        return self.channel.stats
+
+    def shard_stats(self) -> List[ChannelStats]:
+        """Per-shard snapshots of the shard-local communication counters."""
+        return [shard.stats.snapshot() for shard in self.shards]
+
+    @property
+    def local_stats(self) -> ChannelStats:
+        """Merged shard-local counters, excluding the root channel."""
+        return ChannelStats.merge(shard.stats for shard in self.shards)
+
+    @property
+    def root_stats(self) -> ChannelStats:
+        """Counters of the shard-to-root channel (zero in flat topology)."""
+        if self.root_network is None:
+            return ChannelStats()
+        return self.root_network.stats.snapshot()
+
+    # -- delivery ------------------------------------------------------------
+
+    def deliver_update(self, time: int, site_id: int, delta: int) -> None:
+        """Route one stream update to its owning shard, then sync the root."""
+        shard, local_id = self._locate(site_id)
+        shard.network.deliver_update(time, local_id, delta)
+        if self.root_network is not None:
+            shard.push_estimate(time)
+
+    def deliver_batch(
+        self, site_id: int, times: Sequence[int], deltas: Sequence[int]
+    ) -> None:
+        """Route a contiguous same-site run to its shard, then sync the root."""
+        shard, local_id = self._locate(site_id)
+        shard.network.deliver_batch(local_id, times, deltas)
+        if self.root_network is not None and len(times):
+            shard.push_estimate(int(times[-1]))
+
+    def estimate(self) -> float:
+        """The hierarchy's estimate: the root's merged view (flat: shard 0)."""
+        if self.root_network is None:
+            return self.shards[0].estimate()
+        return self.root_network.estimate()
+
+    # -- asynchronous driving (see repro.asynchrony.runner) ------------------
+
+    def advance_to(self, until: float) -> None:
+        """Advance every clock to ``until``, then push fresh shard estimates.
+
+        The root channel advances *before* the pushes so its clock sits at
+        the window frontier when a push is transmitted: an estimate formed by
+        a shard delivery inside the window is pushed at ``until`` (at or
+        after the moment it came to exist), never back-dated to the previous
+        advance point — the root cannot receive knowledge before the shard
+        had it.  Requires latency-aware channels at both levels
+        (:func:`repro.asynchrony.build_sharded_async_network`).
+        """
+        if self.root_network is not None:
+            self.root_network.channel.advance_to(until)
+        for shard in self.shards:
+            shard.network.channel.advance_to(until)
+            if self.root_network is not None:
+                shard.push_estimate(int(until))
+
+    def drain(self) -> float:
+        """Deliver every in-flight message at both levels; return the clock.
+
+        Loops shard drains, estimate pushes and root drains until the whole
+        hierarchy is quiescent, so the root settles on the final merged
+        estimate once the last shard report lands.  As in :meth:`advance_to`,
+        the root clock is raised to the global frontier before each push
+        round, keeping the shard-to-root leg causal.
+        """
+        while True:
+            for shard in self.shards:
+                shard.network.channel.drain()
+            if self.root_network is not None:
+                self.root_network.channel.advance_to(self.channel.now)
+                for shard in self.shards:
+                    shard.push_estimate(int(self.channel.now))
+                self.root_network.channel.drain()
+            if self.channel.in_flight == 0:
+                return self.channel.now
+
+
+def build_sharded_network(
+    factory,
+    num_shards: int,
+    sharding: Optional[ShardingPolicy] = None,
+    local_channel_factory=None,
+    root_channel_factory=None,
+) -> ShardedNetwork:
+    """Build a two-level sharded hierarchy from a flat tracker factory.
+
+    The factory's ``k`` sites are partitioned into ``num_shards`` disjoint
+    groups by ``sharding`` (contiguous, balanced-to-within-one by default).
+    Each group gets an independent copy of the tracker, built by
+    ``factory.shard_factory(group_size, shard_id)`` — the hook every tracker
+    factory exposes (see
+    :meth:`repro.core.template.BlockTrackerFactory.shard_factory`) — wired as
+    a flat network over its own counted channel.  With more than one shard, a
+    :class:`RootAggregator` is wired over a second counted channel whose
+    "sites" are the shard uplinks.
+
+    Args:
+        factory: Flat tracker factory exposing ``num_sites`` and
+            ``shard_factory`` (all Section 3 trackers and baselines do).
+        num_shards: Number of shards; ``1`` yields the flat topology with no
+            root hop.
+        sharding: Site-to-shard partition policy; default
+            :class:`ContiguousSharding`.
+        local_channel_factory: Optional ``(shard_id, group_size) -> Channel``
+            used to inject shard-local channels (the async builder injects
+            latency-aware ones).
+        root_channel_factory: Optional ``(num_shards) -> Channel`` for the
+            shard-to-root channel.
+
+    Returns:
+        A wired :class:`ShardedNetwork`.
+    """
+    num_sites = getattr(factory, "num_sites", None)
+    if num_sites is None:
+        raise ConfigurationError(
+            "build_sharded_network needs a tracker factory exposing num_sites"
+        )
+    shard_factory = getattr(factory, "shard_factory", None)
+    if shard_factory is None:
+        raise ConfigurationError(
+            f"{type(factory).__name__} does not expose shard_factory(num_sites, "
+            "shard_id); add one to run it sharded"
+        )
+    policy = sharding if sharding is not None else ContiguousSharding()
+    groups = policy.partition(num_sites, num_shards)
+    if len(groups) != num_shards or any(not group for group in groups):
+        raise ConfigurationError(
+            f"sharding policy returned {len(groups)} groups (some possibly "
+            f"empty) for {num_shards} shards"
+        )
+    shards: List[ShardCoordinator] = []
+    for shard_id, group in enumerate(groups):
+        sub_factory = shard_factory(len(group), shard_id)
+        base = sub_factory.build_network()
+        if local_channel_factory is not None:
+            base = MonitoringNetwork(
+                base.coordinator,
+                base.sites,
+                channel=local_channel_factory(shard_id, len(group)),
+            )
+        shards.append(ShardCoordinator(shard_id, base, group))
+    root_network: Optional[MonitoringNetwork] = None
+    if num_shards > 1:
+        root = RootAggregator(num_shards=num_shards, num_sites=num_sites)
+        uplinks = [shard.uplink for shard in shards]
+        root_channel = (
+            root_channel_factory(num_shards) if root_channel_factory is not None else None
+        )
+        root_network = MonitoringNetwork(root, uplinks, channel=root_channel)
+    return ShardedNetwork(shards, root_network)

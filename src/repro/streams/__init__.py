@@ -30,10 +30,14 @@ from repro.streams.generators import (
     sign_alternating_stream,
 )
 from repro.streams.io import (
+    TraceColumns,
+    columns_from_updates,
     load_item_stream_csv,
     load_stream_csv,
+    load_trace_columns,
     save_item_stream_csv,
     save_stream_csv,
+    save_trace_csv,
 )
 from repro.streams.item_streams import (
     ItemStreamConfig,
@@ -61,10 +65,14 @@ __all__ = [
     "random_walk_stream",
     "sawtooth_stream",
     "sign_alternating_stream",
+    "TraceColumns",
+    "columns_from_updates",
     "load_item_stream_csv",
     "load_stream_csv",
+    "load_trace_columns",
     "save_item_stream_csv",
     "save_stream_csv",
+    "save_trace_csv",
     "ItemStreamConfig",
     "sliding_window_item_stream",
     "zipfian_item_stream",

@@ -5,6 +5,13 @@ to disk and replayed later (or fed to an external system).  These helpers
 round-trip the two stream kinds the library uses — scalar delta streams
 (:class:`~repro.streams.model.StreamSpec`) and item insert/delete streams —
 through small, human-readable CSV files.
+
+For replayed *distributed* traces there is additionally a columnar path:
+:func:`save_trace_csv` / :func:`load_trace_columns` round-trip a full
+``time,site,delta`` trace as three NumPy arrays (:class:`TraceColumns`),
+which :func:`repro.monitoring.runner.run_tracking_arrays` feeds to
+``deliver_batch`` directly — no per-:class:`~repro.types.Update` object is
+ever constructed on the replay hot path.
 """
 
 from __future__ import annotations
@@ -12,20 +19,132 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
+import warnings
+from dataclasses import dataclass
 from typing import List, Sequence, Union
+
+import numpy as np
 
 from repro.exceptions import StreamError
 from repro.streams.model import StreamSpec
-from repro.types import ItemUpdate
+from repro.types import ItemUpdate, Update
 
 __all__ = [
     "save_stream_csv",
     "load_stream_csv",
     "save_item_stream_csv",
     "load_item_stream_csv",
+    "TraceColumns",
+    "columns_from_updates",
+    "save_trace_csv",
+    "load_trace_columns",
 ]
 
 PathLike = Union[str, pathlib.Path]
+
+_TRACE_HEADER = ["time", "site", "delta"]
+
+
+@dataclass(frozen=True)
+class TraceColumns:
+    """A distributed update trace in columnar form.
+
+    Three parallel integer arrays instead of one list of
+    :class:`~repro.types.Update` objects: the memory layout the batched
+    engine wants (contiguous same-site runs are sliced straight out of the
+    arrays) and the one a replayed trace loads fastest into.
+
+    Attributes:
+        times: 1-D ``int64`` array of update timesteps, in stream order.
+        sites: Matching array of destination site ids.
+        deltas: Matching array of per-timestep changes.
+    """
+
+    times: np.ndarray
+    sites: np.ndarray
+    deltas: np.ndarray
+
+    def __post_init__(self) -> None:
+        if (
+            self.times.ndim != 1
+            or self.times.shape != self.sites.shape
+            or self.times.shape != self.deltas.shape
+        ):
+            raise StreamError(
+                "trace columns must be equal-length 1-D arrays, got shapes "
+                f"{self.times.shape}/{self.sites.shape}/{self.deltas.shape}"
+            )
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def to_updates(self) -> List[Update]:
+        """Materialise the trace as :class:`~repro.types.Update` objects.
+
+        The inverse of :func:`columns_from_updates`, for code paths that
+        still want objects (the per-update engine, hand-written loops).
+        """
+        return [
+            Update(time=int(t), site=int(s), delta=int(d))
+            for t, s, d in zip(self.times, self.sites, self.deltas)
+        ]
+
+
+def columns_from_updates(updates: Sequence[Update]) -> TraceColumns:
+    """Convert a materialised update sequence to columnar form."""
+    count = len(updates)
+    return TraceColumns(
+        times=np.fromiter((u.time for u in updates), dtype=np.int64, count=count),
+        sites=np.fromiter((u.site for u in updates), dtype=np.int64, count=count),
+        deltas=np.fromiter((u.delta for u in updates), dtype=np.int64, count=count),
+    )
+
+
+def save_trace_csv(
+    trace: Union[TraceColumns, Sequence[Update]], path: PathLike
+) -> None:
+    """Write a distributed trace to ``path`` as a ``time,site,delta`` CSV."""
+    if not isinstance(trace, TraceColumns):
+        trace = columns_from_updates(trace)
+    target = pathlib.Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_TRACE_HEADER)
+        writer.writerows(
+            zip(trace.times.tolist(), trace.sites.tolist(), trace.deltas.tolist())
+        )
+
+
+def load_trace_columns(path: PathLike) -> TraceColumns:
+    """Read a trace written by :func:`save_trace_csv` as columnar arrays.
+
+    The whole table is parsed into three ``int64`` arrays in one NumPy pass;
+    nothing per-update is constructed, so a loaded trace flows into
+    :func:`repro.monitoring.runner.run_tracking_arrays` (and from there into
+    ``deliver_batch``) without any Python-object overhead per record.
+    """
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise StreamError(f"trace file {source} does not exist")
+    with source.open("r", newline="") as handle:
+        header = handle.readline().strip().split(",")
+        if header != _TRACE_HEADER:
+            raise StreamError(f"{source} has an unexpected column header {header}")
+        try:
+            with warnings.catch_warnings():
+                # An empty table is reported through StreamError below, not
+                # through loadtxt's "no data" UserWarning.
+                warnings.simplefilter("ignore", UserWarning)
+                table = np.loadtxt(handle, delimiter=",", dtype=np.int64, ndmin=2)
+        except ValueError as error:
+            raise StreamError(f"{source} has a malformed trace row: {error}") from error
+    if table.size == 0:
+        raise StreamError(f"{source} contains no updates")
+    if table.shape[1] != 3:
+        raise StreamError(
+            f"{source} rows must have exactly 3 columns, got {table.shape[1]}"
+        )
+    return TraceColumns(times=table[:, 0], sites=table[:, 1], deltas=table[:, 2])
 
 
 def save_stream_csv(spec: StreamSpec, path: PathLike) -> None:

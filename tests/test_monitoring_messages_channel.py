@@ -178,3 +178,108 @@ class TestBroadcastLogAccounting:
         assert channel.stats.messages == reference.stats.messages
         assert channel.stats.bits == reference.stats.bits
         assert channel.stats.by_kind == reference.stats.by_kind
+
+
+class TestChannelStatsAggregation:
+    """ChannelStats.__add__ / merge — how per-shard accounting aggregates."""
+
+    def _stats(self, messages, bits, by_kind):
+        from repro.monitoring import ChannelStats
+
+        return ChannelStats(messages=messages, bits=bits, by_kind=by_kind)
+
+    def test_add_combines_counters_and_kinds(self):
+        left = self._stats(3, 60, {"report": 2, "reply": 1})
+        right = self._stats(5, 100, {"report": 1, "broadcast": 4})
+        total = left + right
+        assert total.messages == 8
+        assert total.bits == 160
+        assert total.by_kind == {"report": 3, "reply": 1, "broadcast": 4}
+
+    def test_add_leaves_operands_untouched(self):
+        left = self._stats(1, 10, {"report": 1})
+        right = self._stats(2, 20, {"reply": 2})
+        total = left + right
+        total.by_kind["report"] = 99
+        assert left.by_kind == {"report": 1}
+        assert right.by_kind == {"reply": 2}
+
+    def test_sum_builtin_works(self):
+        parts = [self._stats(i, 10 * i, {"report": i}) for i in (1, 2, 3)]
+        total = sum(parts)
+        assert total.messages == 6
+        assert total.bits == 60
+        assert total.by_kind == {"report": 6}
+
+    def test_merge_classmethod(self):
+        from repro.monitoring import ChannelStats
+
+        parts = [
+            self._stats(2, 40, {"report": 2}),
+            self._stats(0, 0, {}),
+            self._stats(3, 50, {"reply": 3}),
+        ]
+        total = ChannelStats.merge(parts)
+        assert (total.messages, total.bits) == (5, 90)
+        assert total.by_kind == {"report": 2, "reply": 3}
+        assert ChannelStats.merge([]).messages == 0
+
+    def test_add_rejects_non_stats(self):
+        with pytest.raises(TypeError):
+            self._stats(1, 10, {}) + 5
+
+
+class TestMulticast:
+    def _channel(self, num_sites=4):
+        channel = Channel(num_sites=num_sites)
+        received = {i: [] for i in range(num_sites)}
+        channel.register_coordinator(lambda m: None)
+        for site_id in range(num_sites):
+            channel.register_site(
+                site_id, (lambda s: lambda m: received[s].append(m))(site_id)
+            )
+        return channel, received
+
+    def _level(self):
+        return Message(
+            kind=MessageKind.BROADCAST,
+            sender=COORDINATOR,
+            receiver=BROADCAST_SITE,
+            payload={"level": 3},
+            time=7,
+        )
+
+    def test_charges_one_copy_per_receiver(self):
+        channel, received = self._channel()
+        message = self._level()
+        channel.multicast(message, [0, 2])
+        assert channel.stats.messages == 2
+        assert channel.stats.bits == 2 * message.bits()
+        assert channel.stats.by_kind == {"broadcast": 2}
+        assert received[0] == [message] and received[2] == [message]
+        assert received[1] == [] and received[3] == []
+
+    def test_full_receiver_set_matches_broadcast_accounting(self):
+        multicast_channel, _ = self._channel()
+        broadcast_channel, _ = self._channel()
+        message = self._level()
+        multicast_channel.multicast(message, [0, 1, 2, 3])
+        broadcast_channel.send_to_site(message)
+        assert multicast_channel.stats.messages == broadcast_channel.stats.messages
+        assert multicast_channel.stats.bits == broadcast_channel.stats.bits
+        assert multicast_channel.stats.by_kind == broadcast_channel.stats.by_kind
+
+    def test_logs_one_entry_per_copy(self):
+        channel, _ = self._channel()
+        channel.enable_log()
+        channel.multicast(self._level(), [1, 3])
+        assert len(channel.log) == 2
+
+    def test_rejects_empty_duplicate_and_unknown_receivers(self):
+        channel, _ = self._channel()
+        with pytest.raises(ProtocolError):
+            channel.multicast(self._level(), [])
+        with pytest.raises(ProtocolError):
+            channel.multicast(self._level(), [1, 1])
+        with pytest.raises(ProtocolError):
+            channel.multicast(self._level(), [0, 9])

@@ -152,3 +152,90 @@ class TestCliBatchEngine:
         out = capsys.readouterr().out
         assert "speedup" in out
         assert "batched up/s" in out
+
+
+class TestCliSharding:
+    def test_tracking_accepts_shards_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "tracking",
+                    "--stream",
+                    "biased_walk",
+                    "--length",
+                    "1500",
+                    "--sites",
+                    "4",
+                    "--shards",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+        assert "deterministic" in out
+
+    def test_throughput_accepts_shards_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "throughput",
+                    "--length",
+                    "12000",
+                    "--sites",
+                    "4",
+                    "--shards",
+                    "2",
+                    "--record-every",
+                    "1500",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+        assert "speedup" in out
+
+    def test_latency_accepts_shards_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "latency",
+                    "--stream",
+                    "biased_walk",
+                    "--length",
+                    "1200",
+                    "--sites",
+                    "4",
+                    "--shards",
+                    "2",
+                    "--scales",
+                    "0",
+                    "2",
+                    "--record-every",
+                    "50",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+        assert "mean age" in out
+
+    def test_block_length_help_names_blocked_assignment_not_sharding(self):
+        parser = build_parser()
+        args = parser.parse_args(["throughput", "--block-length", "64"])
+        assert args.block_length == 64
+        # The help text used to call blocked assignment "sharded ingestion",
+        # conflating a stream-to-site layout with coordinator sharding.
+        source = None
+        for action_group in parser._subparsers._group_actions:
+            source = action_group.choices["throughput"]
+        help_text = next(
+            action.help
+            for action in source._actions
+            if "--block-length" in action.option_strings
+        )
+        assert "blocked" in help_text
+        assert "sharded-ingestion" not in help_text
