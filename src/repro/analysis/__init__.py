@@ -25,6 +25,7 @@ from repro.analysis.bounds import (
 from repro.analysis.experiments import (
     TrackerComparison,
     compare_trackers,
+    measure_columnar_throughput,
     measure_engine_throughput,
     run_tracker_on_stream,
     repeat_variability,
@@ -55,6 +56,7 @@ __all__ = [
     "single_site_message_bound",
     "TrackerComparison",
     "compare_trackers",
+    "measure_columnar_throughput",
     "measure_engine_throughput",
     "run_tracker_on_stream",
     "repeat_variability",

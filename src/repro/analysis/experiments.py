@@ -28,6 +28,7 @@ __all__ = [
     "run_tracker_on_stream",
     "compare_trackers",
     "measure_engine_throughput",
+    "measure_columnar_throughput",
     "repeat_variability",
 ]
 
@@ -208,6 +209,71 @@ def measure_engine_throughput(
             "this violates the equivalence contract — please report"
         )
     n = len(updates)
+    return n / slow_seconds, n / fast_seconds, slow_seconds / fast_seconds
+
+
+def measure_columnar_throughput(
+    factory,
+    trace,
+    record_every: int = 20_000,
+    shards: int = 1,
+) -> Tuple[float, float, float]:
+    """Time the per-update engine against the columnar array engine.
+
+    The columnar counterpart of :func:`measure_engine_throughput` for
+    replayed traces (:class:`repro.streams.io.TraceColumns`): the baseline
+    replays the trace as :class:`~repro.types.Update` objects through the
+    per-update engine, the fast run feeds the arrays straight into
+    :func:`repro.monitoring.runner.run_tracking_arrays`.  The engines must
+    agree bit-for-bit on message totals, bit totals and every recorded
+    estimate — a divergence raises
+    :class:`~repro.exceptions.ProtocolError`.
+
+    Returns:
+        ``(per_update_rate, arrays_rate, speedup)`` in updates/second.
+    """
+    from repro.monitoring.runner import run_tracking, run_tracking_arrays
+
+    def build_network():
+        if shards > 1:
+            from repro.monitoring.sharding import build_sharded_network
+
+            return build_sharded_network(factory, shards)
+        return factory.build_network()
+
+    updates = trace.to_updates()
+    begin = time.perf_counter()
+    slow = run_tracking(
+        build_network(), updates, record_every=record_every, batched=False
+    )
+    slow_seconds = time.perf_counter() - begin
+    begin = time.perf_counter()
+    fast = run_tracking_arrays(
+        build_network(),
+        trace.times,
+        trace.sites,
+        trace.deltas,
+        record_every=record_every,
+    )
+    fast_seconds = time.perf_counter() - begin
+    agree = (
+        slow.total_messages == fast.total_messages
+        and slow.total_bits == fast.total_bits
+        and [r.estimate for r in slow.records] == [r.estimate for r in fast.records]
+    )
+    if not agree and shards > 1:
+        # Sharded root-hop counts legitimately differ between delivery
+        # granularities (see the push-granularity note in the sharding
+        # module); estimates must still match exactly.
+        agree = [r.estimate for r in slow.records] == [
+            r.estimate for r in fast.records
+        ]
+    if not agree:
+        raise ProtocolError(
+            "columnar and per-update engines disagree on the same trace; "
+            "this violates the equivalence contract — please report"
+        )
+    n = len(trace)
     return n / slow_seconds, n / fast_seconds, slow_seconds / fast_seconds
 
 

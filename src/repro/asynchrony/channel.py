@@ -116,8 +116,23 @@ class AsyncChannel(Channel):
 
     @property
     def is_synchronous(self) -> bool:
-        """Asynchronous delivery: closed-form fast paths must not be used."""
+        """Asynchronous delivery: inline closed-form closes must not be used."""
         return False
+
+    @property
+    def supports_span_events(self) -> bool:
+        """Whether the span kernel may bulk-schedule a span's count reports.
+
+        ``True``: the kernel's batched fast path may run over this channel,
+        charging a trigger-free span's count reports in one bulk call and
+        putting a single prepaid aggregate in flight per span
+        (:meth:`send_prepaid_to_coordinator`) — one event per span, not one
+        per message.  Simulated block closes stay disabled
+        (``is_synchronous`` is ``False``), so close steps travel as real
+        per-message traffic and the protocol's request/reply/broadcast
+        exchanges keep their exact latency behaviour.
+        """
+        return True
 
     @property
     def now(self) -> float:
@@ -167,6 +182,33 @@ class AsyncChannel(Channel):
         self._account(message)
         delay = self._latency.sample(self._rng, COORDINATOR, message.receiver)
         self._transmit(message, handler, ("down", message.receiver), delay)
+
+    def send_prepaid_to_coordinator(self, message: Message) -> None:
+        """Put an already-charged span aggregate in flight as one event.
+
+        The span kernel charges a trigger-free span's count reports in bulk
+        (identical message and bit accounting to sending each individually)
+        and then coalesces their coordinator-side effect into one aggregate
+        ``REPORT`` whose payload carries the span's *total* count.  This
+        method schedules that aggregate without charging it again: one
+        in-flight event per span, which is what lets virtual-time latency
+        sweeps scale to 10^7-update streams.  Delivery runs through the
+        ordinary receive path, so an aggregate that crosses the block
+        trigger when it lands (reports from other sites may have arrived
+        first) still closes the block correctly.
+
+        With zero latency the aggregate is delivered inline, reproducing the
+        synchronous kernel's ``absorb_count_reports`` exactly; with real
+        latency the span's reports share one sampled delay, trading
+        per-message timing granularity for event-queue volume — the
+        transport-level batching any real uplink performs.
+        """
+        if self._coordinator_handler is None:
+            raise ProtocolError("no coordinator registered on this channel")
+        delay = self._latency.sample(self._rng, message.sender, COORDINATOR)
+        self._transmit(
+            message, self._coordinator_handler, ("up", message.sender), delay
+        )
 
     def multicast(self, message: Message, receivers) -> None:
         """Charge one copy per receiver and put each copy in flight.

@@ -9,17 +9,24 @@ at the paper's claims directly from a shell::
     python -m repro lowerbound --n 256 --level 8 --flips 8
     python -m repro throughput --length 1000000 --sites 4 16 64
     python -m repro latency --stream biased_walk --scales 0 1 4 16 64
+    python -m repro trace --stream random_walk --length 1000000 --out big.npz
 
 Each subcommand prints a plain-text table in the same format the benchmark
-harness uses for EXPERIMENTS.md.  The ``tracking`` subcommand accepts
-``--engine {auto,batched,per-update}`` to select the runner's delivery
-engine (both produce identical results; see
-:mod:`repro.monitoring.runner`), ``throughput`` measures what the
-batched engine buys on a long random walk, and ``latency`` sweeps the
-asynchronous transport's delivery-latency scale against the achieved
-error and staleness (:mod:`repro.asynchrony`).  ``tracking``,
-``throughput`` and ``latency`` all accept ``--shards`` to run the
-two-level sharded coordinator hierarchy
+harness uses for EXPERIMENTS.md.  ``tracking``, ``throughput`` and
+``latency`` share one delivery-engine selector, ``--engine
+{auto,per-update,batched,arrays}`` (every engine produces identical
+results; see :mod:`repro.monitoring.runner` and
+:mod:`repro.engine`): ``per-update`` dispatches one update at a time,
+``batched`` runs the span kernel's closed-form fast path, and ``arrays``
+replays a columnar trace file (``--trace``, CSV or npz; npz traces are
+memory-mapped with ``--mmap``) with no per-update objects at all.
+``throughput`` measures what the chosen fast engine buys over per-update
+dispatch, ``latency`` sweeps the asynchronous transport's delivery-latency
+scale against the achieved error and staleness (:mod:`repro.asynchrony`;
+``--engine batched`` there bulk-schedules spans, one in-flight event per
+span), and ``trace`` generates a distributed trace file for the ``arrays``
+engine.  ``tracking``, ``throughput`` and ``latency`` all accept
+``--shards`` to run the two-level sharded coordinator hierarchy
 (:mod:`repro.monitoring.sharding`) instead of the flat star.
 """
 
@@ -61,6 +68,92 @@ STREAM_GENERATORS: Dict[str, Callable[[int, int], StreamSpec]] = {
     "sawtooth": lambda n, seed: sawtooth_stream(n, amplitude=max(10, n // 100)),
 }
 
+#: The one delivery-engine vocabulary every subcommand shares
+#: ("per-update" and "perupdate" are interchangeable spellings).
+ENGINE_CHOICES = ["auto", "per-update", "perupdate", "batched", "arrays"]
+
+
+def _add_engine_option(parser: argparse.ArgumentParser, extra: str = "") -> None:
+    """Attach the shared ``--engine`` selector to one subcommand parser.
+
+    A single helper rather than per-subcommand argument definitions, so the
+    engine vocabulary — and its help text — cannot drift between
+    ``tracking``, ``throughput`` and ``latency``.
+    """
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        default="auto",
+        help="delivery engine: per-update dispatch, the batched span kernel, "
+        "or columnar replay of a --trace file (identical results across "
+        "engines)" + extra,
+    )
+
+
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    """Attach the trace-file inputs that the ``arrays`` engine replays."""
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="trace file for --engine arrays (.npz from `repro trace` / "
+        "save_trace_npz, anything else parsed as time,site,delta CSV)",
+    )
+    parser.add_argument(
+        "--mmap",
+        action="store_true",
+        help="memory-map an .npz trace instead of loading it (replay traces "
+        "larger than RAM)",
+    )
+
+
+def _resolve_engine(parser: argparse.ArgumentParser, args: argparse.Namespace) -> str:
+    """Normalise and validate the shared ``--engine``/``--trace`` options.
+
+    Returns one of ``auto``, ``perupdate``, ``batched`` or ``arrays``;
+    invalid combinations (``arrays`` without a trace file, a trace file
+    without the ``arrays`` engine, ``--mmap`` on a CSV trace) exit through
+    ``parser.error`` with an actionable message.
+    """
+    engine = {"per-update": "perupdate"}.get(args.engine, args.engine)
+    trace = getattr(args, "trace", None)
+    if engine == "arrays" and args.command == "latency":
+        parser.error(
+            "the arrays engine replays traces synchronously; latency drives "
+            "the asynchronous transport — choose per-update or batched"
+        )
+    if engine == "perupdate" and args.command == "throughput":
+        parser.error(
+            "per-update dispatch is the baseline every throughput row is "
+            "measured against; choose batched or arrays as the measured engine"
+        )
+    if engine == "arrays" and trace is None:
+        parser.error(
+            "--engine arrays replays a recorded trace; pass one with "
+            "--trace (generate it with `python -m repro trace`)"
+        )
+    if trace is not None and engine != "arrays":
+        parser.error(
+            f"--trace is the input of the arrays engine; combine it with "
+            f"--engine arrays (got --engine {args.engine})"
+        )
+    if getattr(args, "mmap", False):
+        if trace is None:
+            parser.error(
+                "--mmap memory-maps a trace file; combine it with "
+                "--engine arrays --trace PATH"
+            )
+        if not str(trace).endswith(".npz"):
+            parser.error("--mmap applies to binary .npz traces only")
+    return engine
+
+
+def _load_cli_trace(args: argparse.Namespace):
+    """Load ``--trace`` for the arrays engine, honouring ``--mmap``."""
+    from repro.streams import load_trace
+
+    return load_trace(args.trace, mmap_mode="r" if args.mmap else None)
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
@@ -87,12 +180,8 @@ def build_parser() -> argparse.ArgumentParser:
     tracking_parser.add_argument("--sites", type=int, default=4)
     tracking_parser.add_argument("--epsilon", type=float, default=0.1)
     tracking_parser.add_argument("--seed", type=int, default=0)
-    tracking_parser.add_argument(
-        "--engine",
-        choices=["auto", "batched", "per-update"],
-        default="auto",
-        help="delivery engine for the runner (identical results either way)",
-    )
+    _add_engine_option(tracking_parser)
+    _add_trace_option(tracking_parser)
     tracking_parser.add_argument(
         "--shards",
         type=int,
@@ -124,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     throughput_parser.add_argument("--record-every", type=int, default=20_000)
     throughput_parser.add_argument("--seed", type=int, default=31)
+    _add_engine_option(
+        throughput_parser,
+        extra="; auto picks batched, per-update alone is the baseline and "
+        "cannot be the measured engine",
+    )
+    _add_trace_option(throughput_parser)
 
     latency_parser = subparsers.add_parser(
         "latency",
@@ -166,6 +261,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     latency_parser.add_argument("--record-every", type=int, default=25)
     latency_parser.add_argument("--seed", type=int, default=0)
+    _add_engine_option(
+        latency_parser,
+        extra="; auto picks per-update (exact per-message timing), batched "
+        "bulk-schedules spans (one in-flight event per span), arrays is "
+        "synchronous-only and rejected here",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="generate a distributed trace file for the arrays engine",
+    )
+    trace_parser.add_argument("--stream", choices=STREAM_GENERATORS, default="random_walk")
+    trace_parser.add_argument("--length", type=int, default=1_000_000)
+    trace_parser.add_argument("--sites", type=int, default=4)
+    trace_parser.add_argument("--seed", type=int, default=31)
+    trace_parser.add_argument(
+        "--block-length",
+        type=int,
+        default=4_096,
+        help="contiguous updates per site (0 = round-robin assignment)",
+    )
+    trace_parser.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="output file; .npz writes the memory-mappable binary format, "
+        "anything else the time,site,delta CSV",
+    )
 
     frequency_parser = subparsers.add_parser(
         "frequency", help="run the Appendix H frequency tracker on a Zipfian workload"
@@ -199,17 +322,67 @@ def _command_variability(args: argparse.Namespace) -> str:
     return format_table(["n", "v(n)", "v(n)/n", "f(n)"], rows)
 
 
+def _tracker_factories(num_sites: int, epsilon: float, seed: int):
+    """The five comparison trackers every tracking table reports."""
+    return {
+        "naive": NaiveCounter(num_sites),
+        "cormode": CormodeCounter(num_sites, epsilon),
+        "liu-style": LiuStyleCounter(num_sites, epsilon, seed=seed),
+        "deterministic": DeterministicCounter(num_sites, epsilon),
+        "randomized": RandomizedCounter(num_sites, epsilon, seed=seed),
+    }
+
+
+def _command_tracking_arrays(args: argparse.Namespace) -> str:
+    """The arrays engine: replay a columnar trace through every tracker."""
+    from repro.core.variability import variability as stream_variability
+    from repro.monitoring.runner import run_tracking_arrays
+    from repro.monitoring.sharding import build_sharded_network
+
+    trace = _load_cli_trace(args)
+    num_sites = int(trace.sites.max()) + 1
+    record_every = max(1, len(trace) // 5_000)
+    v = stream_variability(trace.deltas)
+    rows: List[List[object]] = []
+    for name, factory in _tracker_factories(num_sites, args.epsilon, args.seed).items():
+        if args.shards > 1:
+            network = build_sharded_network(factory, args.shards)
+        else:
+            network = factory.build_network()
+        result = run_tracking_arrays(
+            network,
+            trace.times,
+            trace.sites,
+            trace.deltas,
+            record_every=record_every,
+        )
+        rows.append(
+            [
+                name,
+                result.total_messages,
+                round(result.max_relative_error(), 4),
+                round(result.violation_fraction(args.epsilon), 4),
+                round(result.total_messages / max(v, 1.0), 2),
+            ]
+        )
+    header = (
+        f"trace={args.trace} n={len(trace)} k={num_sites} eps={args.epsilon} "
+        f"shards={args.shards} engine=arrays{' (mmap)' if args.mmap else ''} "
+        f"v={v:.1f}"
+    )
+    table = format_table(
+        ["algorithm", "messages", "max rel err", "violation frac", "msgs / v"], rows
+    )
+    return header + "\n" + table
+
+
 def _command_tracking(args: argparse.Namespace) -> str:
+    if args.engine == "arrays":
+        return _command_tracking_arrays(args)
     spec = STREAM_GENERATORS[args.stream](args.length, args.seed)
-    batched = {"auto": None, "batched": True, "per-update": False}[args.engine]
+    batched = {"auto": None, "batched": True, "perupdate": False}[args.engine]
     comparisons = compare_trackers(
-        {
-            "naive": NaiveCounter(args.sites),
-            "cormode": CormodeCounter(args.sites, args.epsilon),
-            "liu-style": LiuStyleCounter(args.sites, args.epsilon, seed=args.seed),
-            "deterministic": DeterministicCounter(args.sites, args.epsilon),
-            "randomized": RandomizedCounter(args.sites, args.epsilon, seed=args.seed),
-        },
+        _tracker_factories(args.sites, args.epsilon, args.seed),
         spec,
         num_sites=args.sites,
         epsilon=args.epsilon,
@@ -269,8 +442,31 @@ def _command_frequency(args: argparse.Namespace) -> str:
 
 
 def _command_throughput(args: argparse.Namespace) -> str:
-    spec = random_walk_stream(args.length, seed=args.seed)
+    from repro.analysis import measure_columnar_throughput
+
     rows: List[List[object]] = []
+    if args.engine == "arrays":
+        trace = _load_cli_trace(args)
+        num_sites = int(trace.sites.max()) + 1
+        for name, factory in (
+            ("deterministic", DeterministicCounter(num_sites, args.epsilon)),
+            ("randomized", RandomizedCounter(num_sites, args.epsilon, seed=args.seed)),
+        ):
+            slow_rate, fast_rate, speedup = measure_columnar_throughput(
+                factory, trace, record_every=args.record_every, shards=args.shards
+            )
+            rows.append(
+                [name, num_sites, round(slow_rate), round(fast_rate), round(speedup, 2)]
+            )
+        header = (
+            f"trace={args.trace} n={len(trace)} eps={args.epsilon} "
+            f"shards={args.shards} record_every={args.record_every} "
+            f"engine=arrays{' (mmap)' if args.mmap else ''}"
+        )
+        return header + "\n" + format_table(
+            ["algorithm", "k", "per-update up/s", "arrays up/s", "speedup"], rows
+        )
+    spec = random_walk_stream(args.length, seed=args.seed)
     for num_sites in args.sites:
         updates = assign_sites(spec, num_sites, BlockedAssignment(args.block_length))
         for name, factory in (
@@ -296,6 +492,30 @@ def _command_throughput(args: argparse.Namespace) -> str:
     )
     return header + "\n" + format_table(
         ["algorithm", "k", "per-update up/s", "batched up/s", "speedup"], rows
+    )
+
+
+def _command_trace(args: argparse.Namespace) -> str:
+    from repro.streams import columns_from_updates, save_trace_csv, save_trace_npz
+
+    spec = STREAM_GENERATORS[args.stream](args.length, args.seed)
+    policy = BlockedAssignment(args.block_length) if args.block_length > 0 else None
+    updates = (
+        assign_sites(spec, args.sites, policy)
+        if policy is not None
+        else assign_sites(spec, args.sites)
+    )
+    trace = columns_from_updates(updates)
+    if str(args.out).endswith(".npz"):
+        save_trace_npz(trace, args.out)
+        layout = "npz (memory-mappable)"
+    else:
+        save_trace_csv(trace, args.out)
+        layout = "csv"
+    return (
+        f"wrote {len(trace)} updates ({args.stream}, k={args.sites}, "
+        f"seed={args.seed}) to {args.out} [{layout}]\n"
+        f"replay with: python -m repro tracking --engine arrays --trace {args.out}"
     )
 
 
@@ -327,6 +547,7 @@ def _command_latency(args: argparse.Namespace) -> str:
         seed=args.seed,
         preserve_order=not args.allow_reordering,
         shards=args.shards,
+        batched=args.engine == "batched",
     )
     rows = [
         [
@@ -345,6 +566,7 @@ def _command_latency(args: argparse.Namespace) -> str:
     header = (
         f"stream={args.stream} n={args.length} k={args.sites} eps={args.epsilon} "
         f"shards={args.shards} algo={args.algorithm} model={args.model} "
+        f"engine={'batched' if args.engine == 'batched' else 'per-update'} "
         f"order={'reordering' if args.allow_reordering else 'fifo'} seed={args.seed}"
     )
     table = format_table(
@@ -397,15 +619,21 @@ _COMMANDS = {
     "tracking": _command_tracking,
     "throughput": _command_throughput,
     "latency": _command_latency,
+    "trace": _command_trace,
     "frequency": _command_frequency,
     "lowerbound": _command_lowerbound,
 }
+
+#: Subcommands sharing the unified delivery-engine selector.
+_ENGINE_COMMANDS = ("tracking", "throughput", "latency")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command in _ENGINE_COMMANDS:
+        args.engine = _resolve_engine(parser, args)
     output = _COMMANDS[args.command](args)
     print(output)
     return 0

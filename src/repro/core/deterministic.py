@@ -41,6 +41,11 @@ __all__ = ["DeterministicSite", "DeterministicCoordinator", "DeterministicCounte
 class DeterministicSite(BlockTrackingSite):
     """Site side of the deterministic tracker."""
 
+    #: Block starts only reset ``drift``/``unreported_drift`` (site) and the
+    #: drift-estimate table (coordinator), so multi-block fast-forwarding may
+    #: collapse consecutive resets into one.
+    idempotent_block_start = True
+
     def __init__(self, site_id: int, num_sites: int, epsilon: float) -> None:
         super().__init__(site_id, num_sites, epsilon)
         #: d_i: drift (sum of updates) received this block.
@@ -143,6 +148,42 @@ class DeterministicSite(BlockTrackingSite):
         self.unreported_drift = residual
         return length
 
+    def on_multiblock_window(
+        self, deltas: np.ndarray, start: int, length: int, cycle_length: int
+    ) -> bool:
+        """Simulate the estimation side of a multi-close window in one pass.
+
+        Only the *dense* regime is accepted — ``threshold <= 1``, so every
+        unit step crosses the report condition and resets the residual.
+        That is exactly the regime in which multi-block windows arise (low
+        levels, where blocks are short) and the one where per-update
+        dispatch is most expensive.  Every report in the window is
+        superseded by a block close before the next observation point, so
+        all of them are charged: the drift value at each step is the
+        window's running sum rebased at the preceding close (drift resets to
+        zero at every block start), which one cumulative sum plus an
+        arithmetic baseline lookup yields for all steps at once.
+        """
+        threshold = 1.0 if self.level == 0 else self.epsilon * (2 ** self.level)
+        if threshold > 1.0 or self.unreported_drift != 0:
+            return False
+        window = deltas[start : start + length]
+        path = np.cumsum(window)
+        drifts = np.empty(length, dtype=np.int64)
+        drifts[0] = self.drift + int(window[0])
+        if length > 1:
+            offsets = np.arange(1, length)
+            previous_close = ((offsets - 1) // cycle_length) * cycle_length
+            drifts[1:] = path[1:] - path[previous_close]
+        self._channel.charge(
+            MessageKind.REPORT,
+            length,
+            int(integer_bit_lengths(drifts).sum()) + length * HEADER_BITS,
+        )
+        self.drift = 0
+        self.unreported_drift = 0
+        return True
+
     def _scalar_batch(
         self, times, deltas: np.ndarray, start: int, length: int, threshold: float
     ) -> int:
@@ -223,6 +264,8 @@ class DeterministicSite(BlockTrackingSite):
 
 class DeterministicCoordinator(BlockTrackingCoordinator):
     """Coordinator side of the deterministic tracker."""
+
+    idempotent_block_start = True
 
     def __init__(self, num_sites: int, epsilon: float) -> None:
         super().__init__(num_sites, epsilon)

@@ -61,6 +61,11 @@ def report_probability(level: int, num_sites: int, epsilon: float) -> float:
 class RandomizedSite(BlockTrackingSite):
     """Site side of the randomized tracker (two monotone sub-streams)."""
 
+    #: Block starts only reset the two drift counters (site) and the
+    #: estimate tables (coordinator), so multi-block fast-forwarding may
+    #: collapse consecutive resets into one.
+    idempotent_block_start = True
+
     def __init__(
         self,
         site_id: int,
@@ -185,6 +190,59 @@ class RandomizedSite(BlockTrackingSite):
         self.negative_drift = int(negative[-1])
         return length
 
+    def on_multiblock_window(
+        self, deltas: np.ndarray, start: int, length: int, cycle_length: int
+    ) -> bool:
+        """Simulate the estimation side of a multi-close window in one pass.
+
+        The level — and with it the report probability — is fixed across the
+        window, so one bulk RNG draw covers every step (bit-identical to the
+        per-update scalar draws; with ``p >= 1`` no randomness is drawn at
+        all, again matching).  Every report in the window is superseded by a
+        block close before the next observation point, so all of them are
+        charged: the reported drift at each step is the sub-stream's running
+        count rebased at the preceding close (both counters reset at every
+        block start), computed for all reporting steps at once from the two
+        cumulative counts plus an arithmetic baseline lookup.
+        """
+        probability = report_probability(self.level, self.num_sites, self.epsilon)
+        window = deltas[start : start + length]
+        positive_mask = window > 0
+        if probability >= 1.0:
+            offsets = np.arange(length)
+        else:
+            draws = self._rng.random(length)
+            offsets = np.flatnonzero(draws < probability)
+        if offsets.size:
+            positive = np.cumsum(positive_mask)
+            negative = np.cumsum(~positive_mask)
+            drifts = np.empty(offsets.size, dtype=np.int64)
+            first_is_entry = int(offsets[0]) == 0
+            rest = offsets[1:] if first_is_entry else offsets
+            if rest.size:
+                previous_close = ((rest - 1) // cycle_length) * cycle_length
+                drifts[offsets.size - rest.size :] = np.where(
+                    positive_mask[rest],
+                    positive[rest] - positive[previous_close],
+                    negative[rest] - negative[previous_close],
+                )
+            if first_is_entry:
+                drifts[0] = (
+                    self.positive_drift + 1
+                    if positive_mask[0]
+                    else self.negative_drift + 1
+                )
+            sign_bits = integer_bit_length(1)
+            self._channel.charge(
+                MessageKind.REPORT,
+                int(offsets.size),
+                int(integer_bit_lengths(drifts).sum())
+                + int(offsets.size) * (HEADER_BITS + sign_bits),
+            )
+        self.positive_drift = 0
+        self.negative_drift = 0
+        return True
+
     def _scalar_batch(
         self, times, deltas: np.ndarray, start: int, length: int, probability: float
     ) -> int:
@@ -243,6 +301,8 @@ class RandomizedSite(BlockTrackingSite):
 
 class RandomizedCoordinator(BlockTrackingCoordinator):
     """Coordinator side of the randomized tracker."""
+
+    idempotent_block_start = True
 
     def __init__(self, num_sites: int, epsilon: float) -> None:
         super().__init__(num_sites, epsilon)

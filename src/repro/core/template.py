@@ -31,15 +31,14 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.core.blocks import block_level
+from repro.engine import DEFAULT_KERNEL
 from repro.exceptions import ConfigurationError, ProtocolError, StreamError
 from repro.monitoring.coordinator import Coordinator
 from repro.monitoring.messages import (
     BROADCAST_SITE,
     COORDINATOR,
-    HEADER_BITS,
     Message,
     MessageKind,
-    integer_bit_length,
 )
 from repro.monitoring.network import MonitoringNetwork
 from repro.monitoring.site import Site
@@ -71,6 +70,20 @@ def check_tracking_parameters(num_sites: int, epsilon: float) -> None:
 
 class BlockTrackingSite(Site, abc.ABC):
     """Site side of the block-based template."""
+
+    #: The span-simulation kernel driving this site's batched fast path.
+    #: Class-level so one stateless instance serves every site; benchmarks
+    #: override it per instance (``SpanKernel(fast_forward=False)``) to
+    #: measure what multi-block fast-forwarding buys.
+    span_kernel = DEFAULT_KERNEL
+
+    #: Whether :meth:`on_block_start` (site and coordinator side) is a pure,
+    #: idempotent reset of per-block estimation state.  Multi-block
+    #: fast-forwarding collapses ``M`` consecutive block starts into one
+    #: final reset, so it only engages when every actor in the network
+    #: declares this.  Trackers whose block start has history or side
+    #: effects must leave it ``False`` (the default).
+    idempotent_block_start = False
 
     def __init__(self, site_id: int, num_sites: int, epsilon: float) -> None:
         check_tracking_parameters(num_sites, epsilon)
@@ -144,28 +157,23 @@ class BlockTrackingSite(Site, abc.ABC):
         deltas: Sequence[int],
         network=None,
     ) -> None:
-        """Consume a contiguous run of local updates in closed-form spans.
+        """Consume a contiguous run of local updates through the span kernel.
 
-        The run is processed as an alternation of *simulated spans* and
-        *block-close steps*.  Knowing the coordinator, the next block trigger
-        point is computed in closed form: within the current block this
-        site's count reports arrive every ``ceil(2^(r-1))`` updates and each
-        advances the coordinator's ``t_hat`` by exactly that amount, so the
-        step at which one of them would fire the block trigger is arithmetic.
-        Every step strictly before that trigger step is simulated in bulk —
-        the :meth:`on_stream_batch` hook reproduces the estimation-side
-        traffic from cumulative sums, and the template charges the span's
-        count reports in one bulk accounting call while advancing ``t_hat``
-        through :meth:`BlockTrackingCoordinator.absorb_count_reports`.  The
-        trigger step is simulated by :meth:`_fast_close_step`, which applies
-        the full request/reply/broadcast block close in closed form (peer
-        sites are idle during a contiguous single-site run, so their replies
-        are read — and reset — directly).
+        Thin adapter over :class:`repro.engine.SpanKernel`: this method only
+        validates the run, derives the capability flags the kernel needs
+        (synchronous versus span-scheduling channel, simulatable peers,
+        multi-block eligibility) and delegates.  The kernel alternates
+        *simulated spans* (the :meth:`on_stream_batch` hook reproduces the
+        estimation-side traffic from cumulative sums while count reports are
+        charged in bulk) with *block closes* computed in closed form — many
+        consecutive same-level closes at once where
+        :meth:`on_multiblock_window` applies.
 
         Correctness-sensitive cases fall back to the ordinary per-update
-        path: short runs, non-unit deltas, an unknown coordinator or peer
-        site type, and message logging (the tracing reduction needs the real
-        per-message transcript).
+        path through the kernel's single replay helper: short runs, non-unit
+        deltas, an unknown coordinator or peer site type, message logging
+        (the tracing reduction needs the real per-message transcript), and
+        channels that support neither inline delivery nor span scheduling.
 
         The result is observationally identical to per-update delivery:
         identical site and coordinator state, identical message counts, bit
@@ -176,166 +184,48 @@ class BlockTrackingSite(Site, abc.ABC):
                 f"batch times ({len(times)}) and deltas ({len(deltas)}) must "
                 "have equal length"
             )
-        length = len(deltas)
+        kernel = self.span_kernel
         coordinator = network.coordinator if network is not None else None
+        channel = self._channel
+        synchronous = channel is not None and channel.is_synchronous
         if (
-            length < _MIN_FAST_BATCH
+            len(deltas) < _MIN_FAST_BATCH
             or not isinstance(coordinator, BlockTrackingCoordinator)
-            or self._channel is None
-            or self._channel.log_enabled
-            or not self._channel.is_synchronous
+            or channel is None
+            or channel.log_enabled
+            or not (
+                synchronous or getattr(channel, "supports_span_events", False)
+            )
         ):
-            for time, delta in zip(times, deltas):
-                self.receive_update(time, delta)
+            kernel.replay(self, times, deltas)
             return
         array = np.asarray(deltas, dtype=np.int64)
         if not np.all(np.abs(array) == 1):
             # Replay per update so the StreamError for the first non-unit
             # delta fires after exactly the same prefix as the slow path.
-            for time, delta in zip(times, deltas):
-                self.receive_update(time, delta)
+            kernel.replay(self, times, deltas)
             return
-        can_fast_close = all(
+        # Simulated closes read and reset peer state directly, which is only
+        # sound when delivery is inline (asynchronous channels route close
+        # steps through the real per-update path instead).
+        can_fast_close = synchronous and all(
             isinstance(site, BlockTrackingSite) for site in network.sites
         )
-        index = 0
-        while index < length:
-            count_threshold = self.count_report_threshold()
-            # Reported updates still needed to fire the block trigger, and
-            # from it the 1-based step offset of the count report that would
-            # close the block.  Everything strictly before is trigger-free.
-            trigger_gap = (
-                coordinator.block_trigger_threshold() - coordinator.reported_updates
-            )
-            reports_to_close = -(-trigger_gap // count_threshold)
-            close_offset = (
-                (count_threshold - self.count_since_report)
-                + (reports_to_close - 1) * count_threshold
-            )
-            span = min(length - index, close_offset - 1)
-            consumed = 0
-            if span > 0:
-                consumed = self.on_stream_batch(times, array, index, span)
-            if consumed > 0:
-                total_count = self.count_since_report + consumed
-                num_reports = total_count // count_threshold
-                self.count_since_report = total_count % count_threshold
-                if num_reports:
-                    # All count reports in the span carry the same payload
-                    # (the threshold is fixed while the block is open), so
-                    # one bulk charge covers them; absorb_count_reports
-                    # applies their cumulative t_hat effect.
-                    self._channel.charge(
-                        MessageKind.REPORT,
-                        num_reports,
-                        num_reports
-                        * (HEADER_BITS + integer_bit_length(count_threshold)),
-                    )
-                    coordinator.absorb_count_reports(num_reports, count_threshold)
-                self.block_value_change += int(array[index : index + consumed].sum())
-                index += consumed
-            elif can_fast_close:
-                self._fast_close_step(
-                    network, coordinator, times[index], int(array[index])
-                )
-                index += 1
-            else:
-                # Trigger step (or a hook fallback): the per-update path
-                # produces the count report and the block close it fires.
-                self.receive_update(times[index], int(array[index]))
-                index += 1
-
-    def _fast_close_step(self, network, coordinator, time: int, delta: int) -> None:
-        """Process one update step, simulating any block close it triggers.
-
-        Drop-in equivalent of :meth:`receive_update` for a unit delta, used
-        at the closed-form trigger step of a batched run.  The estimation
-        side runs through the real :meth:`on_stream_update` (so estimation
-        reports and RNG draws are exact); the count report and the block
-        close it fires are applied in closed form: peer sites are idle during
-        a contiguous single-site run, so their request replies are read — and
-        their counters reset — directly, with every elided message charged at
-        exactly the cost the per-update path would record.
-        """
-        self.count_since_report += 1
-        self.block_value_change += delta
-        will_report = self.count_since_report >= self.count_report_threshold()
-        will_close = will_report and (
-            coordinator.reported_updates + self.count_since_report
-            >= coordinator.block_trigger_threshold()
+        can_fast_forward = (
+            can_fast_close
+            and kernel.fast_forward
+            and coordinator.idempotent_block_start
+            and all(site.idempotent_block_start for site in network.sites)
         )
-        if not will_close:
-            # Defensive: the trigger arithmetic said otherwise.  Fall back to
-            # exact per-update behaviour (minus the already-applied counters).
-            self.on_stream_update(time, delta)
-            if will_report:
-                count = self.count_since_report
-                self.count_since_report = 0
-                self.send(
-                    Message(
-                        kind=MessageKind.REPORT,
-                        sender=self.site_id,
-                        receiver=COORDINATOR,
-                        payload={"count": count},
-                        time=time,
-                    )
-                )
-            return
-        # The step's estimation report (if any) reaches the coordinator just
-        # before the close wipes all estimation state, so it can be charged
-        # instead of delivered.
-        self.on_stream_update_superseded(time, delta)
-        count = self.count_since_report
-        self.count_since_report = 0
-        channel = self._channel
-        num_sites = network.num_sites
-        # The closing count report, then one request per site.
-        channel.charge(
-            MessageKind.REPORT, 1, HEADER_BITS + integer_bit_length(count)
+        kernel.consume_run(
+            self,
+            network,
+            coordinator,
+            times,
+            array,
+            can_fast_close,
+            can_fast_forward,
         )
-        channel.charge(MessageKind.REQUEST, num_sites, num_sites * HEADER_BITS)
-        # Replies: read every site's exact counters directly (this site
-        # included), resetting the count exactly as a real request would.
-        # Peer sites are idle mid-run, so almost all replies are {0, 0}.
-        zero_reply_bits = HEADER_BITS + 2 * integer_bit_length(0)
-        extra_updates = 0
-        total_change = 0
-        reply_bits = 0
-        for site in network.sites:
-            site_count = site.count_since_report
-            site_change = site.block_value_change
-            if site_count or site_change:
-                site.count_since_report = 0
-                extra_updates += site_count
-                total_change += site_change
-                reply_bits += (
-                    HEADER_BITS
-                    + integer_bit_length(site_count)
-                    + integer_bit_length(site_change)
-                )
-            else:
-                reply_bits += zero_reply_bits
-        channel.charge(MessageKind.REPLY, num_sites, reply_bits)
-        # Coordinator side of the close, mirroring _close_block exactly.
-        coordinator.boundary_time += coordinator.reported_updates + count + extra_updates
-        coordinator.boundary_value += total_change
-        coordinator.reported_updates = 0
-        coordinator.level = block_level(
-            coordinator.boundary_value, coordinator.num_sites
-        )
-        coordinator.blocks_completed += 1
-        coordinator.on_block_start(coordinator.level)
-        # The level broadcast: charged once per site, delivered by resetting
-        # every site's block state exactly as the broadcast handler would.
-        broadcast_bits = HEADER_BITS + integer_bit_length(coordinator.level)
-        channel.charge(
-            MessageKind.BROADCAST, num_sites, num_sites * broadcast_bits
-        )
-        for site in network.sites:
-            site.level = coordinator.level
-            site.block_value_change = 0
-            site.count_since_report = 0
-            site.on_block_start(site.level)
 
     # -- estimation hooks ----------------------------------------------------
 
@@ -380,9 +270,40 @@ class BlockTrackingSite(Site, abc.ABC):
         """
         return 0
 
+    def on_multiblock_window(
+        self, deltas: np.ndarray, start: int, length: int, cycle_length: int
+    ) -> bool:
+        """Estimation hook (multi-block fast-forward): simulate whole cycles.
+
+        The kernel calls this when the window
+        ``deltas[start:start + length]`` provably consists of block closes at
+        relative offsets ``0, cycle_length, 2 * cycle_length, ...`` (the last
+        step of the window is the final close) with the block level — and so
+        every threshold and probability — unchanged throughout.  Every
+        estimation report inside the window is superseded by a block close
+        before the next observation point, so implementations must *charge*
+        them all (identical per-message cost through
+        :meth:`repro.monitoring.channel.Channel.charge`) rather than send
+        any, reproduce the exact RNG consumption of per-update delivery,
+        and leave the estimation state as freshly reset by the final close.
+        Block-protocol traffic (count reports, request/reply/broadcast) is
+        the kernel's job, not the hook's.
+
+        Returns ``True`` if the window was handled; ``False`` (the default)
+        declines, and the kernel simulates a single close instead.  Safe to
+        decline for any reason — correctness never depends on accepting.
+        """
+        return False
+
 
 class BlockTrackingCoordinator(Coordinator, abc.ABC):
     """Coordinator side of the block-based template."""
+
+    #: Mirror of :attr:`BlockTrackingSite.idempotent_block_start` for the
+    #: coordinator's :meth:`on_block_start`: multi-block fast-forwarding
+    #: collapses ``M`` consecutive block starts into one final reset and
+    #: only engages when the coordinator declares its reset idempotent.
+    idempotent_block_start = False
 
     def __init__(self, num_sites: int, epsilon: float) -> None:
         check_tracking_parameters(num_sites, epsilon)

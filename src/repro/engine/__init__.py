@@ -1,0 +1,18 @@
+"""Unified span-simulation engine layer.
+
+The execution substrate of the repo — how updates are delivered, how
+protocol spans are simulated in closed form, how block closes are
+fast-forwarded — is decoupled here from the protocols under study, so that
+new engines (columnar, asynchronous, sharded) reuse one pinned span algebra
+instead of growing another copy of it.
+
+* :func:`segment_cuts` — the one segmentation rule every batched engine
+  shares (site changes, recording points, chunk ends).
+* :class:`SpanKernel` — trigger arithmetic, bulk accounting, simulated block
+  closes and multi-block fast-forwarding for the block-template trackers.
+* :data:`DEFAULT_KERNEL` — the stateless instance sites use by default.
+"""
+
+from repro.engine.kernel import DEFAULT_KERNEL, SpanKernel, segment_cuts
+
+__all__ = ["segment_cuts", "SpanKernel", "DEFAULT_KERNEL"]

@@ -13,12 +13,15 @@ Two delivery engines share identical protocol semantics.  The per-update
 engine dispatches every update through
 :meth:`MonitoringNetwork.deliver_update`.  The batched engine groups
 contiguous same-site runs into :meth:`MonitoringNetwork.deliver_batch`
-calls, which lets block-template sites simulate whole protocol spans in
-closed form (NumPy cumulative sums for report conditions, arithmetic for
-block trigger points, bulk cost accounting for superseded messages) — 5-15x
-faster on long streams while staying bit-for-bit identical in estimates,
-message counts and bit counts.  ``run_tracking`` accepts any iterable of
-updates (no ``len()`` required) and keeps memory at ``O(records)``.
+calls, which route through the span kernel (:mod:`repro.engine`):
+block-template sites simulate whole protocol spans in closed form (NumPy
+cumulative sums for report conditions, arithmetic for block trigger points,
+bulk cost accounting for superseded messages) and fast-forward runs of
+consecutive same-level block closes as one closed-form window — an order of
+magnitude faster on long streams while staying bit-for-bit identical in
+estimates, message counts and bit counts.  ``run_tracking`` accepts any
+iterable of updates (no ``len()`` required) and keeps memory at
+``O(records)``.
 
 Past what one coordinator can serve, :mod:`repro.monitoring.sharding` scales
 the substrate into a two-level hierarchy: disjoint site groups each run an

@@ -3,9 +3,11 @@
 Updates reach sites either one at a time (:meth:`MonitoringNetwork.deliver_update`)
 or as contiguous same-site runs (:meth:`MonitoringNetwork.deliver_batch`), the
 fast path used by the batched streaming engine in
-:mod:`repro.monitoring.runner`.  Both paths are protocol-equivalent: batch
-delivery produces the same messages, in the same order, with the same counted
-cost as per-update delivery.
+:mod:`repro.monitoring.runner`.  Batch delivery hands the run to the site's
+``receive_batch``, which for the block-template trackers is a thin adapter
+over the span kernel (:mod:`repro.engine`).  Both paths are
+protocol-equivalent: batch delivery produces the same messages, in the same
+order, with the same counted cost as per-update delivery.
 
 A :class:`MonitoringNetwork` is one *flat* star: one coordinator, ``k``
 sites, one channel.  The two-level sharded topology

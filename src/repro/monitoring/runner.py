@@ -137,20 +137,14 @@ def _run_per_update(
 
 
 def _segment_cuts(site_array: np.ndarray, start_index: int, record_every: int):
-    """Exclusive end offsets splitting a chunk into deliverable segments.
+    """Segmentation rule, owned by :func:`repro.engine.segment_cuts`.
 
-    Cuts fall wherever the destination site changes, after every global
-    recording point (``start_index`` is the global index of the chunk's
-    first update), and at the chunk end.  Shared by the batched and columnar
-    engines so their segmentation — and with it the bit-for-bit record
-    contract — can never drift apart.
+    Imported lazily so the engine package (which builds on
+    ``repro.monitoring.messages``) and this module can load in either order.
     """
-    length = len(site_array)
-    cuts = set((np.flatnonzero(site_array[1:] != site_array[:-1]) + 1).tolist())
-    first_record = (-start_index) % record_every
-    cuts.update(range(first_record + 1, length + 1, record_every))
-    cuts.add(length)
-    return sorted(cuts)
+    from repro.engine import segment_cuts
+
+    return segment_cuts(site_array, start_index, record_every)
 
 
 def _run_batched(
@@ -158,12 +152,19 @@ def _run_batched(
     updates: Iterable[Update],
     record_every: int,
     result: TrackingResult,
+    advance=None,
 ) -> None:
     """Batched engine: contiguous same-site runs go through ``deliver_batch``.
 
-    Runs are additionally split at recording points so estimates, message
-    counts and bit counts are sampled at exactly the same timesteps as the
-    per-update engine.
+    Runs are additionally split at recording points (the kernel's
+    segmentation rule) so estimates, message counts and bit counts are
+    sampled at exactly the same timesteps as the per-update engine.
+
+    ``advance`` hooks in the asynchronous engine: when given, it is called
+    with the first timestep of every segment before the segment is
+    delivered, letting a virtual-clock transport deliver in-flight messages
+    at segment granularity (see
+    :func:`repro.asynchrony.runner.run_tracking_async`).
     """
     iterator = iter(updates)
     true_value = 0
@@ -184,6 +185,8 @@ def _run_batched(
         for end in _segment_cuts(np.asarray(sites), index, record_every):
             run_times = times[start:end]
             run_deltas = deltas[start:end]
+            if advance is not None:
+                advance(run_times[0])
             if end - start == 1:
                 network.deliver_update(run_times[0], sites[start], run_deltas[0])
             else:

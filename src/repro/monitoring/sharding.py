@@ -32,11 +32,17 @@ engines (``tests/test_sharding.py``).
 
 Push granularity: a shard pushes its estimate to the root whenever the
 estimate changed since the last push, evaluated after each delivery event
-(one update on the per-update engine, one contiguous run on the batched
-engine) and after each virtual-clock advance on the asynchronous engine.
-Shard-local traffic is engine-invariant by the existing batched-equivalence
-contract; the *root-hop count* depends on delivery granularity, exactly like
-transport-level batching on a real uplink.
+(one update on the per-update engine, one contiguous run on the batched and
+columnar engines) and after each virtual-clock advance on the asynchronous
+engine.  Shard-local traffic is engine-invariant by the existing
+batched-equivalence contract — each shard's sites route their runs through
+the same span kernel (:mod:`repro.engine`) as a flat network, multi-block
+fast-forwarding included, against the shard's own coordinator; the
+*root-hop count* depends on delivery granularity, exactly like
+transport-level batching on a real uplink.  The asynchronous bulk span
+engine (``run_tracking_async(batched=True)``) extends the same trade to the
+transport: one in-flight event per shard-local span, estimate pushes at
+segment boundaries.
 """
 
 from __future__ import annotations

@@ -34,10 +34,13 @@ from repro.streams.io import (
     columns_from_updates,
     load_item_stream_csv,
     load_stream_csv,
+    load_trace,
     load_trace_columns,
+    load_trace_npz,
     save_item_stream_csv,
     save_stream_csv,
     save_trace_csv,
+    save_trace_npz,
 )
 from repro.streams.item_streams import (
     ItemStreamConfig,
@@ -69,10 +72,13 @@ __all__ = [
     "columns_from_updates",
     "load_item_stream_csv",
     "load_stream_csv",
+    "load_trace",
     "load_trace_columns",
+    "load_trace_npz",
     "save_item_stream_csv",
     "save_stream_csv",
     "save_trace_csv",
+    "save_trace_npz",
     "ItemStreamConfig",
     "sliding_window_item_stream",
     "zipfian_item_stream",

@@ -11,7 +11,12 @@ For replayed *distributed* traces there is additionally a columnar path:
 ``time,site,delta`` trace as three NumPy arrays (:class:`TraceColumns`),
 which :func:`repro.monitoring.runner.run_tracking_arrays` feeds to
 ``deliver_batch`` directly — no per-:class:`~repro.types.Update` object is
-ever constructed on the replay hot path.
+ever constructed on the replay hot path.  For traces too large for CSV
+parsing, :func:`save_trace_npz` / :func:`load_trace_npz` store the same
+columns as an uncompressed binary archive that can be *memory-mapped* in
+place (``mmap_mode``), so replay cost starts at the first delivered slice
+rather than at a full parse; :func:`load_trace` dispatches between the two
+formats by file suffix.
 """
 
 from __future__ import annotations
@@ -19,9 +24,11 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
+import struct
 import warnings
+import zipfile
 from dataclasses import dataclass
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,6 +45,9 @@ __all__ = [
     "columns_from_updates",
     "save_trace_csv",
     "load_trace_columns",
+    "save_trace_npz",
+    "load_trace_npz",
+    "load_trace",
 ]
 
 PathLike = Union[str, pathlib.Path]
@@ -145,6 +155,172 @@ def load_trace_columns(path: PathLike) -> TraceColumns:
             f"{source} rows must have exactly 3 columns, got {table.shape[1]}"
         )
     return TraceColumns(times=table[:, 0], sites=table[:, 1], deltas=table[:, 2])
+
+
+_TRACE_NPZ_MEMBERS = ("times", "sites", "deltas")
+
+
+def save_trace_npz(
+    trace: Union[TraceColumns, Sequence[Update]], path: PathLike
+) -> None:
+    """Write a distributed trace to ``path`` as an uncompressed ``.npz``.
+
+    The binary counterpart of :func:`save_trace_csv` for traces too large
+    for CSV parsing to be anything but the bottleneck: three ``int64``
+    members (``times``, ``sites``, ``deltas``) stored *uncompressed*, so
+    :func:`load_trace_npz` can memory-map them in place instead of parsing
+    text — loading becomes an ``open`` plus page faults.
+    """
+    if not isinstance(trace, TraceColumns):
+        trace = columns_from_updates(trace)
+    if len(trace) == 0:
+        raise StreamError("refusing to save an empty trace")
+    # Write through a handle so the archive lands at *exactly* ``path``
+    # (given a bare filename, np.savez would append ".npz" on its own and
+    # silently save somewhere the caller never asked for).
+    with pathlib.Path(path).open("wb") as handle:
+        np.savez(
+            handle,
+            times=np.ascontiguousarray(trace.times, dtype=np.int64),
+            sites=np.ascontiguousarray(trace.sites, dtype=np.int64),
+            deltas=np.ascontiguousarray(trace.deltas, dtype=np.int64),
+        )
+
+
+def _memmap_npz_member(
+    source: pathlib.Path, archive: zipfile.ZipFile, name: str, mmap_mode: str
+) -> np.ndarray:
+    """Memory-map one uncompressed ``.npy`` member inside an ``.npz`` archive.
+
+    ``np.load`` silently ignores ``mmap_mode`` for zipped archives, so this
+    maps the member by hand: members written by :func:`save_trace_npz` are
+    stored (never deflated), which makes the raw bytes inside the zip a
+    valid ``.npy`` file at a known offset — parse its header there and hand
+    the data region to :class:`numpy.memmap`.
+    """
+    info = archive.getinfo(name)
+    if info.compress_type != zipfile.ZIP_STORED:
+        raise StreamError(
+            f"{source} member {name} is compressed; memory-mapping needs the "
+            "uncompressed layout written by save_trace_npz"
+        )
+    with source.open("rb") as handle:
+        # Skip the zip local file header (30 fixed bytes + name + extra) to
+        # reach the embedded .npy stream.
+        handle.seek(info.header_offset)
+        local_header = handle.read(30)
+        if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+            raise StreamError(f"{source} has a corrupt zip entry for {name}")
+        name_length, extra_length = struct.unpack("<HH", local_header[26:30])
+        handle.seek(info.header_offset + 30 + name_length + extra_length)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran_order, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran_order, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise StreamError(
+                f"{source} member {name} uses unsupported npy format {version}"
+            )
+        if fortran_order:
+            raise StreamError(f"{source} member {name} is not C-contiguous")
+        data_offset = handle.tell()
+    return np.memmap(
+        source, dtype=dtype, mode=mmap_mode, offset=data_offset, shape=shape
+    )
+
+
+def load_trace_npz(path: PathLike, mmap_mode: Optional[str] = None) -> TraceColumns:
+    """Read a trace written by :func:`save_trace_npz` as columnar arrays.
+
+    Args:
+        path: The ``.npz`` file to read.
+        mmap_mode: ``None`` (default) loads the three arrays into memory.
+            ``"r"`` (read-only) or ``"c"`` (copy-on-write) memory-maps them
+            in place instead — the load touches no data pages, so traces far
+            larger than RAM replay straight into
+            :func:`repro.monitoring.runner.run_tracking_arrays` with the OS
+            paging in only the slices the engine actually cuts.  Writable
+            mapping (``"r+"``) is refused: flushing bytes into a zip member
+            would desynchronise the archive's CRC and corrupt the file.
+
+    Returns:
+        The trace as :class:`TraceColumns`.
+    """
+    source = pathlib.Path(path)
+    if not source.exists():
+        raise StreamError(f"trace file {source} does not exist")
+    if mmap_mode is not None and mmap_mode not in ("r", "c"):
+        raise StreamError(
+            f"mmap_mode must be 'r', 'c' or None, got {mmap_mode!r} (writable "
+            "mapping would corrupt the archive's member checksums)"
+        )
+    try:
+        with zipfile.ZipFile(source) as archive:
+            names = set(archive.namelist())
+            missing = [
+                member
+                for member in _TRACE_NPZ_MEMBERS
+                if f"{member}.npy" not in names
+            ]
+            if missing:
+                raise StreamError(
+                    f"{source} is missing trace members {missing}; expected a "
+                    "file written by save_trace_npz"
+                )
+            if mmap_mode is not None:
+                arrays = {
+                    member: _memmap_npz_member(
+                        source, archive, f"{member}.npy", mmap_mode
+                    )
+                    for member in _TRACE_NPZ_MEMBERS
+                }
+            else:
+                with np.load(source) as bundle:
+                    arrays = {
+                        member: np.asarray(bundle[member])
+                        for member in _TRACE_NPZ_MEMBERS
+                    }
+    except zipfile.BadZipFile as error:
+        raise StreamError(f"{source} is not a valid npz archive: {error}") from error
+    for member, array in arrays.items():
+        if array.ndim != 1:
+            raise StreamError(
+                f"{source} member {member} must be 1-D, got shape {array.shape}"
+            )
+        if array.dtype.kind not in "iu":
+            raise StreamError(
+                f"{source} member {member} must be integer, got {array.dtype}"
+            )
+    if arrays["times"].size == 0:
+        raise StreamError(f"{source} contains no updates")
+    if mmap_mode is None:
+        arrays = {
+            member: array.astype(np.int64, copy=False)
+            for member, array in arrays.items()
+        }
+    return TraceColumns(
+        times=arrays["times"], sites=arrays["sites"], deltas=arrays["deltas"]
+    )
+
+
+def load_trace(path: PathLike, mmap_mode: Optional[str] = None) -> TraceColumns:
+    """Load a trace in either on-disk format, dispatching on the suffix.
+
+    ``.npz`` routes to :func:`load_trace_npz` (where ``mmap_mode`` applies);
+    anything else is treated as the CSV layout of :func:`save_trace_csv`.
+    The CLI's ``--trace`` option funnels through here so both formats are
+    accepted everywhere a trace file is.
+    """
+    source = pathlib.Path(path)
+    if source.suffix == ".npz":
+        return load_trace_npz(source, mmap_mode=mmap_mode)
+    if mmap_mode is not None:
+        raise StreamError(
+            "mmap_mode applies to the binary npz format only; convert the "
+            "trace with save_trace_npz first"
+        )
+    return load_trace_columns(source)
 
 
 def save_stream_csv(spec: StreamSpec, path: PathLike) -> None:

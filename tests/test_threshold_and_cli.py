@@ -239,3 +239,85 @@ class TestCliSharding:
         )
         assert "blocked" in help_text
         assert "sharded-ingestion" not in help_text
+
+
+class TestCliUnifiedEngine:
+    """One --engine vocabulary across tracking, throughput and latency."""
+
+    def _trace_file(self, tmp_path, suffix=".npz"):
+        path = str(tmp_path / f"trace{suffix}")
+        assert (
+            main(
+                ["trace", "--stream", "random_walk", "--length", "3000",
+                 "--sites", "2", "--out", path]
+            )
+            == 0
+        )
+        return path
+
+    def test_engine_choices_shared_across_subcommands(self):
+        parser = build_parser()
+        for command in ("tracking", "throughput", "latency"):
+            args = parser.parse_args([command, "--engine", "batched"])
+            assert args.engine == "batched"
+
+    def test_tracking_arrays_engine_replays_trace(self, tmp_path, capsys):
+        trace = self._trace_file(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(["tracking", "--engine", "arrays", "--trace", trace, "--mmap"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine=arrays" in out
+        assert "deterministic" in out
+
+    def test_throughput_arrays_engine(self, tmp_path, capsys):
+        trace = self._trace_file(tmp_path, suffix=".csv")
+        capsys.readouterr()
+        assert (
+            main(
+                ["throughput", "--engine", "arrays", "--trace", trace,
+                 "--record-every", "500"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "arrays up/s" in out
+
+    def test_latency_batched_engine(self, capsys):
+        assert (
+            main(
+                ["latency", "--length", "1000", "--sites", "2", "--scales", "0",
+                 "--record-every", "50", "--engine", "batched"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "engine=batched" in out
+
+    def test_arrays_without_trace_is_a_clear_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tracking", "--engine", "arrays"])
+        assert "--trace" in capsys.readouterr().err
+
+    def test_latency_rejects_arrays_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["latency", "--engine", "arrays"])
+        assert "asynchronous" in capsys.readouterr().err
+
+    def test_throughput_rejects_per_update_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["throughput", "--engine", "per-update"])
+        assert "baseline" in capsys.readouterr().err
+
+    def test_trace_without_arrays_engine_is_a_clear_error(self, tmp_path, capsys):
+        trace = self._trace_file(tmp_path)
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["tracking", "--trace", trace])
+        assert "--engine arrays" in capsys.readouterr().err
+
+    def test_mmap_without_trace_is_a_clear_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["tracking", "--mmap"])
+        assert "--trace" in capsys.readouterr().err
