@@ -13,12 +13,10 @@ Speedup ratios are robust to machine speed (both engines slow down
 together), so the assertions check ratios, not absolute rates.
 """
 
-import pytest
 from bench_support import check, size
 
 from repro.analysis import measure_engine_throughput
-from repro.core import DeterministicCounter, RandomizedCounter
-from repro.streams import BlockedAssignment, assign_sites, random_walk_stream
+from repro.api import SourceSpec, TrackerSpec
 
 SWEEP_N = size(150_000, 10_000)
 HEADLINE_N = size(1_000_000, 20_000)
@@ -28,21 +26,32 @@ BLOCK_LENGTH = 4_096
 RECORD_EVERY = 20_000
 
 
+def _workload(length: int, num_sites: int) -> list:
+    """The E17 scenario's source axis, declared as a spec."""
+    return SourceSpec(
+        stream="random_walk",
+        length=length,
+        seed=31,
+        sites=num_sites,
+        assignment="blocked",
+        assignment_params={"block_length": BLOCK_LENGTH},
+    ).build_updates()
+
+
 def _measure():
     rows = []
-    spec = random_walk_stream(SWEEP_N, seed=31)
     for num_sites in SITE_COUNTS:
-        updates = assign_sites(spec, num_sites, BlockedAssignment(BLOCK_LENGTH))
-        for name, factory in (
-            ("deterministic", DeterministicCounter(num_sites, EPSILON)),
-            ("randomized", RandomizedCounter(num_sites, EPSILON, seed=5)),
-        ):
+        updates = _workload(SWEEP_N, num_sites)
+        for tracker in ("deterministic", "randomized"):
+            factory = TrackerSpec(
+                name=tracker, epsilon=EPSILON, seed=5
+            ).build_factory(num_sites)
             slow_rate, fast_rate, speedup = measure_engine_throughput(
                 factory, updates, record_every=RECORD_EVERY
             )
             rows.append(
                 [
-                    name,
+                    tracker,
                     num_sites,
                     SWEEP_N,
                     round(slow_rate),
@@ -50,12 +59,9 @@ def _measure():
                     round(speedup, 2),
                 ]
             )
-    headline_spec = random_walk_stream(HEADLINE_N, seed=31)
-    headline_updates = assign_sites(
-        headline_spec, 16, BlockedAssignment(BLOCK_LENGTH)
-    )
+    headline_factory = TrackerSpec(name="deterministic", epsilon=EPSILON).build_factory(16)
     slow_rate, fast_rate, speedup = measure_engine_throughput(
-        DeterministicCounter(16, EPSILON), headline_updates, record_every=RECORD_EVERY
+        headline_factory, _workload(HEADLINE_N, 16), record_every=RECORD_EVERY
     )
     rows.append(
         ["deterministic", 16, HEADLINE_N, round(slow_rate), round(fast_rate), round(speedup, 2)]

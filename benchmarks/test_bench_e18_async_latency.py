@@ -7,6 +7,11 @@ Section 3.3 deterministic tracker on a biased walk and reports achieved
 error next to the staleness signals (message age, in-flight high-water
 mark), plus a FIFO-versus-reordering comparison at a fixed scale.
 
+The scenario is declared once as a :class:`repro.api.RunSpec` and the scale
+axis expands through :class:`repro.api.Sweep` — the same spec vocabulary
+``python -m repro latency`` and ``repro run --config`` execute, so the
+benchmark measures exactly what the CLI exposes.
+
 Pinned shapes:
 
 * the zero-latency row is *identical* to the synchronous engine (messages
@@ -18,9 +23,8 @@ Pinned shapes:
 
 from bench_support import check, size
 
-from repro.analysis import run_latency_sweep, time_averaged_relative_error
-from repro.core import DeterministicCounter
-from repro.streams import assign_sites, biased_walk_stream
+from repro.analysis import time_averaged_relative_error
+from repro.api import RunSpec, SourceSpec, Sweep, TrackerSpec, TransportSpec
 
 LENGTH = size(20_000, 2_000)
 NUM_SITES = 8
@@ -29,55 +33,38 @@ SCALES = [0.0, 1.0, 4.0, 16.0, 64.0]
 RECORD_EVERY = 25
 
 
+def _base_spec() -> RunSpec:
+    return RunSpec(
+        source=SourceSpec(
+            stream="biased_walk",
+            length=LENGTH,
+            seed=3,
+            sites=NUM_SITES,
+            params={"drift": 0.5},
+        ),
+        tracker=TrackerSpec(name="deterministic", epsilon=EPSILON),
+        transport=TransportSpec(mode="async", latency="uniform", seed=0),
+        engine="per-update",
+        record_every=RECORD_EVERY,
+    )
+
+
 def _measure():
-    spec = biased_walk_stream(LENGTH, drift=0.5, seed=3)
-    updates = assign_sites(spec, NUM_SITES)
-    points = run_latency_sweep(
-        lambda: DeterministicCounter(NUM_SITES, EPSILON),
-        updates,
-        epsilon=EPSILON,
-        scales=SCALES,
-        record_every=RECORD_EVERY,
-        seed=0,
-    )
-    reordered = run_latency_sweep(
-        lambda: DeterministicCounter(NUM_SITES, EPSILON),
-        updates,
-        epsilon=EPSILON,
-        scales=[8.0],
-        record_every=RECORD_EVERY,
-        seed=0,
-        preserve_order=False,
-    )[0]
-    sync = DeterministicCounter(NUM_SITES, EPSILON).track(
-        updates, record_every=RECORD_EVERY
-    )
+    base = _base_spec()
+    points = Sweep(base, {"transport.scale": SCALES}).run()
+    reordered = base.with_overrides(
+        {"transport.scale": 8.0, "transport.preserve_order": False}
+    ).run()
+    sync = base.with_overrides(
+        {"transport.mode": "sync", "transport.scale": 0.0, "engine": "auto"}
+    ).run()
     return points, reordered, sync
 
 
 def test_bench_e18_async_latency(benchmark, table_printer):
     points, reordered, sync = benchmark.pedantic(_measure, rounds=1, iterations=1)
-    rows = [
-        [
-            point.scale,
-            point.messages,
-            round(point.time_avg_error, 4),
-            round(point.violation_fraction, 3),
-            round(point.staleness.mean_age, 2),
-            point.staleness.inflight_highwater,
-            point.staleness.reordered,
-        ]
-        for point in points
-    ] + [
-        [
-            "8.0 (reorder)",
-            reordered.messages,
-            round(reordered.time_avg_error, 4),
-            round(reordered.violation_fraction, 3),
-            round(reordered.staleness.mean_age, 2),
-            reordered.staleness.inflight_highwater,
-            reordered.staleness.reordered,
-        ]
+    results = [(p.overrides["transport.scale"], p.result) for p in points] + [
+        ("8.0 (reorder)", reordered)
     ]
     table_printer(
         "E18 / asynchrony — latency scale vs error and staleness "
@@ -91,30 +78,43 @@ def test_bench_e18_async_latency(benchmark, table_printer):
             "in-flight hwm",
             "reordered",
         ],
-        rows,
+        [
+            [
+                scale,
+                result.total_messages,
+                round(time_averaged_relative_error(result.records), 4),
+                round(result.violation_fraction(EPSILON), 3),
+                round(result.staleness.mean_age, 2),
+                result.staleness.inflight_highwater,
+                result.staleness.reordered,
+            ]
+            for scale, result in results
+        ],
     )
-    zero = points[0]
+    zero = points[0].result
     # Zero latency is the synchronous engine: identical counters at any size.
-    assert zero.messages == sync.total_messages
-    assert zero.bits == sync.total_bits
-    assert zero.max_relative_error == sync.max_relative_error()
+    assert zero.total_messages == sync.total_messages
+    assert zero.total_bits == sync.total_bits
+    assert zero.max_relative_error() == sync.max_relative_error()
     assert zero.staleness.inflight_highwater == 0
-    assert time_averaged_relative_error(sync.records) == zero.time_avg_error
+    assert time_averaged_relative_error(sync.records) == time_averaged_relative_error(
+        zero.records
+    )
     # Staleness tracks its cause at any size: delivered age grows with scale.
-    ages = [point.staleness.mean_age for point in points]
+    ages = [point.result.staleness.mean_age for point in points]
     assert ages == sorted(ages)
-    assert points[-1].staleness.inflight_highwater > 0
+    assert points[-1].result.staleness.inflight_highwater > 0
     # Reordering is detected only when FIFO is off.
-    assert all(point.staleness.reordered == 0 for point in points)
+    assert all(point.result.staleness.reordered == 0 for point in points)
     assert reordered.staleness.reordered > 0
     # Quantitative decay shapes need full-scale parameters.
-    errors = [point.time_avg_error for point in points]
+    errors = [time_averaged_relative_error(point.result.records) for point in points]
     check(errors == sorted(errors), f"error not monotone in scale: {errors}")
     check(
-        points[-1].violation_fraction > 0.9,
+        points[-1].result.violation_fraction(EPSILON) > 0.9,
         "large latency should break the guarantee almost everywhere",
     )
     check(
-        points[-1].messages > zero.messages,
+        points[-1].result.total_messages > zero.total_messages,
         "stale block levels should cost extra messages",
     )

@@ -23,9 +23,9 @@ Pinned shapes:
 from bench_support import check, size
 
 from repro.analysis import shard_imbalance
-from repro.core import DeterministicCounter
-from repro.monitoring import build_sharded_network, run_tracking
-from repro.streams import assign_sites, biased_walk_stream
+from repro.api import RunSpec, SourceSpec, Sweep, TopologySpec, TrackerSpec
+from repro.monitoring.channel import ChannelStats
+from repro.monitoring.sharding import ShardedNetwork
 
 LENGTH = size(120_000, 4_000)
 NUM_SITES = 32
@@ -35,26 +35,37 @@ RECORD_EVERY = size(2_000, 100)
 
 
 def _measure():
-    spec = biased_walk_stream(LENGTH, drift=0.5, seed=19)
-    updates = assign_sites(spec, NUM_SITES)
-    flat = DeterministicCounter(NUM_SITES, EPSILON).track(
-        updates, record_every=RECORD_EVERY, batched=True
+    base = RunSpec(
+        source=SourceSpec(
+            stream="biased_walk",
+            length=LENGTH,
+            seed=19,
+            sites=NUM_SITES,
+            params={"drift": 0.5},
+        ),
+        tracker=TrackerSpec(name="deterministic", epsilon=EPSILON),
+        topology=TopologySpec(shards=1),
+        engine="batched",
+        record_every=RECORD_EVERY,
     )
+    flat = base.run()
     rows = []
-    for num_shards in SHARD_COUNTS:
-        network = build_sharded_network(
-            DeterministicCounter(NUM_SITES, EPSILON), num_shards
-        )
-        result = run_tracking(
-            network, updates, record_every=RECORD_EVERY, batched=True
-        )
+    # Sweep the topology axis; build each point by hand because the rows
+    # report the network's per-shard accounting, not just the result.
+    for overrides, spec in Sweep(base, {"topology.shards": SHARD_COUNTS}).specs():
+        built = spec.build()
+        result = built.run()
+        network = built.network
+        sharded = isinstance(network, ShardedNetwork)
         rows.append(
             {
-                "shards": num_shards,
+                "shards": overrides["topology.shards"],
                 "result": result,
-                "local": network.local_stats,
-                "root": network.root_stats,
-                "imbalance": shard_imbalance(network.shard_stats()),
+                "local": network.local_stats if sharded else network.stats,
+                "root": network.root_stats if sharded else ChannelStats(),
+                "imbalance": (
+                    shard_imbalance(network.shard_stats()) if sharded else 1.0
+                ),
             }
         )
     return flat, rows

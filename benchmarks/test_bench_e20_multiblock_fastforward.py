@@ -20,10 +20,8 @@ import time
 
 from bench_support import check, size
 
-from repro.core import DeterministicCounter, RandomizedCounter
+from repro.api import RunSpec, SourceSpec, TopologySpec, TrackerSpec
 from repro.engine import SpanKernel
-from repro.monitoring.runner import run_tracking
-from repro.streams import BlockedAssignment, assign_sites, random_walk_stream
 
 SWEEP_N = size(150_000, 10_000)
 SITE_COUNTS = [2, 4, 8]
@@ -42,31 +40,45 @@ def _fingerprint(result):
     )
 
 
-def _timed_run(factory, updates, kernel=None, batched=True):
-    network = factory.build_network()
+def _base_spec(num_sites: int, tracker: str) -> RunSpec:
+    """The E20 scenario, declared once; the engine axis varies per run."""
+    return RunSpec(
+        source=SourceSpec(
+            stream="random_walk",
+            length=SWEEP_N,
+            seed=SEED,
+            sites=num_sites,
+            assignment="blocked",
+            assignment_params={"block_length": BLOCK_LENGTH},
+        ),
+        tracker=TrackerSpec(name=tracker, epsilon=EPSILON, seed=5),
+        topology=TopologySpec(shards=1),
+        engine="batched",
+        record_every=RECORD_EVERY,
+    )
+
+
+def _timed_run(spec, kernel=None):
+    built = spec.build()
     if kernel is not None:
-        for site in network.sites:
+        for site in built.network.sites:
             site.span_kernel = kernel
     begin = time.perf_counter()
-    result = run_tracking(
-        network, updates, record_every=RECORD_EVERY, batched=batched
-    )
+    result = built.run()
     return time.perf_counter() - begin, result
 
 
 def _measure():
     rows = []
-    spec = random_walk_stream(SWEEP_N, seed=SEED)
     single_close = SpanKernel(fast_forward=False)
     for num_sites in SITE_COUNTS:
-        updates = assign_sites(spec, num_sites, BlockedAssignment(BLOCK_LENGTH))
-        for name, factory in (
-            ("deterministic", DeterministicCounter(num_sites, EPSILON)),
-            ("randomized", RandomizedCounter(num_sites, EPSILON, seed=5)),
-        ):
-            slow_seconds, slow = _timed_run(factory, updates, batched=False)
-            seed_seconds, seed_result = _timed_run(factory, updates, single_close)
-            fast_seconds, fast = _timed_run(factory, updates)
+        for name in ("deterministic", "randomized"):
+            base = _base_spec(num_sites, name)
+            slow_seconds, slow = _timed_run(
+                base.with_overrides({"engine": "per-update"})
+            )
+            seed_seconds, seed_result = _timed_run(base, single_close)
+            fast_seconds, fast = _timed_run(base)
             # Fast-forwarding must be invisible in every counter, at any
             # scale — the speed is the only thing allowed to change.
             assert _fingerprint(slow) == _fingerprint(seed_result) == _fingerprint(fast)

@@ -79,6 +79,16 @@ from repro.asynchrony import (
     build_sharded_async_network,
     run_tracking_async,
 )
+from repro.api import (
+    BuiltRun,
+    RunSpec,
+    SourceSpec,
+    Sweep,
+    SweepPoint,
+    TopologySpec,
+    TrackerSpec,
+    TransportSpec,
+)
 from repro.monitoring import (
     MonitoringNetwork,
     ShardedNetwork,
@@ -116,6 +126,15 @@ __all__ = [
     "ItemUpdate",
     "EstimateRecord",
     "StreamSpec",
+    # unified experiment API
+    "RunSpec",
+    "BuiltRun",
+    "SourceSpec",
+    "TrackerSpec",
+    "TopologySpec",
+    "TransportSpec",
+    "Sweep",
+    "SweepPoint",
     # core
     "variability",
     "variability_increments",

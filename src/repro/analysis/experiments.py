@@ -127,15 +127,16 @@ def compare_trackers(
             shards=shards,
             sharding=sharding,
         )
+        summary = result.summary(epsilon)
         comparisons.append(
             TrackerComparison(
                 name=name,
-                messages=result.total_messages,
-                bits=result.total_bits,
-                max_relative_error=result.max_relative_error(),
-                violation_fraction=result.violation_fraction(epsilon),
+                messages=summary["total_messages"],
+                bits=summary["total_bits"],
+                max_relative_error=summary["max_relative_error"],
+                violation_fraction=summary["violation_fraction"],
                 variability=stream_variability,
-                messages_per_variability=result.total_messages
+                messages_per_variability=summary["total_messages"]
                 / max(stream_variability, 1.0),
             )
         )

@@ -1,0 +1,62 @@
+"""Unified experiment API: one declarative entry point over every axis.
+
+The repo implements five orthogonal axes — stream **source**, **tracker**
+algorithm, coordinator **topology**, delivery **transport**, and execution
+**engine** — each with its own builders and runners.  This package composes
+them behind one serializable :class:`RunSpec`::
+
+    from repro.api import RunSpec, SourceSpec, TrackerSpec, TransportSpec
+
+    spec = RunSpec(
+        source=SourceSpec(stream="biased_walk", length=50_000, sites=8),
+        tracker=TrackerSpec(name="randomized", epsilon=0.05, seed=7),
+        transport=TransportSpec(mode="async", latency="uniform", scale=4.0),
+        engine="batched",
+        record_every=100,
+    )
+    result = spec.validate().run()          # a uniform TrackingResult
+    spec.save("scenario.json")              # replay: repro run --config scenario.json
+
+Grids over any field expand with :class:`Sweep`::
+
+    from repro.api import Sweep
+    points = Sweep(spec, {"topology.shards": [1, 2, 4, 8]}).run()
+
+Every spec run is bit-for-bit identical to hand-wiring the corresponding
+legacy entry point (``tests/test_api_equivalence.py`` pins this across the
+engine x topology x transport matrix), so the spec layer adds scenarios, not
+semantics.
+"""
+
+from repro.api.spec import (
+    ASSIGNMENT_NAMES,
+    ENGINE_NAMES,
+    LATENCY_NAMES,
+    PARTITION_NAMES,
+    STREAM_REGISTRY,
+    TRACKER_NAMES,
+    BuiltRun,
+    RunSpec,
+    SourceSpec,
+    TopologySpec,
+    TrackerSpec,
+    TransportSpec,
+)
+from repro.api.sweep import Sweep, SweepPoint
+
+__all__ = [
+    "RunSpec",
+    "BuiltRun",
+    "SourceSpec",
+    "TrackerSpec",
+    "TopologySpec",
+    "TransportSpec",
+    "Sweep",
+    "SweepPoint",
+    "STREAM_REGISTRY",
+    "TRACKER_NAMES",
+    "ASSIGNMENT_NAMES",
+    "LATENCY_NAMES",
+    "PARTITION_NAMES",
+    "ENGINE_NAMES",
+]

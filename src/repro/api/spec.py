@@ -1,0 +1,787 @@
+"""Declarative run specification: one entry point over every axis.
+
+Four scaling PRs left the repo with a combinatorial front door: three
+runners (:func:`~repro.monitoring.runner.run_tracking`,
+:func:`~repro.monitoring.runner.run_tracking_arrays`,
+:func:`~repro.asynchrony.runner.run_tracking_async`), three network
+builders, and a CLI that re-plumbs the same knobs per subcommand.
+:class:`RunSpec` composes the five orthogonal axes the repo already
+implements behind one serializable dataclass:
+
+* **source** — a named stream generator distributed over ``k`` sites by a
+  named assignment policy, or a recorded columnar trace file (CSV or
+  memory-mappable npz);
+* **tracker** — any Section 3 tracker or baseline, by name;
+* **topology** — flat, or the two-level sharded hierarchy with a named
+  partition strategy;
+* **transport** — synchronous instant delivery, or the discrete-event
+  asynchronous channel with a named latency model;
+* **engine** — per-update dispatch, the span kernel's batched fast path,
+  columnar array replay, or ``auto``.
+
+The lifecycle is ``validate() -> build() -> run()``: validation centralizes
+every cross-axis combination check that used to live scattered across the
+runners and the CLI (arrays x async, trace x engine, shards bounds, unknown
+names), :meth:`RunSpec.build` returns the fully wired network plus the
+materialized workload, and :meth:`RunSpec.run` dispatches to the matching
+legacy runner — bit-for-bit identical to calling it by hand
+(``tests/test_api_equivalence.py``).  :meth:`RunSpec.to_dict` /
+:meth:`RunSpec.from_dict` round-trip the whole scenario through JSON, which
+is what ``python -m repro run --config spec.json`` executes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.baselines import (
+    CormodeCounter,
+    HuangCounter,
+    LiuStyleCounter,
+    NaiveCounter,
+    StaticThresholdCounter,
+)
+from repro.core import DeterministicCounter, RandomizedCounter
+from repro.exceptions import ProtocolError
+from repro.monitoring.runner import (
+    TrackingResult,
+    run_tracking,
+    run_tracking_arrays,
+)
+from repro.monitoring.sharding import (
+    ContiguousSharding,
+    ShardingPolicy,
+    StridedSharding,
+    build_sharded_network,
+)
+from repro.streams import (
+    BlockedAssignment,
+    RandomAssignment,
+    RoundRobinAssignment,
+    SingleSiteAssignment,
+    SkewedAssignment,
+    assign_sites,
+    biased_walk_stream,
+    database_size_trace,
+    monotone_stream,
+    nearly_monotone_stream,
+    random_walk_stream,
+    sawtooth_stream,
+)
+from repro.streams.io import TraceColumns, load_trace
+from repro.streams.model import StreamSpec
+
+__all__ = [
+    "SourceSpec",
+    "TrackerSpec",
+    "TopologySpec",
+    "TransportSpec",
+    "RunSpec",
+    "BuiltRun",
+    "STREAM_REGISTRY",
+    "TRACKER_NAMES",
+    "ASSIGNMENT_NAMES",
+    "LATENCY_NAMES",
+    "PARTITION_NAMES",
+    "ENGINE_NAMES",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+# --------------------------------------------------------------------------
+# Registries: the names a serialized spec may use on each axis.
+# --------------------------------------------------------------------------
+
+def _build_monotone(n, seed, **params):
+    return monotone_stream(n, **params)
+
+
+def _build_nearly_monotone(n, seed, **params):
+    return nearly_monotone_stream(n, seed=seed, **params)
+
+
+def _build_random_walk(n, seed, **params):
+    return random_walk_stream(n, seed=seed, **params)
+
+
+def _build_biased_walk(n, seed, **params):
+    params.setdefault("drift", 0.5)
+    return biased_walk_stream(n, seed=seed, **params)
+
+
+def _build_database_trace(n, seed, **params):
+    return database_size_trace(n, seed=seed, **params)
+
+
+def _build_sawtooth(n, seed, **params):
+    params.setdefault("amplitude", max(10, n // 100))
+    return sawtooth_stream(n, **params)
+
+
+#: Stream generators addressable from a spec: ``name -> (n, seed, **params)``.
+#: Shared with the CLI (``repro.cli.STREAM_GENERATORS``) so the vocabulary
+#: cannot drift between the two surfaces.
+STREAM_REGISTRY = {
+    "monotone": _build_monotone,
+    "nearly_monotone": _build_nearly_monotone,
+    "random_walk": _build_random_walk,
+    "biased_walk": _build_biased_walk,
+    "database_trace": _build_database_trace,
+    "sawtooth": _build_sawtooth,
+}
+
+#: Trackers addressable from a spec (the Section 3 trackers, every baseline,
+#: and the fixed-threshold ablation tracker).
+TRACKER_NAMES = (
+    "deterministic",
+    "randomized",
+    "cormode",
+    "huang",
+    "liu",
+    "naive",
+    "static",
+)
+
+#: Stream-to-site assignment policies addressable from a spec.
+ASSIGNMENT_NAMES = ("round_robin", "blocked", "random", "skewed", "single_site")
+
+#: Latency models addressable from a spec (async transport only).  The
+#: concrete model for a positive ``scale`` matches the CLI's ``latency``
+#: subcommand and :func:`repro.analysis.staleness.run_latency_sweep`:
+#: ``constant`` is a fixed delay, ``uniform`` is jitter on
+#: ``[scale/2, 3*scale/2]``, ``heavytail`` is a Pareto tail around the scale.
+LATENCY_NAMES = ("zero", "constant", "uniform", "heavytail")
+
+#: Site-to-shard partition strategies addressable from a spec.
+PARTITION_NAMES = ("contiguous", "strided")
+
+#: Delivery engines addressable from a spec ("per-update" and "perupdate"
+#: are interchangeable spellings; the canonical form is "per-update").
+ENGINE_NAMES = ("auto", "per-update", "batched", "arrays")
+
+
+def _check_name(value: str, allowed: Sequence[str], field_path: str) -> None:
+    if value not in allowed:
+        raise ValueError(
+            f"{field_path}={value!r} is not a known choice; pick one of "
+            f"{sorted(allowed)}"
+        )
+
+
+# --------------------------------------------------------------------------
+# Axis specs.
+# --------------------------------------------------------------------------
+
+@dataclass
+class SourceSpec:
+    """The **source** axis: where the distributed stream comes from.
+
+    Exactly one of ``stream`` (a generator name from
+    :data:`STREAM_REGISTRY`, distributed over ``sites`` by ``assignment``)
+    and ``trace`` (a recorded ``time,site,delta`` trace file, CSV or npz;
+    npz traces can be memory-mapped with ``mmap``) must be set.  For trace
+    sources the site count is derived from the trace itself.
+
+    Attributes:
+        stream: Generator name, or ``None`` for a trace source.
+        length: Stream length ``n`` (generator sources).
+        seed: Generator / assignment-policy seed.
+        sites: Number of sites ``k`` the stream is distributed over.
+        assignment: Assignment-policy name from :data:`ASSIGNMENT_NAMES`.
+        params: Extra keyword arguments for the generator (e.g.
+            ``{"drift": 0.8}`` for ``biased_walk``).
+        assignment_params: Extra keyword arguments for the assignment policy
+            (e.g. ``{"block_length": 4096}`` for ``blocked``).
+        trace: Path to a recorded trace file, or ``None``.
+        mmap: Memory-map an npz trace instead of loading it.
+    """
+
+    stream: Optional[str] = "random_walk"
+    length: int = 10_000
+    seed: int = 0
+    sites: int = 4
+    assignment: str = "round_robin"
+    params: Dict[str, object] = field(default_factory=dict)
+    assignment_params: Dict[str, object] = field(default_factory=dict)
+    trace: Optional[str] = None
+    mmap: bool = False
+
+    def validate(self) -> None:
+        if self.stream is not None and self.trace is not None:
+            raise ProtocolError(
+                "source.stream and source.trace are mutually exclusive — a "
+                "run either generates its workload or replays a recorded "
+                f"trace (got source.stream={self.stream!r} and "
+                f"source.trace={self.trace!r})"
+            )
+        if self.stream is None and self.trace is None:
+            raise ValueError(
+                "the source axis needs a workload: set source.stream (a "
+                f"generator from {sorted(STREAM_REGISTRY)}) or source.trace "
+                "(a recorded trace file)"
+            )
+        if self.stream is not None:
+            _check_name(self.stream, tuple(STREAM_REGISTRY), "source.stream")
+            if self.length < 1:
+                raise ValueError(
+                    f"source.length must be >= 1, got {self.length}"
+                )
+            if self.sites < 1:
+                raise ValueError(f"source.sites must be >= 1, got {self.sites}")
+            _check_name(self.assignment, ASSIGNMENT_NAMES, "source.assignment")
+        if self.mmap:
+            if self.trace is None:
+                raise ProtocolError(
+                    "source.mmap memory-maps a trace file; it needs "
+                    "source.trace to point at a binary .npz trace"
+                )
+            if not str(self.trace).endswith(".npz"):
+                raise ValueError(
+                    "source.mmap applies to binary .npz traces only, got "
+                    f"source.trace={self.trace!r}"
+                )
+
+    def build_assignment(self):
+        """Instantiate the named assignment policy."""
+        params = dict(self.assignment_params)
+        if self.assignment == "round_robin":
+            return RoundRobinAssignment(**params)
+        if self.assignment == "blocked":
+            return BlockedAssignment(**params)
+        if self.assignment == "random":
+            params.setdefault("seed", self.seed)
+            return RandomAssignment(**params)
+        if self.assignment == "skewed":
+            params.setdefault("seed", self.seed)
+            return SkewedAssignment(**params)
+        if self.assignment == "single_site":
+            return SingleSiteAssignment(**params)
+        raise ValueError(
+            f"source.assignment={self.assignment!r} is not a known choice; "
+            f"pick one of {sorted(ASSIGNMENT_NAMES)}"
+        )
+
+    def build_stream(self) -> StreamSpec:
+        """Generate the named stream (generator sources only)."""
+        if self.stream is None:
+            raise ProtocolError(
+                "source.trace runs replay a recorded trace; there is no "
+                "generator stream to build"
+            )
+        return STREAM_REGISTRY[self.stream](
+            self.length, self.seed, **dict(self.params)
+        )
+
+    def build_updates(self) -> list:
+        """Generate and assign the stream: the materialized update list."""
+        return assign_sites(
+            self.build_stream(), self.sites, self.build_assignment()
+        )
+
+    def load_columns(self) -> TraceColumns:
+        """Load the recorded trace (trace sources only)."""
+        if self.trace is None:
+            raise ProtocolError(
+                "source.stream runs generate their workload; there is no "
+                "trace file to load"
+            )
+        return load_trace(self.trace, mmap_mode="r" if self.mmap else None)
+
+
+@dataclass
+class TrackerSpec:
+    """The **tracker** axis: which algorithm maintains the estimate.
+
+    Attributes:
+        name: Tracker name from :data:`TRACKER_NAMES`.
+        epsilon: Relative-error parameter ``eps``.
+        seed: Seed for the randomized trackers (randomized, huang, liu).
+        threshold: Per-site drift threshold (``static`` tracker only).
+    """
+
+    name: str = "deterministic"
+    epsilon: float = 0.1
+    seed: int = 0
+    threshold: int = 64
+
+    def validate(self) -> None:
+        _check_name(self.name, TRACKER_NAMES, "tracker.name")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError(
+                f"tracker.epsilon must be in (0, 1), got {self.epsilon}"
+            )
+        if self.name == "static" and self.threshold < 1:
+            raise ValueError(
+                f"tracker.threshold must be >= 1, got {self.threshold}"
+            )
+
+    def build_factory(self, num_sites: int):
+        """Instantiate the named tracker factory for ``num_sites`` sites."""
+        if self.name == "deterministic":
+            return DeterministicCounter(num_sites, self.epsilon)
+        if self.name == "randomized":
+            return RandomizedCounter(num_sites, self.epsilon, seed=self.seed)
+        if self.name == "cormode":
+            return CormodeCounter(num_sites, self.epsilon)
+        if self.name == "huang":
+            return HuangCounter(num_sites, self.epsilon, seed=self.seed)
+        if self.name == "liu":
+            return LiuStyleCounter(num_sites, self.epsilon, seed=self.seed)
+        if self.name == "naive":
+            return NaiveCounter(num_sites, self.epsilon)
+        if self.name == "static":
+            return StaticThresholdCounter(
+                num_sites, self.threshold, self.epsilon
+            )
+        raise ValueError(
+            f"tracker.name={self.name!r} is not a known choice; pick one of "
+            f"{sorted(TRACKER_NAMES)}"
+        )
+
+
+@dataclass
+class TopologySpec:
+    """The **topology** axis: flat star or sharded two-level hierarchy.
+
+    Attributes:
+        shards: Coordinator shards; ``1`` is the flat topology (bit-for-bit,
+            no root hop), above 1 the two-level hierarchy of
+            :mod:`repro.monitoring.sharding`.
+        partition: Site-to-shard partition strategy from
+            :data:`PARTITION_NAMES`.
+    """
+
+    shards: int = 1
+    partition: str = "contiguous"
+
+    def validate(self) -> None:
+        if self.shards < 1:
+            raise ValueError(
+                f"topology.shards must be >= 1 (1 = flat star topology), "
+                f"got {self.shards}"
+            )
+        _check_name(self.partition, PARTITION_NAMES, "topology.partition")
+
+    def build_partition(self) -> ShardingPolicy:
+        """Instantiate the named partition strategy."""
+        return {
+            "contiguous": ContiguousSharding,
+            "strided": StridedSharding,
+        }[self.partition]()
+
+
+@dataclass
+class TransportSpec:
+    """The **transport** axis: instant delivery or latency-aware channels.
+
+    Attributes:
+        mode: ``"sync"`` (the paper's instant-delivery model) or ``"async"``
+            (the discrete-event transport of :mod:`repro.asynchrony`).
+        latency: Latency-model name from :data:`LATENCY_NAMES`; with
+            ``scale == 0`` every model degenerates to zero latency, which is
+            bit-for-bit the synchronous engine.
+        scale: Latency scale in virtual-time units (one unit = one stream
+            timestep).
+        preserve_order: Per-link FIFO (default) versus reordering allowed.
+        seed: Seed for the channels' latency RNGs.
+    """
+
+    mode: str = "sync"
+    latency: str = "zero"
+    scale: float = 0.0
+    preserve_order: bool = True
+    seed: int = 0
+
+    def validate(self) -> None:
+        _check_name(self.mode, ("sync", "async"), "transport.mode")
+        _check_name(self.latency, LATENCY_NAMES, "transport.latency")
+        if self.scale < 0:
+            raise ValueError(
+                f"transport.scale must be >= 0, got {self.scale}"
+            )
+        if self.latency == "zero" and self.scale > 0:
+            raise ProtocolError(
+                "transport.latency='zero' contradicts transport.scale="
+                f"{self.scale}; pick a positive-scale model (constant, "
+                "uniform, heavytail) or drop the scale"
+            )
+        if self.mode == "sync" and self.scale > 0:
+            raise ProtocolError(
+                f"transport.scale={self.scale} needs the latency-aware "
+                "channel: set transport.mode='async' (transport.mode='sync' "
+                "is the paper's instant-delivery model)"
+            )
+
+    def build_latency_model(self):
+        """Instantiate the named latency model (async transport only)."""
+        # Imported lazily so the sync-only path never touches asynchrony.
+        from repro.asynchrony import (
+            ConstantLatency,
+            HeavyTailLatency,
+            UniformLatency,
+        )
+
+        if self.scale == 0:
+            return ConstantLatency(0.0)
+        if self.latency == "constant":
+            return ConstantLatency(self.scale)
+        if self.latency == "uniform":
+            return UniformLatency(self.scale / 2.0, 1.5 * self.scale)
+        if self.latency == "heavytail":
+            return HeavyTailLatency(self.scale, alpha=1.5, cap=100.0 * self.scale)
+        raise ValueError(
+            f"transport.latency={self.latency!r} is not a known choice; "
+            f"pick one of {sorted(LATENCY_NAMES)}"
+        )
+
+
+# --------------------------------------------------------------------------
+# The unified spec.
+# --------------------------------------------------------------------------
+
+_ENGINE_ALIASES = {"perupdate": "per-update"}
+
+_RUNSPEC_FIELDS = (
+    "source",
+    "tracker",
+    "topology",
+    "transport",
+    "engine",
+    "record_every",
+)
+
+
+@dataclass
+class RunSpec:
+    """One declarative experiment: source x tracker x topology x transport x engine.
+
+    Attributes:
+        source: The workload axis (:class:`SourceSpec`).
+        tracker: The algorithm axis (:class:`TrackerSpec`).
+        topology: The coordinator-hierarchy axis (:class:`TopologySpec`).
+        transport: The delivery-channel axis (:class:`TransportSpec`).
+        engine: Delivery engine from :data:`ENGINE_NAMES`; ``auto`` picks
+            the runner's default (batched exactly when ``record_every > 1``
+            on the synchronous path, per-update on the asynchronous one).
+        record_every: Recording stride passed to the runner; the final
+            timestep is always recorded.
+    """
+
+    source: SourceSpec = field(default_factory=SourceSpec)
+    tracker: TrackerSpec = field(default_factory=TrackerSpec)
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    transport: TransportSpec = field(default_factory=TransportSpec)
+    engine: str = "auto"
+    record_every: int = 1
+
+    # -- validation ----------------------------------------------------------
+
+    def canonical_engine(self) -> str:
+        """The engine name with alias spellings normalised."""
+        return _ENGINE_ALIASES.get(self.engine, self.engine)
+
+    def validate(self) -> "RunSpec":
+        """Check every axis and every cross-axis combination; return self.
+
+        This is the one place the combination rules live: the scattered
+        checks the runners and the CLI used to apply individually
+        (arrays x async, trace x engine, mmap x format, shard bounds,
+        unknown names) all fail here, before any network is built, with a
+        message naming the offending fields.
+        """
+        self.source.validate()
+        self.tracker.validate()
+        self.topology.validate()
+        self.transport.validate()
+        engine = self.canonical_engine()
+        _check_name(engine, ENGINE_NAMES, "engine")
+        if self.record_every < 1:
+            raise ValueError(
+                f"record_every must be >= 1, got {self.record_every}"
+            )
+        if engine == "arrays" and self.transport.mode == "async":
+            raise ProtocolError(
+                "engine='arrays' replays traces synchronously and cannot be "
+                "combined with transport.mode='async'; choose engine="
+                "'per-update' or 'batched' for latency-aware runs"
+            )
+        if engine == "arrays" and self.source.trace is None:
+            raise ProtocolError(
+                "engine='arrays' replays a recorded trace; set source.trace "
+                "(generate one with `python -m repro trace`)"
+            )
+        if self.source.trace is not None and engine != "arrays":
+            raise ProtocolError(
+                f"source.trace={self.source.trace!r} is the input of the "
+                f"columnar replay engine; combine it with engine='arrays' "
+                f"(got engine={self.engine!r})"
+            )
+        if (
+            self.source.stream is not None
+            and self.topology.shards > self.source.sites
+        ):
+            raise ValueError(
+                f"topology.shards={self.topology.shards} needs at least one "
+                f"site per shard, but source.sites={self.source.sites}"
+            )
+        return self
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize the spec to a JSON-compatible nested dict."""
+        data = {
+            "source": dataclasses.asdict(self.source),
+            "tracker": dataclasses.asdict(self.tracker),
+            "topology": dataclasses.asdict(self.topology),
+            "transport": dataclasses.asdict(self.transport),
+            "engine": self.canonical_engine(),
+            "record_every": self.record_every,
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output (unknown keys fail).
+
+        Every section is optional (missing ones take their defaults), but an
+        unknown key anywhere raises ``ValueError`` naming it — that is the
+        schema-drift guard the CI round-trip step relies on.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"a RunSpec document must be a JSON object, got {type(data).__name__}"
+            )
+        unknown = sorted(set(data) - set(_RUNSPEC_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown RunSpec fields {unknown}; known fields are "
+                f"{sorted(_RUNSPEC_FIELDS)}"
+            )
+        sections = {}
+        for name, section_cls in (
+            ("source", SourceSpec),
+            ("tracker", TrackerSpec),
+            ("topology", TopologySpec),
+            ("transport", TransportSpec),
+        ):
+            section_data = data.get(name, {})
+            if not isinstance(section_data, Mapping):
+                raise ValueError(
+                    f"RunSpec section {name!r} must be a JSON object, got "
+                    f"{type(section_data).__name__}"
+                )
+            known = {f.name for f in dataclasses.fields(section_cls)}
+            bad = sorted(set(section_data) - known)
+            if bad:
+                raise ValueError(
+                    f"unknown {name} fields {bad}; known fields are "
+                    f"{sorted(known)}"
+                )
+            sections[name] = section_cls(**section_data)
+        return cls(
+            engine=str(data.get("engine", "auto")),
+            record_every=int(data.get("record_every", 1)),
+            **sections,
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: PathLike) -> None:
+        """Write the spec to ``path`` as JSON."""
+        pathlib.Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunSpec":
+        """Read a spec saved by :meth:`save` (or written by hand)."""
+        return cls.from_json(pathlib.Path(path).read_text(encoding="utf-8"))
+
+    def with_overrides(self, overrides: Mapping[str, object]) -> "RunSpec":
+        """Return a copy with dotted-path fields replaced.
+
+        ``spec.with_overrides({"transport.scale": 4.0, "engine":
+        "batched"})`` — the override vocabulary of :class:`~repro.api.Sweep`
+        and of the CLI's ``repro run --set``.  Unknown paths raise
+        ``ValueError`` naming the path — except below the open mapping
+        fields (``source.params``, ``source.assignment_params``), whose
+        keys are generator/policy kwargs, not spec schema: there new keys
+        may be introduced freely, e.g. ``{"source.params.drift": 0.8}``.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            parts = str(path).split(".")
+            node = data
+            for depth, part in enumerate(parts[:-1]):
+                # Depths 0 and 1 are the spec schema (section, then field);
+                # anything deeper lives inside a dict-valued field and is
+                # an open mapping.
+                if part not in node and depth >= 2:
+                    node[part] = {}
+                if not isinstance(node.get(part), dict):
+                    raise ValueError(
+                        f"unknown spec field path {path!r}; known fields at "
+                        f"{'.'.join(parts[:depth]) or 'top level'} are "
+                        f"{sorted(node)}"
+                    )
+                node = node[part]
+            if parts[-1] not in node and len(parts) < 3:
+                raise ValueError(
+                    f"unknown spec field path {path!r}; known fields at "
+                    f"{'.'.join(parts[:-1]) or 'top level'} are {sorted(node)}"
+                )
+            node[parts[-1]] = value
+        return type(self).from_dict(data)
+
+    # -- wiring --------------------------------------------------------------
+
+    def build(self, columns: Optional[TraceColumns] = None) -> "BuiltRun":
+        """Validate, then wire the network and materialize the workload.
+
+        Returns a :class:`BuiltRun` holding the fully wired (flat or
+        sharded, sync or async) network plus the update list or trace
+        columns, ready to run — or to instrument first (benchmarks override
+        per-site kernels on ``built.network`` before calling
+        ``built.run()``).
+
+        Args:
+            columns: Already-loaded trace columns to reuse for a trace
+                source instead of re-reading ``source.trace`` from disk —
+                for callers running several specs over one trace (the CLI's
+                tracker sweep).  Ignored for generator sources.
+        """
+        self.validate()
+        engine = self.canonical_engine()
+        stream: Optional[StreamSpec] = None
+        updates: Optional[list] = None
+        if self.source.trace is not None:
+            if columns is None:
+                columns = self.source.load_columns()
+            num_sites = int(columns.sites.max()) + 1 if len(columns) else 1
+        else:
+            columns = None
+            stream = self.source.build_stream()
+            updates = assign_sites(
+                stream, self.source.sites, self.source.build_assignment()
+            )
+            num_sites = self.source.sites
+        factory = self.tracker.build_factory(num_sites)
+        shards = self.topology.shards
+        partition = (
+            self.topology.build_partition() if shards > 1 else None
+        )
+        if self.transport.mode == "async":
+            # Imported lazily: the synchronous path must not require the
+            # asynchrony package at import time.
+            from repro.asynchrony import (
+                build_async_network,
+                build_sharded_async_network,
+            )
+
+            model = self.transport.build_latency_model()
+            if shards > 1:
+                network = build_sharded_async_network(
+                    factory,
+                    shards,
+                    latency=model,
+                    seed=self.transport.seed,
+                    preserve_order=self.transport.preserve_order,
+                    sharding=partition,
+                )
+            else:
+                network = build_async_network(
+                    factory,
+                    latency=model,
+                    seed=self.transport.seed,
+                    preserve_order=self.transport.preserve_order,
+                )
+        elif shards > 1:
+            network = build_sharded_network(factory, shards, sharding=partition)
+        else:
+            network = factory.build_network()
+        return BuiltRun(
+            spec=self,
+            engine=engine,
+            factory=factory,
+            network=network,
+            stream=stream,
+            updates=updates,
+            columns=columns,
+            num_sites=num_sites,
+        )
+
+    def run(self) -> TrackingResult:
+        """Build and execute the run; return a uniform result.
+
+        The return type is always a
+        :class:`~repro.monitoring.runner.TrackingResult`; asynchronous runs
+        return the :class:`~repro.asynchrony.AsyncTrackingResult` subclass
+        with the staleness metrics attached.
+        """
+        return self.build().run()
+
+
+@dataclass
+class BuiltRun:
+    """A validated, fully wired run: network plus materialized workload.
+
+    Produced by :meth:`RunSpec.build`.  Running consumes the network's state,
+    so call :meth:`run` once per build (build again for a fresh network).
+
+    Attributes:
+        spec: The spec this run was built from.
+        engine: The canonical engine name.
+        factory: The tracker factory (exposed for throughput harnesses that
+            time several engines over the same workload).
+        network: The wired network — flat or sharded, sync or async.
+        stream: The generated :class:`~repro.streams.model.StreamSpec`
+            (generator sources; ``None`` for trace replays).
+        updates: The assigned update list (generator sources).
+        columns: The loaded trace columns (trace sources).
+        num_sites: The resolved global site count ``k``.
+    """
+
+    spec: RunSpec
+    engine: str
+    factory: object
+    network: object
+    stream: Optional[StreamSpec]
+    updates: Optional[list]
+    columns: Optional[TraceColumns]
+    num_sites: int
+
+    def run(self) -> TrackingResult:
+        """Dispatch to the legacy runner matching the spec's axes."""
+        record_every = self.spec.record_every
+        if self.spec.transport.mode == "async":
+            from repro.asynchrony import run_tracking_async
+
+            return run_tracking_async(
+                self.network,
+                self.updates,
+                record_every=record_every,
+                batched=self.engine == "batched",
+            )
+        if self.engine == "arrays":
+            return run_tracking_arrays(
+                self.network,
+                self.columns.times,
+                self.columns.sites,
+                self.columns.deltas,
+                record_every=record_every,
+            )
+        batched = {"auto": None, "batched": True, "per-update": False}[self.engine]
+        return run_tracking(
+            self.network, self.updates, record_every=record_every, batched=batched
+        )

@@ -1,0 +1,98 @@
+"""Grid expansion over :class:`~repro.api.RunSpec` fields.
+
+Every experiment script in the repo used to hand-roll the same loop: for
+each tracker / each shard count / each latency scale, rebuild the network,
+rerun the stream, collect a row.  :class:`Sweep` replaces those loops with
+one declarative grid: a base spec plus ``{"dotted.field.path": [values]}``,
+expanded as a cartesian product (later keys vary fastest, like nested
+loops).  Each grid point is an independent :class:`~repro.api.RunSpec` —
+fully validated, serializable, and run on a fresh network — so a sweep is
+nothing more than a list of specs plus a convenience runner.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.api.spec import RunSpec
+from repro.exceptions import ConfigurationError
+from repro.monitoring.runner import TrackingResult
+
+__all__ = ["Sweep", "SweepPoint"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One executed grid point of a :class:`Sweep`.
+
+    Attributes:
+        overrides: The dotted-path overrides that produced this point.
+        spec: The fully expanded spec that ran.
+        result: The run's :class:`~repro.monitoring.runner.TrackingResult`
+            (the async subclass when the spec's transport is asynchronous).
+    """
+
+    overrides: Dict[str, object]
+    spec: RunSpec
+    result: TrackingResult
+
+
+class Sweep:
+    """Expand a grid of field overrides over a base :class:`RunSpec`.
+
+    Args:
+        base: The spec every grid point starts from.
+        grid: Mapping from dotted field path (e.g. ``"tracker.name"``,
+            ``"transport.scale"``, ``"topology.shards"``, ``"engine"``) to
+            the sequence of values to sweep.  Paths are checked against the
+            base spec up front, so a typo fails before anything runs.
+
+    Example::
+
+        sweep = Sweep(base, {"tracker.name": ["deterministic", "randomized"],
+                             "transport.scale": [0.0, 4.0, 16.0]})
+        for point in sweep.run():
+            print(point.overrides, point.result.summary())
+    """
+
+    def __init__(self, base: RunSpec, grid: Mapping[str, Sequence]) -> None:
+        if not grid:
+            raise ConfigurationError("a sweep needs at least one grid axis")
+        self.base = base
+        self.grid: Dict[str, Tuple] = {}
+        for path, values in grid.items():
+            values = tuple(values)
+            if not values:
+                raise ConfigurationError(
+                    f"sweep axis {path!r} has no values to sweep"
+                )
+            # Apply one value now so unknown paths fail at construction.
+            base.with_overrides({path: values[0]})
+            self.grid[str(path)] = values
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.grid.values():
+            total *= len(values)
+        return total
+
+    def specs(self) -> List[Tuple[Dict[str, object], RunSpec]]:
+        """Expand the grid into ``(overrides, spec)`` pairs, in grid order."""
+        paths = list(self.grid)
+        expanded = []
+        for combo in itertools.product(*(self.grid[path] for path in paths)):
+            overrides = dict(zip(paths, combo))
+            expanded.append((overrides, self.base.with_overrides(overrides)))
+        return expanded
+
+    def __iter__(self) -> Iterator[Tuple[Dict[str, object], RunSpec]]:
+        return iter(self.specs())
+
+    def run(self) -> List[SweepPoint]:
+        """Run every grid point on a fresh network; return the points in order."""
+        return [
+            SweepPoint(overrides=overrides, spec=spec, result=spec.run())
+            for overrides, spec in self.specs()
+        ]

@@ -66,6 +66,29 @@ class AsyncTrackingResult(TrackingResult):
         """Absolute estimate error after every in-flight message landed."""
         return abs(self.final_true_value - self.final_estimate)
 
+    def summary(self, epsilon=None) -> dict:
+        """The synchronous summary plus the asynchronous run's signals.
+
+        Extends :meth:`TrackingResult.summary` with the staleness
+        aggregates, the final virtual clock and the settled estimate, so
+        JSON consumers of ``repro run --config`` see the transport axis in
+        the same document.  (``to_dict`` picks this up automatically.)
+        """
+        data = super().summary(epsilon)
+        data["staleness"] = {
+            "delivered": self.staleness.delivered,
+            "mean_age": self.staleness.mean_age,
+            "max_age": self.staleness.max_age,
+            "p95_age": self.staleness.p95_age,
+            "inflight_highwater": self.staleness.inflight_highwater,
+            "reordered": self.staleness.reordered,
+        }
+        data["final_clock"] = self.final_clock
+        data["final_estimate"] = self.final_estimate
+        data["final_true_value"] = self.final_true_value
+        data["settled_error"] = self.settled_error()
+        return data
+
 
 def build_async_network(
     factory,

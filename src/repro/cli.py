@@ -10,6 +10,7 @@ at the paper's claims directly from a shell::
     python -m repro throughput --length 1000000 --sites 4 16 64
     python -m repro latency --stream biased_walk --scales 0 1 4 16 64
     python -m repro trace --stream random_walk --length 1000000 --out big.npz
+    python -m repro run --config examples/specs/quickstart.json
 
 Each subcommand prints a plain-text table in the same format the benchmark
 harness uses for EXPERIMENTS.md.  ``tracking``, ``throughput`` and
@@ -28,45 +29,59 @@ span), and ``trace`` generates a distributed trace file for the ``arrays``
 engine.  ``tracking``, ``throughput`` and ``latency`` all accept
 ``--shards`` to run the two-level sharded coordinator hierarchy
 (:mod:`repro.monitoring.sharding`) instead of the flat star.
+
+Every engine-aware subcommand is a thin shim over the unified experiment
+API (:mod:`repro.api`): one spec-builder maps the shared argument
+vocabulary onto a :class:`~repro.api.RunSpec` and the handlers sweep
+whichever axis their table varies.  ``run`` closes the loop: any scenario
+saved as JSON (``RunSpec.save``, or written by hand — see
+``examples/specs/``) executes with ``python -m repro run --config
+spec.json``, with ``--set field.path=value`` overrides for smoke-sized
+replays.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.analysis import compare_trackers, format_table, measure_engine_throughput
+from repro.api import (
+    STREAM_REGISTRY,
+    RunSpec,
+    SourceSpec,
+    Sweep,
+    TopologySpec,
+    TrackerSpec,
+    TransportSpec,
+)
+from repro.analysis import format_table, measure_engine_throughput
 from repro.analysis.bounds import deterministic_message_bound
-from repro.baselines import CormodeCounter, LiuStyleCounter, NaiveCounter
-from repro.core import DeterministicCounter, RandomizedCounter, variability
+from repro.core import DeterministicCounter, variability
 from repro.core.frequencies import FrequencyTracker, HashReducer, run_frequency_tracking
 from repro.lowerbounds import DeterministicFlipFamily, IndexReduction, TranscriptTracer
-from repro.streams import (
-    BlockedAssignment,
-    ItemStreamConfig,
-    assign_sites,
-    biased_walk_stream,
-    database_size_trace,
-    monotone_stream,
-    nearly_monotone_stream,
-    random_walk_stream,
-    sawtooth_stream,
-    zipfian_item_stream,
-)
+from repro.streams import ItemStreamConfig, zipfian_item_stream
 from repro.streams.model import StreamSpec
 
 __all__ = ["main", "build_parser", "STREAM_GENERATORS"]
 
-#: Stream classes selectable from the command line.
+#: Stream classes selectable from the command line — the spec registry's
+#: vocabulary (:data:`repro.api.STREAM_REGISTRY`), re-exposed under the
+#: historical ``(n, seed) -> StreamSpec`` calling convention.
 STREAM_GENERATORS: Dict[str, Callable[[int, int], StreamSpec]] = {
-    "monotone": lambda n, seed: monotone_stream(n),
-    "nearly_monotone": lambda n, seed: nearly_monotone_stream(n, seed=seed),
-    "random_walk": lambda n, seed: random_walk_stream(n, seed=seed),
-    "biased_walk": lambda n, seed: biased_walk_stream(n, drift=0.5, seed=seed),
-    "database_trace": lambda n, seed: database_size_trace(n, seed=seed),
-    "sawtooth": lambda n, seed: sawtooth_stream(n, amplitude=max(10, n // 100)),
+    name: (lambda n, seed, _build=builder: _build(n, seed))
+    for name, builder in STREAM_REGISTRY.items()
 }
+
+#: Tracker axis every ``tracking`` table sweeps, with display labels.
+_TRACKING_TABLE = (
+    ("naive", "naive"),
+    ("cormode", "cormode"),
+    ("liu", "liu-style"),
+    ("deterministic", "deterministic"),
+    ("randomized", "randomized"),
+)
 
 #: The one delivery-engine vocabulary every subcommand shares
 #: ("per-update" and "perupdate" are interchangeable spellings).
@@ -290,6 +305,34 @@ def build_parser() -> argparse.ArgumentParser:
         "anything else the time,site,delta CSV",
     )
 
+    run_parser = subparsers.add_parser(
+        "run",
+        help="execute a saved RunSpec scenario (JSON) through the unified API",
+    )
+    run_parser.add_argument(
+        "--config",
+        required=True,
+        metavar="PATH",
+        help="RunSpec JSON document (write one with RunSpec.save, or by hand; "
+        "see examples/specs/)",
+    )
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        dest="overrides",
+        help="override one spec field by dotted path before running, e.g. "
+        "--set source.length=2000 --set transport.scale=4.0 (repeatable; "
+        "values are parsed as JSON, falling back to strings)",
+    )
+    run_parser.add_argument(
+        "--records",
+        action="store_true",
+        help="include the per-step records in the JSON output "
+        "(TrackingResult.to_dict instead of summary)",
+    )
+
     frequency_parser = subparsers.add_parser(
         "frequency", help="run the Appendix H frequency tracker on a Zipfian workload"
     )
@@ -322,94 +365,122 @@ def _command_variability(args: argparse.Namespace) -> str:
     return format_table(["n", "v(n)", "v(n)/n", "f(n)"], rows)
 
 
-def _tracker_factories(num_sites: int, epsilon: float, seed: int):
-    """The five comparison trackers every tracking table reports."""
-    return {
-        "naive": NaiveCounter(num_sites),
-        "cormode": CormodeCounter(num_sites, epsilon),
-        "liu-style": LiuStyleCounter(num_sites, epsilon, seed=seed),
-        "deterministic": DeterministicCounter(num_sites, epsilon),
-        "randomized": RandomizedCounter(num_sites, epsilon, seed=seed),
-    }
+def _cli_spec(args: argparse.Namespace, engine: str = "auto") -> RunSpec:
+    """The one spec-builder behind every engine-aware subcommand.
 
-
-def _command_tracking_arrays(args: argparse.Namespace) -> str:
-    """The arrays engine: replay a columnar trace through every tracker."""
-    from repro.core.variability import variability as stream_variability
-    from repro.monitoring.runner import run_tracking_arrays
-    from repro.monitoring.sharding import build_sharded_network
-
-    trace = _load_cli_trace(args)
-    num_sites = int(trace.sites.max()) + 1
-    record_every = max(1, len(trace) // 5_000)
-    v = stream_variability(trace.deltas)
-    rows: List[List[object]] = []
-    for name, factory in _tracker_factories(num_sites, args.epsilon, args.seed).items():
-        if args.shards > 1:
-            network = build_sharded_network(factory, args.shards)
-        else:
-            network = factory.build_network()
-        result = run_tracking_arrays(
-            network,
-            trace.times,
-            trace.sites,
-            trace.deltas,
-            record_every=record_every,
+    Maps the shared argument vocabulary (``--stream``/``--length``/
+    ``--sites``/``--seed``, ``--trace``/``--mmap``, ``--shards``,
+    ``--engine`` and the latency knobs where present) onto a
+    :class:`~repro.api.RunSpec`; subcommand handlers then sweep whichever
+    axis their table varies instead of re-plumbing the knobs by hand.
+    """
+    trace = getattr(args, "trace", None)
+    if engine == "arrays" and trace is not None:
+        source = SourceSpec(
+            stream=None, trace=trace, mmap=getattr(args, "mmap", False)
         )
+    else:
+        source = SourceSpec(
+            stream=args.stream,
+            length=args.length,
+            seed=args.seed,
+            sites=args.sites,
+        )
+    return RunSpec(
+        source=source,
+        tracker=TrackerSpec(
+            name="deterministic", epsilon=args.epsilon, seed=args.seed
+        ),
+        topology=TopologySpec(shards=getattr(args, "shards", 1)),
+        engine=engine,
+    )
+
+
+def _tracking_rows(
+    base: RunSpec, epsilon: float, stream_variability: float, columns=None
+):
+    """Sweep the tracker axis of ``base`` and tabulate one row per tracker.
+
+    ``columns`` carries an already-loaded trace for arrays-engine sweeps, so
+    the file is parsed once, not once per tracker.
+    """
+    sweep = Sweep(base, {"tracker.name": [name for name, _ in _TRACKING_TABLE]})
+    labels = dict(_TRACKING_TABLE)
+    rows: List[List[object]] = []
+    for overrides, spec in sweep.specs():
+        summary = spec.build(columns=columns).run().summary(epsilon)
         rows.append(
             [
-                name,
-                result.total_messages,
-                round(result.max_relative_error(), 4),
-                round(result.violation_fraction(args.epsilon), 4),
-                round(result.total_messages / max(v, 1.0), 2),
+                labels[overrides["tracker.name"]],
+                summary["total_messages"],
+                round(summary["max_relative_error"], 4),
+                round(summary["violation_fraction"], 4),
+                round(summary["total_messages"] / max(stream_variability, 1.0), 2),
             ]
         )
-    header = (
-        f"trace={args.trace} n={len(trace)} k={num_sites} eps={args.epsilon} "
-        f"shards={args.shards} engine=arrays{' (mmap)' if args.mmap else ''} "
-        f"v={v:.1f}"
-    )
-    table = format_table(
-        ["algorithm", "messages", "max rel err", "violation frac", "msgs / v"], rows
-    )
-    return header + "\n" + table
+    return rows
 
 
 def _command_tracking(args: argparse.Namespace) -> str:
     if args.engine == "arrays":
-        return _command_tracking_arrays(args)
-    spec = STREAM_GENERATORS[args.stream](args.length, args.seed)
-    batched = {"auto": None, "batched": True, "perupdate": False}[args.engine]
-    comparisons = compare_trackers(
-        _tracker_factories(args.sites, args.epsilon, args.seed),
-        spec,
-        num_sites=args.sites,
-        epsilon=args.epsilon,
-        record_every=max(1, args.length // 5_000),
-        batched=batched,
-        shards=args.shards,
-    )
-    rows = [
-        [
-            c.name,
-            c.messages,
-            round(c.max_relative_error, 4),
-            round(c.violation_fraction, 4),
-            round(c.messages_per_variability, 2),
-        ]
-        for c in comparisons
-    ]
+        trace = _load_cli_trace(args)
+        num_sites = int(trace.sites.max()) + 1
+        v = variability(trace.deltas)
+        base = _cli_spec(args, engine="arrays")
+        base.record_every = max(1, len(trace) // 5_000)
+        rows = _tracking_rows(base, args.epsilon, v, columns=trace)
+        header = (
+            f"trace={args.trace} n={len(trace)} k={num_sites} eps={args.epsilon} "
+            f"shards={args.shards} engine=arrays{' (mmap)' if args.mmap else ''} "
+            f"v={v:.1f}"
+        )
+        table = format_table(
+            ["algorithm", "messages", "max rel err", "violation frac", "msgs / v"],
+            rows,
+        )
+        return header + "\n" + table
+    base = _cli_spec(args, engine=args.engine)
+    base.record_every = max(1, args.length // 5_000)
+    stream = base.source.build_stream()
+    v = variability(stream.deltas, start=stream.start)
+    rows = _tracking_rows(base, args.epsilon, v)
     header = (
         f"stream={args.stream} n={args.length} k={args.sites} eps={args.epsilon} "
         f"shards={args.shards} "
-        f"v={comparisons[0].variability:.1f} "
-        f"(deterministic bound {deterministic_message_bound(args.sites, args.epsilon, comparisons[0].variability):.0f})"
+        f"v={v:.1f} "
+        f"(deterministic bound {deterministic_message_bound(args.sites, args.epsilon, v):.0f})"
     )
     table = format_table(
         ["algorithm", "messages", "max rel err", "violation frac", "msgs / v"], rows
     )
     return header + "\n" + table
+
+
+def _command_run(args: argparse.Namespace) -> str:
+    """``repro run --config spec.json``: execute any saved scenario."""
+    spec = RunSpec.load(args.config)
+    overrides = {}
+    for item in args.overrides:
+        path, sep, raw = item.partition("=")
+        if not sep or not path:
+            raise SystemExit(
+                f"--set expects FIELD=VALUE (dotted field path), got {item!r}"
+            )
+        try:
+            overrides[path] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[path] = raw
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    result = spec.validate().run()
+    epsilon = spec.tracker.epsilon
+    payload = {
+        "config": str(args.config),
+        "overrides": overrides,
+        "spec": spec.to_dict(),
+        "result": result.to_dict(epsilon) if args.records else result.summary(epsilon),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def _command_frequency(args: argparse.Namespace) -> str:
@@ -448,15 +519,24 @@ def _command_throughput(args: argparse.Namespace) -> str:
     if args.engine == "arrays":
         trace = _load_cli_trace(args)
         num_sites = int(trace.sites.max()) + 1
-        for name, factory in (
-            ("deterministic", DeterministicCounter(num_sites, args.epsilon)),
-            ("randomized", RandomizedCounter(num_sites, args.epsilon, seed=args.seed)),
-        ):
+        for tracker_name in ("deterministic", "randomized"):
+            tracker = TrackerSpec(
+                name=tracker_name, epsilon=args.epsilon, seed=args.seed
+            )
             slow_rate, fast_rate, speedup = measure_columnar_throughput(
-                factory, trace, record_every=args.record_every, shards=args.shards
+                tracker.build_factory(num_sites),
+                trace,
+                record_every=args.record_every,
+                shards=args.shards,
             )
             rows.append(
-                [name, num_sites, round(slow_rate), round(fast_rate), round(speedup, 2)]
+                [
+                    tracker_name,
+                    num_sites,
+                    round(slow_rate),
+                    round(fast_rate),
+                    round(speedup, 2),
+                ]
             )
         header = (
             f"trace={args.trace} n={len(trace)} eps={args.epsilon} "
@@ -466,19 +546,29 @@ def _command_throughput(args: argparse.Namespace) -> str:
         return header + "\n" + format_table(
             ["algorithm", "k", "per-update up/s", "arrays up/s", "speedup"], rows
         )
-    spec = random_walk_stream(args.length, seed=args.seed)
     for num_sites in args.sites:
-        updates = assign_sites(spec, num_sites, BlockedAssignment(args.block_length))
-        for name, factory in (
-            ("deterministic", DeterministicCounter(num_sites, args.epsilon)),
-            ("randomized", RandomizedCounter(num_sites, args.epsilon, seed=args.seed)),
-        ):
+        source = SourceSpec(
+            stream="random_walk",
+            length=args.length,
+            seed=args.seed,
+            sites=num_sites,
+            assignment="blocked",
+            assignment_params={"block_length": args.block_length},
+        )
+        updates = source.build_updates()
+        for tracker_name in ("deterministic", "randomized"):
+            tracker = TrackerSpec(
+                name=tracker_name, epsilon=args.epsilon, seed=args.seed
+            )
             slow_rate, fast_rate, speedup = measure_engine_throughput(
-                factory, updates, record_every=args.record_every, shards=args.shards
+                tracker.build_factory(num_sites),
+                updates,
+                record_every=args.record_every,
+                shards=args.shards,
             )
             rows.append(
                 [
-                    name,
+                    tracker_name,
                     num_sites,
                     round(slow_rate),
                     round(fast_rate),
@@ -498,14 +588,17 @@ def _command_throughput(args: argparse.Namespace) -> str:
 def _command_trace(args: argparse.Namespace) -> str:
     from repro.streams import columns_from_updates, save_trace_csv, save_trace_npz
 
-    spec = STREAM_GENERATORS[args.stream](args.length, args.seed)
-    policy = BlockedAssignment(args.block_length) if args.block_length > 0 else None
-    updates = (
-        assign_sites(spec, args.sites, policy)
-        if policy is not None
-        else assign_sites(spec, args.sites)
+    source = SourceSpec(
+        stream=args.stream,
+        length=args.length,
+        seed=args.seed,
+        sites=args.sites,
+        assignment="blocked" if args.block_length > 0 else "round_robin",
+        assignment_params=(
+            {"block_length": args.block_length} if args.block_length > 0 else {}
+        ),
     )
-    trace = columns_from_updates(updates)
+    trace = columns_from_updates(source.build_updates())
     if str(args.out).endswith(".npz"):
         save_trace_npz(trace, args.out)
         layout = "npz (memory-mappable)"
@@ -520,49 +613,45 @@ def _command_trace(args: argparse.Namespace) -> str:
 
 
 def _command_latency(args: argparse.Namespace) -> str:
-    from repro.analysis.staleness import run_latency_sweep
-    from repro.asynchrony import ConstantLatency, HeavyTailLatency
-    from repro.streams import assign_sites as _assign
+    from repro.analysis.staleness import time_averaged_relative_error
 
-    spec = STREAM_GENERATORS[args.stream](args.length, args.seed)
-    updates = _assign(spec, args.sites)
-    factories = {
-        "deterministic": lambda: DeterministicCounter(args.sites, args.epsilon),
-        "randomized": lambda: RandomizedCounter(args.sites, args.epsilon, seed=args.seed),
-        "naive": lambda: NaiveCounter(args.sites),
-    }
-    models = {
-        "constant": lambda scale: ConstantLatency(scale),
-        # None = run_latency_sweep's default uniform jitter on [s/2, 3s/2].
-        "uniform": None,
-        "heavytail": lambda scale: HeavyTailLatency(scale, alpha=1.5, cap=100.0 * scale),
-    }
-    points = run_latency_sweep(
-        factories[args.algorithm],
-        updates,
-        epsilon=args.epsilon,
-        scales=args.scales,
-        model_for_scale=models[args.model],
+    base = RunSpec(
+        source=SourceSpec(
+            stream=args.stream,
+            length=args.length,
+            seed=args.seed,
+            sites=args.sites,
+        ),
+        tracker=TrackerSpec(
+            name=args.algorithm, epsilon=args.epsilon, seed=args.seed
+        ),
+        topology=TopologySpec(shards=args.shards),
+        transport=TransportSpec(
+            mode="async",
+            latency=args.model,
+            preserve_order=not args.allow_reordering,
+            seed=args.seed,
+        ),
+        engine="batched" if args.engine == "batched" else "per-update",
         record_every=args.record_every,
-        seed=args.seed,
-        preserve_order=not args.allow_reordering,
-        shards=args.shards,
-        batched=args.engine == "batched",
     )
-    rows = [
-        [
-            p.scale,
-            p.messages,
-            round(p.max_relative_error, 4),
-            round(p.violation_fraction, 4),
-            round(p.time_avg_error, 4),
-            round(p.staleness.mean_age, 2),
-            round(p.staleness.max_age, 2),
-            p.staleness.inflight_highwater,
-            p.staleness.reordered,
-        ]
-        for p in points
-    ]
+    rows = []
+    for point in Sweep(base, {"transport.scale": args.scales}).run():
+        result = point.result
+        summary = result.summary(args.epsilon)
+        rows.append(
+            [
+                point.overrides["transport.scale"],
+                summary["total_messages"],
+                round(summary["max_relative_error"], 4),
+                round(summary["violation_fraction"], 4),
+                round(time_averaged_relative_error(result.records), 4),
+                round(result.staleness.mean_age, 2),
+                round(result.staleness.max_age, 2),
+                result.staleness.inflight_highwater,
+                result.staleness.reordered,
+            ]
+        )
     header = (
         f"stream={args.stream} n={args.length} k={args.sites} eps={args.epsilon} "
         f"shards={args.shards} algo={args.algorithm} model={args.model} "
@@ -620,6 +709,7 @@ _COMMANDS = {
     "throughput": _command_throughput,
     "latency": _command_latency,
     "trace": _command_trace,
+    "run": _command_run,
     "frequency": _command_frequency,
     "lowerbound": _command_lowerbound,
 }

@@ -71,14 +71,25 @@ class TrackingResult:
     def max_relative_error(self) -> float:
         """Largest relative error over the run (errors at ``f = 0`` count as
         0 if the estimate is also ~0, else as infinity)."""
-        worst = 0.0
-        for record in self.records:
-            if record.true_value == 0:
-                if record.absolute_error > 1e-9:
-                    return float("inf")
-                continue
-            worst = max(worst, record.absolute_error / abs(record.true_value))
-        return worst
+        if not self.records:
+            return 0.0
+        count = len(self.records)
+        true_values = np.fromiter(
+            (record.true_value for record in self.records), dtype=float, count=count
+        )
+        errors = np.abs(
+            true_values
+            - np.fromiter(
+                (record.estimate for record in self.records), dtype=float, count=count
+            )
+        )
+        at_zero = true_values == 0.0
+        if np.any(errors[at_zero] > 1e-9):
+            return float("inf")
+        nonzero = ~at_zero
+        if not nonzero.any():
+            return 0.0
+        return float(np.max(errors[nonzero] / np.abs(true_values[nonzero])))
 
     def error_violations(self, epsilon: float) -> int:
         """Number of timesteps at which the estimate breaks the eps guarantee."""
@@ -91,6 +102,51 @@ class TrackingResult:
         if not self.records:
             return 0.0
         return self.error_violations(epsilon) / len(self.records)
+
+    def summary(self, epsilon: Optional[float] = None) -> dict:
+        """The run's headline numbers as one JSON-compatible dict.
+
+        The shared vocabulary for every JSON-emitting surface (``repro run
+        --config``, the benchmark artifacts), so nobody hand-assembles the
+        same dict with drifting key names.  Violation accounting needs the
+        guarantee parameter, so it appears only when ``epsilon`` is given.
+
+        Args:
+            epsilon: Error parameter for violation accounting (optional).
+
+        Returns:
+            A dict with ``num_records``, ``total_messages``, ``total_bits``,
+            ``messages_by_kind`` and ``max_relative_error`` — plus
+            ``epsilon``, ``error_violations`` and ``violation_fraction``
+            when ``epsilon`` is given.
+        """
+        data = {
+            "num_records": self.length,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "messages_by_kind": dict(self.messages_by_kind),
+            "max_relative_error": self.max_relative_error(),
+        }
+        if epsilon is not None:
+            data["epsilon"] = epsilon
+            data["error_violations"] = self.error_violations(epsilon)
+            data["violation_fraction"] = self.violation_fraction(epsilon)
+        return data
+
+    def to_dict(self, epsilon: Optional[float] = None) -> dict:
+        """Full serialization: :meth:`summary` plus the per-step records."""
+        data = self.summary(epsilon)
+        data["records"] = [
+            {
+                "time": record.time,
+                "true_value": record.true_value,
+                "estimate": record.estimate,
+                "messages": record.messages,
+                "bits": record.bits,
+            }
+            for record in self.records
+        ]
+        return data
 
 
 def _record(
@@ -147,6 +203,64 @@ def _segment_cuts(site_array: np.ndarray, start_index: int, record_every: int):
     return segment_cuts(site_array, start_index, record_every)
 
 
+def _deliver_segments(
+    network: MonitoringNetwork,
+    times: np.ndarray,
+    sites: np.ndarray,
+    deltas: np.ndarray,
+    start_index: int,
+    record_every: int,
+    result: TrackingResult,
+    true_value: int,
+    advance=None,
+) -> tuple:
+    """Deliver one columnar slice as contiguous same-site segments.
+
+    The single recording loop behind both array-driven engines: the batched
+    update-object engine feeds it one buffered chunk at a time, the columnar
+    trace engine feeds it the whole trace.  Segments are cut at site changes
+    *and* at recording points (the kernel's segmentation rule), so records
+    are taken at exactly the per-update engine's timesteps; ``advance``
+    hooks the asynchronous transport in at segment granularity.
+
+    Args:
+        times: Timestep column of the slice.
+        sites: Destination-site column.
+        deltas: Delta column.
+        start_index: Global index of the slice's first update (recording
+            points are global, not slice-relative).
+        true_value: Exact stream value before the slice.
+        advance: Optional virtual-clock hook, called with each segment's
+            first timestep before the segment is delivered.
+
+    Returns:
+        ``(true_value, last_time, recorded_last)`` after the slice.
+    """
+    running = true_value + np.cumsum(deltas)
+    last_time = 0
+    recorded_last = False
+    start = 0
+    for end in _segment_cuts(sites, start_index, record_every):
+        if advance is not None:
+            advance(int(times[start]))
+        if end - start == 1:
+            network.deliver_update(
+                int(times[start]), int(sites[start]), int(deltas[start])
+            )
+        else:
+            network.deliver_batch(
+                int(sites[start]), times[start:end], deltas[start:end]
+            )
+        last_time = int(times[end - 1])
+        if (start_index + end - 1) % record_every == 0:
+            _record(result, network, last_time, int(running[end - 1]))
+            recorded_last = True
+        else:
+            recorded_last = False
+        start = end
+    return int(running[-1]), last_time, recorded_last
+
+
 def _run_batched(
     network: MonitoringNetwork,
     updates: Iterable[Update],
@@ -156,12 +270,11 @@ def _run_batched(
 ) -> None:
     """Batched engine: contiguous same-site runs go through ``deliver_batch``.
 
-    Runs are additionally split at recording points (the kernel's
-    segmentation rule) so estimates, message counts and bit counts are
-    sampled at exactly the same timesteps as the per-update engine.
-
-    ``advance`` hooks in the asynchronous engine: when given, it is called
-    with the first timestep of every segment before the segment is
+    Buffers the update iterable one bounded chunk at a time, converts each
+    chunk to columns and routes it through :func:`_deliver_segments` — the
+    same recording logic the columnar trace engine uses, so the two cannot
+    drift.  ``advance`` hooks in the asynchronous engine: when given, it is
+    called with the first timestep of every segment before the segment is
     delivered, letting a virtual-clock transport deliver in-flight messages
     at segment granularity (see
     :func:`repro.asynchrony.runner.run_tracking_async`).
@@ -178,27 +291,20 @@ def _run_batched(
             break
         seen_any = True
         length = len(chunk)
-        sites = [u.site for u in chunk]
-        times = [u.time for u in chunk]
-        deltas = [u.delta for u in chunk]
-        start = 0
-        for end in _segment_cuts(np.asarray(sites), index, record_every):
-            run_times = times[start:end]
-            run_deltas = deltas[start:end]
-            if advance is not None:
-                advance(run_times[0])
-            if end - start == 1:
-                network.deliver_update(run_times[0], sites[start], run_deltas[0])
-            else:
-                network.deliver_batch(sites[start], run_times, run_deltas)
-            true_value += sum(run_deltas)
-            last_time = times[end - 1]
-            if (index + end - 1) % record_every == 0:
-                _record(result, network, last_time, true_value)
-                recorded_last = True
-            else:
-                recorded_last = False
-            start = end
+        times = np.fromiter((u.time for u in chunk), dtype=np.int64, count=length)
+        sites = np.fromiter((u.site for u in chunk), dtype=np.int64, count=length)
+        deltas = np.fromiter((u.delta for u in chunk), dtype=np.int64, count=length)
+        true_value, last_time, recorded_last = _deliver_segments(
+            network,
+            times,
+            sites,
+            deltas,
+            index,
+            record_every,
+            result,
+            true_value,
+            advance=advance,
+        )
         index += length
     if seen_any and not recorded_last:
         _record(result, network, last_time, true_value)
@@ -300,28 +406,15 @@ def run_tracking_arrays(
             f"shapes {times.shape}/{sites.shape}/{deltas.shape}"
         )
     result = TrackingResult()
-    length = int(times.size)
-    if length:
-        running = np.cumsum(deltas)
-        start = 0
-        recorded_last = False
-        for end in _segment_cuts(sites, 0, record_every):
-            if end - start == 1:
-                network.deliver_update(
-                    int(times[start]), int(sites[start]), int(deltas[start])
-                )
-            else:
-                network.deliver_batch(
-                    int(sites[start]), times[start:end], deltas[start:end]
-                )
-            if (end - 1) % record_every == 0:
-                _record(result, network, int(times[end - 1]), int(running[end - 1]))
-                recorded_last = True
-            else:
-                recorded_last = False
-            start = end
+    # A zero-length trace mirrors run_tracking on an empty iterable: no
+    # records, but the totals below are still populated from the (quiet)
+    # channel, so downstream summary() consumers see a complete result.
+    if times.size:
+        true_value, last_time, recorded_last = _deliver_segments(
+            network, times, sites, deltas, 0, record_every, result, 0
+        )
         if not recorded_last:
-            _record(result, network, int(times[-1]), int(running[-1]))
+            _record(result, network, last_time, true_value)
     final_stats = network.stats
     result.total_messages = final_stats.messages
     result.total_bits = final_stats.bits

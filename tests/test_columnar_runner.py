@@ -165,3 +165,52 @@ class TestRunTrackingArrays:
             run_tracking_arrays(network, [1, 2], [0], [1, 1])
         with pytest.raises(ValueError):
             run_tracking_arrays(network, [1], [0], [1], record_every=0)
+
+
+class TestEmptyInputs:
+    """Zero-length inputs: both runners return an empty result with totals.
+
+    A zero-length columnar run must match ``run_tracking`` on an empty
+    iterable exactly — no records, zero totals, an empty per-kind breakdown
+    — so downstream ``summary()`` consumers never special-case empty
+    workloads.
+    """
+
+    @pytest.mark.parametrize("record_every", [1, 7])
+    def test_empty_iterable_run_tracking(self, record_every):
+        result = run_tracking(
+            DeterministicCounter(3, 0.2).build_network(),
+            [],
+            record_every=record_every,
+        )
+        assert result.records == []
+        assert result.total_messages == 0
+        assert result.total_bits == 0
+        assert result.messages_by_kind == {}
+        assert result.max_relative_error() == 0.0
+        assert result.violation_fraction(0.2) == 0.0
+        assert result.summary(0.2)["num_records"] == 0
+
+    @pytest.mark.parametrize("record_every", [1, 7])
+    def test_empty_columns_run_tracking_arrays(self, record_every):
+        empty = np.asarray([], dtype=np.int64)
+        result = run_tracking_arrays(
+            DeterministicCounter(3, 0.2).build_network(),
+            empty,
+            empty,
+            empty,
+            record_every=record_every,
+        )
+        assert result.records == []
+        assert result.total_messages == 0
+        assert result.total_bits == 0
+        assert result.messages_by_kind == {}
+        assert result.summary(0.2)["num_records"] == 0
+
+    def test_empty_columns_match_empty_iterable(self):
+        empty = np.asarray([], dtype=np.int64)
+        columnar = run_tracking_arrays(
+            DeterministicCounter(3, 0.2).build_network(), empty, empty, empty
+        )
+        streamed = run_tracking(DeterministicCounter(3, 0.2).build_network(), [])
+        assert _fingerprint(columnar) == _fingerprint(streamed)

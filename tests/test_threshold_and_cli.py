@@ -321,3 +321,116 @@ class TestCliUnifiedEngine:
         with pytest.raises(SystemExit):
             main(["tracking", "--mmap"])
         assert "--trace" in capsys.readouterr().err
+
+
+class TestCliRunSpec:
+    """``repro run --config``: saved scenarios execute through the one API."""
+
+    def _write_spec(self, tmp_path, **overrides):
+        import json
+
+        from repro.api import RunSpec, SourceSpec, TrackerSpec
+
+        spec = RunSpec(
+            source=SourceSpec(stream="random_walk", length=800, seed=1, sites=4),
+            tracker=TrackerSpec(name="deterministic", epsilon=0.2),
+            record_every=40,
+        ).with_overrides(overrides)
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        return str(path), spec
+
+    def test_run_executes_saved_spec_and_prints_summary_json(self, tmp_path, capsys):
+        import json
+
+        path, spec = self._write_spec(tmp_path)
+        assert main(["run", "--config", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"] == spec.to_dict()
+        assert payload["result"]["total_messages"] > 0
+        assert "violation_fraction" in payload["result"]
+        assert "records" not in payload["result"]
+
+    def test_run_set_overrides_fields_before_running(self, tmp_path, capsys):
+        import json
+
+        path, _ = self._write_spec(tmp_path)
+        assert (
+            main(
+                [
+                    "run",
+                    "--config",
+                    path,
+                    "--set",
+                    "source.length=200",
+                    "--set",
+                    "tracker.name=naive",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["source"]["length"] == 200
+        assert payload["spec"]["tracker"]["name"] == "naive"
+        # A naive tracker on n updates talks exactly n times.
+        assert payload["result"]["total_messages"] == 200
+
+    def test_run_records_flag_includes_per_step_records(self, tmp_path, capsys):
+        import json
+
+        path, _ = self._write_spec(tmp_path)
+        assert main(["run", "--config", path, "--records"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["records"]
+        assert payload["result"]["records"][0].keys() >= {"time", "estimate"}
+
+    def test_run_async_spec_reports_staleness(self, tmp_path, capsys):
+        import json
+
+        path, _ = self._write_spec(
+            tmp_path,
+            **{
+                "transport.mode": "async",
+                "transport.latency": "uniform",
+                "transport.scale": 3.0,
+            },
+        )
+        assert main(["run", "--config", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "staleness" in payload["result"]
+        assert payload["result"]["staleness"]["delivered"] > 0
+
+    def test_run_rejects_malformed_set(self, tmp_path):
+        path, _ = self._write_spec(tmp_path)
+        with pytest.raises(SystemExit, match="FIELD=VALUE"):
+            main(["run", "--config", path, "--set", "source.length"])
+
+    def test_run_rejects_unknown_spec_field(self, tmp_path):
+        import json as _json
+
+        path = tmp_path / "drifted.json"
+        path.write_text(_json.dumps({"tracker": {"epsilonn": 0.1}}))
+        with pytest.raises(ValueError, match="epsilonn"):
+            main(["run", "--config", str(path)])
+
+    def test_run_rejects_invalid_combination(self, tmp_path):
+        from repro.exceptions import ProtocolError
+
+        path, _ = self._write_spec(tmp_path)
+        # A positive scale on the default sync/zero-latency transport is a
+        # combination error either way: first against the zero-latency model,
+        # and (with a model named) against the synchronous mode.
+        with pytest.raises(ProtocolError, match=r"transport\.latency='zero'"):
+            main(["run", "--config", path, "--set", "transport.scale=4.0"])
+        with pytest.raises(ProtocolError, match=r"transport\.mode"):
+            main(
+                [
+                    "run",
+                    "--config",
+                    path,
+                    "--set",
+                    "transport.scale=4.0",
+                    "--set",
+                    "transport.latency=uniform",
+                ]
+            )
