@@ -31,7 +31,13 @@ from repro.analysis.experiments import (
     repeat_variability,
 )
 from repro.analysis.fitting import GrowthFit, fit_growth
-from repro.analysis.metrics import TrialSummary, shard_imbalance, summarize_trials
+from repro.analysis.metrics import (
+    TrialSummary,
+    level_message_shares,
+    root_traffic_fraction,
+    shard_imbalance,
+    summarize_trials,
+)
 from repro.analysis.reporting import format_table
 from repro.analysis.staleness import (
     LatencySweepPoint,
@@ -64,6 +70,8 @@ __all__ = [
     "fit_growth",
     "TrialSummary",
     "shard_imbalance",
+    "level_message_shares",
+    "root_traffic_fraction",
     "summarize_trials",
     "format_table",
     "LatencySweepPoint",

@@ -17,7 +17,13 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["TrialSummary", "summarize_trials", "shard_imbalance"]
+__all__ = [
+    "TrialSummary",
+    "summarize_trials",
+    "shard_imbalance",
+    "level_message_shares",
+    "root_traffic_fraction",
+]
 
 
 @dataclass(frozen=True)
@@ -85,3 +91,42 @@ def shard_imbalance(shard_stats: Sequence) -> float:
     if mean == 0.0:
         return 1.0
     return float(counts.max() / mean)
+
+
+def level_message_shares(levels: Sequence) -> list:
+    """Each hierarchy level's share of the total message traffic, root first.
+
+    Takes the per-level view of a tree run — either
+    :meth:`repro.monitoring.sharding.ShardedNetwork.level_summary` rows or
+    ``result.levels`` / ``summary()["levels"]`` dicts — and returns one
+    float per level summing to 1.0 (a silent run counts every level as 0).
+    The headline diagnostic for depth sweeps: a healthy tree concentrates
+    its traffic at the leaves, with each aggregation level a diminishing
+    fraction.
+
+    Raises:
+        ConfigurationError: If ``levels`` is empty.
+    """
+    if len(levels) == 0:
+        raise ConfigurationError("level_message_shares needs at least one level")
+    counts = np.asarray(
+        [
+            row["messages"] if isinstance(row, dict) else row.messages
+            for row in levels
+        ],
+        dtype=float,
+    )
+    total = float(counts.sum())
+    if total == 0.0:
+        return [0.0] * len(counts)
+    return [float(count / total) for count in counts]
+
+
+def root_traffic_fraction(levels: Sequence) -> float:
+    """The root level's share of total traffic (``level_message_shares[0]``).
+
+    The scalar that E21 tracks against ``k``: the whole point of the
+    recursive hierarchy is that this fraction — and the root's absolute
+    message count — grows sublinearly in the site count.
+    """
+    return level_message_shares(levels)[0]

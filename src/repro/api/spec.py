@@ -33,6 +33,7 @@ is what ``python -m repro run --config spec.json`` executes.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import pathlib
 from dataclasses import dataclass, field
@@ -346,18 +347,65 @@ class TrackerSpec:
 
 @dataclass
 class TopologySpec:
-    """The **topology** axis: flat star or sharded two-level hierarchy.
+    """The **topology** axis: flat star, sharded hierarchy, or L-level tree.
+
+    Three equivalent vocabularies, most specific wins:
+
+    * ``shards`` — the legacy axis: ``1`` is the flat star (bit-for-bit, no
+      root hop), above 1 the two-level hierarchy (identical to ``levels=2,
+      fanout=shards``);
+    * ``levels`` + ``fanout`` — a uniform L-level tree from
+      :func:`repro.monitoring.tree.build_tree_network`;
+    * ``fanouts`` — explicit per-level fan-outs, top-down, for ragged trees.
 
     Attributes:
-        shards: Coordinator shards; ``1`` is the flat topology (bit-for-bit,
-            no root hop), above 1 the two-level hierarchy of
-            :mod:`repro.monitoring.sharding`.
+        shards: Coordinator shards for the legacy two-level vocabulary.
         partition: Site-to-shard partition strategy from
-            :data:`PARTITION_NAMES`.
+            :data:`PARTITION_NAMES`, applied at every split of a tree.
+        levels: Total coordinator levels of a uniform tree (with ``fanout``).
+        fanout: Per-level fan-out of a uniform tree (with ``levels``).
+        fanouts: Explicit per-level fan-outs, top-down (overrides the
+            uniform vocabulary).
+        epsilon_split: Per-level error-budget policy name from
+            :data:`repro.monitoring.tree.EPSILON_SPLIT_NAMES`; ``"leaf"``
+            (default) keeps the whole budget at the leaf trackers,
+            aggregation relaying exactly — the legacy behaviour.
+        split_ratio: Ratio for the ``"geometric"`` split.
+        broadcast_deadband: Relative deadband on every aggregator's downward
+            level re-broadcasts; ``0.0`` re-broadcasts on every change.
     """
 
     shards: int = 1
     partition: str = "contiguous"
+    levels: Optional[int] = None
+    fanout: Optional[int] = None
+    fanouts: Optional[List[int]] = None
+    epsilon_split: str = "leaf"
+    split_ratio: float = 0.5
+    broadcast_deadband: float = 0.0
+
+    def is_tree(self) -> bool:
+        """Whether the tree vocabulary (levels/fanout/fanouts) is in use."""
+        return (
+            self.levels is not None
+            or self.fanout is not None
+            or self.fanouts is not None
+        )
+
+    def resolve_fanouts(self) -> List[int]:
+        """Per-aggregation-level fan-outs, top-down (empty = flat star).
+
+        Normalises all three vocabularies: the legacy ``shards`` axis maps
+        to ``[shards]`` (or ``[]`` for one shard), the tree axes go through
+        :func:`repro.monitoring.tree.resolve_fanouts`.
+        """
+        from repro.monitoring.tree import resolve_fanouts
+
+        if self.is_tree():
+            return resolve_fanouts(
+                levels=self.levels, fanout=self.fanout, fanouts=self.fanouts
+            )
+        return [self.shards] if self.shards > 1 else []
 
     def validate(self) -> None:
         if self.shards < 1:
@@ -366,6 +414,37 @@ class TopologySpec:
                 f"got {self.shards}"
             )
         _check_name(self.partition, PARTITION_NAMES, "topology.partition")
+        if self.is_tree() and self.shards != 1:
+            raise ProtocolError(
+                f"topology.shards={self.shards} and the tree vocabulary "
+                "(levels/fanout/fanouts) are mutually exclusive — "
+                "shards=S is exactly levels=2, fanout=S; describe the "
+                "topology one way"
+            )
+        # Imported lazily: the flat path must not require the tree module.
+        from repro.monitoring.tree import (
+            EPSILON_SPLIT_NAMES,
+            resolve_epsilon_split,
+        )
+
+        _check_name(
+            self.epsilon_split, EPSILON_SPLIT_NAMES, "topology.epsilon_split"
+        )
+        if not 0.0 < self.split_ratio < 1.0:
+            raise ValueError(
+                f"topology.split_ratio must be in (0, 1), got "
+                f"{self.split_ratio}"
+            )
+        if self.broadcast_deadband < 0.0:
+            raise ValueError(
+                f"topology.broadcast_deadband must be >= 0, got "
+                f"{self.broadcast_deadband}"
+            )
+        if self.is_tree():
+            # Shape errors (fanout without levels, fanout < 2, disagreeing
+            # levels/fanouts) surface here, before any network is built.
+            self.resolve_fanouts()
+        resolve_epsilon_split(self.epsilon_split, self.split_ratio)
 
     def build_partition(self) -> ShardingPolicy:
         """Instantiate the named partition strategy."""
@@ -529,6 +608,15 @@ class RunSpec:
                 f"topology.shards={self.topology.shards} needs at least one "
                 f"site per shard, but source.sites={self.source.sites}"
             )
+        if self.source.stream is not None and self.topology.is_tree():
+            min_leaves = 1
+            for fan in self.topology.resolve_fanouts():
+                min_leaves *= fan
+            if min_leaves > self.source.sites:
+                raise ValueError(
+                    f"the topology's {min_leaves} leaf shards each need at "
+                    f"least one site, but source.sites={self.source.sites}"
+                )
         return self
 
     # -- serialization -------------------------------------------------------
@@ -589,6 +677,26 @@ class RunSpec:
             record_every=int(data.get("record_every", 1)),
             **sections,
         )
+
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical serialized spec.
+
+        The canonical form is :meth:`to_dict` dumped as minified JSON with
+        sorted keys, so two specs hash equal exactly when every axis agrees
+        (alias spellings normalise first).  Stamped into every result's
+        provenance so saved JSON outputs are self-certifying: the hash
+        identifies the precise scenario that produced them.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def provenance(self) -> dict:
+        """The self-certification stamp attached to results of this spec."""
+        from repro import __version__
+
+        return {"spec_hash": self.spec_hash(), "repro_version": __version__}
 
     def to_json(self, indent: int = 2) -> str:
         """Serialize to a JSON string."""
@@ -677,9 +785,20 @@ class RunSpec:
             )
             num_sites = self.source.sites
         factory = self.tracker.build_factory(num_sites)
-        shards = self.topology.shards
+        fanouts = self.topology.resolve_fanouts()
+        hierarchical = bool(fanouts)
         partition = (
-            self.topology.build_partition() if shards > 1 else None
+            self.topology.build_partition() if hierarchical else None
+        )
+        # The tree builder is needed whenever the topology is a tree in any
+        # vocabulary (including legacy shards, which delegates), or when a
+        # tree-only knob (split policy, broadcast deadband) is engaged.
+        use_tree = self.topology.is_tree() or (
+            hierarchical
+            and (
+                self.topology.epsilon_split != "leaf"
+                or self.topology.broadcast_deadband > 0.0
+            )
         )
         if self.transport.mode == "async":
             # Imported lazily: the synchronous path must not require the
@@ -687,13 +806,26 @@ class RunSpec:
             from repro.asynchrony import (
                 build_async_network,
                 build_sharded_async_network,
+                build_tree_async_network,
             )
 
             model = self.transport.build_latency_model()
-            if shards > 1:
+            if use_tree:
+                network = build_tree_async_network(
+                    factory,
+                    fanouts=fanouts,
+                    latency=model,
+                    seed=self.transport.seed,
+                    preserve_order=self.transport.preserve_order,
+                    sharding=partition,
+                    epsilon_split=self.topology.epsilon_split,
+                    split_ratio=self.topology.split_ratio,
+                    broadcast_deadband=self.topology.broadcast_deadband,
+                )
+            elif hierarchical:
                 network = build_sharded_async_network(
                     factory,
-                    shards,
+                    self.topology.shards,
                     latency=model,
                     seed=self.transport.seed,
                     preserve_order=self.transport.preserve_order,
@@ -706,8 +838,21 @@ class RunSpec:
                     seed=self.transport.seed,
                     preserve_order=self.transport.preserve_order,
                 )
-        elif shards > 1:
-            network = build_sharded_network(factory, shards, sharding=partition)
+        elif use_tree:
+            from repro.monitoring.tree import build_tree_network
+
+            network = build_tree_network(
+                factory,
+                fanouts=fanouts,
+                sharding=partition,
+                epsilon_split=self.topology.epsilon_split,
+                split_ratio=self.topology.split_ratio,
+                broadcast_deadband=self.topology.broadcast_deadband,
+            )
+        elif hierarchical:
+            network = build_sharded_network(
+                factory, self.topology.shards, sharding=partition
+            )
         else:
             network = factory.build_network()
         return BuiltRun(
@@ -762,26 +907,38 @@ class BuiltRun:
     num_sites: int
 
     def run(self) -> TrackingResult:
-        """Dispatch to the legacy runner matching the spec's axes."""
+        """Dispatch to the legacy runner matching the spec's axes.
+
+        Every result leaves with ``result.provenance`` stamped (spec hash +
+        library version), so any JSON written from it is self-certifying.
+        """
         record_every = self.spec.record_every
         if self.spec.transport.mode == "async":
             from repro.asynchrony import run_tracking_async
 
-            return run_tracking_async(
+            result = run_tracking_async(
                 self.network,
                 self.updates,
                 record_every=record_every,
                 batched=self.engine == "batched",
             )
-        if self.engine == "arrays":
-            return run_tracking_arrays(
+        elif self.engine == "arrays":
+            result = run_tracking_arrays(
                 self.network,
                 self.columns.times,
                 self.columns.sites,
                 self.columns.deltas,
                 record_every=record_every,
             )
-        batched = {"auto": None, "batched": True, "per-update": False}[self.engine]
-        return run_tracking(
-            self.network, self.updates, record_every=record_every, batched=batched
-        )
+        else:
+            batched = {"auto": None, "batched": True, "per-update": False}[
+                self.engine
+            ]
+            result = run_tracking(
+                self.network,
+                self.updates,
+                record_every=record_every,
+                batched=batched,
+            )
+        result.provenance = self.spec.provenance()
+        return result

@@ -34,6 +34,7 @@ from repro.asynchrony.runner import (
     AsyncTrackingResult,
     build_async_network,
     build_sharded_async_network,
+    build_tree_async_network,
     run_tracking_async,
 )
 
@@ -51,5 +52,6 @@ __all__ = [
     "AsyncTrackingResult",
     "build_async_network",
     "build_sharded_async_network",
+    "build_tree_async_network",
     "run_tracking_async",
 ]

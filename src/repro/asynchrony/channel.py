@@ -149,6 +149,27 @@ class AsyncChannel(Channel):
         """Total deliveries so far (inline and queued)."""
         return len(self.delivery_ages)
 
+    def adopt_accounting(self, other) -> None:
+        """Continue ``other``'s counters, clock and staleness lists here.
+
+        Extends :meth:`repro.monitoring.channel.Channel.adopt_accounting`
+        with the asynchronous signals: the virtual clock keeps its value
+        across a migration handoff (time never rewinds) and the staleness
+        aggregates stay cumulative.  The old channel must be quiescent —
+        the handoff protocol drains the hierarchy first.
+        """
+        super().adopt_accounting(other)
+        if isinstance(other, AsyncChannel):
+            if other.in_flight:
+                raise ProtocolError(
+                    f"cannot adopt a channel with {other.in_flight} messages "
+                    "still in flight; drain the hierarchy before the handoff"
+                )
+            self._clock = max(self._clock, other._clock)
+            self.delivery_ages = other.delivery_ages
+            self.inflight_highwater = other.inflight_highwater
+            self.reordered_deliveries = other.reordered_deliveries
+
     # -- send paths (Channel contract) ---------------------------------------
 
     def send_to_coordinator(self, message: Message) -> None:

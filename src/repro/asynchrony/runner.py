@@ -27,12 +27,18 @@ from repro.asynchrony.channel import AsyncChannel
 from repro.asynchrony.latency import ZERO_LATENCY, LatencyModel
 from repro.exceptions import ProtocolError
 from repro.monitoring.network import MonitoringNetwork
-from repro.monitoring.runner import TrackingResult, _record, _run_batched
+from repro.monitoring.runner import (
+    TrackingResult,
+    _capture_levels,
+    _record,
+    _run_batched,
+)
 from repro.monitoring.sharding import (
     ShardedNetwork,
     ShardingPolicy,
     build_sharded_network,
 )
+from repro.monitoring.tree import build_tree_network, resolve_fanouts
 from repro.types import Update
 
 __all__ = [
@@ -40,6 +46,7 @@ __all__ = [
     "run_tracking_async",
     "build_async_network",
     "build_sharded_async_network",
+    "build_tree_async_network",
 ]
 
 
@@ -184,6 +191,85 @@ def build_sharded_async_network(
     )
 
 
+def build_tree_async_network(
+    factory,
+    levels: Optional[int] = None,
+    fanout: Optional[int] = None,
+    fanouts=None,
+    latency: LatencyModel = ZERO_LATENCY,
+    root_latency: Optional[LatencyModel] = None,
+    seed: Optional[int] = 0,
+    preserve_order: bool = True,
+    sharding: Optional[ShardingPolicy] = None,
+    epsilon_split="leaf",
+    split_ratio: float = 0.5,
+    broadcast_deadband: float = 0.0,
+):
+    """Wire an L-level monitoring tree whose every level is latency-aware.
+
+    The asynchronous counterpart of
+    :func:`repro.monitoring.tree.build_tree_network`: each node — every leaf
+    shard and every aggregator — gets its own :class:`AsyncChannel`, so an
+    estimate originating at a site crosses ``levels`` latency legs before the
+    root sees it.  Channel RNG seeds are derived breadth-first from the
+    node's ``(level, position)``: the root draws from ``seed``, the node at
+    position ``p`` of level ``l`` from ``seed + offset(l) + p`` where
+    ``offset`` counts all nodes above.  For a two-level tree that is exactly
+    the legacy :func:`build_sharded_async_network` assignment (root =
+    ``seed``, shard ``s`` = ``seed + 1 + s``), so the tree generalisation is
+    seed-compatible with the existing async hierarchy, and with zero latency
+    everywhere the run is bit-for-bit the synchronous tree.
+
+    Args:
+        factory: Flat tracker factory exposing ``num_sites``/``shard_factory``.
+        levels: Total coordinator levels (1 = flat; give ``fanout`` too).
+        fanout: Uniform per-level fan-out (with ``levels``).
+        fanouts: Explicit per-level fan-outs, top-down (overrides ``fanout``).
+        latency: Latency model for the leaf (site-to-shard) legs.
+        root_latency: Latency model for every aggregation leg; defaults to
+            the leaf model.
+        seed: Base seed for the channels' latency RNGs.
+        preserve_order: Per-link FIFO (default) versus reordering allowed.
+        sharding: Partition policy applied at every split.
+        epsilon_split: Per-level error-budget policy (name or instance).
+        split_ratio: Ratio for the named ``"geometric"`` policy.
+        broadcast_deadband: Relative deadband on downward level re-broadcasts.
+
+    Returns:
+        A tree :class:`~repro.monitoring.sharding.ShardedNetwork` over async
+        channels (or a flat async network for one level), ready for
+        :func:`run_tracking_async`.
+    """
+    resolved = resolve_fanouts(levels=levels, fanout=fanout, fanouts=fanouts)
+    chosen_root_latency = latency if root_latency is None else root_latency
+    # Breadth-first node counts per level: 1 root, then products of fan-outs.
+    sizes = [1]
+    for fan in resolved:
+        sizes.append(sizes[-1] * fan)
+    offsets = [sum(sizes[:level]) for level in range(len(sizes))]
+    leaf_level = len(resolved)
+
+    def channel_factory(level: int, position: int, num_ports: int) -> AsyncChannel:
+        node_seed = None if seed is None else seed + offsets[level] + position
+        node_latency = latency if level == leaf_level else chosen_root_latency
+        return AsyncChannel(
+            num_ports,
+            latency=node_latency,
+            seed=node_seed,
+            preserve_order=preserve_order,
+        )
+
+    return build_tree_network(
+        factory,
+        fanouts=resolved,
+        sharding=sharding,
+        epsilon_split=epsilon_split,
+        split_ratio=split_ratio,
+        broadcast_deadband=broadcast_deadband,
+        channel_factory=channel_factory,
+    )
+
+
 def run_tracking_async(
     network: MonitoringNetwork,
     updates: Iterable[Update],
@@ -288,4 +374,5 @@ def run_tracking_async(
     result.final_clock = channel.now
     result.final_estimate = network.estimate()
     result.final_true_value = true_value
+    _capture_levels(result, network)
     return result

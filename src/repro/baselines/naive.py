@@ -68,6 +68,14 @@ class NaiveCounter:
         sites: List[NaiveSite] = [NaiveSite(i) for i in range(self.num_sites)]
         return MonitoringNetwork(NaiveCoordinator(), sites)
 
+    def bootstrap_network(self, network, values, counts) -> None:
+        """Seed a fresh naive network with exact state (live-migration hook).
+
+        The naive coordinator's only state is the exact running total; the
+        sites are stateless, so a handoff just restores the sum.
+        """
+        network.coordinator._value = int(sum(values))
+
     def track(self, updates, record_every: int = 1, batched=None):
         """Run a distributed stream through a fresh naive network."""
         from repro.monitoring.runner import run_tracking

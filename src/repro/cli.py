@@ -28,7 +28,12 @@ scale against the achieved error and staleness (:mod:`repro.asynchrony`;
 span), and ``trace`` generates a distributed trace file for the ``arrays``
 engine.  ``tracking``, ``throughput`` and ``latency`` all accept
 ``--shards`` to run the two-level sharded coordinator hierarchy
-(:mod:`repro.monitoring.sharding`) instead of the flat star.
+(:mod:`repro.monitoring.sharding`) instead of the flat star; ``tracking``
+and ``latency`` additionally accept ``--levels``/``--fanout`` to run the
+recursive L-level monitoring tree (:mod:`repro.monitoring.tree` —
+``--shards S`` is exactly ``--levels 2 --fanout S``), and ``run``,
+``latency`` and ``throughput`` accept ``--workers`` to spread independent
+grid points over a process pool.
 
 Every engine-aware subcommand is a thin shim over the unified experiment
 API (:mod:`repro.api`): one spec-builder maps the shared argument
@@ -103,6 +108,43 @@ def _add_engine_option(parser: argparse.ArgumentParser, extra: str = "") -> None
         "or columnar replay of a --trace file (identical results across "
         "engines)" + extra,
     )
+
+
+def _add_tree_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the L-level tree topology selectors to one subcommand parser."""
+    parser.add_argument(
+        "--levels",
+        type=int,
+        default=None,
+        help="coordinator levels of a recursive monitoring tree (give "
+        "--fanout too; --shards S is exactly --levels 2 --fanout S)",
+    )
+    parser.add_argument(
+        "--fanout",
+        type=int,
+        default=None,
+        help="children per aggregation node of the tree (with --levels)",
+    )
+
+
+def _add_workers_option(parser: argparse.ArgumentParser, what: str) -> None:
+    """Attach the shared ``--workers`` process-pool selector."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=f"process-pool width for {what} (1 = serial; results are "
+        "identical and stay in order either way)",
+    )
+
+
+def _topology_label(args: argparse.Namespace) -> str:
+    """The header fragment describing the chosen topology."""
+    levels = getattr(args, "levels", None)
+    fanout = getattr(args, "fanout", None)
+    if levels is not None or fanout is not None:
+        return f"levels={levels} fanout={fanout}"
+    return f"shards={getattr(args, 'shards', 1)}"
 
 
 def _add_trace_option(parser: argparse.ArgumentParser) -> None:
@@ -205,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
         "hierarchy (disjoint site groups under a root aggregator) and message "
         "totals include the shard-to-root hops",
     )
+    _add_tree_options(tracking_parser)
 
     throughput_parser = subparsers.add_parser(
         "throughput",
@@ -228,6 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     throughput_parser.add_argument("--record-every", type=int, default=20_000)
     throughput_parser.add_argument("--seed", type=int, default=31)
+    _add_workers_option(
+        throughput_parser, "the site-count x tracker measurement grid"
+    )
     _add_engine_option(
         throughput_parser,
         extra="; auto picks batched, per-update alone is the baseline and "
@@ -274,8 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="coordinator shards; above 1 the shard-to-root hop becomes a "
         "second latency leg with the same model",
     )
+    _add_tree_options(latency_parser)
     latency_parser.add_argument("--record-every", type=int, default=25)
     latency_parser.add_argument("--seed", type=int, default=0)
+    _add_workers_option(latency_parser, "the latency-scale sweep")
     _add_engine_option(
         latency_parser,
         extra="; auto picks per-update (exact per-message timing), batched "
@@ -312,9 +360,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--config",
         required=True,
+        action="append",
         metavar="PATH",
+        dest="configs",
         help="RunSpec JSON document (write one with RunSpec.save, or by hand; "
-        "see examples/specs/)",
+        "see examples/specs/).  Repeatable: several configs run as one "
+        "batch (a process pool with --workers) and print a JSON array",
     )
     run_parser.add_argument(
         "--set",
@@ -332,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the per-step records in the JSON output "
         "(TrackingResult.to_dict instead of summary)",
     )
+    _add_workers_option(run_parser, "running several --config files")
 
     frequency_parser = subparsers.add_parser(
         "frequency", help="run the Appendix H frequency tracker on a Zipfian workload"
@@ -391,7 +443,11 @@ def _cli_spec(args: argparse.Namespace, engine: str = "auto") -> RunSpec:
         tracker=TrackerSpec(
             name="deterministic", epsilon=args.epsilon, seed=args.seed
         ),
-        topology=TopologySpec(shards=getattr(args, "shards", 1)),
+        topology=TopologySpec(
+            shards=getattr(args, "shards", 1),
+            levels=getattr(args, "levels", None),
+            fanout=getattr(args, "fanout", None),
+        ),
         engine=engine,
     )
 
@@ -431,7 +487,7 @@ def _command_tracking(args: argparse.Namespace) -> str:
         rows = _tracking_rows(base, args.epsilon, v, columns=trace)
         header = (
             f"trace={args.trace} n={len(trace)} k={num_sites} eps={args.epsilon} "
-            f"shards={args.shards} engine=arrays{' (mmap)' if args.mmap else ''} "
+            f"{_topology_label(args)} engine=arrays{' (mmap)' if args.mmap else ''} "
             f"v={v:.1f}"
         )
         table = format_table(
@@ -446,7 +502,7 @@ def _command_tracking(args: argparse.Namespace) -> str:
     rows = _tracking_rows(base, args.epsilon, v)
     header = (
         f"stream={args.stream} n={args.length} k={args.sites} eps={args.epsilon} "
-        f"shards={args.shards} "
+        f"{_topology_label(args)} "
         f"v={v:.1f} "
         f"(deterministic bound {deterministic_message_bound(args.sites, args.epsilon, v):.0f})"
     )
@@ -457,8 +513,16 @@ def _command_tracking(args: argparse.Namespace) -> str:
 
 
 def _command_run(args: argparse.Namespace) -> str:
-    """``repro run --config spec.json``: execute any saved scenario."""
-    spec = RunSpec.load(args.config)
+    """``repro run --config spec.json``: execute any saved scenario.
+
+    One ``--config`` prints the single run's JSON object (overrides applied,
+    spec echoed, result summarised with its provenance stamp).  Several
+    ``--config`` files run as a batch — a process pool when ``--workers``
+    exceeds 1, since each spec runs on its own fresh network — and print a
+    JSON array in argument order.
+    """
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     overrides = {}
     for item in args.overrides:
         path, sep, raw = item.partition("=")
@@ -470,17 +534,42 @@ def _command_run(args: argparse.Namespace) -> str:
             overrides[path] = json.loads(raw)
         except json.JSONDecodeError:
             overrides[path] = raw
-    if overrides:
-        spec = spec.with_overrides(overrides)
-    result = spec.validate().run()
-    epsilon = spec.tracker.epsilon
-    payload = {
-        "config": str(args.config),
-        "overrides": overrides,
-        "spec": spec.to_dict(),
-        "result": result.to_dict(epsilon) if args.records else result.summary(epsilon),
-    }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    specs = []
+    for config in args.configs:
+        spec = RunSpec.load(config)
+        if overrides:
+            spec = spec.with_overrides(overrides)
+        specs.append(spec.validate())
+    if args.workers > 1 and len(specs) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.api.sweep import _run_spec_payload
+
+        with ProcessPoolExecutor(
+            max_workers=min(args.workers, len(specs))
+        ) as pool:
+            results = list(
+                pool.map(_run_spec_payload, [spec.to_dict() for spec in specs])
+            )
+    else:
+        results = [spec.run() for spec in specs]
+    payloads = []
+    for config, spec, result in zip(args.configs, specs, results):
+        epsilon = spec.tracker.epsilon
+        payloads.append(
+            {
+                "config": str(config),
+                "overrides": overrides,
+                "spec": spec.to_dict(),
+                "result": (
+                    result.to_dict(epsilon)
+                    if args.records
+                    else result.summary(epsilon)
+                ),
+            }
+        )
+    document = payloads[0] if len(payloads) == 1 else payloads
+    return json.dumps(document, indent=2, sort_keys=True)
 
 
 def _command_frequency(args: argparse.Namespace) -> str:
@@ -510,6 +599,30 @@ def _command_frequency(args: argparse.Namespace) -> str:
     return format_table(
         ["variant", "messages", "max err / F1", "violations", "F1-variability"], rows
     )
+
+
+def _throughput_point(payload: dict) -> List[object]:
+    """Measure one (site count, tracker) cell of the throughput grid.
+
+    Module-level so ``repro throughput --workers`` can map the grid over a
+    process pool: the payload is plain JSON-compatible data, the row comes
+    back ready for the table.
+    """
+    source = SourceSpec(**payload["source"])
+    tracker = TrackerSpec(**payload["tracker"])
+    slow_rate, fast_rate, speedup = measure_engine_throughput(
+        tracker.build_factory(source.sites),
+        source.build_updates(),
+        record_every=payload["record_every"],
+        shards=payload["shards"],
+    )
+    return [
+        tracker.name,
+        source.sites,
+        round(slow_rate),
+        round(fast_rate),
+        round(speedup, 2),
+    ]
 
 
 def _command_throughput(args: argparse.Namespace) -> str:
@@ -546,35 +659,38 @@ def _command_throughput(args: argparse.Namespace) -> str:
         return header + "\n" + format_table(
             ["algorithm", "k", "per-update up/s", "arrays up/s", "speedup"], rows
         )
-    for num_sites in args.sites:
-        source = SourceSpec(
-            stream="random_walk",
-            length=args.length,
-            seed=args.seed,
-            sites=num_sites,
-            assignment="blocked",
-            assignment_params={"block_length": args.block_length},
-        )
-        updates = source.build_updates()
-        for tracker_name in ("deterministic", "randomized"):
-            tracker = TrackerSpec(
-                name=tracker_name, epsilon=args.epsilon, seed=args.seed
-            )
-            slow_rate, fast_rate, speedup = measure_engine_throughput(
-                tracker.build_factory(num_sites),
-                updates,
-                record_every=args.record_every,
-                shards=args.shards,
-            )
-            rows.append(
-                [
-                    tracker_name,
-                    num_sites,
-                    round(slow_rate),
-                    round(fast_rate),
-                    round(speedup, 2),
-                ]
-            )
+    payloads = [
+        {
+            "source": {
+                "stream": "random_walk",
+                "length": args.length,
+                "seed": args.seed,
+                "sites": num_sites,
+                "assignment": "blocked",
+                "assignment_params": {"block_length": args.block_length},
+            },
+            "tracker": {
+                "name": tracker_name,
+                "epsilon": args.epsilon,
+                "seed": args.seed,
+            },
+            "record_every": args.record_every,
+            "shards": args.shards,
+        }
+        for num_sites in args.sites
+        for tracker_name in ("deterministic", "randomized")
+    ]
+    if args.workers > 1 and len(payloads) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Wall-clock rates measured in sibling processes are comparable as
+        # long as the pool is not oversubscribed; grid order is preserved.
+        with ProcessPoolExecutor(
+            max_workers=min(args.workers, len(payloads))
+        ) as pool:
+            rows.extend(pool.map(_throughput_point, payloads))
+    else:
+        rows.extend(_throughput_point(payload) for payload in payloads)
     header = (
         f"random_walk n={args.length} eps={args.epsilon} "
         f"block={args.block_length} shards={args.shards} "
@@ -625,7 +741,9 @@ def _command_latency(args: argparse.Namespace) -> str:
         tracker=TrackerSpec(
             name=args.algorithm, epsilon=args.epsilon, seed=args.seed
         ),
-        topology=TopologySpec(shards=args.shards),
+        topology=TopologySpec(
+            shards=args.shards, levels=args.levels, fanout=args.fanout
+        ),
         transport=TransportSpec(
             mode="async",
             latency=args.model,
@@ -636,7 +754,9 @@ def _command_latency(args: argparse.Namespace) -> str:
         record_every=args.record_every,
     )
     rows = []
-    for point in Sweep(base, {"transport.scale": args.scales}).run():
+    for point in Sweep(base, {"transport.scale": args.scales}).run(
+        workers=args.workers
+    ):
         result = point.result
         summary = result.summary(args.epsilon)
         rows.append(
@@ -654,7 +774,7 @@ def _command_latency(args: argparse.Namespace) -> str:
         )
     header = (
         f"stream={args.stream} n={args.length} k={args.sites} eps={args.epsilon} "
-        f"shards={args.shards} algo={args.algorithm} model={args.model} "
+        f"{_topology_label(args)} algo={args.algorithm} model={args.model} "
         f"engine={'batched' if args.engine == 'batched' else 'per-update'} "
         f"order={'reordering' if args.allow_reordering else 'fifo'} seed={args.seed}"
     )

@@ -501,6 +501,37 @@ class BlockTrackerFactory(abc.ABC):
         ]
         return MonitoringNetwork(coordinator, sites)
 
+    def bootstrap_network(self, network, values, counts) -> None:
+        """Initialise a fresh network with exact per-site state.
+
+        Live-migration hook (:func:`repro.monitoring.tree.migrate_site`):
+        after a shard's membership changes, the rebuilt leaf network is
+        seeded so that it behaves exactly as if a block boundary had just
+        closed with these values — the coordinator's boundary holds the
+        exact totals, the block level is recomputed for the *new* site
+        count, and every actor starts a fresh block at that level.  The
+        handoff protocol charges the request/reply/broadcast exchange this
+        simulates on the real channels.
+
+        Args:
+            network: A freshly built, unused network from this factory.
+            values: Exact per-site value contribution, in site-id order.
+            counts: Exact per-site update count, in site-id order.
+        """
+        coordinator = network.coordinator
+        coordinator.boundary_value = int(sum(values))
+        coordinator.boundary_time = int(sum(counts))
+        coordinator.reported_updates = 0
+        coordinator.level = block_level(
+            coordinator.boundary_value, coordinator.num_sites
+        )
+        coordinator.on_block_start(coordinator.level)
+        for site in network.sites:
+            site.level = coordinator.level
+            site.count_since_report = 0
+            site.block_value_change = 0
+            site.on_block_start(site.level)
+
     def track(self, updates, record_every: int = 1, batched=None):
         """Build a fresh network and run a distributed stream through it.
 

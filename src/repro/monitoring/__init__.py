@@ -24,11 +24,16 @@ iterable of updates (no ``len()`` required) and keeps memory at
 ``O(records)``.
 
 Past what one coordinator can serve, :mod:`repro.monitoring.sharding` scales
-the substrate into a two-level hierarchy: disjoint site groups each run an
+the substrate into a recursive hierarchy: disjoint site groups each run an
 unmodified coordinator locally (:class:`ShardCoordinator`), and a
-:class:`RootAggregator` merges the shard estimates over a second counted
+:class:`RootAggregator` merges the shard estimates over another counted
 channel — communication stays separately accounted per shard, and the
 single-shard configuration is bit-for-bit the flat engine.
+:mod:`repro.monitoring.tree` composes these levels into L-level monitoring
+trees (:func:`build_tree_network`) with the error budget split across levels
+(:func:`resolve_epsilon_split`) and live site migration between leaf shards
+(:func:`migrate_site`); the legacy two-level ``build_sharded_network`` is the
+``fanouts=[num_shards]`` special case and delegates to the tree builder.
 """
 
 from repro.monitoring.channel import Channel, ChannelStats
@@ -54,6 +59,19 @@ from repro.monitoring.sharding import (
     build_sharded_network,
 )
 from repro.monitoring.site import Site
+from repro.monitoring.tree import (
+    EPSILON_SPLIT_NAMES,
+    EpsilonSplitPolicy,
+    GeometricSplit,
+    LeafSplit,
+    MigrationReport,
+    UniformSplit,
+    build_tree_network,
+    leaf_groups,
+    migrate_site,
+    resolve_epsilon_split,
+    resolve_fanouts,
+)
 
 __all__ = [
     "Channel",
@@ -78,4 +96,15 @@ __all__ = [
     "StridedSharding",
     "build_sharded_network",
     "Site",
+    "EPSILON_SPLIT_NAMES",
+    "EpsilonSplitPolicy",
+    "LeafSplit",
+    "UniformSplit",
+    "GeometricSplit",
+    "resolve_epsilon_split",
+    "resolve_fanouts",
+    "build_tree_network",
+    "leaf_groups",
+    "MigrationReport",
+    "migrate_site",
 ]

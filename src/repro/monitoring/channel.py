@@ -208,6 +208,20 @@ class Channel:
             )
         self.stats.record_bulk(kind.value, copies, total_bits)
 
+    def adopt_accounting(self, other: "Channel") -> None:
+        """Continue ``other``'s cumulative accounting on this channel.
+
+        Used by the live-migration state handoff
+        (:func:`repro.monitoring.tree.migrate_site`): when a shard's network
+        is rebuilt around a new membership, the fresh channel takes over the
+        old channel's :class:`ChannelStats` *object* (not a copy), so the
+        run's cumulative counters keep growing monotonically across the
+        handoff instead of resetting to zero.
+        """
+        self.stats = other.stats
+        self._log = other._log
+        self._record_log = other._record_log
+
     def send_to_site(self, message: Message) -> None:
         """Deliver a coordinator-to-site message (or broadcast) and charge its cost.
 

@@ -55,6 +55,12 @@ class TrackingResult:
         total_bits: Total bits charged by the channel.
         messages_by_kind: Message counts broken down by protocol role.
         history: The coordinator's estimate history (for tracing queries).
+        levels: Per-level communication view (root level first) when the run
+            drove a hierarchical network, ``None`` for flat networks.  Each
+            entry is one :meth:`ShardedNetwork.level_summary` row.
+        provenance: Self-certification stamp (spec hash + library version)
+            attached by :meth:`repro.api.spec.BuiltRun.run`; ``None`` for
+            runs driven outside the spec layer.
     """
 
     records: List[EstimateRecord] = field(default_factory=list)
@@ -62,6 +68,8 @@ class TrackingResult:
     total_bits: int = 0
     messages_by_kind: dict = field(default_factory=dict)
     history: EstimateHistory = field(default_factory=EstimateHistory)
+    levels: Optional[List[dict]] = None
+    provenance: Optional[dict] = None
 
     @property
     def length(self) -> int:
@@ -118,7 +126,9 @@ class TrackingResult:
             A dict with ``num_records``, ``total_messages``, ``total_bits``,
             ``messages_by_kind`` and ``max_relative_error`` — plus
             ``epsilon``, ``error_violations`` and ``violation_fraction``
-            when ``epsilon`` is given.
+            when ``epsilon`` is given, ``levels`` (the per-level
+            communication view) for hierarchical runs, and ``provenance``
+            when the run came through the spec layer.
         """
         data = {
             "num_records": self.length,
@@ -131,6 +141,10 @@ class TrackingResult:
             data["epsilon"] = epsilon
             data["error_violations"] = self.error_violations(epsilon)
             data["violation_fraction"] = self.violation_fraction(epsilon)
+        if self.levels is not None:
+            data["levels"] = [dict(row) for row in self.levels]
+        if self.provenance is not None:
+            data["provenance"] = dict(self.provenance)
         return data
 
     def to_dict(self, epsilon: Optional[float] = None) -> dict:
@@ -147,6 +161,17 @@ class TrackingResult:
             for record in self.records
         ]
         return data
+
+
+def _capture_levels(result: TrackingResult, network) -> None:
+    """Attach the hierarchy's per-level communication view, if it has one.
+
+    Flat networks expose no ``level_summary`` and keep ``result.levels``
+    ``None``; sharded/tree networks report one row per level, root first.
+    """
+    level_summary = getattr(network, "level_summary", None)
+    if callable(level_summary):
+        result.levels = level_summary()
 
 
 def _record(
@@ -357,6 +382,7 @@ def run_tracking(
     result.total_messages = final_stats.messages
     result.total_bits = final_stats.bits
     result.messages_by_kind = dict(final_stats.by_kind)
+    _capture_levels(result, network)
     return result
 
 
@@ -419,4 +445,5 @@ def run_tracking_arrays(
     result.total_messages = final_stats.messages
     result.total_bits = final_stats.bits
     result.messages_by_kind = dict(final_stats.by_kind)
+    _capture_levels(result, network)
     return result

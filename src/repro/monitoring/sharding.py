@@ -1,8 +1,9 @@
-"""Two-level sharded hierarchy: shard coordinators under a root aggregator.
+"""Recursive sharded hierarchy: coordinator subtrees under aggregators.
 
 The flat topology puts one coordinator in front of all ``k`` sites, which
 caps scalability at what a single Python object (and a single message queue)
-can absorb.  This module refactors the substrate into a two-level hierarchy:
+can absorb.  This module refactors the substrate into a *recursively
+composable* hierarchy:
 
 * a :class:`ShardCoordinator` owns a *disjoint group* of sites and runs any
   existing :class:`~repro.monitoring.coordinator.Coordinator` — the block
@@ -12,7 +13,14 @@ can absorb.  This module refactors the substrate into a two-level hierarchy:
   count, never the global ``k``);
 * a :class:`RootAggregator` merges the shard-level estimates into the global
   estimate and re-sends global level changes down to the shards whose
-  recorded level is stale (a shard-aware multicast, charged per receiver).
+  recorded level is stale (a shard-aware multicast, charged per receiver);
+* crucially, a :class:`ShardCoordinator`'s inner network may itself be a
+  :class:`ShardedNetwork`: the shard's uplink is then the *subtree's* port on
+  its parent's channel, and the two-level hierarchy generalizes to an
+  L-level monitoring tree (:func:`repro.monitoring.tree.build_tree_network`)
+  with no change to the delivery, push or accounting semantics at any single
+  level.  Delivery, virtual-clock advancement, draining and per-level
+  accounting all recurse structurally through the nesting.
 
 Both levels run over ordinary counted channels, so **communication stays
 separately accounted per shard**: each shard channel counts the up/down
@@ -156,28 +164,43 @@ class ShardUplink(Site):
 
 
 class ShardCoordinator:
-    """One shard: an unmodified flat network over a disjoint site group.
+    """One shard: an unmodified inner network over a disjoint site group.
 
     The shard runs any existing coordinator/site set (built by the tracker
     factory for the *group's* size, so every protocol threshold and reply
     quorum is shard-local) over its own counted channel, and pushes its
-    estimate to the root whenever it changes.
+    estimate to its parent aggregator whenever it changes by more than the
+    shard's push deadband (0 by default: push on any change).
+
+    The inner ``network`` may itself be a :class:`ShardedNetwork` — then this
+    object wraps a whole *subtree* and its uplink is the subtree's port on
+    the parent channel, which is what makes the hierarchy recursively
+    composable to any depth.
 
     Attributes:
-        shard_id: Position of this shard on the root channel.
-        network: The shard-local :class:`MonitoringNetwork`.
-        site_ids: Global site ids owned by this shard; the position of an id
-            in this tuple is its shard-local site id.
-        root_level: Last global level received from the root aggregator
+        shard_id: Position of this shard on its parent's channel.
+        network: The inner network — a flat :class:`MonitoringNetwork` for a
+            leaf shard, or a nested :class:`ShardedNetwork` for a subtree.
+        site_ids: Site ids owned by this shard *in the parent's id space*
+            (global ids at the top level); the position of an id in this
+            tuple is its shard-local site id.
+        root_level: Last level received from the parent aggregator
             (diagnostic — shard-local protocol behaviour never depends on it,
             which is what makes the hierarchy exactly compositional).
-        uplink: This shard's port on the root channel.
+        uplink: This shard's port on the parent channel.
+        push_deadband: Relative budget for upward pushes: a new estimate is
+            withheld while ``|new - last| <= push_deadband * |last|``.  The
+            default 0.0 pushes on any change (the exact legacy behaviour);
+            positive values are assigned by the tree builder's epsilon-split
+            policy and trade root-leg traffic for bounded per-hop error.
+        parent_network: The :class:`ShardedNetwork` whose ``shards`` tuple
+            contains this shard (set by that network; ``None`` until wired).
     """
 
     def __init__(
         self,
         shard_id: int,
-        network: MonitoringNetwork,
+        network,
         site_ids: Sequence[int],
     ) -> None:
         if shard_id < 0:
@@ -189,12 +212,35 @@ class ShardCoordinator:
             )
         self.shard_id = shard_id
         self.network = network
+        if isinstance(network, ShardedNetwork):
+            network.wrapper = self
         self.site_ids: Tuple[int, ...] = tuple(int(site) for site in site_ids)
         self.root_level = 0
         self.uplink = ShardUplink(self)
         self._last_pushed = 0.0
-        #: Estimate pushes sent to the root so far (per-shard root-hop count).
+        #: Estimate pushes sent to the parent so far (per-shard uplink count).
         self.pushes = 0
+        #: Pushes withheld by the deadband (saved uplink messages).
+        self.pushes_suppressed = 0
+        self.push_deadband = 0.0
+        self.parent_network: Optional["ShardedNetwork"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Whether this shard's inner network is flat (serves real sites)."""
+        return not isinstance(self.network, ShardedNetwork)
+
+    def replace_network(self, network) -> None:
+        """Swap the inner network during a migration state handoff.
+
+        The wrapper object itself survives the handoff — its uplink stays
+        registered on the parent channel and its push counters keep
+        accumulating — only the inner network is rebuilt around the new
+        membership (see :func:`repro.monitoring.tree.migrate_site`).
+        """
+        if isinstance(network, ShardedNetwork):
+            network.wrapper = self
+        self.network = network
 
     @property
     def num_sites(self) -> int:
@@ -216,14 +262,22 @@ class ShardCoordinator:
         return self.network.estimate()
 
     def push_estimate(self, time: int) -> None:
-        """Push the local estimate to the root if it changed since last push.
+        """Push the local estimate to the parent if it moved past the deadband.
 
-        The initial value 0.0 is the root's prior for every shard, so a shard
-        that never communicates never pushes — matching the flat protocols,
-        which also say nothing while their estimate sits at zero.
+        The initial value 0.0 is the parent's prior for every shard, so a
+        shard that never communicates never pushes — matching the flat
+        protocols, which also say nothing while their estimate sits at zero.
+        With a positive :attr:`push_deadband` ``b``, a change is withheld
+        while ``|new - last| <= b * |last|`` — one relative-error hop of the
+        split budget — and counted in :attr:`pushes_suppressed`.
         """
         estimate = self.network.estimate()
         if estimate == self._last_pushed:
+            return
+        if self.push_deadband > 0.0 and abs(estimate - self._last_pushed) <= (
+            self.push_deadband * abs(self._last_pushed)
+        ):
+            self.pushes_suppressed += 1
             return
         self._last_pushed = estimate
         self.pushes += 1
@@ -258,16 +312,26 @@ class RootAggregator(Coordinator):
     broadcast restricted to the stale subset.
     """
 
-    def __init__(self, num_shards: int, num_sites: int) -> None:
+    def __init__(
+        self,
+        num_shards: int,
+        num_sites: int,
+        broadcast_deadband: float = 0.0,
+    ) -> None:
         if num_shards < 2:
             raise ConfigurationError(
                 f"a root aggregator needs at least two shards, got {num_shards} "
                 "(a single shard is served by the flat network directly)"
             )
+        if broadcast_deadband < 0.0:
+            raise ConfigurationError(
+                f"broadcast_deadband must be >= 0, got {broadcast_deadband}"
+            )
         super().__init__()
         self.num_shards = num_shards
-        #: Global number of sites ``k`` (all shards together) — the level
-        #: rule is evaluated against the global topology, not a shard's.
+        #: Number of sites ``k`` this aggregator's whole subtree serves — the
+        #: level rule is evaluated against the subtree's topology, not a
+        #: single shard's (at the top of the tree this is the global ``k``).
         self.num_sites = num_sites
         self._estimates: Dict[int, float] = {s: 0.0 for s in range(num_shards)}
         #: Global block level derived from the merged estimate.
@@ -276,6 +340,15 @@ class RootAggregator(Coordinator):
         #: Estimate reports received, total and per shard.
         self.reports = 0
         self.reports_by_shard: Dict[int, int] = {s: 0 for s in range(num_shards)}
+        #: Relative deadband on downward level re-broadcasts: while the
+        #: merged estimate has moved less than this fraction since the last
+        #: broadcast, stale shards are left stale (E19 follow-on).  0.0
+        #: re-broadcasts on every level change, the exact legacy behaviour.
+        self.broadcast_deadband = broadcast_deadband
+        #: Broadcast copies withheld by the deadband so far (each suppression
+        #: event counts the stale shards it would have refreshed).
+        self.broadcasts_suppressed = 0
+        self._estimate_at_broadcast = 0.0
 
     def estimate(self) -> float:
         """Merged estimate: the sum of the shards' pushed estimates."""
@@ -304,7 +377,8 @@ class RootAggregator(Coordinator):
         # package is fully initialised.
         from repro.core.blocks import block_level
 
-        self.level = block_level(int(round(self.estimate())), self.num_sites)
+        estimate = self.estimate()
+        self.level = block_level(int(round(estimate)), self.num_sites)
         stale = [
             shard_id
             for shard_id in range(self.num_shards)
@@ -312,6 +386,12 @@ class RootAggregator(Coordinator):
         ]
         if not stale:
             return
+        if self.broadcast_deadband > 0.0 and abs(
+            estimate - self._estimate_at_broadcast
+        ) <= self.broadcast_deadband * abs(self._estimate_at_broadcast):
+            self.broadcasts_suppressed += len(stale)
+            return
+        self._estimate_at_broadcast = estimate
         self.multicast(
             Message(
                 kind=MessageKind.BROADCAST,
@@ -327,7 +407,7 @@ class RootAggregator(Coordinator):
 
 
 class ShardedChannelView:
-    """Read-only aggregate over the shard channels plus the root channel.
+    """Read-only aggregate over every real channel in a (sub)hierarchy.
 
     Presents the runner-facing slice of the channel interface —
     ``is_synchronous`` and merged ``stats`` for the synchronous engines, the
@@ -337,22 +417,31 @@ class ShardedChannelView:
     a flat one.  ``inflight_highwater`` is the *sum* of the per-channel
     high-water marks (channels peak at different instants, so this is an
     upper bound on the true global peak).
+
+    The view is *live*: it holds the network, not a channel list, and
+    resolves :attr:`channels` on every access.  Nested subtrees are
+    flattened to their real channels, and a migration that rebuilds a leaf
+    network is reflected immediately — cumulative stats stay monotone
+    because rebuilt channels adopt their predecessor's counters.
     """
 
-    def __init__(
-        self,
-        local_channels: Sequence[Channel],
-        root_channel: Optional[Channel],
-    ) -> None:
-        self._locals = tuple(local_channels)
-        self._root = root_channel
+    def __init__(self, network: "ShardedNetwork") -> None:
+        self._network = network
 
     @property
     def channels(self) -> Tuple[Channel, ...]:
-        """All underlying channels: one per shard, then the root (if any)."""
-        if self._root is None:
-            return self._locals
-        return self._locals + (self._root,)
+        """All real channels: each shard's (subtrees flattened), then the root."""
+        flat: List[Channel] = []
+        for shard in self._network.shards:
+            channel = shard.network.channel
+            if isinstance(channel, ShardedChannelView):
+                flat.extend(channel.channels)
+            else:
+                flat.append(channel)
+        root_network = self._network.root_network
+        if root_network is not None:
+            flat.append(root_network.channel)
+        return tuple(flat)
 
     @property
     def is_synchronous(self) -> bool:
@@ -410,16 +499,20 @@ class ShardedChannelView:
 
 
 class ShardedNetwork:
-    """A two-level hierarchy of shard networks under one root aggregator.
+    """One level of the monitoring hierarchy: shards under an aggregator.
 
     Exposes the same driving surface as :class:`MonitoringNetwork`
     (``deliver_update``, ``deliver_batch``, ``estimate``, ``stats``,
     ``channel``), so :func:`repro.monitoring.runner.run_tracking` and
     :func:`repro.asynchrony.run_tracking_async` run it unmodified.  Updates
-    are routed to the owning shard (global site id to shard-local id), each
+    are routed to the owning shard (site id to shard-local id), each leaf
     shard's batched fast path runs against its own unmodified coordinator,
     and after every delivery the affected shard pushes its estimate to the
-    root if it changed.
+    root if it changed.  A shard whose inner network is itself a
+    :class:`ShardedNetwork` recurses: delivery, clock advancement, draining
+    and accounting all descend structurally, so an L-level tree is just
+    L - 1 nested instances of this one class
+    (:func:`repro.monitoring.tree.build_tree_network`).
 
     With one shard there is no root: the network is the flat topology
     itself, bit-for-bit, and :meth:`estimate` reads the single shard
@@ -434,6 +527,9 @@ class ShardedNetwork:
         if not shards:
             raise ConfigurationError("a sharded network needs at least one shard")
         self.shards: Tuple[ShardCoordinator, ...] = tuple(shards)
+        #: The ShardCoordinator wrapping this network when it is a subtree of
+        #: a deeper hierarchy; ``None`` at the top of the tree.
+        self.wrapper: Optional[ShardCoordinator] = None
         if len(self.shards) == 1:
             if root_network is not None:
                 raise ConfigurationError(
@@ -464,10 +560,15 @@ class ShardedNetwork:
                 "shard site groups must cover exactly 0..k-1, got "
                 f"{sorted(self._route)}"
             )
-        self.channel = ShardedChannelView(
-            [shard.network.channel for shard in self.shards],
-            None if root_network is None else root_network.channel,
-        )
+        for shard in self.shards:
+            shard.parent_network = self
+        self.channel = ShardedChannelView(self)
+        # Exact per-site running value and update count, maintained at the
+        # top of the tree only (nested instances see deliveries with their
+        # wrapper already set and skip the bookkeeping).  This is what the
+        # live-migration state handoff checkpoints a site group from.
+        self._site_values: Dict[int, int] = {s: 0 for s in self._route}
+        self._site_counts: Dict[int, int] = {s: 0 for s in self._route}
 
     # -- topology ------------------------------------------------------------
 
@@ -487,6 +588,30 @@ class ShardedNetwork:
         if self.root_network is None:
             return None
         return self.root_network.coordinator
+
+    @property
+    def num_levels(self) -> int:
+        """Number of coordinator levels in this (sub)hierarchy.
+
+        A flat inner network counts one level (its shard coordinators); each
+        aggregator above adds one.  The legacy two-level topology reports 2,
+        its single-shard degenerate (no root) reports 1.
+        """
+        deepest = max(
+            shard.network.num_levels if isinstance(shard.network, ShardedNetwork) else 1
+            for shard in self.shards
+        )
+        return deepest + (1 if self.root_network is not None else 0)
+
+    def leaves(self) -> List[ShardCoordinator]:
+        """All leaf shards (the ones serving real sites), left to right."""
+        out: List[ShardCoordinator] = []
+        for shard in self.shards:
+            if isinstance(shard.network, ShardedNetwork):
+                out.extend(shard.network.leaves())
+            else:
+                out.append(shard)
+        return out
 
     def shard_of(self, site_id: int) -> ShardCoordinator:
         """Return the shard that owns global site ``site_id``."""
@@ -524,14 +649,109 @@ class ShardedNetwork:
             return ChannelStats()
         return self.root_network.stats.snapshot()
 
+    def level_stats(self) -> List[ChannelStats]:
+        """Per-level channel counters, root level first, leaf level last.
+
+        Index 0 is this network's own aggregator channel (absent in the
+        single-shard degenerate), deeper indices merge the channels of every
+        node at that depth; the last entry merges the leaf shards' local
+        channels.  Summing the list reproduces :attr:`stats` exactly.
+        """
+        child_levels: List[List[ChannelStats]] = []
+        for shard in self.shards:
+            inner = shard.network
+            if isinstance(inner, ShardedNetwork):
+                child_levels.append(inner.level_stats())
+            else:
+                child_levels.append([inner.stats.snapshot()])
+        depth = max(len(levels) for levels in child_levels)
+        merged = [
+            ChannelStats.merge(
+                levels[d] for levels in child_levels if d < len(levels)
+            )
+            for d in range(depth)
+        ]
+        if self.root_network is not None:
+            merged.insert(0, self.root_network.stats.snapshot())
+        return merged
+
+    def level_summary(self) -> List[dict]:
+        """Per-level accounting as JSON-compatible dicts, root level first.
+
+        Aggregation levels carry the upward-push and downward-broadcast
+        counters alongside the channel totals — including the messages the
+        push deadband and the broadcast deadband *saved* — so the split
+        error budget's traffic effect is visible per level in
+        ``result.summary()``.
+        """
+        stats = self.level_stats()
+        meta = self._level_meta()
+        out = []
+        for depth, (level_stats, level_meta) in enumerate(zip(stats, meta)):
+            entry = {
+                "level": depth,
+                "messages": level_stats.messages,
+                "bits": level_stats.bits,
+                "messages_by_kind": dict(level_stats.by_kind),
+            }
+            entry.update(level_meta)
+            out.append(entry)
+        return out
+
+    def _level_meta(self) -> List[dict]:
+        """Role and push/broadcast counters per level, aligned with level_stats."""
+        child_meta: List[List[dict]] = []
+        for shard in self.shards:
+            inner = shard.network
+            if isinstance(inner, ShardedNetwork):
+                child_meta.append(inner._level_meta())
+            else:
+                child_meta.append([{"role": "leaf", "nodes": 1}])
+        depth = max(len(meta) for meta in child_meta)
+        merged: List[dict] = []
+        for d in range(depth):
+            entries = [meta[d] for meta in child_meta if d < len(meta)]
+            combined = dict(entries[0])
+            for entry in entries[1:]:
+                for key, value in entry.items():
+                    if key == "role":
+                        continue
+                    combined[key] = combined.get(key, 0) + value
+            merged.append(combined)
+        if self.root_network is not None:
+            aggregator = self.root_network.coordinator
+            merged.insert(
+                0,
+                {
+                    "role": "aggregate",
+                    "nodes": 1,
+                    "pushes": sum(s.pushes for s in self.shards),
+                    "pushes_suppressed": sum(
+                        s.pushes_suppressed for s in self.shards
+                    ),
+                    "broadcasts_suppressed": getattr(
+                        aggregator, "broadcasts_suppressed", 0
+                    ),
+                },
+            )
+        return merged
+
     # -- delivery ------------------------------------------------------------
 
     def deliver_update(self, time: int, site_id: int, delta: int) -> None:
-        """Route one stream update to its owning shard, then sync the root."""
+        """Route one stream update to its owning shard, then sync the root.
+
+        A nested shard's inner :class:`ShardedNetwork` routes again with the
+        shard-local id, so the update descends the tree to its leaf and every
+        aggregator on the path sees a (deadband-filtered) push afterwards.
+        """
         shard, local_id = self._locate(site_id)
         shard.network.deliver_update(time, local_id, delta)
         if self.root_network is not None:
             shard.push_estimate(time)
+        if self.wrapper is None:
+            self._site_values[site_id] += int(delta)
+            self._site_counts[site_id] += 1
 
     def deliver_batch(
         self, site_id: int, times: Sequence[int], deltas: Sequence[int]
@@ -541,6 +761,10 @@ class ShardedNetwork:
         shard.network.deliver_batch(local_id, times, deltas)
         if self.root_network is not None and len(times):
             shard.push_estimate(int(times[-1]))
+        if self.wrapper is None and len(times):
+            total = deltas.sum() if hasattr(deltas, "sum") else sum(deltas)
+            self._site_values[site_id] += int(total)
+            self._site_counts[site_id] += len(deltas)
 
     def estimate(self) -> float:
         """The hierarchy's estimate: the root's merged view (flat: shard 0)."""
@@ -564,7 +788,11 @@ class ShardedNetwork:
         if self.root_network is not None:
             self.root_network.channel.advance_to(until)
         for shard in self.shards:
-            shard.network.channel.advance_to(until)
+            inner = shard.network
+            if isinstance(inner, ShardedNetwork):
+                inner.advance_to(until)
+            else:
+                inner.channel.advance_to(until)
             if self.root_network is not None:
                 shard.push_estimate(int(until))
 
@@ -579,7 +807,11 @@ class ShardedNetwork:
         """
         while True:
             for shard in self.shards:
-                shard.network.channel.drain()
+                inner = shard.network
+                if isinstance(inner, ShardedNetwork):
+                    inner.drain()
+                else:
+                    inner.channel.drain()
             if self.root_network is not None:
                 self.root_network.channel.advance_to(self.channel.now)
                 for shard in self.shards:
@@ -595,6 +827,7 @@ def build_sharded_network(
     sharding: Optional[ShardingPolicy] = None,
     local_channel_factory=None,
     root_channel_factory=None,
+    broadcast_deadband: float = 0.0,
 ) -> ShardedNetwork:
     """Build a two-level sharded hierarchy from a flat tracker factory.
 
@@ -608,6 +841,12 @@ def build_sharded_network(
     :class:`RootAggregator` is wired over a second counted channel whose
     "sites" are the shard uplinks.
 
+    This is the two-level convenience entry of the general builder: the
+    multi-shard case delegates to
+    :func:`repro.monitoring.tree.build_tree_network` with a single fan-out
+    level, so ``shards = S`` and ``levels = 2, fanout = S`` are the same
+    construction by definition, not by parallel maintenance.
+
     Args:
         factory: Flat tracker factory exposing ``num_sites`` and
             ``shard_factory`` (all Section 3 trackers and baselines do).
@@ -620,6 +859,9 @@ def build_sharded_network(
             latency-aware ones).
         root_channel_factory: Optional ``(num_shards) -> Channel`` for the
             shard-to-root channel.
+        broadcast_deadband: Relative deadband on the root's downward level
+            re-broadcasts (see :class:`RootAggregator`); 0.0 keeps the exact
+            legacy behaviour.
 
     Returns:
         A wired :class:`ShardedNetwork`.
@@ -636,29 +878,42 @@ def build_sharded_network(
             "shard_id); add one to run it sharded"
         )
     policy = sharding if sharding is not None else ContiguousSharding()
-    groups = policy.partition(num_sites, num_shards)
-    if len(groups) != num_shards or any(not group for group in groups):
-        raise ConfigurationError(
-            f"sharding policy returned {len(groups)} groups (some possibly "
-            f"empty) for {num_shards} shards"
-        )
-    shards: List[ShardCoordinator] = []
-    for shard_id, group in enumerate(groups):
-        sub_factory = shard_factory(len(group), shard_id)
+    if num_shards == 1:
+        groups = policy.partition(num_sites, 1)
+        if len(groups) != 1 or not groups[0]:
+            raise ConfigurationError(
+                f"sharding policy returned {len(groups)} groups (some possibly "
+                "empty) for 1 shard"
+            )
+        group = groups[0]
+        sub_factory = shard_factory(len(group), 0)
         base = sub_factory.build_network()
         if local_channel_factory is not None:
             base = MonitoringNetwork(
                 base.coordinator,
                 base.sites,
-                channel=local_channel_factory(shard_id, len(group)),
+                channel=local_channel_factory(0, len(group)),
             )
-        shards.append(ShardCoordinator(shard_id, base, group))
-    root_network: Optional[MonitoringNetwork] = None
-    if num_shards > 1:
-        root = RootAggregator(num_shards=num_shards, num_sites=num_sites)
-        uplinks = [shard.uplink for shard in shards]
-        root_channel = (
-            root_channel_factory(num_shards) if root_channel_factory is not None else None
-        )
-        root_network = MonitoringNetwork(root, uplinks, channel=root_channel)
-    return ShardedNetwork(shards, root_network)
+        return ShardedNetwork([ShardCoordinator(0, base, group)], None)
+    # Imported lazily: the tree module builds on this one.
+    from repro.monitoring.tree import build_tree_network
+
+    channel_factory = None
+    if local_channel_factory is not None or root_channel_factory is not None:
+
+        def channel_factory(level: int, index: int, ports: int):
+            if level == 0:
+                if root_channel_factory is None:
+                    return None
+                return root_channel_factory(ports)
+            if local_channel_factory is None:
+                return None
+            return local_channel_factory(index, ports)
+
+    return build_tree_network(
+        factory,
+        fanouts=[num_shards],
+        sharding=policy,
+        channel_factory=channel_factory,
+        broadcast_deadband=broadcast_deadband,
+    )

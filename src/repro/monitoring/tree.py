@@ -1,0 +1,766 @@
+"""Recursive L-level monitoring trees with a split error budget.
+
+This module is the topology layer above :mod:`repro.monitoring.sharding`:
+it composes :class:`~repro.monitoring.sharding.ShardedNetwork` levels
+recursively into a tree of any depth, splits the error budget ``eps``
+across the levels, and supports *live migration* of a site between leaf
+shards with an exact state handoff.
+
+Topology
+    :func:`build_tree_network` takes per-level fan-outs (top-down) and
+    builds aggregators over aggregators until the leaves, each leaf an
+    unmodified flat tracker over its site group.  A two-level tree with
+    fan-out ``S`` constructs exactly the legacy ``num_shards = S``
+    hierarchy — :func:`repro.monitoring.sharding.build_sharded_network`
+    delegates here, so the equivalence is by construction.
+
+Error budget
+    An :class:`EpsilonSplitPolicy` divides ``eps`` into one budget per
+    level, top-down: budgets for the aggregation levels become relative
+    *push deadbands* (a child withholds a new estimate while it moved less
+    than ``b_l`` relative to the last push), and the last budget is the
+    ``eps`` the leaf trackers are built with.  Each hop's relative error is
+    bounded by its budget, so the root's end-to-end relative error is
+    bounded by ``prod(1 + b_l) - 1`` — for budgets summing to ``eps`` this
+    is ``eps`` to first order (and at most ``e^eps - 1``).  The default
+    :class:`LeafSplit` puts the whole budget at the leaves (zero deadbands),
+    which preserves the legacy exact-merge behaviour bit for bit.
+
+Migration
+    :func:`migrate_site` moves one site between leaf shards mid-run:
+    **drain** (the hierarchy settles, async transports deliver their
+    backlog), **transfer** (both affected leaves checkpoint their exact
+    per-site state, charged as a request/reply/broadcast exchange on their
+    channels plus one state-transfer hop per aggregator level between the
+    leaves), **re-register** (both leaves are rebuilt around the new
+    membership via the tracker factory's ``bootstrap_network`` hook, their
+    channels adopting the old cumulative accounting, and the routing tables
+    of every ancestor are rewired).  From the handoff point onward the
+    destination shard behaves exactly as a freshly bootstrapped network over
+    its new group — pinned by ``tests/test_migration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.monitoring.channel import Channel
+from repro.monitoring.messages import (
+    BROADCAST_SITE,
+    COORDINATOR,
+    Message,
+    MessageKind,
+)
+from repro.monitoring.network import MonitoringNetwork
+from repro.monitoring.sharding import (
+    ContiguousSharding,
+    RootAggregator,
+    ShardCoordinator,
+    ShardedNetwork,
+    ShardingPolicy,
+)
+
+__all__ = [
+    "EPSILON_SPLIT_NAMES",
+    "EpsilonSplitPolicy",
+    "LeafSplit",
+    "UniformSplit",
+    "GeometricSplit",
+    "resolve_epsilon_split",
+    "resolve_fanouts",
+    "build_tree_network",
+    "leaf_groups",
+    "MigrationReport",
+    "migrate_site",
+]
+
+#: Epsilon-split policies addressable by name (spec/CLI vocabulary).
+EPSILON_SPLIT_NAMES = ("leaf", "uniform", "geometric")
+
+
+# --------------------------------------------------------------------------
+# Error-budget split policies.
+# --------------------------------------------------------------------------
+
+class EpsilonSplitPolicy:
+    """Protocol for dividing the error budget across the tree's levels.
+
+    ``split(epsilon, levels)`` returns one budget per level, top-down:
+    entries ``0 .. levels - 2`` are the relative push deadbands of the
+    aggregation levels (index 0 = pushes into the root), the last entry is
+    the ``eps`` the leaf trackers run with.  Budgets must be non-negative,
+    the leaf budget positive, and their sum must not exceed ``epsilon`` —
+    that is what keeps the end-to-end bound ``prod(1 + b_l) - 1 <= e^eps - 1``.
+    """
+
+    def split(self, epsilon: float, levels: int) -> List[float]:
+        raise NotImplementedError
+
+
+class LeafSplit(EpsilonSplitPolicy):
+    """All budget at the leaf trackers; aggregation relays exactly.
+
+    Zero deadbands at every aggregation level mean every estimate change
+    propagates to the root — the legacy exact-merge hierarchy, and the
+    default: a two-level tree under this policy is bit-for-bit the
+    pre-refactor sharded network.
+    """
+
+    def split(self, epsilon: float, levels: int) -> List[float]:
+        return [0.0] * (levels - 1) + [float(epsilon)]
+
+
+class UniformSplit(EpsilonSplitPolicy):
+    """Equal budgets: every level gets ``eps / levels``."""
+
+    def split(self, epsilon: float, levels: int) -> List[float]:
+        share = float(epsilon) / levels
+        return [share] * levels
+
+
+class GeometricSplit(EpsilonSplitPolicy):
+    """Geometrically decreasing budgets towards the root.
+
+    The leaf level gets the largest share (it does the actual tracking) and
+    each aggregation level above gets ``ratio`` times the share below it,
+    normalised so the budgets sum to ``eps`` exactly.  With the default
+    ``ratio = 0.5`` and three levels the split is ``eps * (1/7, 2/7, 4/7)``
+    top-down.
+    """
+
+    def __init__(self, ratio: float = 0.5) -> None:
+        if not 0.0 < ratio < 1.0:
+            raise ConfigurationError(
+                f"geometric split ratio must be in (0, 1), got {ratio}"
+            )
+        self.ratio = ratio
+
+    def split(self, epsilon: float, levels: int) -> List[float]:
+        weights = [self.ratio ** (levels - 1 - level) for level in range(levels)]
+        total = sum(weights)
+        return [float(epsilon) * weight / total for weight in weights]
+
+
+def resolve_epsilon_split(policy, ratio: float = 0.5) -> EpsilonSplitPolicy:
+    """Resolve a policy instance or a name from :data:`EPSILON_SPLIT_NAMES`."""
+    if isinstance(policy, EpsilonSplitPolicy):
+        return policy
+    if policy is None or policy == "leaf":
+        return LeafSplit()
+    if policy == "uniform":
+        return UniformSplit()
+    if policy == "geometric":
+        return GeometricSplit(ratio)
+    raise ConfigurationError(
+        f"unknown epsilon split {policy!r}; pick one of "
+        f"{sorted(EPSILON_SPLIT_NAMES)} or pass an EpsilonSplitPolicy"
+    )
+
+
+def _split_budgets(
+    policy: EpsilonSplitPolicy, epsilon: float, levels: int
+) -> List[float]:
+    """Run the policy and validate its output against the contract."""
+    budgets = [float(b) for b in policy.split(epsilon, levels)]
+    if len(budgets) != levels:
+        raise ConfigurationError(
+            f"{type(policy).__name__} returned {len(budgets)} budgets for "
+            f"{levels} levels"
+        )
+    if any(budget < 0.0 for budget in budgets):
+        raise ConfigurationError(
+            f"{type(policy).__name__} returned a negative budget: {budgets}"
+        )
+    if not 0.0 < budgets[-1] < 1.0:
+        raise ConfigurationError(
+            f"the leaf level needs a tracker budget in (0, 1), got "
+            f"{budgets[-1]} from {type(policy).__name__}"
+        )
+    if sum(budgets) > epsilon * (1.0 + 1e-9):
+        raise ConfigurationError(
+            f"{type(policy).__name__} budgets sum to {sum(budgets)}, "
+            f"exceeding the end-to-end budget {epsilon}"
+        )
+    return budgets
+
+
+# --------------------------------------------------------------------------
+# Tree construction.
+# --------------------------------------------------------------------------
+
+def resolve_fanouts(
+    levels: Optional[int] = None,
+    fanout: Optional[int] = None,
+    fanouts: Optional[Sequence[int]] = None,
+) -> List[int]:
+    """Normalise the three ways of describing a tree shape to a fan-out list.
+
+    Returns the per-aggregation-level fan-outs, top-down (empty = flat).
+    ``fanouts`` wins when given (``levels``, if also given, must agree);
+    ``levels + fanout`` expands to a uniform list; ``levels = 1`` alone is
+    the flat topology.
+    """
+    if fanouts is not None:
+        resolved = [int(f) for f in fanouts]
+        if fanout is not None:
+            raise ConfigurationError(
+                "fanout and fanouts are mutually exclusive; give the uniform "
+                "fan-out or the explicit per-level list, not both"
+            )
+        if levels is not None and levels != len(resolved) + 1:
+            raise ConfigurationError(
+                f"levels={levels} disagrees with fanouts={resolved} "
+                f"(a {len(resolved)}-entry fan-out list describes "
+                f"{len(resolved) + 1} levels)"
+            )
+    elif levels is None:
+        raise ConfigurationError(
+            "describe the tree shape with levels (+ fanout) or fanouts"
+        )
+    elif levels == 1:
+        if fanout is not None:
+            raise ConfigurationError(
+                f"levels=1 is the flat topology and takes no fanout "
+                f"(got fanout={fanout})"
+            )
+        resolved = []
+    else:
+        if levels < 1:
+            raise ConfigurationError(f"levels must be >= 1, got {levels}")
+        if fanout is None:
+            raise ConfigurationError(
+                f"levels={levels} needs a fanout (or an explicit fanouts list)"
+            )
+        resolved = [int(fanout)] * (levels - 1)
+    for value in resolved:
+        if value < 2:
+            raise ConfigurationError(
+                f"every aggregation level needs fan-out >= 2, got {value} "
+                f"in {resolved}"
+            )
+    return resolved
+
+
+@dataclass
+class _TreeRecipe:
+    """Everything needed to rebuild one leaf of a tree during migration."""
+
+    factory: object
+    fanouts: List[int]
+    sharding: ShardingPolicy
+    budgets: List[float]
+    broadcast_deadband: float
+    channel_factory: Optional[Callable[[int, int, int], Optional[Channel]]]
+
+    @property
+    def leaf_level(self) -> int:
+        return len(self.fanouts)
+
+    @property
+    def leaf_epsilon(self) -> float:
+        return self.budgets[-1]
+
+    def build_leaf(self, size: int, leaf_index: int) -> MonitoringNetwork:
+        """Build one leaf's flat network exactly as the tree builder does."""
+        sub_factory = self.factory.shard_factory(size, leaf_index)
+        if sub_factory.epsilon != self.leaf_epsilon:
+            sub_factory.epsilon = self.leaf_epsilon
+        base = sub_factory.build_network()
+        channel = (
+            self.channel_factory(self.leaf_level, leaf_index, size)
+            if self.channel_factory is not None
+            else None
+        )
+        if channel is not None:
+            base = MonitoringNetwork(base.coordinator, base.sites, channel=channel)
+        return base, sub_factory
+
+
+def build_tree_network(
+    factory,
+    levels: Optional[int] = None,
+    fanout: Optional[int] = None,
+    fanouts: Optional[Sequence[int]] = None,
+    sharding: Optional[ShardingPolicy] = None,
+    epsilon_split="leaf",
+    split_ratio: float = 0.5,
+    broadcast_deadband: float = 0.0,
+    channel_factory: Optional[Callable[[int, int, int], Optional[Channel]]] = None,
+):
+    """Build a recursive L-level monitoring tree from a flat tracker factory.
+
+    The factory's ``k`` sites are partitioned top-down: the root level
+    splits them into ``fanouts[0]`` groups, each group is split again by the
+    next fan-out, and so on; the final groups become leaf shards running an
+    unmodified copy of the tracker built by
+    ``factory.shard_factory(group_size, leaf_index)`` with the leaf level's
+    share of the error budget.  Every aggregation node is a
+    :class:`~repro.monitoring.sharding.RootAggregator` over its children's
+    uplinks — a subtree is a :class:`~repro.monitoring.sharding.Site` of its
+    parent at any depth.
+
+    Args:
+        factory: Flat tracker factory exposing ``num_sites``, ``epsilon``
+            and ``shard_factory``.
+        levels: Total number of coordinator levels (1 = flat, 2 = the legacy
+            sharded hierarchy).  Give ``fanout`` with it, or use ``fanouts``.
+        fanout: Uniform fan-out per aggregation level (with ``levels``).
+        fanouts: Explicit per-level fan-outs, top-down (``len == levels-1``).
+        sharding: Partition policy applied at every split; default
+            :class:`~repro.monitoring.sharding.ContiguousSharding`.
+        epsilon_split: :class:`EpsilonSplitPolicy` instance or name from
+            :data:`EPSILON_SPLIT_NAMES`; default ``"leaf"`` (all budget at
+            the leaves, aggregation exact — the legacy behaviour).
+        split_ratio: Ratio for the named ``"geometric"`` policy.
+        broadcast_deadband: Relative deadband on every aggregator's downward
+            level re-broadcasts (0.0 = re-broadcast on every change).
+        channel_factory: Optional ``(level, index, num_ports) -> Channel``
+            injecting channels per node; ``level`` is the node's depth
+            (0 = root aggregator, ``levels - 1`` = leaves) and ``index`` the
+            node's left-to-right position within its level.  Returning
+            ``None`` falls back to the default synchronous channel.  The
+            async builder derives per-node latency RNG seeds from
+            ``(level, index)`` breadth-first, which keeps the two-level tree
+            seed-compatible with the legacy sharded async builder.
+
+    Returns:
+        The top-level :class:`~repro.monitoring.sharding.ShardedNetwork`
+        (or a flat ``MonitoringNetwork`` when the shape resolves to one
+        level), with the build recipe attached for live migration.
+    """
+    num_sites = getattr(factory, "num_sites", None)
+    if num_sites is None:
+        raise ConfigurationError(
+            "build_tree_network needs a tracker factory exposing num_sites"
+        )
+    if getattr(factory, "shard_factory", None) is None:
+        raise ConfigurationError(
+            f"{type(factory).__name__} does not expose shard_factory(num_sites, "
+            "shard_id); add one to run it in a tree"
+        )
+    resolved = resolve_fanouts(levels=levels, fanout=fanout, fanouts=fanouts)
+    policy = sharding if sharding is not None else ContiguousSharding()
+    if not resolved:
+        base = factory.build_network()
+        if channel_factory is not None:
+            channel = channel_factory(0, 0, num_sites)
+            if channel is not None:
+                base = MonitoringNetwork(
+                    base.coordinator, base.sites, channel=channel
+                )
+        return base
+    min_sites = 1
+    for value in resolved:
+        min_sites *= value
+    if min_sites > num_sites:
+        raise ConfigurationError(
+            f"fanouts {resolved} describe {min_sites} leaves, but the factory "
+            f"serves only {num_sites} sites (every leaf needs >= 1 site)"
+        )
+    num_levels = len(resolved) + 1
+    split = resolve_epsilon_split(epsilon_split, split_ratio)
+    budgets = _split_budgets(split, float(factory.epsilon), num_levels)
+    recipe = _TreeRecipe(
+        factory=factory,
+        fanouts=resolved,
+        sharding=policy,
+        budgets=budgets,
+        broadcast_deadband=float(broadcast_deadband),
+        channel_factory=channel_factory,
+    )
+
+    leaves_below = [1] * (len(resolved) + 1)
+    for level in range(len(resolved) - 1, -1, -1):
+        leaves_below[level] = resolved[level] * leaves_below[level + 1]
+
+    def build_node(level: int, position: int, site_ids: List[int]):
+        """Build the subtree rooted at (level, position) over ``site_ids``.
+
+        ``site_ids`` are ids in the *parent's* space; the node's own space
+        is positions ``0..len(site_ids)-1``.
+        """
+        if level == len(resolved):
+            base, _ = recipe.build_leaf(len(site_ids), position)
+            return base
+        fan = resolved[level]
+        groups = policy.partition(len(site_ids), fan)
+        if len(groups) != fan or any(not group for group in groups):
+            raise ConfigurationError(
+                f"sharding policy returned {len(groups)} groups (some "
+                f"possibly empty) for fan-out {fan}"
+            )
+        wrappers: List[ShardCoordinator] = []
+        for child_index, group in enumerate(groups):
+            child = build_node(
+                level + 1, position * fan + child_index, list(group)
+            )
+            wrapper = ShardCoordinator(child_index, child, group)
+            wrapper.push_deadband = budgets[level]
+            wrappers.append(wrapper)
+        aggregator = RootAggregator(
+            num_shards=fan,
+            num_sites=len(site_ids),
+            broadcast_deadband=recipe.broadcast_deadband,
+        )
+        channel = (
+            channel_factory(level, position, fan)
+            if channel_factory is not None
+            else None
+        )
+        aggregator_network = MonitoringNetwork(
+            aggregator, [wrapper.uplink for wrapper in wrappers], channel=channel
+        )
+        return ShardedNetwork(wrappers, aggregator_network)
+
+    network = build_node(0, 0, list(range(num_sites)))
+    network._tree_recipe = recipe
+    return network
+
+
+# --------------------------------------------------------------------------
+# Tree inspection.
+# --------------------------------------------------------------------------
+
+def leaf_groups(network: ShardedNetwork) -> List[List[int]]:
+    """Global site ids of every leaf shard, left to right.
+
+    The position of an id within its leaf's list is the site's leaf-local
+    id, whatever partition policy (contiguous, strided, nested) produced the
+    placement — the composite global-to-leaf map is read off the routing
+    tables level by level.
+    """
+
+    def descend(node, ids: List[int]) -> List[List[int]]:
+        groups: List[List[int]] = []
+        for shard in node.shards:
+            owned = [ids[position] for position in shard.site_ids]
+            if isinstance(shard.network, ShardedNetwork):
+                groups.extend(descend(shard.network, owned))
+            else:
+                groups.append(owned)
+        return groups
+
+    return descend(network, list(range(network.num_sites)))
+
+
+def _wrapper_chain(leaf: ShardCoordinator) -> List[ShardCoordinator]:
+    """The shard wrappers from ``leaf`` up to (and excluding) the top."""
+    chain = [leaf]
+    node = leaf.parent_network
+    while node is not None and node.wrapper is not None:
+        chain.append(node.wrapper)
+        node = node.wrapper.parent_network
+    return chain
+
+
+def _aggregator_networks(leaf: ShardCoordinator) -> List[ShardedNetwork]:
+    """Every hierarchy level above ``leaf`` that has an aggregator channel."""
+    out = []
+    node = leaf.parent_network
+    while node is not None:
+        if node.root_network is not None:
+            out.append(node)
+        node = None if node.wrapper is None else node.wrapper.parent_network
+    return out
+
+
+# --------------------------------------------------------------------------
+# Live migration.
+# --------------------------------------------------------------------------
+
+@dataclass
+class MigrationReport:
+    """What one :func:`migrate_site` handoff did and charged.
+
+    Attributes:
+        site_id: The migrated global site id (ids are stable across moves).
+        source_leaf: Leaf index the site left.
+        dest_leaf: Leaf index the site joined.
+        time: Timestep stamped on the handoff traffic.
+        checkpoint_messages: Messages charged for the two leaf checkpoints
+            (request/reply/broadcast per member site).
+        transfer_hops: Aggregator levels the site's state crossed.
+        handoff_messages: Total messages charged by the handoff.
+        handoff_bits: Total bits charged by the handoff.
+    """
+
+    site_id: int
+    source_leaf: int
+    dest_leaf: int
+    time: int
+    checkpoint_messages: int = 0
+    transfer_hops: int = 0
+    handoff_messages: int = 0
+    handoff_bits: int = 0
+
+
+@dataclass
+class _HandoffLedger:
+    """Accumulates the cost of every message the handoff charges."""
+
+    messages: int = 0
+    bits: int = 0
+
+    def charge(self, channel: Channel, message: Message) -> None:
+        size = message.bits()
+        channel.charge(message.kind, 1, size)
+        self.messages += 1
+        self.bits += size
+
+
+def migrate_site(
+    network: ShardedNetwork,
+    site_id: int,
+    dest_leaf: int,
+    time: int = 0,
+) -> MigrationReport:
+    """Move one site to another leaf shard mid-run, with exact state handoff.
+
+    The protocol is drain -> transfer -> re-register:
+
+    1. **Drain.**  On asynchronous transports the whole hierarchy is drained
+       so every in-flight message lands and each node settles (synchronous
+       channels are always settled).
+    2. **Transfer.**  The source and destination leaves checkpoint: each
+       pays one request/reply exchange per member site (the coordinator
+       collecting exact per-site state) plus a broadcast announcing the
+       bootstrapped level, and the migrating site's state pays one transfer
+       message per aggregator level between the two leaves.  All of it is
+       charged on the real channels, so the migration cost is visible in the
+       per-level accounting.
+    3. **Re-register.**  Both leaves are rebuilt by the original factory for
+       their new sizes, bootstrapped with the exact checkpointed values via
+       the factory's ``bootstrap_network`` hook (estimates exact, fresh
+       block at the recomputed level), their new channels adopt the old
+       cumulative counters (and virtual clock), the routing tables of every
+       ancestor are rewired, and fresh estimates are pushed up the two
+       affected paths so the root's merged view is exact again.
+
+    Global site ids are stable: the stream keeps addressing the site by the
+    same id; only the internal placement changes.
+
+    Args:
+        network: The *top-level* tree, built by :func:`build_tree_network`
+            (or ``build_sharded_network``).
+        site_id: Global id of the site to move.
+        dest_leaf: Destination leaf index (see
+            :meth:`~repro.monitoring.sharding.ShardedNetwork.leaves`).
+        time: Timestep stamped on the handoff traffic and pushes.
+
+    Returns:
+        A :class:`MigrationReport` with the handoff's accounted cost.
+    """
+    if not isinstance(network, ShardedNetwork) or network.wrapper is not None:
+        raise ConfigurationError(
+            "migrate_site operates on the top-level ShardedNetwork of a tree"
+        )
+    recipe: Optional[_TreeRecipe] = getattr(network, "_tree_recipe", None)
+    if recipe is None:
+        raise ConfigurationError(
+            "this network was not built by build_tree_network / "
+            "build_sharded_network; migration needs the build recipe to "
+            "rebuild the affected leaves"
+        )
+    if network.channel.log_enabled:
+        raise ProtocolError(
+            "the state handoff uses charge-only accounting, which would "
+            "desynchronise the message transcript; disable logging to migrate"
+        )
+    leaves = network.leaves()
+    groups = leaf_groups(network)
+    if not 0 <= dest_leaf < len(leaves):
+        raise ConfigurationError(
+            f"dest_leaf {dest_leaf} out of range 0..{len(leaves) - 1}"
+        )
+    source_leaf = None
+    for index, group in enumerate(groups):
+        if site_id in group:
+            source_leaf = index
+            break
+    if source_leaf is None:
+        raise ProtocolError(
+            f"site {site_id} does not exist; the network serves "
+            f"{network.num_sites} sites"
+        )
+    if source_leaf == dest_leaf:
+        raise ConfigurationError(
+            f"site {site_id} already lives in leaf {dest_leaf}"
+        )
+    if len(groups[source_leaf]) < 2:
+        raise ConfigurationError(
+            f"cannot migrate the last site out of leaf {source_leaf}; every "
+            "leaf shard needs at least one site"
+        )
+
+    # 1. Drain: settle the hierarchy so checkpoints read exact state.
+    if not network.channel.is_synchronous:
+        network.drain()
+
+    new_groups = [list(group) for group in groups]
+    new_groups[source_leaf] = [s for s in groups[source_leaf] if s != site_id]
+    new_groups[dest_leaf] = list(groups[dest_leaf]) + [site_id]
+
+    ledger = _HandoffLedger()
+
+    # 2. Transfer: rebuild and bootstrap the two affected leaves, charging
+    # the checkpoint exchange on their (adopted) channels.
+    for leaf_index in (source_leaf, dest_leaf):
+        wrapper = leaves[leaf_index]
+        members = new_groups[leaf_index]
+        values = [network._site_values[s] for s in members]
+        counts = [network._site_counts[s] for s in members]
+        old_channel = wrapper.network.channel
+        base, sub_factory = recipe.build_leaf(len(members), leaf_index)
+        base.channel.adopt_accounting(old_channel)
+        bootstrap = getattr(sub_factory, "bootstrap_network", None)
+        if bootstrap is None:
+            raise ConfigurationError(
+                f"{type(sub_factory).__name__} has no bootstrap_network hook; "
+                "this tracker cannot take a live state handoff"
+            )
+        bootstrap(base, values, counts)
+        _charge_checkpoint(ledger, base, values, counts, time)
+        wrapper.replace_network(base)
+
+    # One state-transfer message per aggregator level between the leaves.
+    crossed = {id(node): node for node in _aggregator_networks(leaves[source_leaf])}
+    crossed.update(
+        (id(node), node) for node in _aggregator_networks(leaves[dest_leaf])
+    )
+    transfer = Message(
+        kind=MessageKind.REPORT,
+        sender=leaves[source_leaf].shard_id,
+        receiver=COORDINATOR,
+        payload={
+            "count": network._site_counts[site_id],
+            "change": network._site_values[site_id],
+        },
+        time=time,
+    )
+    for node in crossed.values():
+        ledger.charge(node.root_network.channel, transfer)
+
+    # 3. Re-register: rewire every ancestor's routing to the new membership
+    # and push fresh estimates up both affected paths.
+    _rewire(network, new_groups)
+    refreshed: Dict[int, ShardCoordinator] = {}
+    for leaf in (leaves[source_leaf], leaves[dest_leaf]):
+        for wrapper in _wrapper_chain(leaf):
+            refreshed.setdefault(id(wrapper), wrapper)
+    for wrapper in sorted(
+        refreshed.values(), key=lambda w: -len(_wrapper_chain(w))
+    ):
+        parent = wrapper.parent_network
+        if parent is not None and parent.root_network is not None:
+            wrapper.push_estimate(time)
+
+    return MigrationReport(
+        site_id=site_id,
+        source_leaf=source_leaf,
+        dest_leaf=dest_leaf,
+        time=time,
+        checkpoint_messages=3 * (len(new_groups[source_leaf]) + len(new_groups[dest_leaf])),
+        transfer_hops=len(crossed),
+        handoff_messages=ledger.messages,
+        handoff_bits=ledger.bits,
+    )
+
+
+def _charge_checkpoint(
+    ledger: _HandoffLedger,
+    leaf_network: MonitoringNetwork,
+    values: Sequence[int],
+    counts: Sequence[int],
+    time: int,
+) -> None:
+    """Charge a leaf's checkpoint: request/reply per site plus the level cast.
+
+    Mirrors a block close's exchange — the coordinator asks every member for
+    its exact state, each replies, and the freshly bootstrapped level is
+    broadcast — which is exactly what the bootstrap just simulated.
+    """
+    channel = leaf_network.channel
+    level = getattr(leaf_network.coordinator, "level", 0)
+    for local_id, (value, count) in enumerate(zip(values, counts)):
+        ledger.charge(
+            channel,
+            Message(
+                kind=MessageKind.REQUEST,
+                sender=COORDINATOR,
+                receiver=local_id,
+                payload={},
+                time=time,
+            ),
+        )
+        ledger.charge(
+            channel,
+            Message(
+                kind=MessageKind.REPLY,
+                sender=local_id,
+                receiver=COORDINATOR,
+                payload={"count": int(count), "change": int(value)},
+                time=time,
+            ),
+        )
+        ledger.charge(
+            channel,
+            Message(
+                kind=MessageKind.BROADCAST,
+                sender=COORDINATOR,
+                receiver=BROADCAST_SITE,
+                payload={"level": int(level)},
+                time=time,
+            ),
+        )
+
+
+def _rewire(network: ShardedNetwork, new_groups: List[List[int]]) -> None:
+    """Rebuild every level's id space and routing for a new leaf membership.
+
+    Each node's id space is positional; after a migration the spaces are
+    relabelled as the concatenation of the children's orderings (which
+    preserves the composite global-to-leaf-local map for untouched leaves),
+    the routing tables and per-site bookkeeping are rebuilt, and every
+    aggregator's subtree site count is refreshed.
+    """
+
+    def count_leaves(node) -> int:
+        if not isinstance(node, ShardedNetwork):
+            return 1
+        return sum(count_leaves(shard.network) for shard in node.shards)
+
+    def apply(node: ShardedNetwork, groups: List[List[int]], top: bool) -> List[int]:
+        child_orders: List[List[int]] = []
+        cursor = 0
+        for shard in node.shards:
+            span = count_leaves(shard.network)
+            slice_groups = groups[cursor:cursor + span]
+            cursor += span
+            if isinstance(shard.network, ShardedNetwork):
+                child_orders.append(apply(shard.network, slice_groups, top=False))
+            else:
+                members = slice_groups[0]
+                if len(members) != shard.network.num_sites:
+                    raise ConfigurationError(
+                        f"leaf rebuild serves {shard.network.num_sites} sites "
+                        f"but the new membership lists {len(members)}"
+                    )
+                child_orders.append(list(members))
+        route = {}
+        offset = 0
+        for shard, order in zip(node.shards, child_orders):
+            ids = tuple(order) if top else tuple(
+                range(offset, offset + len(order))
+            )
+            shard.site_ids = ids
+            for local_id, space_id in enumerate(ids):
+                route[space_id] = (shard, local_id)
+            offset += len(order)
+        node._route = route
+        if node.root_network is not None:
+            node.root_network.coordinator.num_sites = offset
+        return [space_id for order in child_orders for space_id in order]
+
+    apply(network, new_groups, top=True)

@@ -1,0 +1,265 @@
+"""Spec/CLI layer of the tree refactor: topology axis, provenance, workers.
+
+Pins the contracts the experiment API added alongside the recursive tree:
+
+* ``topology.levels/fanout/fanouts`` validate as one vocabulary (and refuse
+  to mix with the legacy ``shards`` axis), round-trip through JSON, and
+  dispatch to the tree builders on both transports — with ``levels=2``
+  producing the same run as the equivalent ``shards`` spec;
+* every executed spec is stamped with provenance (canonical spec hash +
+  library version) that survives into ``summary()`` and the CLI's JSON;
+* ``Sweep.run(workers=n)`` returns the same points as the serial runner,
+  in grid order, and the ``--workers`` plumbing reaches ``repro run``.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.api import (
+    RunSpec,
+    SourceSpec,
+    Sweep,
+    TopologySpec,
+    TrackerSpec,
+    TransportSpec,
+)
+from repro.cli import main
+from repro.exceptions import ConfigurationError, ProtocolError
+
+
+def _spec(**kwargs) -> RunSpec:
+    defaults = dict(
+        source=SourceSpec(stream="random_walk", length=400, seed=0, sites=8),
+        tracker=TrackerSpec(name="deterministic", epsilon=0.2),
+        record_every=20,
+    )
+    defaults.update(kwargs)
+    return RunSpec(**defaults)
+
+
+def _fingerprint(result):
+    return (
+        [
+            (r.time, r.true_value, r.estimate, r.messages, r.bits)
+            for r in result.records
+        ],
+        result.total_messages,
+        result.total_bits,
+        result.messages_by_kind,
+    )
+
+
+class TestTopologyValidation:
+    def test_tree_vocabulary_validates(self):
+        _spec(topology=TopologySpec(levels=3, fanout=2)).validate()
+        _spec(topology=TopologySpec(fanouts=[2, 2])).validate()
+
+    def test_tree_refuses_legacy_shards_axis(self):
+        with pytest.raises(ProtocolError, match="levels=2"):
+            _spec(topology=TopologySpec(shards=2, levels=3, fanout=2)).validate()
+
+    def test_unknown_split_policy_rejected(self):
+        with pytest.raises(ValueError, match="epsilon_split"):
+            _spec(
+                topology=TopologySpec(levels=2, fanout=2, epsilon_split="nope")
+            ).validate()
+
+    def test_split_ratio_bounds(self):
+        with pytest.raises(ValueError, match="split_ratio"):
+            _spec(
+                topology=TopologySpec(
+                    levels=2, fanout=2, epsilon_split="geometric", split_ratio=1.0
+                )
+            ).validate()
+
+    def test_negative_deadband_rejected(self):
+        with pytest.raises(ValueError, match="broadcast_deadband"):
+            _spec(
+                topology=TopologySpec(levels=2, fanout=2, broadcast_deadband=-0.1)
+            ).validate()
+
+    def test_more_leaves_than_sites_rejected(self):
+        with pytest.raises(ValueError, match="sites"):
+            _spec(topology=TopologySpec(levels=5, fanout=2)).validate()
+
+    def test_tree_fields_round_trip(self):
+        spec = _spec(
+            topology=TopologySpec(
+                fanouts=[2, 2], epsilon_split="geometric", split_ratio=0.3
+            )
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestTreeDispatch:
+    def test_levels_two_matches_legacy_shards_spec(self):
+        legacy = _spec(topology=TopologySpec(shards=4)).run()
+        tree = _spec(topology=TopologySpec(levels=2, fanout=4)).run()
+        assert _fingerprint(legacy) == _fingerprint(tree)
+
+    def test_three_level_run_reports_per_level_accounting(self):
+        result = _spec(topology=TopologySpec(levels=3, fanout=2)).run()
+        assert result.levels is not None and len(result.levels) == 3
+        rows = result.summary(0.2)["levels"]
+        assert [row["level"] for row in rows] == [0, 1, 2]
+        assert sum(row["messages"] for row in rows) == result.total_messages
+
+    def test_async_tree_runs_and_reports_levels(self):
+        result = _spec(
+            topology=TopologySpec(levels=3, fanout=2),
+            transport=TransportSpec(mode="async", latency="uniform", scale=2.0),
+        ).run()
+        assert result.levels is not None and len(result.levels) == 3
+        assert result.final_clock >= 0
+
+    def test_tree_only_knobs_on_legacy_shards_engage_tree_builder(self):
+        result = _spec(
+            topology=TopologySpec(shards=2, epsilon_split="uniform")
+        ).run()
+        assert result.levels is not None and len(result.levels) == 2
+
+
+class TestProvenance:
+    def test_spec_hash_is_stable_and_sensitive(self):
+        a, b = _spec(), _spec()
+        assert a.spec_hash() == b.spec_hash()
+        assert len(a.spec_hash()) == 64
+        changed = _spec(record_every=21)
+        assert changed.spec_hash() != a.spec_hash()
+
+    def test_run_stamps_provenance_into_summary(self):
+        spec = _spec()
+        result = spec.run()
+        assert result.provenance == {
+            "spec_hash": spec.spec_hash(),
+            "repro_version": repro.__version__,
+        }
+        summary = result.summary(0.2)
+        assert summary["provenance"]["spec_hash"] == spec.spec_hash()
+        json.dumps(summary)
+
+    def test_sweep_points_each_carry_their_own_hash(self):
+        points = Sweep(_spec(), {"tracker.name": ["naive", "deterministic"]}).run()
+        hashes = {p.result.provenance["spec_hash"] for p in points}
+        assert len(hashes) == 2
+        for point in points:
+            assert point.result.provenance["spec_hash"] == point.spec.spec_hash()
+
+
+class TestSweepWorkers:
+    def test_parallel_run_matches_serial_in_grid_order(self):
+        sweep = Sweep(
+            _spec(),
+            {"tracker.name": ["naive", "deterministic"], "record_every": [20, 40]},
+        )
+        serial = sweep.run()
+        parallel = sweep.run(workers=2)
+        assert [p.overrides for p in parallel] == [p.overrides for p in serial]
+        for a, b in zip(serial, parallel):
+            assert _fingerprint(a.result) == _fingerprint(b.result)
+            assert a.result.provenance == b.result.provenance
+
+    def test_workers_below_one_rejected(self):
+        sweep = Sweep(_spec(), {"record_every": [20, 40]})
+        with pytest.raises(ConfigurationError, match="workers"):
+            sweep.run(workers=0)
+
+
+class TestCliTree:
+    def test_tracking_accepts_tree_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "tracking",
+                    "--stream",
+                    "biased_walk",
+                    "--length",
+                    "1500",
+                    "--sites",
+                    "8",
+                    "--levels",
+                    "3",
+                    "--fanout",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "levels=3 fanout=2" in out
+
+    def test_latency_accepts_tree_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "latency",
+                    "--stream",
+                    "biased_walk",
+                    "--length",
+                    "1200",
+                    "--sites",
+                    "8",
+                    "--levels",
+                    "2",
+                    "--fanout",
+                    "4",
+                    "--scales",
+                    "0",
+                    "2",
+                    "--record-every",
+                    "50",
+                ]
+            )
+            == 0
+        )
+        assert "levels=2 fanout=4" in capsys.readouterr().out
+
+
+class TestCliRunWorkers:
+    def _write_spec(self, tmp_path, name, **overrides):
+        spec = _spec().with_overrides(overrides)
+        path = tmp_path / name
+        spec.save(path)
+        return str(path), spec
+
+    def test_single_config_output_carries_provenance(self, tmp_path, capsys):
+        path, spec = self._write_spec(tmp_path, "a.json")
+        assert main(["run", "--config", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["provenance"]["spec_hash"] == spec.spec_hash()
+        assert payload["result"]["provenance"]["repro_version"] == repro.__version__
+
+    def test_multiple_configs_run_in_a_pool_and_print_an_array(
+        self, tmp_path, capsys
+    ):
+        path_a, spec_a = self._write_spec(tmp_path, "a.json")
+        path_b, spec_b = self._write_spec(tmp_path, "b.json", **{"source.seed": 9})
+        assert (
+            main(
+                [
+                    "run",
+                    "--config",
+                    path_a,
+                    "--config",
+                    path_b,
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 2
+        assert payload[0]["result"]["provenance"]["spec_hash"] == spec_a.spec_hash()
+        assert payload[1]["result"]["provenance"]["spec_hash"] == spec_b.spec_hash()
+        assert payload[0]["result"]["provenance"] != payload[1]["result"]["provenance"]
+
+    def test_tree_spec_runs_through_cli(self, tmp_path, capsys):
+        path, _ = self._write_spec(
+            tmp_path, "tree.json", **{"topology.fanouts": [2, 2]}
+        )
+        assert main(["run", "--config", path]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["level"] for row in payload["result"]["levels"]] == [0, 1, 2]

@@ -1,0 +1,338 @@
+"""The recursive tree's contracts: shape, budgets, accounting, deadbands.
+
+Central claims pinned here:
+
+* the shape vocabulary (levels/fanout/fanouts) normalises consistently and
+  rejects contradictions before any network is built;
+* the error-budget split policies return valid per-level budgets (non-
+  negative, leaf budget positive, summing to at most ``eps``), and the
+  default leaf split keeps aggregation exact;
+* a tree of any depth keeps every internal node's estimate equal to the
+  exact sum of its children (the hypothesis version lives in
+  ``tests/test_tree_property.py``), and its per-level accounting decomposes
+  the total;
+* ``levels=2`` through the tree vocabulary is the legacy sharded hierarchy
+  (the bit-for-bit property test lives in ``tests/test_tree_property.py``);
+* push and broadcast deadbands suppress traffic and count what they saved.
+"""
+
+import pytest
+
+from repro.asynchrony import (
+    UniformLatency,
+    build_sharded_async_network,
+    build_tree_async_network,
+    run_tracking_async,
+)
+from repro.core import DeterministicCounter, RandomizedCounter
+from repro.exceptions import ConfigurationError
+from repro.monitoring import (
+    ChannelStats,
+    GeometricSplit,
+    LeafSplit,
+    ShardedNetwork,
+    StridedSharding,
+    UniformSplit,
+    build_tree_network,
+    leaf_groups,
+    resolve_epsilon_split,
+    resolve_fanouts,
+    run_tracking,
+)
+from repro.streams import (
+    RoundRobinAssignment,
+    assign_sites,
+    monotone_stream,
+    random_walk_stream,
+)
+
+
+def _updates(n, k, seed=7):
+    return assign_sites(random_walk_stream(n, seed=seed), k, RoundRobinAssignment())
+
+
+class TestResolveFanouts:
+    def test_levels_and_fanout_expand_uniformly(self):
+        assert resolve_fanouts(levels=4, fanout=3) == [3, 3, 3]
+
+    def test_levels_one_is_flat(self):
+        assert resolve_fanouts(levels=1) == []
+
+    def test_explicit_fanouts_win(self):
+        assert resolve_fanouts(fanouts=[4, 2]) == [4, 2]
+
+    def test_levels_must_agree_with_fanouts(self):
+        assert resolve_fanouts(levels=3, fanouts=[4, 2]) == [4, 2]
+        with pytest.raises(ConfigurationError):
+            resolve_fanouts(levels=2, fanouts=[4, 2])
+
+    def test_fanout_and_fanouts_conflict(self):
+        with pytest.raises(ConfigurationError):
+            resolve_fanouts(fanout=2, fanouts=[2, 2])
+
+    def test_levels_need_a_fanout(self):
+        with pytest.raises(ConfigurationError):
+            resolve_fanouts(levels=3)
+
+    def test_flat_takes_no_fanout(self):
+        with pytest.raises(ConfigurationError):
+            resolve_fanouts(levels=1, fanout=2)
+
+    def test_no_shape_at_all(self):
+        with pytest.raises(ConfigurationError):
+            resolve_fanouts()
+
+    def test_fanout_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_fanouts(levels=2, fanout=1)
+
+
+class TestEpsilonSplits:
+    def test_leaf_split_concentrates_at_leaves(self):
+        assert LeafSplit().split(0.1, 3) == [0.0, 0.0, 0.1]
+
+    def test_uniform_split_is_equal(self):
+        budgets = UniformSplit().split(0.3, 3)
+        assert budgets == pytest.approx([0.1, 0.1, 0.1])
+
+    def test_geometric_split_sums_to_eps_leaf_largest(self):
+        budgets = GeometricSplit(0.5).split(0.07, 3)
+        assert sum(budgets) == pytest.approx(0.07)
+        assert budgets == pytest.approx([0.01, 0.02, 0.04])
+
+    def test_geometric_ratio_bounds(self):
+        with pytest.raises(ConfigurationError):
+            GeometricSplit(0.0)
+        with pytest.raises(ConfigurationError):
+            GeometricSplit(1.0)
+
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_epsilon_split("leaf"), LeafSplit)
+        assert isinstance(resolve_epsilon_split("uniform"), UniformSplit)
+        assert isinstance(resolve_epsilon_split("geometric", 0.3), GeometricSplit)
+        with pytest.raises(ConfigurationError):
+            resolve_epsilon_split("nope")
+
+    def test_budgets_land_on_the_tree(self):
+        net = build_tree_network(
+            DeterministicCounter(8, 0.2),
+            levels=3,
+            fanout=2,
+            epsilon_split="geometric",
+        )
+        # Wrappers at node level l carry the level-l budget as push deadband.
+        top = net.shards[0]
+        assert top.push_deadband == pytest.approx(0.2 / 7)
+        assert top.network.shards[0].push_deadband == pytest.approx(0.4 / 7)
+        # Every leaf tracker runs with the leaf budget.
+        for leaf in net.leaves():
+            assert leaf.network.coordinator.epsilon == pytest.approx(0.8 / 7)
+
+    def test_default_leaf_split_keeps_leaf_epsilon(self):
+        net = build_tree_network(DeterministicCounter(8, 0.2), levels=3, fanout=2)
+        for leaf in net.leaves():
+            assert leaf.network.coordinator.epsilon == 0.2
+            assert leaf.push_deadband == 0.0
+
+
+class TestTreeShape:
+    def test_depth_and_leaf_count(self):
+        net = build_tree_network(DeterministicCounter(27, 0.1), levels=4, fanout=3)
+        assert net.num_levels == 4
+        assert len(net.leaves()) == 3 * 3 * 3  # one site per leaf
+        assert net.num_sites == 27
+
+    def test_leaf_groups_partition_the_sites(self):
+        net = build_tree_network(
+            DeterministicCounter(10, 0.1), fanouts=[2, 2]
+        )
+        groups = leaf_groups(net)
+        assert sorted(s for group in groups for s in group) == list(range(10))
+        assert all(group for group in groups)
+
+    def test_strided_sharding_composes(self):
+        net = build_tree_network(
+            DeterministicCounter(8, 0.1),
+            levels=3,
+            fanout=2,
+            sharding=StridedSharding(),
+        )
+        # Top split strides global ids; the nested splits stride positions
+        # within each group.
+        assert leaf_groups(net) == [[0, 4], [2, 6], [1, 5], [3, 7]]
+
+    def test_more_leaves_than_sites_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_tree_network(DeterministicCounter(7, 0.1), levels=4, fanout=2)
+
+    def test_flat_shape_builds_flat_network(self):
+        net = build_tree_network(DeterministicCounter(5, 0.1), levels=1)
+        assert not isinstance(net, ShardedNetwork)
+        assert net.num_sites == 5
+
+    def test_factory_without_shard_factory_rejected(self):
+        class NoShards:
+            num_sites = 4
+            epsilon = 0.1
+            shard_factory = None
+
+        with pytest.raises(ConfigurationError):
+            build_tree_network(NoShards(), levels=2, fanout=2)
+
+
+class TestTreeTracking:
+    def test_root_estimate_is_exact_sum_of_leaves(self):
+        net = build_tree_network(DeterministicCounter(12, 0.1), fanouts=[3, 2])
+        for update in _updates(4000, 12):
+            net.deliver_update(update.time, update.site, update.delta)
+        total = sum(leaf.network.estimate() for leaf in net.leaves())
+        assert net.estimate() == pytest.approx(total)
+
+    def test_level_stats_decompose_total(self):
+        net = build_tree_network(DeterministicCounter(12, 0.1), levels=3, fanout=2)
+        result = run_tracking(net, _updates(4000, 12), record_every=500)
+        merged = ChannelStats.merge(net.level_stats())
+        assert merged.messages == result.total_messages
+        assert merged.bits == result.total_bits
+        assert merged.by_kind == result.messages_by_kind
+
+    def test_level_summary_shape_and_roles(self):
+        net = build_tree_network(DeterministicCounter(12, 0.1), levels=3, fanout=2)
+        result = run_tracking(net, _updates(3000, 12), record_every=500)
+        rows = result.levels
+        assert [row["level"] for row in rows] == [0, 1, 2]
+        assert [row["role"] for row in rows] == ["aggregate", "aggregate", "leaf"]
+        assert rows[0]["nodes"] == 1 and rows[1]["nodes"] == 2
+        assert rows[2]["nodes"] == 4
+        # Aggregation levels carry only pushes (reports) and level re-sends.
+        assert set(rows[0]["messages_by_kind"]) <= {"report", "broadcast"}
+
+    def test_flat_run_has_no_levels_view(self):
+        result = DeterministicCounter(4, 0.1).track(_updates(500, 4))
+        assert result.levels is None
+
+
+class TestDeadbands:
+    def test_push_deadband_suppresses_and_counts(self):
+        exact = build_tree_network(DeterministicCounter(8, 0.1), levels=2, fanout=2)
+        damped = build_tree_network(
+            DeterministicCounter(8, 0.1),
+            levels=2,
+            fanout=2,
+            epsilon_split="uniform",
+        )
+        updates = _updates(4000, 8)
+        run_tracking(exact, list(updates), record_every=400)
+        run_tracking(damped, list(updates), record_every=400)
+        suppressed = sum(s.pushes_suppressed for s in damped.shards)
+        assert suppressed > 0
+        assert (
+            damped.root_network.channel.stats.messages
+            < exact.root_network.channel.stats.messages
+        )
+        # The saved pushes are visible in the per-level accounting.
+        assert damped.level_summary()[0]["pushes_suppressed"] == suppressed
+
+    def test_uniform_split_error_stays_within_total_budget(self):
+        net = build_tree_network(
+            DeterministicCounter(8, 0.1),
+            levels=3,
+            fanout=2,
+            epsilon_split="uniform",
+        )
+        updates = assign_sites(
+            monotone_stream(6000), 8, RoundRobinAssignment()
+        )
+        result = run_tracking(net, updates, record_every=1)
+        # End-to-end bound: prod(1 + eps/L) - 1 <= e^eps - 1; allow the
+        # deterministic tracker's additive slack at small values by checking
+        # violations of the *total* budget over the monotone tail only.
+        tail = [r for r in result.records if abs(r.true_value) >= 64]
+        assert tail, "stream never reached the asymptotic regime"
+        for record in tail:
+            bound = ((1 + 0.1 / 3) ** 3 - 1) * abs(record.true_value) + 3
+            assert abs(record.estimate - record.true_value) <= bound
+
+    def test_broadcast_deadband_suppresses_level_resends(self):
+        exact = build_tree_network(
+            DeterministicCounter(8, 0.1), levels=2, fanout=2
+        )
+        damped = build_tree_network(
+            DeterministicCounter(8, 0.1),
+            levels=2,
+            fanout=2,
+            broadcast_deadband=0.5,
+        )
+        updates = _updates(6000, 8)
+        run_tracking(exact, list(updates), record_every=400)
+        run_tracking(damped, list(updates), record_every=400)
+        root = damped.root_network.coordinator
+        assert root.broadcasts_suppressed > 0
+        exact_casts = exact.root_network.channel.stats.by_kind.get("broadcast", 0)
+        damped_casts = damped.root_network.channel.stats.by_kind.get("broadcast", 0)
+        assert damped_casts < exact_casts
+        assert (
+            damped.level_summary()[0]["broadcasts_suppressed"]
+            == root.broadcasts_suppressed
+        )
+
+    def test_negative_broadcast_deadband_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_tree_network(
+                DeterministicCounter(4, 0.1),
+                levels=2,
+                fanout=2,
+                broadcast_deadband=-0.1,
+            )
+
+
+class TestAsyncTree:
+    def test_two_level_tree_matches_legacy_async_builder(self):
+        updates = _updates(3000, 12)
+        latency = UniformLatency(0.0, 4.0)
+        legacy = build_sharded_async_network(
+            DeterministicCounter(12, 0.05), 4, latency=latency, seed=11
+        )
+        tree = build_tree_async_network(
+            DeterministicCounter(12, 0.05),
+            levels=2,
+            fanout=4,
+            latency=latency,
+            seed=11,
+        )
+        a = run_tracking_async(legacy, list(updates), record_every=100)
+        b = run_tracking_async(tree, list(updates), record_every=100)
+        assert [
+            (r.time, r.estimate, r.messages, r.bits) for r in a.records
+        ] == [(r.time, r.estimate, r.messages, r.bits) for r in b.records]
+        assert (a.total_messages, a.total_bits, a.final_clock) == (
+            b.total_messages,
+            b.total_bits,
+            b.final_clock,
+        )
+
+    def test_deep_tree_settles_on_exact_sum_after_drain(self):
+        net = build_tree_async_network(
+            RandomizedCounter(12, 0.1, seed=3),
+            levels=3,
+            fanout=2,
+            latency=UniformLatency(0.0, 3.0),
+            seed=5,
+        )
+        result = run_tracking_async(net, _updates(3000, 12), record_every=300)
+        total = sum(leaf.network.estimate() for leaf in net.leaves())
+        assert result.final_estimate == pytest.approx(total)
+        assert result.levels is not None and len(result.levels) == 3
+
+    def test_multi_hop_latency_ages_accumulate_per_level(self):
+        net = build_tree_async_network(
+            DeterministicCounter(8, 0.1),
+            levels=3,
+            fanout=2,
+            latency=UniformLatency(1.0, 3.0),
+            seed=2,
+        )
+        run_tracking_async(net, _updates(2000, 8), record_every=200)
+        # Every level saw deliveries with real in-flight time.
+        for channel in net.channel.channels:
+            assert channel.delivered_count > 0
