@@ -1,0 +1,127 @@
+"""E22 (observability): instrumentation overhead on the E17 throughput scenario.
+
+The observability layer's design contract is "pay only when attached":
+every protocol hook is one ``if observer is not None`` test, so an
+uninstrumented run must be effectively free, and a full metrics registry
+must cost well under 10% of throughput (the trace log may cost more — it
+allocates an event per message — and is reported but not bounded).
+
+Three configurations over the E17 workload (random-walk stream, blocked
+assignment, ``k = 16``), for both the per-update and the batched engine:
+
+* ``off`` — plain network, no observers (the baseline);
+* ``metrics`` — ``instrument_network`` with a registry;
+* ``metrics+trace`` — registry plus a ring-buffered ``TraceLog``.
+
+Each row reports updates/second and the overhead versus ``off``.  All
+three configurations must also agree bit-for-bit on the protocol's
+outputs — that part is structural and asserted in smoke mode too.
+"""
+
+import time
+
+from bench_support import check, size
+
+from repro.api import SourceSpec, TrackerSpec
+from repro.monitoring import run_tracking
+from repro.observability import TraceLog, instrument_network
+
+PER_UPDATE_N = size(150_000, 10_000)
+BATCHED_N = size(2_000_000, 20_000)  # the batched engine needs a long run to time stably
+NUM_SITES = 16
+EPSILON = 0.1
+BLOCK_LENGTH = 4_096
+RECORD_EVERY = 20_000
+REPEATS = 3  # best-of, to keep scheduler noise out of the overhead ratios
+
+
+def _workload(length: int) -> list:
+    """The E17 scenario's source axis, declared as a spec."""
+    return SourceSpec(
+        stream="random_walk",
+        length=length,
+        seed=31,
+        sites=NUM_SITES,
+        assignment="blocked",
+        assignment_params={"block_length": BLOCK_LENGTH},
+    ).build_updates()
+
+
+def _factory():
+    return TrackerSpec(name="deterministic", epsilon=EPSILON).build_factory(
+        NUM_SITES
+    )
+
+
+def _timed_run(updates, batched, config):
+    """One run under ``config``; returns (updates/s, result fingerprint)."""
+    best = float("inf")
+    fingerprint = None
+    for repeat in range(REPEATS + 1):
+        network = _factory().build_network()
+        if config == "metrics":
+            instrument_network(network)
+        elif config == "metrics+trace":
+            instrument_network(network, trace=TraceLog(capacity=4096))
+        start = time.perf_counter()
+        result = run_tracking(
+            network, updates, record_every=RECORD_EVERY, batched=batched
+        )
+        elapsed = time.perf_counter() - start
+        if repeat > 0:  # the first pass only warms caches and the allocator
+            best = min(best, elapsed)
+        fingerprint = (
+            [(r.time, r.estimate, r.true_value) for r in result.records],
+            result.total_messages,
+            result.total_bits,
+            dict(result.messages_by_kind),
+        )
+    return len(updates) / best, fingerprint
+
+
+def _measure():
+    rows = []
+    for engine, batched, length in (
+        ("per-update", False, PER_UPDATE_N),
+        ("batched", True, BATCHED_N),
+    ):
+        updates = _workload(length)
+        rates = {}
+        fingerprints = {}
+        for config in ("off", "metrics", "metrics+trace"):
+            rates[config], fingerprints[config] = _timed_run(
+                updates, batched, config
+            )
+        for config in ("off", "metrics", "metrics+trace"):
+            overhead = 1.0 - rates[config] / rates["off"]
+            rows.append(
+                [
+                    engine,
+                    config,
+                    length,
+                    round(rates[config]),
+                    f"{overhead * 100:+.1f}%",
+                    overhead,
+                    fingerprints[config] == fingerprints["off"],
+                ]
+            )
+    return rows
+
+
+def test_bench_e22_observability_overhead(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        "E22 / observability — instrumentation overhead (E17 scenario, k=16)",
+        ["engine", "config", "n", "updates/s", "overhead", "bit-for-bit"],
+        [row[:5] + [row[6]] for row in rows],
+    )
+    # Structural at any size: instrumented runs are bit-for-bit identical.
+    for row in rows:
+        assert row[6], f"{row[0]}/{row[1]} diverged from the baseline"
+    # Quantitative (full scale only): the registry costs under 10%.
+    for row in rows:
+        if row[1] == "metrics":
+            check(
+                row[5] < 0.10,
+                f"{row[0]} registry overhead {row[4]} breaches the 10% budget",
+            )

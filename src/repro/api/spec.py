@@ -183,10 +183,12 @@ class SourceSpec:
     """The **source** axis: where the distributed stream comes from.
 
     Exactly one of ``stream`` (a generator name from
-    :data:`STREAM_REGISTRY`, distributed over ``sites`` by ``assignment``)
-    and ``trace`` (a recorded ``time,site,delta`` trace file, CSV or npz;
-    npz traces can be memory-mapped with ``mmap``) must be set.  For trace
-    sources the site count is derived from the trace itself.
+    :data:`STREAM_REGISTRY`, distributed over ``sites`` by ``assignment``),
+    ``trace`` (a recorded ``time,site,delta`` trace file, CSV or npz;
+    npz traces can be memory-mapped with ``mmap``) and ``live`` (updates
+    arrive incrementally over a feed — served by ``repro serve``, never
+    batch-run) must be set.  For trace sources the site count is derived
+    from the trace itself.
 
     Attributes:
         stream: Generator name, or ``None`` for a trace source.
@@ -200,6 +202,9 @@ class SourceSpec:
             (e.g. ``{"block_length": 4096}`` for ``blocked``).
         trace: Path to a recorded trace file, or ``None``.
         mmap: Memory-map an npz trace instead of loading it.
+        live: Updates are pushed in at service time over ``sites`` sites;
+            the spec describes a :class:`repro.observability.live.LiveTracker`
+            deployment and refuses batch :meth:`RunSpec.run`.
     """
 
     stream: Optional[str] = "random_walk"
@@ -211,6 +216,7 @@ class SourceSpec:
     assignment_params: Dict[str, object] = field(default_factory=dict)
     trace: Optional[str] = None
     mmap: bool = False
+    live: bool = False
 
     def validate(self) -> None:
         if self.stream is not None and self.trace is not None:
@@ -220,12 +226,21 @@ class SourceSpec:
                 f"trace (got source.stream={self.stream!r} and "
                 f"source.trace={self.trace!r})"
             )
-        if self.stream is None and self.trace is None:
+        if self.live and (self.stream is not None or self.trace is not None):
+            raise ProtocolError(
+                "source.live specs take their updates from the service feed; "
+                "they are mutually exclusive with source.stream and "
+                f"source.trace (got source.stream={self.stream!r}, "
+                f"source.trace={self.trace!r})"
+            )
+        if self.stream is None and self.trace is None and not self.live:
             raise ValueError(
                 "the source axis needs a workload: set source.stream (a "
                 f"generator from {sorted(STREAM_REGISTRY)}) or source.trace "
                 "(a recorded trace file)"
             )
+        if self.live and self.sites < 1:
+            raise ValueError(f"source.sites must be >= 1, got {self.sites}")
         if self.stream is not None:
             _check_name(self.stream, tuple(STREAM_REGISTRY), "source.stream")
             if self.length < 1:
@@ -600,15 +615,30 @@ class RunSpec:
                 f"columnar replay engine; combine it with engine='arrays' "
                 f"(got engine={self.engine!r})"
             )
+        if self.source.live:
+            if engine not in ("auto", "per-update"):
+                raise ProtocolError(
+                    "a live service ingests one pushed update at a time; "
+                    "source.live requires engine='auto' or 'per-update' "
+                    f"(got engine={self.engine!r})"
+                )
+            if self.transport.mode != "sync":
+                raise ProtocolError(
+                    "the live service delivers pushed updates synchronously "
+                    "as they arrive; source.live requires "
+                    f"transport.mode='sync' (got {self.transport.mode!r})"
+                )
         if (
-            self.source.stream is not None
+            (self.source.stream is not None or self.source.live)
             and self.topology.shards > self.source.sites
         ):
             raise ValueError(
                 f"topology.shards={self.topology.shards} needs at least one "
                 f"site per shard, but source.sites={self.source.sites}"
             )
-        if self.source.stream is not None and self.topology.is_tree():
+        if (
+            self.source.stream is not None or self.source.live
+        ) and self.topology.is_tree():
             min_leaves = 1
             for fan in self.topology.resolve_fanouts():
                 min_leaves *= fan
@@ -671,6 +701,15 @@ class RunSpec:
                     f"unknown {name} fields {bad}; known fields are "
                     f"{sorted(known)}"
                 )
+            section_data = dict(section_data)
+            if (
+                name == "source"
+                and section_data.get("live")
+                and "stream" not in section_data
+            ):
+                # A live source has no generator; don't let the field's
+                # random_walk default trip the mutual-exclusion check.
+                section_data["stream"] = None
             sections[name] = section_cls(**section_data)
         return cls(
             engine=str(data.get("engine", "auto")),
@@ -770,6 +809,12 @@ class RunSpec:
                 tracker sweep).  Ignored for generator sources.
         """
         self.validate()
+        if self.source.live:
+            raise ProtocolError(
+                "source.live specs have no batch workload to run; serve them "
+                "with `repro serve --config <spec>` (or build the network "
+                "alone with spec.build_network())"
+            )
         engine = self.canonical_engine()
         stream: Optional[StreamSpec] = None
         updates: Optional[list] = None
@@ -784,6 +829,34 @@ class RunSpec:
                 stream, self.source.sites, self.source.build_assignment()
             )
             num_sites = self.source.sites
+        network, factory = self._wire_network(num_sites)
+        return BuiltRun(
+            spec=self,
+            engine=engine,
+            factory=factory,
+            network=network,
+            stream=stream,
+            updates=updates,
+            columns=columns,
+            num_sites=num_sites,
+        )
+
+    def build_network(self, num_sites: Optional[int] = None):
+        """Validate, then wire just the network axes (no workload).
+
+        The workload-free half of :meth:`build` — tracker x topology x
+        transport for ``num_sites`` sites (default ``source.sites``) — used
+        by the live service (:class:`repro.observability.live.LiveTracker`)
+        for ``source.live`` specs, whose updates arrive over a feed instead
+        of from the source axis.
+        """
+        self.validate()
+        resolved = self.source.sites if num_sites is None else int(num_sites)
+        network, _ = self._wire_network(resolved)
+        return network
+
+    def _wire_network(self, num_sites: int):
+        """Wire tracker x topology x transport; return (network, factory)."""
         factory = self.tracker.build_factory(num_sites)
         fanouts = self.topology.resolve_fanouts()
         hierarchical = bool(fanouts)
@@ -855,16 +928,7 @@ class RunSpec:
             )
         else:
             network = factory.build_network()
-        return BuiltRun(
-            spec=self,
-            engine=engine,
-            factory=factory,
-            network=network,
-            stream=stream,
-            updates=updates,
-            columns=columns,
-            num_sites=num_sites,
-        )
+        return network, factory
 
     def run(self) -> TrackingResult:
         """Build and execute the run; return a uniform result.

@@ -288,6 +288,8 @@ class AsyncChannel(Channel):
         """Hand one in-flight message to its handler at virtual time ``at``."""
         self._clock = at
         self.delivery_ages.append(at - item.sent_at)
+        if self.observer is not None:
+            self.observer.on_delivery(item.message, at - item.sent_at)
         high = self._link_delivered_high.get(item.link, -1)
         if item.link_order < high:
             self.reordered_deliveries += 1

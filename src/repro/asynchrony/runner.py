@@ -73,6 +73,10 @@ class AsyncTrackingResult(TrackingResult):
         """Absolute estimate error after every in-flight message landed."""
         return abs(self.final_true_value - self.final_estimate)
 
+    def _elapsed_clock(self) -> float:
+        """The transport's drained clock, which runs past the last record."""
+        return max(self.final_clock, super()._elapsed_clock())
+
     def summary(self, epsilon=None) -> dict:
         """The synchronous summary plus the asynchronous run's signals.
 

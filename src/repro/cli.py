@@ -11,6 +11,7 @@ at the paper's claims directly from a shell::
     python -m repro latency --stream biased_walk --scales 0 1 4 16 64
     python -m repro trace --stream random_walk --length 1000000 --out big.npz
     python -m repro run --config examples/specs/quickstart.json
+    python -m repro serve --config examples/specs/live_service.json
 
 Each subcommand prints a plain-text table in the same format the benchmark
 harness uses for EXPERIMENTS.md.  ``tracking``, ``throughput`` and
@@ -42,7 +43,10 @@ whichever axis their table varies.  ``run`` closes the loop: any scenario
 saved as JSON (``RunSpec.save``, or written by hand — see
 ``examples/specs/``) executes with ``python -m repro run --config
 spec.json``, with ``--set field.path=value`` overrides for smoke-sized
-replays.
+replays (``--summary-out`` writes the JSON to a file instead of stdout).
+``serve`` turns a spec into a long-lived service: a live tracker fed over a
+TCP line protocol, scraped at ``/metrics`` and ``/status``
+(:mod:`repro.observability`).
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.api import (
@@ -383,7 +388,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="include the per-step records in the JSON output "
         "(TrackingResult.to_dict instead of summary)",
     )
+    run_parser.add_argument(
+        "--summary-out",
+        metavar="PATH",
+        default=None,
+        help="write the JSON document to PATH instead of stdout "
+        "(stdout then carries a one-line confirmation)",
+    )
     _add_workers_option(run_parser, "running several --config files")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="stand up a live tracker service (HTTP /metrics + /status, "
+        "TCP line feed) from a RunSpec",
+    )
+    serve_parser.add_argument(
+        "--config",
+        required=True,
+        metavar="PATH",
+        help="RunSpec JSON document with a source.live (or generator) "
+        "source and a synchronous transport; see "
+        "examples/specs/live_service.json",
+    )
+    serve_parser.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        dest="overrides",
+        help="override one spec field by dotted path before serving "
+        "(same vocabulary as `repro run --set`)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--http-port",
+        type=int,
+        default=8077,
+        help="HTTP port for /metrics, /status and /healthz (0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--feed-port",
+        type=int,
+        default=8078,
+        help="TCP port of the line-protocol update feed: one "
+        "'time site delta' triple per line (0 = ephemeral)",
+    )
+    serve_parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve for a fixed time then exit cleanly "
+        "(default: until SIGINT/SIGTERM)",
+    )
+    serve_parser.add_argument(
+        "--error-threshold",
+        type=float,
+        default=None,
+        help="relative error that counts as a violation and raises the "
+        "error alert (default: the spec's tracker.epsilon)",
+    )
+    serve_parser.add_argument(
+        "--alert-value",
+        type=float,
+        action="append",
+        default=[],
+        dest="alert_values",
+        metavar="VALUE",
+        help="record an alert when the estimate crosses VALUE upward "
+        "(repeatable)",
+    )
+    serve_parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=0,
+        metavar="N",
+        help="keep the last N structured trace events in memory "
+        "(0 = tracing off)",
+    )
 
     frequency_parser = subparsers.add_parser(
         "frequency", help="run the Appendix H frequency tracker on a Zipfian workload"
@@ -523,17 +607,7 @@ def _command_run(args: argparse.Namespace) -> str:
     """
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
-    overrides = {}
-    for item in args.overrides:
-        path, sep, raw = item.partition("=")
-        if not sep or not path:
-            raise SystemExit(
-                f"--set expects FIELD=VALUE (dotted field path), got {item!r}"
-            )
-        try:
-            overrides[path] = json.loads(raw)
-        except json.JSONDecodeError:
-            overrides[path] = raw
+    overrides = _parse_overrides(args.overrides)
     specs = []
     for config in args.configs:
         spec = RunSpec.load(config)
@@ -561,6 +635,10 @@ def _command_run(args: argparse.Namespace) -> str:
                 "config": str(config),
                 "overrides": overrides,
                 "spec": spec.to_dict(),
+                # The provenance stamp rides at the top level too, so it is
+                # present (and greppable) whether the result below is the
+                # summary or the full --records dump.
+                "provenance": spec.provenance(),
                 "result": (
                     result.to_dict(epsilon)
                     if args.records
@@ -569,7 +647,93 @@ def _command_run(args: argparse.Namespace) -> str:
             }
         )
     document = payloads[0] if len(payloads) == 1 else payloads
-    return json.dumps(document, indent=2, sort_keys=True)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.summary_out is not None:
+        import pathlib
+
+        pathlib.Path(args.summary_out).write_text(text + "\n", encoding="utf-8")
+        runs = len(payloads)
+        return (
+            f"wrote {runs} run{'s' if runs != 1 else ''} "
+            f"(spec hash{'es' if runs != 1 else ''} "
+            f"{', '.join(p['provenance']['spec_hash'][:12] for p in payloads)}) "
+            f"to {args.summary_out}"
+        )
+    return text
+
+
+def _parse_overrides(items: Sequence[str]) -> dict:
+    """Parse repeated ``--set FIELD=VALUE`` flags into an override mapping."""
+    overrides = {}
+    for item in items:
+        path, sep, raw = item.partition("=")
+        if not sep or not path:
+            raise SystemExit(
+                f"--set expects FIELD=VALUE (dotted field path), got {item!r}"
+            )
+        try:
+            overrides[path] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[path] = raw
+    return overrides
+
+
+def _command_serve(args: argparse.Namespace) -> str:
+    """``repro serve --config spec.json``: run the live tracker service.
+
+    Prints a banner with the resolved endpoints, then blocks until
+    ``--duration`` elapses or SIGINT/SIGTERM arrives, and exits with a final
+    status JSON on stdout.  The HTTP endpoint serves ``/metrics``
+    (Prometheus text format), ``/status`` (JSON) and ``/healthz``; the TCP
+    feed ingests one ``time site delta`` triple per line.
+    """
+    import signal
+
+    from repro.observability import LiveTracker, LiveTrackerServer, TraceLog
+
+    spec = RunSpec.load(args.config)
+    overrides = _parse_overrides(args.overrides)
+    if overrides:
+        spec = spec.with_overrides(overrides)
+    trace = TraceLog(args.trace_capacity) if args.trace_capacity > 0 else None
+    tracker = LiveTracker(
+        spec,
+        trace=trace,
+        error_threshold=args.error_threshold,
+        alert_values=args.alert_values,
+    )
+    server = LiveTrackerServer(
+        tracker,
+        host=args.host,
+        http_port=args.http_port,
+        feed_port=args.feed_port,
+    ).start()
+    stop = threading.Event()
+
+    def _stop(signum, frame):
+        stop.set()
+
+    # Signal handlers only install on the main thread; under a test driver
+    # the Event simply waits out --duration instead.
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _stop)
+        except ValueError:
+            break
+    print(
+        f"repro serve: k={spec.source.sites} tracker={spec.tracker.name} "
+        f"eps={spec.tracker.epsilon} spec={spec.spec_hash()[:12]}\n"
+        f"  metrics  http://{args.host}:{server.http_port}/metrics\n"
+        f"  status   http://{args.host}:{server.http_port}/status\n"
+        f"  feed     {args.host}:{server.feed_port}  "
+        "(one 'time site delta' per line)",
+        flush=True,
+    )
+    try:
+        stop.wait(timeout=args.duration)
+    finally:
+        server.shutdown()
+    return json.dumps(server.status(), indent=2, sort_keys=True)
 
 
 def _command_frequency(args: argparse.Namespace) -> str:
@@ -830,6 +994,7 @@ _COMMANDS = {
     "latency": _command_latency,
     "trace": _command_trace,
     "run": _command_run,
+    "serve": _command_serve,
     "frequency": _command_frequency,
     "lowerbound": _command_lowerbound,
 }

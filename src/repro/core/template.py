@@ -305,6 +305,12 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
     #: only engages when the coordinator declares its reset idempotent.
     idempotent_block_start = False
 
+    #: Optional observability hook bracketing real block-close rounds
+    #: (:mod:`repro.observability.instrument`).  Observers are read-only;
+    #: closes the span kernel simulates in closed form bypass these calls
+    #: and surface through coordinator state at scrape time instead.
+    observer = None
+
     def __init__(self, num_sites: int, epsilon: float) -> None:
         check_tracking_parameters(num_sites, epsilon)
         super().__init__()
@@ -404,6 +410,8 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
         self._collecting_replies = True
         self._replies = {}
         self._close_time = time
+        if self.observer is not None:
+            self.observer.on_close_begin(self, time)
         for site_id in range(self.num_sites):
             self.send(
                 Message(
@@ -444,6 +452,8 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
                 time=self._close_time,
             )
         )
+        if self.observer is not None:
+            self.observer.on_close_end(self, self._close_time)
 
     # -- estimation hooks ----------------------------------------------------
 

@@ -24,6 +24,7 @@ class ChannelStats:
     messages: int = 0
     bits: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
+    bits_by_kind: dict[str, int] = field(default_factory=dict)
 
     def _charge(self, kind_value: str, copies: int, total_bits: int) -> None:
         """Single accounting primitive every charge path funnels through.
@@ -35,6 +36,9 @@ class ChannelStats:
         self.messages += copies
         self.bits += total_bits
         self.by_kind[kind_value] = self.by_kind.get(kind_value, 0) + copies
+        self.bits_by_kind[kind_value] = (
+            self.bits_by_kind.get(kind_value, 0) + total_bits
+        )
 
     def record(self, message: Message, copies: int = 1) -> None:
         """Charge ``copies`` transmissions of ``message``."""
@@ -51,7 +55,10 @@ class ChannelStats:
     def snapshot(self) -> "ChannelStats":
         """Return an independent copy of the current counters."""
         return ChannelStats(
-            messages=self.messages, bits=self.bits, by_kind=dict(self.by_kind)
+            messages=self.messages,
+            bits=self.bits,
+            by_kind=dict(self.by_kind),
+            bits_by_kind=dict(self.bits_by_kind),
         )
 
     def __add__(self, other: "ChannelStats") -> "ChannelStats":
@@ -66,10 +73,14 @@ class ChannelStats:
         by_kind = dict(self.by_kind)
         for kind, count in other.by_kind.items():
             by_kind[kind] = by_kind.get(kind, 0) + count
+        bits_by_kind = dict(self.bits_by_kind)
+        for kind, count in other.bits_by_kind.items():
+            bits_by_kind[kind] = bits_by_kind.get(kind, 0) + count
         return ChannelStats(
             messages=self.messages + other.messages,
             bits=self.bits + other.bits,
             by_kind=by_kind,
+            bits_by_kind=bits_by_kind,
         )
 
     def __radd__(self, other: object) -> "ChannelStats":
@@ -79,6 +90,28 @@ class ChannelStats:
         if isinstance(other, ChannelStats):
             return other.__add__(self)
         return NotImplemented
+
+    def rate(self, clock: float) -> dict:
+        """Throughput of this counter over ``clock`` units of (virtual) time.
+
+        Returns ``{"elapsed", "messages_per_unit", "bits_per_unit"}`` —
+        zeros when no time has elapsed, so a zero-length run is reportable.
+        Used by both ``result.summary()["rates"]`` and the live service's
+        rate gauges, so a Prometheus scrape and a batch summary agree by
+        construction.
+        """
+        elapsed = float(clock)
+        if elapsed <= 0.0:
+            return {
+                "elapsed": 0.0,
+                "messages_per_unit": 0.0,
+                "bits_per_unit": 0.0,
+            }
+        return {
+            "elapsed": elapsed,
+            "messages_per_unit": self.messages / elapsed,
+            "bits_per_unit": self.bits / elapsed,
+        }
 
     @classmethod
     def merge(cls, stats: "Iterable[ChannelStats]") -> "ChannelStats":
@@ -94,6 +127,10 @@ class ChannelStats:
             total.bits += item.bits
             for kind, count in item.by_kind.items():
                 total.by_kind[kind] = total.by_kind.get(kind, 0) + count
+            for kind, count in item.bits_by_kind.items():
+                total.bits_by_kind[kind] = (
+                    total.bits_by_kind.get(kind, 0) + count
+                )
         return total
 
 
@@ -117,6 +154,11 @@ class Channel:
         self.stats = ChannelStats()
         self._log: List[Message] = []
         self._record_log = False
+        #: Optional observability hook (see
+        #: :mod:`repro.observability.instrument`).  Observers are strictly
+        #: read-only: with one attached, accounting and delivery behave
+        #: bit-for-bit as with ``None``.
+        self.observer = None
 
     @property
     def num_sites(self) -> int:
@@ -142,6 +184,8 @@ class Channel:
         time, one log entry per charged copy.
         """
         self.stats.record(message, copies=copies)
+        if self.observer is not None:
+            self.observer.on_message(message, copies)
         if self._record_log:
             if copies == 1:
                 self._log.append(message)
@@ -207,6 +251,8 @@ class Channel:
                 f"cannot charge {copies} messages / {total_bits} bits"
             )
         self.stats.record_bulk(kind.value, copies, total_bits)
+        if self.observer is not None:
+            self.observer.on_bulk(kind.value, copies, total_bits)
 
     def adopt_accounting(self, other: "Channel") -> None:
         """Continue ``other``'s cumulative accounting on this channel.
@@ -221,6 +267,7 @@ class Channel:
         self.stats = other.stats
         self._log = other._log
         self._record_log = other._record_log
+        self.observer = other.observer
 
     def send_to_site(self, message: Message) -> None:
         """Deliver a coordinator-to-site message (or broadcast) and charge its cost.

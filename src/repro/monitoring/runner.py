@@ -111,6 +111,29 @@ class TrackingResult:
             return 0.0
         return self.error_violations(epsilon) / len(self.records)
 
+    def _elapsed_clock(self) -> float:
+        """The run's elapsed (virtual) time, for rate normalisation.
+
+        The synchronous engines' clock is the stream timestamp of the last
+        recorded step; the asynchronous result overrides this with the
+        transport's final virtual clock when that runs ahead.
+        """
+        if not self.records:
+            return 0.0
+        return float(self.records[-1].time)
+
+    def rates(self) -> dict:
+        """Message and bit throughput over the run's elapsed (virtual) time.
+
+        Delegates to :meth:`repro.monitoring.channel.ChannelStats.rate`, the
+        same helper the live service's rate gauges use, so a Prometheus
+        scrape and a batch summary report identical numbers.
+        """
+        from repro.monitoring.channel import ChannelStats
+
+        stats = ChannelStats(messages=self.total_messages, bits=self.total_bits)
+        return stats.rate(self._elapsed_clock())
+
     def summary(self, epsilon: Optional[float] = None) -> dict:
         """The run's headline numbers as one JSON-compatible dict.
 
@@ -124,11 +147,12 @@ class TrackingResult:
 
         Returns:
             A dict with ``num_records``, ``total_messages``, ``total_bits``,
-            ``messages_by_kind`` and ``max_relative_error`` — plus
-            ``epsilon``, ``error_violations`` and ``violation_fraction``
-            when ``epsilon`` is given, ``levels`` (the per-level
-            communication view) for hierarchical runs, and ``provenance``
-            when the run came through the spec layer.
+            ``messages_by_kind``, ``max_relative_error`` and ``rates``
+            (messages/bits per unit of the run's clock) — plus ``epsilon``,
+            ``error_violations`` and ``violation_fraction`` when ``epsilon``
+            is given, ``levels`` (the per-level communication view) for
+            hierarchical runs, and ``provenance`` when the run came through
+            the spec layer.
         """
         data = {
             "num_records": self.length,
@@ -136,6 +160,7 @@ class TrackingResult:
             "total_bits": self.total_bits,
             "messages_by_kind": dict(self.messages_by_kind),
             "max_relative_error": self.max_relative_error(),
+            "rates": self.rates(),
         }
         if epsilon is not None:
             data["epsilon"] = epsilon

@@ -656,7 +656,7 @@ def migrate_site(
         if parent is not None and parent.root_network is not None:
             wrapper.push_estimate(time)
 
-    return MigrationReport(
+    report = MigrationReport(
         site_id=site_id,
         source_leaf=source_leaf,
         dest_leaf=dest_leaf,
@@ -666,6 +666,13 @@ def migrate_site(
         handoff_messages=ledger.messages,
         handoff_bits=ledger.bits,
     )
+    # The rebuilt leaf channels adopted their predecessors' observers, but
+    # the fresh coordinators start blank — let any attached instrumentation
+    # re-walk the tree and record the handoff.
+    observer = getattr(network, "observer", None)
+    if observer is not None:
+        observer.on_migration(network, report)
+    return report
 
 
 def _charge_checkpoint(

@@ -1,0 +1,47 @@
+"""Metrics, tracing and the live tracker service.
+
+Layered on top of the monitoring stack without touching its semantics:
+
+* :mod:`repro.observability.metrics` — dependency-free counters, gauges and
+  histograms with labels, rendered in Prometheus text exposition format;
+* :mod:`repro.observability.tracelog` — ring-buffered structured trace
+  events with spans for block-close rounds, dumpable to JSON;
+* :mod:`repro.observability.instrument` — attaches per-level observers to
+  the channels and coordinators of any topology (zero overhead and
+  bit-for-bit identical behaviour when nothing is attached);
+* :mod:`repro.observability.live` — the long-lived :class:`LiveTracker`
+  service ingesting updates incrementally (push API + line-protocol socket
+  feed) and serving ``/metrics`` + ``/status`` over HTTP, driven by
+  ``repro serve --config spec.json``.
+"""
+
+from repro.observability.instrument import (
+    NetworkInstrumentation,
+    instrument_network,
+)
+from repro.observability.live import LiveTracker, LiveTrackerServer
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.observability.tracelog import TraceEvent, TraceLog, TraceSpan
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "TraceEvent",
+    "TraceSpan",
+    "TraceLog",
+    "NetworkInstrumentation",
+    "instrument_network",
+    "LiveTracker",
+    "LiveTrackerServer",
+]

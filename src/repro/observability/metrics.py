@@ -1,0 +1,353 @@
+"""Dependency-free metrics registry with Prometheus text exposition.
+
+The observability layer needs to count protocol events (messages, bits,
+block closes, deliveries) and expose live state (estimate, staleness,
+violation fraction) without pulling in a metrics client library — the
+repo's rule is stdlib + NumPy only.  This module implements the minimal
+Prometheus data model the live service needs:
+
+* :class:`Counter` — a monotonically increasing total;
+* :class:`Gauge` — a value that can go up and down;
+* :class:`Histogram` — bucketed observations with ``_sum`` and ``_count``;
+* all three come in *families* carrying label names, with one child per
+  distinct label-value combination (``family.labels(kind="report")``);
+* :class:`MetricsRegistry` — owns the families, runs registered
+  *collectors* (callbacks that refresh derived gauges) at scrape time, and
+  renders everything in the Prometheus text exposition format v0.0.4
+  (``# HELP`` / ``# TYPE`` lines, escaped label values, histogram
+  ``_bucket``/``_sum``/``_count`` series).
+
+Hot-path use is cheap by construction: instrumentation resolves label
+children once (``family.labels(...)`` returns a stable child object) and
+then calls ``child.inc(...)`` — two attribute lookups and an add.  The
+registry itself is not thread-safe; concurrent users (the live service)
+serialize pushes and scrapes behind one lock, see
+:class:`repro.observability.live.LiveTracker`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets, tuned for the protocol's natural scales
+#: (virtual-time delivery ages and per-event message counts both live in
+#: this range).
+DEFAULT_BUCKETS = (
+    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """One number in exposition format: integers bare, specials spelled out."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format's quoting rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _render_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    """The ``{name="value",...}`` fragment (empty string for no labels)."""
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+class Counter:
+    """One monotonically increasing series (a family child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters are monotone; cannot add {amount}"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """One settable series (a family child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+
+class Histogram:
+    """One bucketed series (a family child): cumulative buckets, sum, count."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = tuple(buckets)
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        # Per-bucket counts; the render path accumulates them into the
+        # cumulative series the exposition format wants.
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """A named metric with label names and one child per label combination.
+
+    Obtained from the registry (:meth:`MetricsRegistry.counter` and
+    friends), never constructed directly.  An unlabeled family delegates
+    ``inc``/``set``/``dec``/``observe`` to its single implicit child, so
+    ``registry.gauge("repro_estimate", "...").set(4.0)`` reads naturally.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        metric_type: str,
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not _METRIC_NAME.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_NAME.match(label):
+                raise ConfigurationError(
+                    f"invalid label name {label!r} on metric {name!r}"
+                )
+        self.name = name
+        self.help_text = help_text
+        self.metric_type = metric_type
+        self.label_names = tuple(str(label) for label in label_names)
+        self._buckets = tuple(sorted(float(b) for b in buckets))
+        self._children: Dict[Tuple[str, ...], object] = {}
+        if not self.label_names:
+            self._children[()] = self._new_child()
+
+    def _new_child(self):
+        child_type = _CHILD_TYPES[self.metric_type]
+        if self.metric_type == "histogram":
+            return child_type(self._buckets)
+        return child_type()
+
+    def labels(self, **label_values: object):
+        """The child for one label-value combination (created on first use).
+
+        The returned child is a stable object; hot paths resolve it once
+        and keep the handle.
+        """
+        if set(label_values) != set(self.label_names):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(self.label_names)}, got {sorted(label_values)}"
+            )
+        key = tuple(str(label_values[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _only_child(self):
+        if self.label_names:
+            raise ConfigurationError(
+                f"metric {self.name!r} is labeled; address a child with "
+                f".labels({', '.join(self.label_names)}=...)"
+            )
+        return self._children[()]
+
+    # Unlabeled convenience: delegate to the single implicit child.
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._only_child().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._only_child().set(value)
+
+    def observe(self, value: float) -> None:
+        self._only_child().observe(value)
+
+    @property
+    def value(self) -> float:
+        """The unlabeled child's current value (counters and gauges)."""
+        return self._only_child().value
+
+    def samples(self) -> Iterable[Tuple[str, Tuple[str, ...], float]]:
+        """Every rendered series as ``(suffix, label_values_with_extra, value)``."""
+        for key in sorted(self._children):
+            child = self._children[key]
+            if self.metric_type == "histogram":
+                cumulative = 0
+                for bound, count in zip(child.buckets, child.counts):
+                    cumulative += count
+                    yield "_bucket", key + (_format_value(bound),), cumulative
+                yield "_bucket", key + ("+Inf",), child.count
+                yield "_sum", key, child.sum
+                yield "_count", key, child.count
+            else:
+                yield "", key, child.value
+
+    def render(self) -> List[str]:
+        """This family's exposition lines, HELP and TYPE first."""
+        lines = [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.metric_type}",
+        ]
+        bucket_labels = self.label_names + ("le",)
+        for suffix, values, value in self.samples():
+            names = bucket_labels if suffix == "_bucket" else self.label_names
+            lines.append(
+                f"{self.name}{suffix}"
+                f"{_render_labels(names, values)} {_format_value(value)}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """Owns metric families and renders them as Prometheus text.
+
+    ``counter``/``gauge``/``histogram`` are idempotent: asking for an
+    existing name returns the existing family (the type and label names
+    must agree, otherwise the call fails loudly).  *Collectors* registered
+    with :meth:`add_collector` run at the start of every :meth:`render`,
+    which is how derived gauges (staleness, violation fraction, shard
+    imbalance) are refreshed from live network state exactly when a scrape
+    asks for them.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    def _family(
+        self,
+        name: str,
+        help_text: str,
+        metric_type: str,
+        labels: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if (
+                existing.metric_type != metric_type
+                or existing.label_names != tuple(labels)
+            ):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a "
+                    f"{existing.metric_type} with labels "
+                    f"{list(existing.label_names)}; cannot re-register as a "
+                    f"{metric_type} with labels {list(labels)}"
+                )
+            return existing
+        family = MetricFamily(name, help_text, metric_type, labels, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Get or create a counter family."""
+        return self._family(name, help_text, "counter", labels)
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        """Get or create a gauge family."""
+        return self._family(name, help_text, "gauge", labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        """Get or create a histogram family."""
+        return self._family(name, help_text, "histogram", labels, buckets)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, or ``None``."""
+        return self._families.get(name)
+
+    def add_collector(self, collector: Callable[[], None]) -> None:
+        """Run ``collector`` before every render (refresh derived gauges)."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        """Run every registered collector now (render does this itself)."""
+        for collector in self._collectors:
+            collector()
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text exposition format v0.0.4."""
+        self.collect()
+        lines: List[str] = []
+        for name in sorted(self._families):
+            lines.extend(self._families[name].render())
+        return "\n".join(lines) + "\n" if lines else ""

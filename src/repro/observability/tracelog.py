@@ -1,0 +1,143 @@
+"""Ring-buffered structured trace events with spans for block rounds.
+
+Metrics aggregate; traces explain.  The :class:`TraceLog` keeps the last
+``capacity`` structured events in a ring buffer (``collections.deque`` with
+``maxlen``), so a long-lived service can always answer "what were the most
+recent protocol events" without unbounded memory.  Two event shapes:
+
+* **point events** — :meth:`TraceLog.emit` records one named event at one
+  virtual time with arbitrary JSON-compatible fields (a send, a delivery,
+  a migration);
+* **spans** — :meth:`TraceLog.begin_span` returns a handle;
+  :meth:`TraceSpan.end` records one event covering the whole interval
+  (``start``/``end``/``duration``).  The instrumentation layer uses spans
+  for block-close rounds: the span opens when the coordinator starts
+  requesting ``(c_i, f_i)`` and closes when the new level is broadcast, so
+  under the asynchronous transport the span's duration is the round's
+  virtual-time cost.
+
+The whole log dumps to JSON (:meth:`TraceLog.to_json` / :meth:`dump`), one
+object per event, in emission order.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import deque
+from typing import Dict, Iterator, List, Optional
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TraceEvent", "TraceSpan", "TraceLog"]
+
+
+class TraceEvent:
+    """One structured event: a name, a virtual time, and free-form fields."""
+
+    __slots__ = ("seq", "name", "time", "fields")
+
+    def __init__(self, seq: int, name: str, time: float, fields: Dict[str, object]):
+        self.seq = seq
+        self.name = name
+        self.time = time
+        self.fields = fields
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (fields flattened next to name/time/seq)."""
+        data = {"seq": self.seq, "name": self.name, "time": self.time}
+        data.update(self.fields)
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.to_dict()!r})"
+
+
+class TraceSpan:
+    """An open interval; :meth:`end` emits the completed span event."""
+
+    __slots__ = ("_log", "name", "start", "_fields", "_closed")
+
+    def __init__(self, log: "TraceLog", name: str, start: float, fields: dict):
+        self._log = log
+        self.name = name
+        self.start = float(start)
+        self._fields = fields
+        self._closed = False
+
+    def end(self, time: float, **fields: object) -> TraceEvent:
+        """Close the span at ``time``; extra fields join the begin fields."""
+        if self._closed:
+            raise ConfigurationError(
+                f"span {self.name!r} (start {self.start}) already ended"
+            )
+        self._closed = True
+        merged = dict(self._fields)
+        merged.update(fields)
+        merged["start"] = self.start
+        merged["end"] = float(time)
+        merged["duration"] = float(time) - self.start
+        return self._log.emit(self.name, time=float(time), **merged)
+
+
+class TraceLog:
+    """A bounded, JSON-dumpable log of structured protocol events."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"trace log capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+        #: Events emitted over the log's lifetime (>= len(log) once the
+        #: ring has wrapped).
+        self.emitted = 0
+
+    def emit(self, name: str, time: float = 0.0, **fields: object) -> TraceEvent:
+        """Record one event; the oldest event is dropped when full."""
+        event = TraceEvent(self._seq, str(name), float(time), fields)
+        self._seq += 1
+        self.emitted += 1
+        self._events.append(event)
+        return event
+
+    def begin_span(self, name: str, time: float, **fields: object) -> TraceSpan:
+        """Open a span at ``time``; nothing is recorded until ``end``."""
+        return TraceSpan(self, name, time, fields)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(list(self._events))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def named(self, name: str) -> List[TraceEvent]:
+        """The retained events with one name, oldest first."""
+        return [event for event in self._events if event.name == name]
+
+    def clear(self) -> None:
+        """Drop every retained event (sequence numbers keep increasing)."""
+        self._events.clear()
+
+    def to_dicts(self) -> List[dict]:
+        """Every retained event as a JSON-compatible dict, oldest first."""
+        return [event.to_dict() for event in self._events]
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The retained events as one JSON array."""
+        return json.dumps(self.to_dicts(), indent=indent)
+
+    def dump(self, path) -> int:
+        """Write :meth:`to_json` to ``path``; returns the event count."""
+        events = self.to_dicts()
+        pathlib.Path(path).write_text(
+            json.dumps(events, indent=2) + "\n", encoding="utf-8"
+        )
+        return len(events)

@@ -288,6 +288,13 @@ class TestCommittedExampleSpecs:
     def test_spec_round_trips_and_runs_smoke_sized(self, path):
         spec = RunSpec.load(path)
         assert RunSpec.from_dict(spec.to_dict()) == spec
+        if spec.source.live:
+            # A live spec has no batch workload; its executable surface is
+            # the network build (`repro serve` drives it end-to-end in
+            # tests/test_live_service.py).
+            spec.validate()
+            assert spec.build_network() is not None
+            return
         smoke = spec.with_overrides(
             {"source.length": 600, "record_every": 60}
         ).validate()

@@ -1,0 +1,267 @@
+"""The live tracker service: push API, alerts, HTTP exposition, socket feed.
+
+The service's headline contract is *same protocol, different clock*: a
+:class:`LiveTracker` fed update-by-update over the push API must land on
+exactly the estimate, message count and bit count the offline per-update
+engine reports for the identical stream, and its ``/metrics`` scrape must
+carry those numbers in Prometheus text format.  Around that: the live spec
+axis (``source.live``) refuses batch entry points, alerts fire on error
+and value-threshold crossings, the feed's line protocol tolerates garbage,
+and the whole server stands up on ephemeral ports and tears down cleanly —
+including driven end-to-end through ``repro serve`` in-process.
+"""
+
+import json
+import socket
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api import RunSpec
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.observability import LiveTracker, LiveTrackerServer, TraceLog
+from repro.observability.live import METRICS_CONTENT_TYPE, parse_feed_line
+
+SITES = 6
+LENGTH = 800
+
+
+def _spec(**overrides):
+    data = {
+        "source": {"stream": "random_walk", "length": LENGTH, "sites": SITES,
+                   "seed": 11},
+        "tracker": {"name": "deterministic", "epsilon": 0.1},
+    }
+    data.update(overrides)
+    return RunSpec.from_dict(data)
+
+
+def _live_spec(**source_overrides):
+    source = {"live": True, "sites": SITES, "seed": 11}
+    source.update(source_overrides)
+    return RunSpec.from_dict(
+        {"source": source, "tracker": {"name": "deterministic", "epsilon": 0.1}}
+    )
+
+
+def _stream_updates(spec):
+    """The spec's generator workload as (time, site, delta) triples."""
+    built = spec.build()
+    return [(u.time, u.site, u.delta) for u in built.updates]
+
+
+class TestFeedLineProtocol:
+    def test_parses_whitespace_and_commas(self):
+        assert parse_feed_line("3 1 -1") == (3, 1, -1)
+        assert parse_feed_line(" 7,2,1 ") == (7, 2, 1)
+
+    def test_skips_blanks_and_comments(self):
+        assert parse_feed_line("") is None
+        assert parse_feed_line("   ") is None
+        assert parse_feed_line("# header") is None
+
+    @pytest.mark.parametrize("line", ["1 2", "1 2 3 4", "a b c", "1.5 0 1"])
+    def test_rejects_malformed_lines(self, line):
+        with pytest.raises(ValueError):
+            parse_feed_line(line)
+
+
+class TestLiveSpecAxis:
+    def test_live_source_round_trips(self):
+        spec = _live_spec()
+        spec.validate()
+        again = RunSpec.from_dict(spec.to_dict())
+        assert again.source.live is True
+        assert again.to_dict() == spec.to_dict()
+
+    def test_live_spec_refuses_batch_run(self):
+        with pytest.raises(ProtocolError, match="repro serve"):
+            _live_spec().build()
+
+    def test_live_excludes_trace_and_needs_sites(self):
+        with pytest.raises(ProtocolError):
+            RunSpec.from_dict(
+                {
+                    "source": {"live": True, "sites": 4,
+                               "trace": "updates.csv"},
+                    "tracker": {"name": "deterministic", "epsilon": 0.1},
+                }
+            ).validate()
+        with pytest.raises(ValueError):
+            _live_spec(sites=0).validate()
+
+    def test_live_requires_sync_transport(self):
+        spec = _live_spec()
+        spec.transport.mode = "async"
+        spec.transport.latency = "constant"
+        spec.transport.scale = 1.0
+        with pytest.raises(ProtocolError):
+            spec.validate()
+
+    def test_build_network_matches_topology(self):
+        spec = _live_spec(sites=8)
+        spec.topology.shards = 2
+        network = spec.build_network()
+        assert network.num_shards == 2
+        assert network.estimate() == 0.0
+
+
+class TestLiveTrackerPushApi:
+    def test_push_replay_matches_offline_run_exactly(self):
+        spec = _spec()
+        offline = spec.build().run()
+        tracker = LiveTracker(_spec())
+        last = 0.0
+        for time, site, delta in _stream_updates(spec):
+            last = tracker.push(time, site, delta)
+        assert last == offline.records[-1].estimate
+        assert tracker.updates == LENGTH
+        status = tracker.status()
+        assert status["total_messages"] == offline.total_messages
+        assert status["total_bits"] == offline.total_bits
+        assert status["messages_by_kind"] == offline.messages_by_kind
+        assert status["rates"] == offline.summary()["rates"]
+
+    def test_scrape_carries_service_series(self):
+        spec = _spec()
+        tracker = LiveTracker(_spec())
+        for time, site, delta in _stream_updates(spec)[:200]:
+            tracker.push(time, site, delta)
+        text = tracker.scrape()
+        assert "repro_updates_total 200\n" in text
+        assert "repro_estimate " in text
+        assert "repro_true_value " in text
+        assert "repro_messages_total{" in text
+        assert 'repro_info{repro_version="' in text
+        assert "repro_message_rate " in text
+
+    def test_value_alerts_fire_once_per_upward_crossing(self):
+        tracker = LiveTracker(_spec(), alert_values=(3.0,))
+        for t in range(1, 5):
+            tracker.push(t, 0, +1)  # estimate tracks the count upward
+        crossings = [a for a in tracker.alerts if a["type"] == "value"]
+        assert len(crossings) == 1
+        assert crossings[0]["threshold"] == 3.0
+        assert tracker.alerts_total == len(tracker.alerts)
+
+    def test_alerts_recorded_in_trace(self):
+        trace = TraceLog()
+        tracker = LiveTracker(_spec(), trace=trace, alert_values=(2.0,))
+        for t in range(1, 4):
+            tracker.push(t, 0, +1)
+        assert len(trace.named("alert")) == 1
+
+    def test_refuses_async_and_trace_specs(self):
+        spec = _spec()
+        spec.transport.mode = "async"
+        spec.transport.latency = "constant"
+        spec.transport.scale = 1.0
+        with pytest.raises(ConfigurationError):
+            LiveTracker(spec)
+        with pytest.raises(ConfigurationError):
+            LiveTracker(_spec(), error_threshold=0.0)
+
+
+class TestLiveTrackerServer:
+    def _serve(self, **tracker_kwargs):
+        tracker = LiveTracker(_spec(), **tracker_kwargs)
+        server = LiveTrackerServer(tracker, http_port=0, feed_port=0)
+        server.start()
+        return tracker, server
+
+    def _get(self, server, path):
+        url = f"http://127.0.0.1:{server.http_port}{path}"
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.headers, response.read()
+
+    def test_http_endpoints(self):
+        tracker, server = self._serve()
+        try:
+            tracker.push(1, 0, 1)
+            status, headers, body = self._get(server, "/metrics")
+            assert status == 200
+            assert headers["Content-Type"] == METRICS_CONTENT_TYPE
+            assert b"repro_updates_total 1\n" in body
+            status, headers, body = self._get(server, "/status")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["updates"] == 1
+            assert payload["feed"] == {"lines": 0, "errors": 0}
+            assert payload["endpoints"]["metrics"].endswith("/metrics")
+            status, _, body = self._get(server, "/healthz")
+            assert status == 200 and body == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(server, "/nope")
+            assert excinfo.value.code == 404
+        finally:
+            server.shutdown()
+
+    def test_socket_feed_ingests_and_counts_errors(self):
+        tracker, server = self._serve()
+        try:
+            lines = b"\n".join(
+                [
+                    b"# comment",
+                    b"1 0 1",
+                    b"2 1 1",
+                    b"not a line",  # malformed -> error, connection survives
+                    b"3 99 1",  # site out of range -> error, survives
+                    b"4 2 -1",
+                    b"",
+                ]
+            )
+            with socket.create_connection(
+                ("127.0.0.1", server.feed_port), timeout=10
+            ) as sock:
+                sock.sendall(lines)
+                sock.shutdown(socket.SHUT_WR)
+                sock.recv(1)  # wait for the handler to drain and close
+            deadline = threading.Event()
+            for _ in range(100):
+                if server.feed_lines == 3 and server.feed_errors == 2:
+                    break
+                deadline.wait(0.05)
+            assert server.feed_lines == 3
+            assert server.feed_errors == 2
+            assert tracker.updates == 3
+            assert tracker.true_value == 1
+        finally:
+            server.shutdown()
+
+    def test_double_start_refused_and_shutdown_idempotent(self):
+        tracker, server = self._serve()
+        try:
+            with pytest.raises(ProtocolError):
+                server.start()
+        finally:
+            server.shutdown()
+            server.shutdown()  # second teardown is a no-op
+
+
+class TestServeCommand:
+    def test_serve_runs_for_duration_and_reports_status(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "live.json"
+        _live_spec().save(path)
+        code = main(
+            [
+                "serve",
+                "--config",
+                str(path),
+                "--http-port",
+                "0",
+                "--feed-port",
+                "0",
+                "--duration",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "/metrics" in out
+        # The final line block is the service's closing status JSON.
+        payload = json.loads(out[out.index("{"):])
+        assert payload["updates"] == 0
+        assert payload["feed"] == {"lines": 0, "errors": 0}
