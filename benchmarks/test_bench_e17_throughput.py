@@ -76,6 +76,14 @@ def test_bench_e17_throughput(benchmark, table_printer):
         ["algorithm", "k", "n", "per-update up/s", "batched up/s", "speedup"],
         rows,
     )
+    # The batched rates feed the bench-trend CI job (benchmarks/trend.py):
+    # every *_updates_per_second key is diffed against the committed
+    # baseline, so a kernel regression shows up as a failing delta row.
+    for tracker, num_sites, _, _, fast_rate, _ in rows[:-1]:
+        benchmark.extra_info[
+            f"{tracker}_k{num_sites}_updates_per_second"
+        ] = fast_rate
+    benchmark.extra_info["headline_updates_per_second"] = rows[-1][4]
     # The batched engine must never lose to per-update dispatch.
     for row in rows:
         check(row[5] >= 1.0)

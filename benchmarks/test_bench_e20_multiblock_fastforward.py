@@ -14,6 +14,14 @@ the seed single-close engine) — and reports both ratios against per-update
 dispatch.  The ON/OFF runs must agree on every counter (structural assert,
 any scale); the quantitative claim is that fast-forwarding makes the
 batched engine strictly faster on the k = 4 rows that motivated it.
+
+A second sweep drives the *cross-level* regime: a biased walk whose block
+closes climb the level ladder mid-run.  These rows used to cut the
+fast-forward window at every level change and replay per update; the close
+ladder (``_close_ladder``) now walks the whole level schedule in closed
+form, so cross-level throughput must stay within 2x of the same-level rows
+above — the ROADMAP's "level-crossing rows no longer regress to fallback
+speed" target.
 """
 
 import time
@@ -40,16 +48,17 @@ def _fingerprint(result):
     )
 
 
-def _base_spec(num_sites: int, tracker: str) -> RunSpec:
+def _base_spec(num_sites: int, tracker: str, stream: str = "random_walk", **params) -> RunSpec:
     """The E20 scenario, declared once; the engine axis varies per run."""
     return RunSpec(
         source=SourceSpec(
-            stream="random_walk",
+            stream=stream,
             length=SWEEP_N,
             seed=SEED,
             sites=num_sites,
             assignment="blocked",
             assignment_params={"block_length": BLOCK_LENGTH},
+            params=params,
         ),
         tracker=TrackerSpec(name=tracker, epsilon=EPSILON, seed=5),
         topology=TopologySpec(shards=1),
@@ -98,8 +107,36 @@ def _measure():
     return rows
 
 
+def _measure_cross_level():
+    """Fast-forward throughput when block closes climb levels mid-run."""
+    rows = []
+    for num_sites in SITE_COUNTS:
+        for name in ("deterministic", "randomized"):
+            base = _base_spec(num_sites, name, stream="biased_walk", drift=0.6)
+            slow_seconds, slow = _timed_run(
+                base.with_overrides({"engine": "per-update"})
+            )
+            fast_seconds, fast = _timed_run(base)
+            assert _fingerprint(slow) == _fingerprint(fast)
+            rows.append(
+                [
+                    name,
+                    num_sites,
+                    SWEEP_N,
+                    round(SWEEP_N / slow_seconds),
+                    round(SWEEP_N / fast_seconds),
+                    round(slow_seconds / fast_seconds, 2),
+                ]
+            )
+    return rows
+
+
+def _both():
+    return _measure(), _measure_cross_level()
+
+
 def test_bench_e20_multiblock_fastforward(benchmark, table_printer):
-    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    rows, cross_rows = benchmark.pedantic(_both, rounds=1, iterations=1)
     table_printer(
         "E20 / engine — multi-block fast-forward vs single-close batched "
         "(random walk, blocked assignment)",
@@ -116,6 +153,28 @@ def test_bench_e20_multiblock_fastforward(benchmark, table_printer):
         ],
         rows,
     )
+    table_printer(
+        "E20 / engine — cross-level fast-forward (biased walk drift=0.6, "
+        "closes climb the level ladder)",
+        [
+            "algorithm",
+            "k",
+            "n",
+            "per-update up/s",
+            "fast-forward up/s",
+            "ff speedup",
+        ],
+        cross_rows,
+    )
+    # Throughput rows for the bench-trend CI job (benchmarks/trend.py).
+    for row in rows:
+        benchmark.extra_info[
+            f"{row[0]}_k{row[1]}_fastforward_updates_per_second"
+        ] = row[5]
+    for row in cross_rows:
+        benchmark.extra_info[
+            f"{row[0]}_k{row[1]}_crosslevel_updates_per_second"
+        ] = row[4]
     for row in rows:
         # Fast-forwarding must never lose to the single-close engine.
         check(row[8] >= 1.0, f"fast-forward slower than single-close: {row}")
@@ -126,3 +185,15 @@ def test_bench_e20_multiblock_fastforward(benchmark, table_printer):
         if row[1] == 4:
             check(row[8] >= 1.2, f"no multi-block win on the k=4 row: {row}")
             check(row[7] > row[6], f"batched speedup did not improve: {row}")
+    # Cross-level rows ride the close ladder instead of falling back to
+    # per-update replay: within 2x of the matching same-level rows.
+    same_level = {(row[0], row[1]): row[5] for row in rows}
+    for row in cross_rows:
+        reference = same_level[(row[0], row[1])]
+        check(
+            row[4] * 2 >= reference,
+            f"cross-level throughput fell behind 2x of same-level: "
+            f"{row[4]} vs {reference} ({row[0]}, k={row[1]})",
+        )
+        # And it must beat its own per-update baseline outright.
+        check(row[5] >= 1.0, f"cross-level fast-forward lost to per-update: {row}")

@@ -1,0 +1,181 @@
+"""Throughput-trend guard: diff fresh benchmark runs against baselines.
+
+The benchmark suite (E17/E20/E21) records its headline rates as
+``extra_info`` keys ending in ``updates_per_second`` in the pytest-benchmark
+JSON.  This script compares a fresh set of those JSONs against the committed
+baselines in ``benchmarks/baselines/`` and fails when any rate regressed by
+more than the tolerance (default 25%), printing a per-row delta table either
+way.  Improvements and new keys pass; a key that *disappears* fails, because
+silently dropping a tracked rate would defeat the guard.
+
+When several input JSONs carry the same benchmark (repeat runs), the *best*
+rate per key wins.  Smoke-mode workloads finish in milliseconds, so a single
+run's rate carries scheduler jitter far beyond the regression tolerance;
+best-of-N is the stable statistic (slowdowns are noise, speed is real).
+The CI job runs each benchmark three times for exactly this reason, and
+baselines should be regenerated the same way.
+
+Usage (what the ``bench-trend`` CI job runs)::
+
+    python benchmarks/trend.py BENCH_e17*.json BENCH_e20*.json \
+        BENCH_e21*.json --baselines benchmarks/baselines
+
+After an intentional perf change (or on a machine with a different speed
+class), regenerate the baselines from the same fresh JSONs and commit them::
+
+    python benchmarks/trend.py BENCH_*.json --baselines benchmarks/baselines \
+        --write
+
+Rates scale with machine speed, so baselines are only meaningful against
+runs from the same environment; the tolerance absorbs run-to-run noise, not
+hardware differences.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RATE_SUFFIX = "updates_per_second"
+
+
+def _load_rates(bench_json: Path):
+    """``{benchmark name: {extra_info rate key: value}}`` from one JSON."""
+    with bench_json.open() as handle:
+        payload = json.load(handle)
+    rates = {}
+    for bench in payload.get("benchmarks", []):
+        keyed = {
+            key: float(value)
+            for key, value in bench.get("extra_info", {}).items()
+            if key.endswith(RATE_SUFFIX)
+        }
+        if keyed:
+            rates[bench["name"]] = keyed
+    return rates
+
+
+def _baseline_path(baselines: Path, name: str) -> Path:
+    return baselines / f"{name}.json"
+
+
+def _write_baselines(fresh, baselines: Path) -> None:
+    baselines.mkdir(parents=True, exist_ok=True)
+    for name, keyed in sorted(fresh.items()):
+        path = _baseline_path(baselines, name)
+        path.write_text(
+            json.dumps({"benchmark": name, "rates": keyed}, indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"wrote {path} ({len(keyed)} rates)")
+
+
+def _print_table(rows) -> None:
+    headers = ["benchmark", "rate key", "baseline", "fresh", "delta", "status"]
+    widths = [
+        max(len(headers[col]), max((len(row[col]) for row in rows), default=0))
+        for col in range(len(headers))
+    ]
+    for line in (headers, ["-" * width for width in widths]):
+        print("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "bench_json",
+        nargs="+",
+        type=Path,
+        help="pytest-benchmark JSON files from a fresh run",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=Path(__file__).parent / "baselines",
+        help="directory of committed per-benchmark baseline JSONs",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the baselines from the fresh JSONs instead of diffing",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = {}
+    for path in args.bench_json:
+        for name, keyed in _load_rates(path).items():
+            merged = fresh.setdefault(name, {})
+            for key, value in keyed.items():
+                merged[key] = max(value, merged.get(key, value))
+    if not fresh:
+        print("no *updates_per_second rates found in the given JSONs", file=sys.stderr)
+        return 1
+
+    if args.write:
+        _write_baselines(fresh, args.baselines)
+        return 0
+
+    rows = []
+    failures = []
+    for name, keyed in sorted(fresh.items()):
+        baseline_file = _baseline_path(args.baselines, name)
+        if not baseline_file.exists():
+            failures.append(
+                f"{name}: no baseline at {baseline_file}; run with --write to create"
+            )
+            continue
+        baseline = json.loads(baseline_file.read_text())["rates"]
+        for key in sorted(set(baseline) | set(keyed)):
+            old = baseline.get(key)
+            new = keyed.get(key)
+            if new is None:
+                status = "MISSING"
+                failures.append(f"{name}/{key}: rate vanished from the fresh run")
+                delta = "-"
+            elif old is None:
+                status = "new"
+                delta = "-"
+            else:
+                change = (new - old) / old
+                delta = f"{change:+.1%}"
+                if change < -args.tolerance:
+                    status = "REGRESSED"
+                    failures.append(
+                        f"{name}/{key}: {old:.0f} -> {new:.0f} ({change:+.1%}, "
+                        f"tolerance -{args.tolerance:.0%})"
+                    )
+                else:
+                    status = "ok"
+            rows.append(
+                [
+                    name,
+                    key,
+                    "-" if old is None else f"{old:,.0f}",
+                    "-" if new is None else f"{new:,.0f}",
+                    delta,
+                    status,
+                ]
+            )
+
+    _print_table(rows)
+    if failures:
+        print("\nthroughput trend check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall rates within -{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

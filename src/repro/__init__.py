@@ -84,6 +84,7 @@ from repro.api import (
     RunSpec,
     SourceSpec,
     Sweep,
+    SweepError,
     SweepPoint,
     TopologySpec,
     TrackerSpec,
@@ -96,6 +97,7 @@ from repro.monitoring import (
     build_sharded_network,
     run_tracking,
     run_tracking_arrays,
+    run_tracking_tree_arrays,
 )
 from repro.sketches import AmsF2Sketch, CountMinSketch, CRPrecis
 from repro.streams import (
@@ -134,6 +136,7 @@ __all__ = [
     "TopologySpec",
     "TransportSpec",
     "Sweep",
+    "SweepError",
     "SweepPoint",
     # core
     "variability",
@@ -163,6 +166,7 @@ __all__ = [
     "build_sharded_network",
     "run_tracking",
     "run_tracking_arrays",
+    "run_tracking_tree_arrays",
     "build_sharded_async_network",
     # asynchrony
     "AsyncChannel",

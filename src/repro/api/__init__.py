@@ -42,7 +42,7 @@ from repro.api.spec import (
     TrackerSpec,
     TransportSpec,
 )
-from repro.api.sweep import Sweep, SweepPoint
+from repro.api.sweep import Sweep, SweepError, SweepPoint
 
 __all__ = [
     "RunSpec",
@@ -52,6 +52,7 @@ __all__ = [
     "TopologySpec",
     "TransportSpec",
     "Sweep",
+    "SweepError",
     "SweepPoint",
     "STREAM_REGISTRY",
     "TRACKER_NAMES",

@@ -17,7 +17,9 @@ implements behind one serializable dataclass:
 * **transport** — synchronous instant delivery, or the discrete-event
   asynchronous channel with a named latency model;
 * **engine** — per-update dispatch, the span kernel's batched fast path,
-  columnar array replay, or ``auto``.
+  columnar array replay (routed tree-direct through
+  :func:`~repro.monitoring.runner.run_tracking_tree_arrays` when the
+  topology is hierarchical), or ``auto``.
 
 The lifecycle is ``validate() -> build() -> run()``: validation centralizes
 every cross-axis combination check that used to live scattered across the
@@ -52,6 +54,7 @@ from repro.monitoring.runner import (
     TrackingResult,
     run_tracking,
     run_tracking_arrays,
+    run_tracking_tree_arrays,
 )
 from repro.monitoring.sharding import (
     ContiguousSharding,
@@ -987,7 +990,19 @@ class BuiltRun:
                 batched=self.engine == "batched",
             )
         elif self.engine == "arrays":
-            result = run_tracking_arrays(
+            # Hierarchical networks replay through the tree-direct engine:
+            # one precomputed leaf-routing pass instead of a per-segment
+            # descent, and untouched lazy leaves never materialise.  Flat
+            # networks take the plain columnar cutter; both are bit-for-bit
+            # identical to per-update delivery.
+            from repro.monitoring.sharding import ShardedNetwork
+
+            arrays_runner = (
+                run_tracking_tree_arrays
+                if isinstance(self.network, ShardedNetwork)
+                else run_tracking_arrays
+            )
+            result = arrays_runner(
                 self.network,
                 self.columns.times,
                 self.columns.sites,

@@ -13,6 +13,8 @@ nothing more than a list of specs plus a convenience runner.
 from __future__ import annotations
 
 import itertools
+import json
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
@@ -21,16 +23,54 @@ from repro.api.spec import RunSpec
 from repro.exceptions import ConfigurationError
 from repro.monitoring.runner import TrackingResult
 
-__all__ = ["Sweep", "SweepPoint"]
+__all__ = ["Sweep", "SweepError", "SweepPoint"]
 
 
-def _run_spec_payload(payload: dict) -> TrackingResult:
+def _run_spec_payload(payload: dict) -> Tuple[bool, object]:
     """Worker-process entry point: rebuild one grid point's spec and run it.
 
     Module-level (not a closure) so it pickles under the spawn start method;
-    the spec travels as its serialized dict, the result object travels back.
+    the spec travels as its serialized dict.  Returns ``(True, result)`` on
+    success and ``(False, formatted_traceback)`` on failure — an exception
+    object would cross the process boundary stripped of its child-side
+    traceback (and some don't pickle at all), so the text crosses instead
+    and the parent re-raises it as a :class:`SweepError` that names the
+    failing spec.
     """
-    return RunSpec.from_dict(payload).run()
+    try:
+        return True, RunSpec.from_dict(payload).run()
+    except BaseException:
+        return False, traceback.format_exc()
+
+
+class SweepError(RuntimeError):
+    """One grid point of a parallel sweep failed in its worker process.
+
+    Carries everything needed to reproduce the failure without re-running
+    the sweep: the child process's full traceback text and the failing
+    point's serialized spec (``RunSpec.from_dict(error.spec_dict).run()``
+    replays it in-process).
+
+    Attributes:
+        overrides: The dotted-path overrides that produced the failing point.
+        spec_dict: The failing spec, as :meth:`RunSpec.to_dict` emitted it.
+        child_traceback: The worker process's formatted traceback.
+    """
+
+    def __init__(
+        self,
+        overrides: Dict[str, object],
+        spec_dict: dict,
+        child_traceback: str,
+    ) -> None:
+        super().__init__(
+            f"sweep point {overrides!r} failed in its worker process\n"
+            f"--- child traceback ---\n{child_traceback.rstrip()}\n"
+            f"--- failing spec ---\n{json.dumps(spec_dict, sort_keys=True)}"
+        )
+        self.overrides = dict(overrides)
+        self.spec_dict = spec_dict
+        self.child_traceback = child_traceback
 
 
 @dataclass(frozen=True)
@@ -110,8 +150,16 @@ class Sweep:
                 :class:`~concurrent.futures.ProcessPoolExecutor` — results
                 come back in grid order regardless of completion order, and
                 every result carries the same provenance stamp a serial run
-                would.  The default stays serial (no subprocess overhead,
-                exceptions surface at the offending point).
+                would.  Points are shipped to the pool in chunks (several
+                specs per task) so large grids of short runs are not
+                dominated by per-task pickling round-trips.  The default
+                stays serial (no subprocess overhead, exceptions surface at
+                the offending point).
+
+        Raises:
+            SweepError: A grid point raised in its worker process.  The
+                error carries the child's full traceback and the failing
+                spec's ``to_dict()`` for an in-process replay.
         """
         if workers < 1:
             raise ConfigurationError(
@@ -123,14 +171,20 @@ class Sweep:
                 SweepPoint(overrides=overrides, spec=spec, result=spec.run())
                 for overrides, spec in expanded
             ]
-        with ProcessPoolExecutor(max_workers=min(workers, len(expanded))) as pool:
-            results = list(
-                pool.map(
-                    _run_spec_payload,
-                    [spec.to_dict() for _, spec in expanded],
-                )
+        payloads = [spec.to_dict() for _, spec in expanded]
+        pool_width = min(workers, len(expanded))
+        # ~4 chunks per worker: large enough to amortise task pickling,
+        # small enough to keep the pool balanced when run times vary.
+        chunksize = max(1, len(expanded) // (pool_width * 4))
+        with ProcessPoolExecutor(max_workers=pool_width) as pool:
+            outcomes = list(
+                pool.map(_run_spec_payload, payloads, chunksize=chunksize)
             )
-        return [
-            SweepPoint(overrides=overrides, spec=spec, result=result)
-            for (overrides, spec), result in zip(expanded, results)
-        ]
+        points = []
+        for (overrides, spec), payload, (ok, value) in zip(
+            expanded, payloads, outcomes
+        ):
+            if not ok:
+                raise SweepError(overrides, payload, value)
+            points.append(SweepPoint(overrides=overrides, spec=spec, result=value))
+        return points

@@ -21,7 +21,11 @@ results; see :mod:`repro.monitoring.runner` and
 :mod:`repro.engine`): ``per-update`` dispatches one update at a time,
 ``batched`` runs the span kernel's closed-form fast path, and ``arrays``
 replays a columnar trace file (``--trace``, CSV or npz; npz traces are
-memory-mapped with ``--mmap``) with no per-update objects at all.
+memory-mapped with ``--mmap``) with no per-update objects at all — over a
+tree topology the replay routes tree-direct
+(:func:`repro.monitoring.runner.run_tracking_tree_arrays`): segments go
+straight to their leaf through one precomputed routing map, and leaves the
+trace never touches are never built.
 ``throughput`` measures what the chosen fast engine buys over per-update
 dispatch, ``latency`` sweeps the asynchronous transport's delivery-latency
 scale against the achieved error and staleness (:mod:`repro.asynchrony`;
@@ -110,8 +114,9 @@ def _add_engine_option(parser: argparse.ArgumentParser, extra: str = "") -> None
         choices=ENGINE_CHOICES,
         default="auto",
         help="delivery engine: per-update dispatch, the batched span kernel, "
-        "or columnar replay of a --trace file (identical results across "
-        "engines)" + extra,
+        "or columnar replay of a --trace file (tree-direct when the "
+        "topology is hierarchical; identical results across engines)"
+        + extra,
     )
 
 
@@ -395,6 +400,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON document to PATH instead of stdout "
         "(stdout then carries a one-line confirmation)",
     )
+    run_parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="profile the run(s) under cProfile and dump binary pstats to "
+        "PATH (inspect with `python -m pstats PATH`); runs in-process, so "
+        "not combinable with --workers > 1",
+    )
     _add_workers_option(run_parser, "running several --config files")
 
     serve_parser = subparsers.add_parser(
@@ -607,6 +620,11 @@ def _command_run(args: argparse.Namespace) -> str:
     """
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.profile is not None and args.workers > 1:
+        raise SystemExit(
+            "--profile traces the interpreter it runs in; child processes "
+            "would escape it — drop --workers to profile"
+        )
     overrides = _parse_overrides(args.overrides)
     specs = []
     for config in args.configs:
@@ -614,7 +632,17 @@ def _command_run(args: argparse.Namespace) -> str:
         if overrides:
             spec = spec.with_overrides(overrides)
         specs.append(spec.validate())
-    if args.workers > 1 and len(specs) > 1:
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            results = [spec.run() for spec in specs]
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+    elif args.workers > 1 and len(specs) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
         from repro.api.sweep import _run_spec_payload
@@ -622,9 +650,17 @@ def _command_run(args: argparse.Namespace) -> str:
         with ProcessPoolExecutor(
             max_workers=min(args.workers, len(specs))
         ) as pool:
-            results = list(
+            outcomes = list(
                 pool.map(_run_spec_payload, [spec.to_dict() for spec in specs])
             )
+        results = []
+        for config, (ok, value) in zip(args.configs, outcomes):
+            if not ok:
+                raise SystemExit(
+                    f"run for --config {config} failed in its worker "
+                    f"process:\n{value}"
+                )
+            results.append(value)
     else:
         results = [spec.run() for spec in specs]
     payloads = []

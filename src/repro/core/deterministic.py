@@ -148,38 +148,128 @@ class DeterministicSite(BlockTrackingSite):
         self.unreported_drift = residual
         return length
 
+    def _threshold_at(self, level: int) -> float:
+        return 1.0 if level == 0 else self.epsilon * (2 ** level)
+
     def on_multiblock_window(
-        self, deltas: np.ndarray, start: int, length: int, cycle_length: int
+        self,
+        deltas: np.ndarray,
+        start: int,
+        length: int,
+        cycle_length: int,
+        close_offsets: "np.ndarray | None" = None,
+        levels: "np.ndarray | None" = None,
     ) -> bool:
         """Simulate the estimation side of a multi-close window in one pass.
 
-        Only the *dense* regime is accepted — ``threshold <= 1``, so every
-        unit step crosses the report condition and resets the residual.
-        That is exactly the regime in which multi-block windows arise (low
-        levels, where blocks are short) and the one where per-update
-        dispatch is most expensive.  Every report in the window is
-        superseded by a block close before the next observation point, so
-        all of them are charged: the drift value at each step is the
-        window's running sum rebased at the preceding close (drift resets to
-        zero at every block start), which one cumulative sum plus an
-        arithmetic baseline lookup yields for all steps at once.
+        Every report in the window is superseded by a block close before
+        the next observation point, so all of them are charged.  Dense
+        regime (``threshold <= 1``): every unit step crosses the report
+        condition and resets the residual, so the drift value at each step
+        is the window's running sum rebased at the preceding close (drift
+        resets to zero at every block start) — one cumulative sum plus an
+        arithmetic baseline lookup yields all of them at once.  Sparse
+        regime (``threshold > 1``): within each cycle the report offsets
+        are found by the same vectorised threshold-crossing scan the
+        trigger-free batch path uses — a report moves the residual baseline
+        to the path value at the report, the cycle close resets both drift
+        and residual, and the charged payload is the drift (path rebased at
+        the cycle start), not the residual.  Cross-level windows walk the
+        per-close level schedule one same-level stretch at a time, so each
+        cycle runs at its own threshold.
         """
-        threshold = 1.0 if self.level == 0 else self.epsilon * (2 ** self.level)
-        if threshold > 1.0 or self.unreported_drift != 0:
-            return False
+        entry_threshold = self._threshold_at(self.level)
+        if (
+            close_offsets is None
+            and entry_threshold <= 1.0
+            and self.unreported_drift == 0
+        ):
+            # Uniform dense window from a zero residual: every step reports.
+            window = deltas[start : start + length]
+            path = np.cumsum(window)
+            drifts = np.empty(length, dtype=np.int64)
+            drifts[0] = self.drift + int(window[0])
+            if length > 1:
+                offsets = np.arange(1, length)
+                previous_close = ((offsets - 1) // cycle_length) * cycle_length
+                drifts[1:] = path[1:] - path[previous_close]
+            self._channel.charge(
+                MessageKind.REPORT,
+                length,
+                int(integer_bit_lengths(drifts).sum()) + length * HEADER_BITS,
+            )
+            self.drift = 0
+            self.unreported_drift = 0
+            return True
         window = deltas[start : start + length]
         path = np.cumsum(window)
-        drifts = np.empty(length, dtype=np.int64)
-        drifts[0] = self.drift + int(window[0])
-        if length > 1:
-            offsets = np.arange(1, length)
-            previous_close = ((offsets - 1) // cycle_length) * cycle_length
-            drifts[1:] = path[1:] - path[previous_close]
-        self._channel.charge(
-            MessageKind.REPORT,
-            length,
-            int(integer_bit_lengths(drifts).sum()) + length * HEADER_BITS,
-        )
+        if close_offsets is None:
+            close_offsets = np.arange(0, length, cycle_length, dtype=np.int64)
+            levels = np.full(close_offsets.size, self.level, dtype=np.int64)
+        n_reports = 0
+        total_bits = 0
+        # Entry step: processed at the current level with the carried-over
+        # residual; the first close then wipes both drift and residual.
+        if abs(self.unreported_drift + int(window[0])) >= entry_threshold:
+            n_reports += 1
+            total_bits += HEADER_BITS + integer_bit_length(
+                self.drift + int(window[0])
+            )
+        closes = int(close_offsets.size)
+        j = 1
+        while j < closes:
+            # Stretch of consecutive cycles at the same (post-close) level.
+            level = int(levels[j - 1])
+            j_end = j
+            while j_end + 1 < closes and int(levels[j_end]) == level:
+                j_end += 1
+            threshold = self._threshold_at(level)
+            first = int(close_offsets[j - 1]) + 1
+            last = int(close_offsets[j_end])
+            cycle = int(close_offsets[j]) - int(close_offsets[j - 1])
+            if threshold <= 1.0:
+                # Dense stretch: every step reports; rebase at each cycle's
+                # preceding close arithmetically.
+                offs = np.arange(first, last + 1)
+                stretch_base = first - 1
+                previous_close = (
+                    stretch_base + ((offs - stretch_base - 1) // cycle) * cycle
+                )
+                drifts = path[offs] - path[previous_close]
+                n_reports += int(offs.size)
+                total_bits += int(offs.size) * HEADER_BITS + int(
+                    integer_bit_lengths(drifts).sum()
+                )
+            else:
+                # Sparse stretch: per-cycle threshold-crossing scan with the
+                # residual baseline moving to each report's path value.
+                for close_index in range(j, j_end + 1):
+                    cycle_start = int(close_offsets[close_index - 1])
+                    cycle_end = int(close_offsets[close_index])
+                    base_value = int(path[cycle_start])
+                    baseline = base_value
+                    position = cycle_start + 1
+                    segment = 32
+                    while position <= cycle_end:
+                        stop = min(position + segment, cycle_end + 1)
+                        hits = np.flatnonzero(
+                            np.abs(path[position:stop] - baseline) >= threshold
+                        )
+                        if hits.size:
+                            offset = position + int(hits[0])
+                            n_reports += 1
+                            total_bits += HEADER_BITS + integer_bit_length(
+                                int(path[offset]) - base_value
+                            )
+                            baseline = int(path[offset])
+                            position = offset + 1
+                            segment = 32
+                        else:
+                            position = stop
+                            segment = min(segment * 4, 1 << 16)
+            j = j_end + 1
+        if n_reports:
+            self._channel.charge(MessageKind.REPORT, n_reports, total_bits)
         self.drift = 0
         self.unreported_drift = 0
         return True

@@ -191,54 +191,120 @@ class RandomizedSite(BlockTrackingSite):
         return length
 
     def on_multiblock_window(
-        self, deltas: np.ndarray, start: int, length: int, cycle_length: int
+        self,
+        deltas: np.ndarray,
+        start: int,
+        length: int,
+        cycle_length: int,
+        close_offsets: "np.ndarray | None" = None,
+        levels: "np.ndarray | None" = None,
     ) -> bool:
         """Simulate the estimation side of a multi-close window in one pass.
 
-        The level — and with it the report probability — is fixed across the
-        window, so one bulk RNG draw covers every step (bit-identical to the
+        Uniform windows: the level — and with it the report probability — is
+        fixed, so one bulk RNG draw covers every step (bit-identical to the
         per-update scalar draws; with ``p >= 1`` no randomness is drawn at
-        all, again matching).  Every report in the window is superseded by a
-        block close before the next observation point, so all of them are
-        charged: the reported drift at each step is the sub-stream's running
-        count rebased at the preceding close (both counters reset at every
-        block start), computed for all reporting steps at once from the two
-        cumulative counts plus an arithmetic baseline lookup.
+        all, again matching).  Cross-level windows: the entry step draws one
+        scalar at the current level, then each same-level stretch of cycles
+        takes one bulk draw at its own probability — sequential bulk draws
+        consume the generator exactly like the per-update scalar sequence,
+        so seeds replay bit-for-bit.  Every report in the window is
+        superseded by a block close before the next observation point, so
+        all of them are charged: the reported drift at each step is the
+        sub-stream's running count rebased at the preceding close (both
+        counters reset at every block start), computed for all reporting
+        steps at once from the two cumulative counts plus an arithmetic
+        baseline lookup.
         """
-        probability = report_probability(self.level, self.num_sites, self.epsilon)
         window = deltas[start : start + length]
         positive_mask = window > 0
-        if probability >= 1.0:
-            offsets = np.arange(length)
-        else:
-            draws = self._rng.random(length)
-            offsets = np.flatnonzero(draws < probability)
-        if offsets.size:
-            positive = np.cumsum(positive_mask)
-            negative = np.cumsum(~positive_mask)
-            drifts = np.empty(offsets.size, dtype=np.int64)
-            first_is_entry = int(offsets[0]) == 0
-            rest = offsets[1:] if first_is_entry else offsets
-            if rest.size:
-                previous_close = ((rest - 1) // cycle_length) * cycle_length
-                drifts[offsets.size - rest.size :] = np.where(
-                    positive_mask[rest],
-                    positive[rest] - positive[previous_close],
-                    negative[rest] - negative[previous_close],
-                )
-            if first_is_entry:
-                drifts[0] = (
-                    self.positive_drift + 1
-                    if positive_mask[0]
-                    else self.negative_drift + 1
-                )
-            sign_bits = integer_bit_length(1)
-            self._channel.charge(
-                MessageKind.REPORT,
-                int(offsets.size),
-                int(integer_bit_lengths(drifts).sum())
-                + int(offsets.size) * (HEADER_BITS + sign_bits),
+        sign_bits = integer_bit_length(1)
+        if close_offsets is None:
+            probability = report_probability(
+                self.level, self.num_sites, self.epsilon
             )
+            if probability >= 1.0:
+                offsets = np.arange(length)
+            else:
+                draws = self._rng.random(length)
+                offsets = np.flatnonzero(draws < probability)
+            if offsets.size:
+                positive = np.cumsum(positive_mask)
+                negative = np.cumsum(~positive_mask)
+                drifts = np.empty(offsets.size, dtype=np.int64)
+                first_is_entry = int(offsets[0]) == 0
+                rest = offsets[1:] if first_is_entry else offsets
+                if rest.size:
+                    previous_close = ((rest - 1) // cycle_length) * cycle_length
+                    drifts[offsets.size - rest.size :] = np.where(
+                        positive_mask[rest],
+                        positive[rest] - positive[previous_close],
+                        negative[rest] - negative[previous_close],
+                    )
+                if first_is_entry:
+                    drifts[0] = (
+                        self.positive_drift + 1
+                        if positive_mask[0]
+                        else self.negative_drift + 1
+                    )
+                self._channel.charge(
+                    MessageKind.REPORT,
+                    int(offsets.size),
+                    int(integer_bit_lengths(drifts).sum())
+                    + int(offsets.size) * (HEADER_BITS + sign_bits),
+                )
+            self.positive_drift = 0
+            self.negative_drift = 0
+            return True
+        positive = np.cumsum(positive_mask)
+        negative = np.cumsum(~positive_mask)
+        n_reports = 0
+        total_bits = 0
+        # Entry step: one scalar draw at the current level (none when p >= 1),
+        # exactly as the per-update path would flip this step's coin.
+        probability = report_probability(self.level, self.num_sites, self.epsilon)
+        if probability >= 1.0 or self._rng.random() < probability:
+            drift = (
+                self.positive_drift + 1
+                if positive_mask[0]
+                else self.negative_drift + 1
+            )
+            n_reports += 1
+            total_bits += HEADER_BITS + sign_bits + integer_bit_length(int(drift))
+        closes = int(close_offsets.size)
+        j = 1
+        while j < closes:
+            # Stretch of consecutive cycles at the same (post-close) level.
+            level = int(levels[j - 1])
+            j_end = j
+            while j_end + 1 < closes and int(levels[j_end]) == level:
+                j_end += 1
+            first = int(close_offsets[j - 1]) + 1
+            last = int(close_offsets[j_end])
+            cycle = int(close_offsets[j]) - int(close_offsets[j - 1])
+            probability = report_probability(level, self.num_sites, self.epsilon)
+            if probability >= 1.0:
+                offs = np.arange(first, last + 1)
+            else:
+                draws = self._rng.random(last - first + 1)
+                offs = first + np.flatnonzero(draws < probability)
+            if offs.size:
+                stretch_base = first - 1
+                previous_close = (
+                    stretch_base + ((offs - stretch_base - 1) // cycle) * cycle
+                )
+                drifts = np.where(
+                    positive_mask[offs],
+                    positive[offs] - positive[previous_close],
+                    negative[offs] - negative[previous_close],
+                )
+                n_reports += int(offs.size)
+                total_bits += int(offs.size) * (HEADER_BITS + sign_bits) + int(
+                    integer_bit_lengths(drifts).sum()
+                )
+            j = j_end + 1
+        if n_reports:
+            self._channel.charge(MessageKind.REPORT, n_reports, total_bits)
         self.positive_drift = 0
         self.negative_drift = 0
         return True

@@ -271,15 +271,27 @@ class BlockTrackingSite(Site, abc.ABC):
         return 0
 
     def on_multiblock_window(
-        self, deltas: np.ndarray, start: int, length: int, cycle_length: int
+        self,
+        deltas: np.ndarray,
+        start: int,
+        length: int,
+        cycle_length: int,
+        close_offsets: "np.ndarray | None" = None,
+        levels: "np.ndarray | None" = None,
     ) -> bool:
         """Estimation hook (multi-block fast-forward): simulate whole cycles.
 
         The kernel calls this when the window
-        ``deltas[start:start + length]`` provably consists of block closes at
-        relative offsets ``0, cycle_length, 2 * cycle_length, ...`` (the last
-        step of the window is the final close) with the block level — and so
-        every threshold and probability — unchanged throughout.  Every
+        ``deltas[start:start + length]`` provably consists of block closes.
+        In the uniform form (``close_offsets is None``) the closes sit at
+        relative offsets ``0, cycle_length, 2 * cycle_length, ...`` (the
+        last step of the window is the final close) with the block level —
+        and so every threshold and probability — unchanged throughout.  In
+        the cross-level form the closes sit at ``close_offsets`` (first
+        ``0``, last ``length - 1``) and ``levels[j]`` is the block level
+        *after* close ``j``: the entry step runs at the current
+        ``self.level`` and cycle ``j`` (the steps after close ``j - 1`` up
+        to and including close ``j``) runs at ``levels[j - 1]``.  Every
         estimation report inside the window is superseded by a block close
         before the next observation point, so implementations must *charge*
         them all (identical per-message cost through

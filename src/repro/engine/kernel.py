@@ -45,6 +45,7 @@ stream generators and shard counts.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -78,25 +79,103 @@ def segment_cuts(site_array: np.ndarray, start_index: int, record_every: int):
     return sorted(cuts)
 
 
+@lru_cache(maxsize=None)
+def _band_edges(num_sites: int) -> np.ndarray:
+    """Ascending level-band thresholds for ``k`` sites.
+
+    The bands of :func:`repro.core.blocks.block_level` tile ``[0, inf)``
+    contiguously — level 0 is ``[0, 4k)`` and level ``r >= 1`` is
+    ``[2k * 2^r, 4k * 2^r)`` — so the level of any magnitude is the number
+    of edges ``4k, 8k, 16k, ...`` at or below it: one bisect
+    (``searchsorted``) over this precomputed array replaces the per-band
+    comparisons, and is exact integer arithmetic for every magnitude the
+    codebase can produce (payloads are bounded by stream length; see
+    :func:`repro.monitoring.messages.integer_bit_lengths`).
+    """
+    edges = [4 * num_sites]
+    while edges[-1] < (1 << 62):
+        edges.append(edges[-1] * 2)
+    return np.array(edges, dtype=np.int64)
+
+
+def _block_levels(boundaries: np.ndarray, num_sites: int) -> np.ndarray:
+    """Vectorised :func:`repro.core.blocks.block_level` over boundary values."""
+    return _band_edges(num_sites).searchsorted(np.abs(boundaries), side="right")
+
+
+def _count_thresholds(levels: np.ndarray) -> np.ndarray:
+    """Per-site count-report thresholds ``ceil(2^(r-1))`` for an array of levels."""
+    return np.int64(1) << np.maximum(levels.astype(np.int64) - 1, 0)
+
+
 def _stable_level_count(boundaries: np.ndarray, level: int, num_sites: int) -> int:
     """Number of leading boundary values whose block level stays ``level``.
 
-    Uses the integer band form of :func:`repro.core.blocks.block_level`
-    (``r = 0`` iff ``|f| < 4k``; ``r >= 1`` iff ``2k * 2^r <= |f| < 4k * 2^r``),
-    which is exact integer arithmetic — no floating-point log — and agrees
-    with the float formula for every magnitude below ~2^45, far beyond any
-    stream this codebase can produce (payloads are bounded by stream length;
-    see :func:`repro.monitoring.messages.integer_bit_lengths`).
+    A bisect over the precomputed band edges (:func:`_band_edges`) classifies
+    every boundary in one ``searchsorted`` pass instead of a per-band linear
+    comparison scan.
     """
-    magnitudes = np.abs(boundaries)
-    if level == 0:
-        stable = magnitudes < 4 * num_sites
-    else:
-        low = (2 * num_sites) * (2 ** level)
-        stable = (magnitudes >= low) & (magnitudes < 2 * low)
+    stable = _block_levels(boundaries, num_sites) == level
     if stable.all():
         return int(stable.size)
     return int(np.argmin(stable))
+
+
+def _close_ladder(
+    prefix: np.ndarray,
+    index: int,
+    length: int,
+    offset: int,
+    num_sites: int,
+):
+    """Positions, boundary values and post-close levels of a run's close ladder.
+
+    Starting from the triggered close at ``index`` (whose boundary value is
+    ``offset + prefix[index]``), each close's *post* level sets the cycle
+    length ``k * ceil(2^(r-1))`` to the next close, so the ladder is walked
+    one vectorised same-level stretch at a time: candidate positions are an
+    arithmetic progression, their boundary values come straight off the
+    prefix sums, their levels off the band-edge bisect, and the stretch ends
+    either at the run's edge or one past the first level change (the
+    transition close is taken — its broadcast re-levels the sites — and the
+    walk continues at the new level's cycle).
+
+    Returns ``(positions, boundaries, levels_after)`` as equal-length int64
+    arrays; ``positions[0] == index`` always.
+    """
+    edges = _band_edges(num_sites)
+    first_boundary = offset + int(prefix[index])
+    level = int(edges.searchsorted(abs(first_boundary), side="right"))
+    pos_chunks = [np.array([index], dtype=np.int64)]
+    bound_chunks = [np.array([first_boundary], dtype=np.int64)]
+    level_chunks = [np.array([level], dtype=np.int64)]
+    pos = index
+    while True:
+        cycle = num_sites * (1 << max(level - 1, 0))
+        max_more = (length - 1 - pos) // cycle
+        if max_more <= 0:
+            break
+        candidates = pos + cycle * np.arange(1, max_more + 1, dtype=np.int64)
+        bounds = offset + prefix[candidates]
+        cand_levels = edges.searchsorted(np.abs(bounds), side="right")
+        stable = cand_levels == level
+        if stable.all():
+            take = max_more
+        else:
+            take = int(np.argmin(stable)) + 1
+        pos_chunks.append(candidates[:take])
+        bound_chunks.append(bounds[:take])
+        level_chunks.append(cand_levels[:take].astype(np.int64))
+        pos = int(candidates[take - 1])
+        new_level = int(cand_levels[take - 1])
+        if new_level == level:
+            break
+        level = new_level
+    return (
+        np.concatenate(pos_chunks),
+        np.concatenate(bound_chunks),
+        np.concatenate(level_chunks),
+    )
 
 
 class SpanKernel:
@@ -377,28 +456,33 @@ class SpanKernel:
         prefix: np.ndarray,
         index: int,
     ) -> int:
-        """Simulate a run of consecutive same-level block closes in closed form.
+        """Simulate a run of consecutive block closes in closed form.
 
         Called at a closing step (the span arithmetic placed the next block
         trigger at this exact update).  At level ``r`` with per-site count
         threshold ``c = ceil(2^(r-1))``, a contiguous single-site run closes
         a block every ``L = c * k`` updates: ``k - 1`` count reports, then
         the closing report, then the request/reply/broadcast exchange with
-        idle peers.  As long as the boundary value stays inside level ``r``'s
-        band after each close — an exact integer range check over the run's
-        prefix sums — the *whole sequence of ``M`` closes* has closed form:
+        idle peers.  The whole close ladder — including closes whose
+        boundary value *leaves* the current level's band, after which the
+        next close sits the new level's cycle away — comes off the run's
+        prefix sums (:func:`_close_ladder`), so the *entire sequence of
+        ``M`` closes* has closed form even when it climbs levels:
 
-        * cost: ``M + (M-1)(k-1)`` count reports of payload ``c``, ``M * k``
-          requests, ``M * k`` replies (all-zero from peers, the cycle's net
-          change from this site), ``M * k`` broadcasts of level ``r``;
+        * cost: the triggering close's report at the entry threshold plus
+          ``k`` reports per later close at that cycle's own threshold,
+          ``M * k`` requests, ``M * k`` replies (all-zero from peers, the
+          cycle's net change from this site), ``M * k`` broadcasts carrying
+          each close's post level;
         * coordinator: ``boundary_time`` advances by every counted update,
-          ``boundary_value`` walks the per-cycle prefix sums,
-          ``blocks_completed += M``, level unchanged;
+          ``boundary_value`` walks the per-cycle prefix sums, the level
+          lands on the last close's band, ``blocks_completed += M``;
         * estimation: delegated to the site's ``on_multiblock_window`` hook,
           which reproduces state, RNG consumption and report costs across
           the window — every estimation report inside it is superseded by a
           block close before the next observation point, so all of them are
-          charged rather than delivered.
+          charged rather than delivered.  Cross-level windows pass the hook
+          the explicit close offsets and the per-close level schedule.
 
         Returns the number of steps consumed (0 if fast-forwarding does not
         apply here, in which case the caller simulates a single close).
@@ -415,11 +499,7 @@ class SpanKernel:
         trigger = coordinator.block_trigger_threshold()
         if coordinator.reported_updates + count < trigger:
             return 0
-        cycle = trigger  # L = c * k: steps between consecutive closes
         length = len(deltas)
-        max_closes = 1 + (length - index - 1) // cycle
-        if max_closes < 2:
-            return 0
         num_sites = network.num_sites
         # Peer value changes feed only the first boundary (the first close's
         # broadcast zeroes every peer); peer counts are folded into
@@ -428,30 +508,55 @@ class SpanKernel:
         for peer in network.sites:
             if peer is not site:
                 peer_change += peer.block_value_change
-        base = int(prefix[index])
         first_boundary = (
             coordinator.boundary_value
             + site.block_value_change
             + int(deltas[index])
             + peer_change
         )
-        close_positions = index + cycle * np.arange(max_closes)
-        boundaries = first_boundary + (prefix[close_positions] - base)
-        closes = _stable_level_count(boundaries, level, coordinator.num_sites)
+        offset = first_boundary - int(prefix[index])
+        positions, boundaries, levels_after = _close_ladder(
+            prefix, index, length, offset, coordinator.num_sites
+        )
+        closes = int(positions.size)
         if closes < 2:
             return 0
-        window = (closes - 1) * cycle + 1
-        # Estimation side first: the hook may decline (e.g. a deterministic
-        # tracker whose report threshold exceeds one unit step), in which
-        # case nothing has been committed yet and the single-close path runs.
-        if not site.on_multiblock_window(deltas, index, window, cycle):
+        window = int(positions[-1]) - index + 1
+        final_level = int(levels_after[-1])
+        # Cycle ``j`` (the steps between closes ``j-1`` and ``j``) runs at
+        # ``levels_after[j-1]``; the window is uniform when every cycle runs
+        # at the entry level, which keeps the hot same-level hook form.
+        uniform = bool((levels_after[:-1] == level).all())
+        # Estimation side first: the hook may decline, in which case nothing
+        # has been committed yet and the single-close path runs.
+        if uniform:
+            accepted = site.on_multiblock_window(deltas, index, window, trigger)
+        else:
+            accepted = site.on_multiblock_window(
+                deltas,
+                index,
+                window,
+                trigger,
+                close_offsets=positions - index,
+                levels=levels_after,
+            )
+        if not accepted:
             return 0
         channel = site._channel
-        # Count reports: the M closing reports plus (M-1)(k-1) in-cycle
-        # reports all carry the same payload c.
-        report_count = closes + (closes - 1) * (num_sites - 1)
-        report_bits = HEADER_BITS + integer_bit_length(count_threshold)
-        channel.charge(MessageKind.REPORT, report_count, report_count * report_bits)
+        # Count reports: the triggering close contributes 1 report at the
+        # entry threshold; each later close contributes k reports (k - 1
+        # in-cycle plus the closing one) at its own cycle's threshold.
+        entry_report_bits = HEADER_BITS + integer_bit_length(count_threshold)
+        report_count = 1 + (closes - 1) * num_sites
+        if uniform:
+            report_bits = report_count * entry_report_bits
+        else:
+            cycle_thresholds = _count_thresholds(levels_after[:-1])
+            report_bits = entry_report_bits + num_sites * (
+                (closes - 1) * HEADER_BITS
+                + int(integer_bit_lengths(cycle_thresholds).sum())
+            )
+        channel.charge(MessageKind.REPORT, report_count, report_bits)
         channel.charge(
             MessageKind.REQUEST, closes * num_sites, closes * num_sites * HEADER_BITS
         )
@@ -477,21 +582,19 @@ class SpanKernel:
                 )
             else:
                 reply_bits += zero_reply_bits
-        if closes > 1:
-            cycle_changes = prefix[close_positions[1:closes]] - prefix[
-                close_positions[: closes - 1]
-            ]
-            reply_bits += (closes - 1) * (
-                (num_sites - 1) * zero_reply_bits
-                + HEADER_BITS
-                + integer_bit_length(0)
-            ) + int(integer_bit_lengths(cycle_changes).sum())
+        cycle_changes = prefix[positions[1:]] - prefix[positions[:-1]]
+        reply_bits += (closes - 1) * (
+            (num_sites - 1) * zero_reply_bits
+            + HEADER_BITS
+            + integer_bit_length(0)
+        ) + int(integer_bit_lengths(cycle_changes).sum())
         channel.charge(MessageKind.REPLY, closes * num_sites, reply_bits)
-        broadcast_bits = HEADER_BITS + integer_bit_length(level)
+        # Broadcasts carry each close's post level (k copies per close).
         channel.charge(
             MessageKind.BROADCAST,
             closes * num_sites,
-            closes * num_sites * broadcast_bits,
+            num_sites
+            * (closes * HEADER_BITS + int(integer_bit_lengths(levels_after).sum())),
         )
         # Coordinator: every counted update lands in boundary_time — the
         # pre-window t_hat, the first closing report and idle-peer residue,
@@ -500,17 +603,18 @@ class SpanKernel:
             coordinator.reported_updates
             + count
             + extra_updates
-            + (closes - 1) * cycle
+            + int(positions[-1]) - index
         )
-        coordinator.boundary_value = int(boundaries[closes - 1])
+        coordinator.boundary_value = int(boundaries[-1])
         coordinator.reported_updates = 0
+        coordinator.level = final_level
         coordinator.blocks_completed += closes
-        coordinator.on_block_start(level)
+        coordinator.on_block_start(final_level)
         for peer in network.sites:
-            peer.level = level
+            peer.level = final_level
             peer.block_value_change = 0
             peer.count_since_report = 0
-            peer.on_block_start(level)
+            peer.on_block_start(final_level)
         return window
 
 

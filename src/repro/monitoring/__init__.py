@@ -48,7 +48,12 @@ from repro.monitoring.messages import (
     message_bits,
 )
 from repro.monitoring.network import MonitoringNetwork
-from repro.monitoring.runner import TrackingResult, run_tracking, run_tracking_arrays
+from repro.monitoring.runner import (
+    TrackingResult,
+    run_tracking,
+    run_tracking_arrays,
+    run_tracking_tree_arrays,
+)
 from repro.monitoring.sharding import (
     ContiguousSharding,
     RootAggregator,
@@ -88,6 +93,7 @@ __all__ = [
     "TrackingResult",
     "run_tracking",
     "run_tracking_arrays",
+    "run_tracking_tree_arrays",
     "ContiguousSharding",
     "RootAggregator",
     "ShardCoordinator",

@@ -38,7 +38,12 @@ from repro.monitoring.history import EstimateHistory
 from repro.monitoring.network import MonitoringNetwork
 from repro.types import EstimateRecord, Update
 
-__all__ = ["TrackingResult", "run_tracking", "run_tracking_arrays"]
+__all__ = [
+    "TrackingResult",
+    "run_tracking",
+    "run_tracking_arrays",
+    "run_tracking_tree_arrays",
+]
 
 #: Maximum number of updates buffered at once by the batched engine.  Bounds
 #: the engine's working memory independently of ``record_every``.
@@ -263,6 +268,7 @@ def _deliver_segments(
     result: TrackingResult,
     true_value: int,
     advance=None,
+    deliver=None,
 ) -> tuple:
     """Deliver one columnar slice as contiguous same-site segments.
 
@@ -282,6 +288,11 @@ def _deliver_segments(
         true_value: Exact stream value before the slice.
         advance: Optional virtual-clock hook, called with each segment's
             first timestep before the segment is delivered.
+        deliver: Optional segment deliverer ``deliver(start, end)`` replacing
+            the default routing through the network's ``deliver_update`` /
+            ``deliver_batch`` — the tree-direct columnar engine injects its
+            precomputed leaf routing here while keeping this one
+            segmentation-and-recording loop, so the engines cannot drift.
 
     Returns:
         ``(true_value, last_time, recorded_last)`` after the slice.
@@ -293,7 +304,9 @@ def _deliver_segments(
     for end in _segment_cuts(sites, start_index, record_every):
         if advance is not None:
             advance(int(times[start]))
-        if end - start == 1:
+        if deliver is not None:
+            deliver(start, end)
+        elif end - start == 1:
             network.deliver_update(
                 int(times[start]), int(sites[start]), int(deltas[start])
             )
@@ -411,6 +424,21 @@ def run_tracking(
     return result
 
 
+def _validate_columns(times, sites, deltas, record_every, engine_name):
+    """Shared argument validation for the columnar engines."""
+    if record_every < 1:
+        raise ValueError(f"record_every must be >= 1, got {record_every}")
+    times = np.asarray(times, dtype=np.int64)
+    sites = np.asarray(sites, dtype=np.int64)
+    deltas = np.asarray(deltas, dtype=np.int64)
+    if times.ndim != 1 or times.shape != sites.shape or times.shape != deltas.shape:
+        raise ProtocolError(
+            f"{engine_name} needs equal-length 1-D times/sites/deltas, got "
+            f"shapes {times.shape}/{sites.shape}/{deltas.shape}"
+        )
+    return times, sites, deltas
+
+
 def run_tracking_arrays(
     network: MonitoringNetwork,
     times,
@@ -441,21 +469,14 @@ def run_tracking_arrays(
     Returns:
         A :class:`TrackingResult` with per-step records and total costs.
     """
-    if record_every < 1:
-        raise ValueError(f"record_every must be >= 1, got {record_every}")
     if not network.channel.is_synchronous:
         raise ProtocolError(
             "run_tracking_arrays drives synchronous channels only; use "
             "repro.asynchrony.run_tracking_async for latency-aware transports"
         )
-    times = np.asarray(times, dtype=np.int64)
-    sites = np.asarray(sites, dtype=np.int64)
-    deltas = np.asarray(deltas, dtype=np.int64)
-    if times.ndim != 1 or times.shape != sites.shape or times.shape != deltas.shape:
-        raise ProtocolError(
-            "columnar tracking needs equal-length 1-D times/sites/deltas, got "
-            f"shapes {times.shape}/{sites.shape}/{deltas.shape}"
-        )
+    times, sites, deltas = _validate_columns(
+        times, sites, deltas, record_every, "columnar tracking"
+    )
     result = TrackingResult()
     # A zero-length trace mirrors run_tracking on an empty iterable: no
     # records, but the totals below are still populated from the (quiet)
@@ -463,6 +484,130 @@ def run_tracking_arrays(
     if times.size:
         true_value, last_time, recorded_last = _deliver_segments(
             network, times, sites, deltas, 0, record_every, result, 0
+        )
+        if not recorded_last:
+            _record(result, network, last_time, true_value)
+    final_stats = network.stats
+    result.total_messages = final_stats.messages
+    result.total_bits = final_stats.bits
+    result.messages_by_kind = dict(final_stats.by_kind)
+    _capture_levels(result, network)
+    return result
+
+
+def run_tracking_tree_arrays(
+    network,
+    times,
+    sites,
+    deltas,
+    record_every: int = 1,
+) -> TrackingResult:
+    """Tree-direct columnar engine: route each segment straight to its leaf.
+
+    :func:`run_tracking_arrays` over a hierarchical network pays a
+    ``_locate`` descent through every tree level per segment, and routing a
+    whole trace through the top of a lazily built million-site tree touches
+    machinery proportional to the tree, not to the data.  This engine
+    precomputes the composite global-to-leaf map once
+    (:func:`repro.monitoring.tree.leaf_routing`), then drives each contiguous
+    same-site segment directly into its owning leaf's flat network — the span
+    kernel runs per leaf — followed by the exact estimate-push sweep the
+    nested delivery would have performed (leaf wrapper first, then each
+    aggregated ancestor).  Leaves that the trace never touches are never
+    materialised.
+
+    The segmentation-and-recording loop is shared with the other columnar
+    engines (:func:`_deliver_segments` with an injected deliverer), so the
+    result is bit-for-bit identical — estimates, message counts, bit counts,
+    per-kind breakdowns — to :func:`run_tracking_arrays` and
+    :func:`run_tracking` over the equivalent update sequence
+    (``tests/test_columnar_runner.py``).
+
+    Args:
+        network: A :class:`~repro.monitoring.sharding.ShardedNetwork` (any
+            depth).  A flat network falls back to
+            :func:`run_tracking_arrays` — there is no leaf structure to
+            exploit.
+        times: 1-D integer array of update timesteps, in order.
+        sites: Matching array of destination site ids.
+        deltas: Matching array of per-timestep changes.
+        record_every: Recording stride, as in :func:`run_tracking`; the final
+            timestep is always recorded.
+
+    Returns:
+        A :class:`TrackingResult` with per-step records and total costs.
+    """
+    from repro.monitoring.sharding import ShardedNetwork
+    from repro.monitoring.tree import _wrapper_chain, leaf_routing
+
+    if not isinstance(network, ShardedNetwork):
+        return run_tracking_arrays(network, times, sites, deltas, record_every)
+    if not network.channel.is_synchronous:
+        raise ProtocolError(
+            "run_tracking_tree_arrays drives synchronous channels only; use "
+            "repro.asynchrony.run_tracking_async for latency-aware transports"
+        )
+    times, sites, deltas = _validate_columns(
+        times, sites, deltas, record_every, "tree-direct columnar tracking"
+    )
+    num_sites = network.num_sites
+    if sites.size:
+        out_of_range = (sites < 0) | (sites >= num_sites)
+        if out_of_range.any():
+            bad = int(sites[out_of_range][0])
+            raise ProtocolError(
+                f"update destined for site {bad}, but network has "
+                f"{num_sites} sites"
+            )
+    leaf_of, local_of = leaf_routing(network)
+    leaves = network.leaves()
+    # Per leaf: the wrappers whose push the nested delivery would trigger,
+    # innermost first (an un-aggregated level — root_network None — pushes
+    # nothing, exactly as in ShardedNetwork.deliver_batch).
+    push_chains = [
+        tuple(
+            wrapper
+            for wrapper in _wrapper_chain(leaf)
+            if wrapper.parent_network.root_network is not None
+        )
+        for leaf in leaves
+    ]
+    at_top = network.wrapper is None
+    site_values = network._site_values
+    site_counts = network._site_counts
+
+    def deliver(start: int, end: int) -> None:
+        site = int(sites[start])
+        leaf_index = int(leaf_of[site])
+        leaf = leaves[leaf_index]
+        local_id = int(local_of[site])
+        if end - start == 1:
+            total = int(deltas[start])
+            leaf.network.deliver_update(int(times[start]), local_id, total)
+        else:
+            total = int(deltas[start:end].sum())
+            leaf.network.deliver_batch(
+                local_id, times[start:end], deltas[start:end]
+            )
+        last_time = int(times[end - 1])
+        for wrapper in push_chains[leaf_index]:
+            wrapper.push_estimate(last_time)
+        if at_top:
+            site_values[site] += total
+            site_counts[site] += end - start
+
+    result = TrackingResult()
+    if times.size:
+        true_value, last_time, recorded_last = _deliver_segments(
+            network,
+            times,
+            sites,
+            deltas,
+            0,
+            record_every,
+            result,
+            0,
+            deliver=deliver,
         )
         if not recorded_last:
             _record(result, network, last_time, true_value)

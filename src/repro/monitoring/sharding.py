@@ -55,6 +55,8 @@ segment boundaries.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError, ProtocolError
@@ -112,14 +114,18 @@ class ContiguousSharding(ShardingPolicy):
     the same shard, so contiguous site runs stay shard-local.
     """
 
-    def partition(self, num_sites: int, num_shards: int) -> List[List[int]]:
+    def partition(self, num_sites: int, num_shards: int) -> List[Sequence[int]]:
         _check_shard_counts(num_sites, num_shards)
         base, extra = divmod(num_sites, num_shards)
-        groups: List[List[int]] = []
+        groups: List[Sequence[int]] = []
         start = 0
         for shard_id in range(num_shards):
             size = base + (1 if shard_id < extra else 0)
-            groups.append(list(range(start, start + size)))
+            # Groups are ``range`` objects: consumers only index/iterate
+            # them, and keeping them symbolic lets the sharded network
+            # route contiguous layouts arithmetically instead of building
+            # O(k) dictionaries per tree level.
+            groups.append(range(start, start + size))
             start += size
         return groups
 
@@ -214,7 +220,14 @@ class ShardCoordinator:
         self.network = network
         if isinstance(network, ShardedNetwork):
             network.wrapper = self
-        self.site_ids: Tuple[int, ...] = tuple(int(site) for site in site_ids)
+        # A contiguous group stays a symbolic ``range`` (indexing, length
+        # and membership behave exactly like the tuple) so million-site
+        # trees never materialise per-site id tuples level by level.
+        self.site_ids: Sequence[int] = (
+            site_ids
+            if isinstance(site_ids, range)
+            else tuple(int(site) for site in site_ids)
+        )
         self.root_level = 0
         self.uplink = ShardUplink(self)
         self._last_pushed = 0.0
@@ -546,36 +559,59 @@ class ShardedNetwork:
                 f"topology has {len(self.shards)} shards"
             )
         self.root_network = root_network
-        self._route: Dict[int, Tuple[ShardCoordinator, int]] = {}
+        # Routing: when every shard owns a contiguous, in-order range of the
+        # id space (the default ContiguousSharding layout), the map from
+        # site id to (shard, local id) is pure arithmetic — disjointness and
+        # 0..k-1 coverage hold by construction, and no per-site dictionary
+        # is built (a million-site tree would otherwise pay O(k) per level).
+        # Any other layout falls back to the explicit validated dictionary.
+        self._route: Optional[Dict[int, Tuple[ShardCoordinator, int]]] = None
+        self._starts: Optional[List[int]] = None
+        offset = 0
+        contiguous = True
         for shard in self.shards:
-            for local_id, global_id in enumerate(shard.site_ids):
-                if global_id in self._route:
-                    raise ConfigurationError(
-                        f"site {global_id} is owned by more than one shard"
-                    )
-                self._route[global_id] = (shard, local_id)
-        expected = set(range(len(self._route)))
-        if set(self._route) != expected:
-            raise ConfigurationError(
-                "shard site groups must cover exactly 0..k-1, got "
-                f"{sorted(self._route)}"
-            )
+            ids = shard.site_ids
+            if isinstance(ids, range) and ids.step == 1 and ids.start == offset and len(ids):
+                offset += len(ids)
+            else:
+                contiguous = False
+                break
+        if contiguous:
+            self._num_sites = offset
+            self._starts = [shard.site_ids.start for shard in self.shards]
+        else:
+            route: Dict[int, Tuple[ShardCoordinator, int]] = {}
+            for shard in self.shards:
+                for local_id, global_id in enumerate(shard.site_ids):
+                    if global_id in route:
+                        raise ConfigurationError(
+                            f"site {global_id} is owned by more than one shard"
+                        )
+                    route[global_id] = (shard, local_id)
+            if set(route) != set(range(len(route))):
+                raise ConfigurationError(
+                    "shard site groups must cover exactly 0..k-1, got "
+                    f"{sorted(route)}"
+                )
+            self._route = route
+            self._num_sites = len(route)
         for shard in self.shards:
             shard.parent_network = self
         self.channel = ShardedChannelView(self)
         # Exact per-site running value and update count, maintained at the
         # top of the tree only (nested instances see deliveries with their
         # wrapper already set and skip the bookkeeping).  This is what the
-        # live-migration state handoff checkpoints a site group from.
-        self._site_values: Dict[int, int] = {s: 0 for s in self._route}
-        self._site_counts: Dict[int, int] = {s: 0 for s in self._route}
+        # live-migration state handoff checkpoints a site group from; the
+        # default-0 entries of never-touched sites are never stored.
+        self._site_values: Dict[int, int] = defaultdict(int)
+        self._site_counts: Dict[int, int] = defaultdict(int)
 
     # -- topology ------------------------------------------------------------
 
     @property
     def num_sites(self) -> int:
         """Global number of sites ``k`` across all shards."""
-        return len(self._route)
+        return self._num_sites
 
     @property
     def num_shards(self) -> int:
@@ -618,13 +654,22 @@ class ShardedNetwork:
         return self._locate(site_id)[0]
 
     def _locate(self, site_id: int) -> Tuple[ShardCoordinator, int]:
-        try:
-            return self._route[int(site_id)]
-        except KeyError:
+        site = int(site_id)
+        if self._route is not None:
+            try:
+                return self._route[site]
+            except KeyError:
+                raise ProtocolError(
+                    f"update destined for site {site_id}, but network has "
+                    f"{self.num_sites} sites"
+                ) from None
+        if not 0 <= site < self._num_sites:
             raise ProtocolError(
                 f"update destined for site {site_id}, but network has "
                 f"{self.num_sites} sites"
-            ) from None
+            )
+        shard = self.shards[bisect_right(self._starts, site) - 1]
+        return shard, site - shard.site_ids.start
 
     # -- accounting ----------------------------------------------------------
 

@@ -43,10 +43,12 @@ Migration
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError, ProtocolError
-from repro.monitoring.channel import Channel
+from repro.monitoring.channel import Channel, ChannelStats
 from repro.monitoring.messages import (
     BROADCAST_SITE,
     COORDINATOR,
@@ -72,6 +74,7 @@ __all__ = [
     "resolve_fanouts",
     "build_tree_network",
     "leaf_groups",
+    "leaf_routing",
     "MigrationReport",
     "migrate_site",
 ]
@@ -278,6 +281,121 @@ class _TreeRecipe:
         return base, sub_factory
 
 
+class _LazyLeafChannel:
+    """Stand-in channel of a not-yet-materialised leaf.
+
+    Answers the runner-facing read surface (``is_synchronous``, ``stats``,
+    ``log_enabled``) with an untouched leaf's true values — synchronous,
+    zero counters, no transcript — without building the leaf.  Anything
+    that would make the leaf observable for real (enabling the log,
+    attaching an observer) materialises it and forwards; once the leaf
+    exists, every accessor delegates to its real channel, so references
+    captured before materialisation stay truthful afterwards.
+    """
+
+    def __init__(self, owner: "_LazyLeafNetwork") -> None:
+        self._owner = owner
+        self._stats = ChannelStats()
+
+    @property
+    def _real(self) -> Optional[Channel]:
+        network = self._owner._network
+        return None if network is None else network.channel
+
+    @property
+    def is_synchronous(self) -> bool:
+        real = self._real
+        # Lazy leaves exist only in default-channel (synchronous) trees, so
+        # True is the materialised answer too.
+        return True if real is None else real.is_synchronous
+
+    @property
+    def stats(self) -> ChannelStats:
+        real = self._real
+        return self._stats if real is None else real.stats
+
+    @property
+    def log_enabled(self) -> bool:
+        real = self._real
+        return False if real is None else real.log_enabled
+
+    def enable_log(self) -> None:
+        self._owner.materialize().channel.enable_log()
+
+    @property
+    def observer(self):
+        real = self._real
+        return None if real is None else real.observer
+
+    @observer.setter
+    def observer(self, value) -> None:
+        self._owner.materialize().channel.observer = value
+
+    # -- adopt_accounting sources (migration of an untouched leaf) -----------
+
+    @property
+    def _log(self) -> List[Message]:
+        real = self._real
+        return [] if real is None else real._log
+
+    @property
+    def _record_log(self) -> bool:
+        real = self._real
+        return False if real is None else real._record_log
+
+
+class _LazyLeafNetwork:
+    """Placeholder for a leaf network that is built on first touch.
+
+    A million-site tree spends its build time constructing per-leaf site
+    and coordinator objects that a sparse trace never touches.  This proxy
+    satisfies the read-only surface the hierarchy needs from an idle leaf —
+    ``num_sites`` (routing/validation), ``estimate() == 0.0`` (what a fresh
+    tracker answers, so the parent's pushes stay suppressed), ``channel`` /
+    ``stats`` (empty counters) — in O(1), and materialises the real network
+    via :meth:`_TreeRecipe.build_leaf` on the first delivery or any other
+    attribute access, swapping itself out of its :class:`ShardCoordinator`
+    wrapper so subsequent traffic runs on the real object directly.
+    """
+
+    def __init__(self, recipe: _TreeRecipe, size: int, leaf_index: int) -> None:
+        self._recipe = recipe
+        self._size = size
+        self._leaf_index = leaf_index
+        self._network: Optional[MonitoringNetwork] = None
+        self._wrapper: Optional[ShardCoordinator] = None
+        self._channel = _LazyLeafChannel(self)
+
+    @property
+    def num_sites(self) -> int:
+        return self._size
+
+    @property
+    def channel(self) -> _LazyLeafChannel:
+        return self._channel
+
+    @property
+    def stats(self) -> ChannelStats:
+        return self._channel.stats
+
+    def estimate(self) -> float:
+        return 0.0 if self._network is None else self._network.estimate()
+
+    def materialize(self) -> MonitoringNetwork:
+        """Build the real leaf (idempotent) and rewire the wrapper to it."""
+        if self._network is None:
+            base, _ = self._recipe.build_leaf(self._size, self._leaf_index)
+            self._network = base
+            if self._wrapper is not None:
+                self._wrapper.replace_network(base)
+        return self._network
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.materialize(), name)
+
+
 def build_tree_network(
     factory,
     levels: Optional[int] = None,
@@ -288,6 +406,7 @@ def build_tree_network(
     split_ratio: float = 0.5,
     broadcast_deadband: float = 0.0,
     channel_factory: Optional[Callable[[int, int, int], Optional[Channel]]] = None,
+    lazy: Optional[bool] = None,
 ):
     """Build a recursive L-level monitoring tree from a flat tracker factory.
 
@@ -324,6 +443,14 @@ def build_tree_network(
             async builder derives per-node latency RNG seeds from
             ``(level, index)`` breadth-first, which keeps the two-level tree
             seed-compatible with the legacy sharded async builder.
+        lazy: Build leaf networks on first touch instead of eagerly, so a
+            tree over ``k`` sites constructs in O(touched leaves) — the
+            enabler for million-site trees.  Default (``None``) enables
+            laziness exactly when no ``channel_factory`` is given (injected
+            channels — in particular the async builder's latency channels —
+            must exist up front).  Untouched leaves answer estimate 0.0 and
+            empty counters, which is what a freshly built leaf answers too,
+            so laziness is observationally invisible.
 
     Returns:
         The top-level :class:`~repro.monitoring.sharding.ShardedNetwork`
@@ -360,6 +487,12 @@ def build_tree_network(
             f"serves only {num_sites} sites (every leaf needs >= 1 site)"
         )
     num_levels = len(resolved) + 1
+    if lazy and channel_factory is not None:
+        raise ConfigurationError(
+            "lazy leaf instantiation requires the default channel; a "
+            "channel_factory's per-leaf channels must exist up front"
+        )
+    use_lazy = channel_factory is None if lazy is None else bool(lazy)
     split = resolve_epsilon_split(epsilon_split, split_ratio)
     budgets = _split_budgets(split, float(factory.epsilon), num_levels)
     recipe = _TreeRecipe(
@@ -382,6 +515,8 @@ def build_tree_network(
         is positions ``0..len(site_ids)-1``.
         """
         if level == len(resolved):
+            if use_lazy:
+                return _LazyLeafNetwork(recipe, len(site_ids), position)
             base, _ = recipe.build_leaf(len(site_ids), position)
             return base
         fan = resolved[level]
@@ -397,6 +532,8 @@ def build_tree_network(
                 level + 1, position * fan + child_index, list(group)
             )
             wrapper = ShardCoordinator(child_index, child, group)
+            if isinstance(child, _LazyLeafNetwork):
+                child._wrapper = wrapper
             wrapper.push_deadband = budgets[level]
             wrappers.append(wrapper)
         aggregator = RootAggregator(
@@ -443,6 +580,43 @@ def leaf_groups(network: ShardedNetwork) -> List[List[int]]:
         return groups
 
     return descend(network, list(range(network.num_sites)))
+
+
+def leaf_routing(network: ShardedNetwork) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised global-to-leaf map: ``(leaf_of, local_of)`` arrays.
+
+    ``leaf_of[site]`` indexes the owning leaf in :meth:`ShardedNetwork.leaves`
+    (left-to-right, the same order as :func:`leaf_groups`) and
+    ``local_of[site]`` is the site's leaf-local id.  The composite map is the
+    same one :func:`leaf_groups` reads off the routing tables, built with
+    array indexing instead of a per-site Python walk, so a million-site tree
+    routes in milliseconds — this is what lets the tree-direct columnar
+    engine skip the level-by-level ``_locate`` descent per segment.
+    """
+    num_sites = network.num_sites
+    leaf_of = np.empty(num_sites, dtype=np.int64)
+    local_of = np.empty(num_sites, dtype=np.int64)
+    next_leaf = 0
+
+    def descend(node: ShardedNetwork, ids: np.ndarray) -> None:
+        nonlocal next_leaf
+        for shard in node.shards:
+            site_ids = shard.site_ids
+            if isinstance(site_ids, range) and site_ids.step == 1:
+                owned = ids[site_ids.start : site_ids.stop]
+            else:
+                owned = ids[
+                    np.fromiter(site_ids, dtype=np.int64, count=len(site_ids))
+                ]
+            if isinstance(shard.network, ShardedNetwork):
+                descend(shard.network, owned)
+            else:
+                leaf_of[owned] = next_leaf
+                local_of[owned] = np.arange(len(owned), dtype=np.int64)
+                next_leaf += 1
+
+    descend(network, np.arange(num_sites, dtype=np.int64))
+    return leaf_of, local_of
 
 
 def _wrapper_chain(leaf: ShardCoordinator) -> List[ShardCoordinator]:
@@ -766,6 +940,8 @@ def _rewire(network: ShardedNetwork, new_groups: List[List[int]]) -> None:
                 route[space_id] = (shard, local_id)
             offset += len(order)
         node._route = route
+        node._starts = None
+        node._num_sites = offset
         if node.root_network is not None:
             node.root_network.coordinator.num_sites = offset
         return [space_id for order in child_orders for space_id in order]

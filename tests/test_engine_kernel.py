@@ -186,7 +186,10 @@ class TestFastForwardEngages:
         kernel = CountingKernel()
         _attach_kernel(network, kernel)
         fast = run_tracking(network, updates, record_every=5_000, batched=True)
-        assert kernel.windows > 10
+        # Cross-level fast-forward merges what used to be one window per
+        # level band into a handful of long ladders; coverage (below) is the
+        # real vacuity guard.
+        assert kernel.windows >= 5
         assert kernel.fast_forwarded_steps > len(updates) // 2
         reference = FACTORIES[factory_name](num_sites, 5).track(
             updates, record_every=5_000, batched=False
@@ -194,10 +197,10 @@ class TestFastForwardEngages:
         assert _fingerprint(reference) == _fingerprint(fast)
         assert network.coordinator.blocks_completed > 100
 
-    def test_level_crossing_stops_the_window(self):
+    def test_level_crossing_rides_the_window(self):
         """A stream that climbs levels still matches per-update exactly —
-        the window must cut itself at the first close whose boundary value
-        leaves the current level band."""
+        the close ladder walks the level schedule inside one window instead
+        of cutting at the first close whose boundary leaves the band."""
         num_sites = 2
         spec = biased_walk_stream(6_000, drift=0.7, seed=3)
         updates = assign_sites(spec, num_sites, BlockedAssignment(1_024))

@@ -70,7 +70,11 @@ def _transcript(channel):
 class TestShardingPolicies:
     def test_contiguous_balanced_within_one(self):
         groups = ContiguousSharding().partition(10, 3)
-        assert groups == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        assert [list(group) for group in groups] == [
+            [0, 1, 2, 3],
+            [4, 5, 6],
+            [7, 8, 9],
+        ]
 
     def test_strided_interleaves(self):
         groups = StridedSharding().partition(7, 3)
