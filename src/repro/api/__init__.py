@@ -42,7 +42,13 @@ from repro.api.spec import (
     TrackerSpec,
     TransportSpec,
 )
-from repro.api.sweep import Sweep, SweepError, SweepPoint
+from repro.api.sweep import Sweep, SweepError, SweepPoint, shutdown_sweep_pool
+from repro.api.trace_cache import (
+    TraceHandle,
+    clear_trace_cache,
+    shared_trace,
+    shared_trace_columns,
+)
 
 __all__ = [
     "RunSpec",
@@ -54,6 +60,11 @@ __all__ = [
     "Sweep",
     "SweepError",
     "SweepPoint",
+    "shutdown_sweep_pool",
+    "TraceHandle",
+    "shared_trace",
+    "shared_trace_columns",
+    "clear_trace_cache",
     "STREAM_REGISTRY",
     "TRACKER_NAMES",
     "ASSIGNMENT_NAMES",

@@ -73,10 +73,11 @@ from repro.streams import (
     database_size_trace,
     monotone_stream,
     nearly_monotone_stream,
+    oscillating_stream,
     random_walk_stream,
     sawtooth_stream,
 )
-from repro.streams.io import TraceColumns, load_trace
+from repro.streams.io import TraceColumns
 from repro.streams.model import StreamSpec
 
 __all__ = [
@@ -122,6 +123,11 @@ def _build_database_trace(n, seed, **params):
     return database_size_trace(n, seed=seed, **params)
 
 
+def _build_oscillating(n, seed, **params):
+    params.setdefault("target", 64)
+    return oscillating_stream(n, seed=seed, **params)
+
+
 def _build_sawtooth(n, seed, **params):
     params.setdefault("amplitude", max(10, n // 100))
     return sawtooth_stream(n, **params)
@@ -135,6 +141,7 @@ STREAM_REGISTRY = {
     "nearly_monotone": _build_nearly_monotone,
     "random_walk": _build_random_walk,
     "biased_walk": _build_biased_walk,
+    "oscillating": _build_oscillating,
     "database_trace": _build_database_trace,
     "sawtooth": _build_sawtooth,
 }
@@ -303,13 +310,22 @@ class SourceSpec:
         )
 
     def load_columns(self) -> TraceColumns:
-        """Load the recorded trace (trace sources only)."""
+        """Load the recorded trace (trace sources only).
+
+        Goes through the process-wide :mod:`repro.api.trace_cache`, so
+        repeated builds over the same on-disk trace (a sweep's grid points,
+        a pool worker's task stream) open the file once per process rather
+        than once per run.  A trace rewritten on disk is detected by its
+        ``(mtime, size)`` fingerprint and reloaded.
+        """
         if self.trace is None:
             raise ProtocolError(
                 "source.stream runs generate their workload; there is no "
                 "trace file to load"
             )
-        return load_trace(self.trace, mmap_mode="r" if self.mmap else None)
+        from repro.api.trace_cache import shared_trace_columns
+
+        return shared_trace_columns(self.trace, mmap=bool(self.mmap))
 
 
 @dataclass

@@ -12,10 +12,14 @@ nothing more than a list of specs plus a convenience runner.
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import json
+import os
+import pathlib
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
@@ -23,7 +27,7 @@ from repro.api.spec import RunSpec
 from repro.exceptions import ConfigurationError
 from repro.monitoring.runner import TrackingResult
 
-__all__ = ["Sweep", "SweepError", "SweepPoint"]
+__all__ = ["Sweep", "SweepError", "SweepPoint", "shutdown_sweep_pool"]
 
 
 def _run_spec_payload(payload: dict) -> Tuple[bool, object]:
@@ -41,6 +45,79 @@ def _run_spec_payload(payload: dict) -> Tuple[bool, object]:
         return True, RunSpec.from_dict(payload).run()
     except BaseException:
         return False, traceback.format_exc()
+
+
+def _worker_preload_traces(traces: Tuple[Tuple[str, bool], ...]) -> None:
+    """Pool initializer: open each of the sweep's trace files once, up front.
+
+    Runs in every worker as it starts, before any grid point is dispatched.
+    The opened handles land in the worker's process-wide
+    :mod:`repro.api.trace_cache`, so every later
+    :meth:`~repro.api.SourceSpec.load_columns` in that worker is a cache hit:
+    one physical open per worker, not one per grid point.  Load errors are
+    swallowed here on purpose — a broken trace should surface as a normal
+    per-point :class:`SweepError` carrying the child traceback, not as an
+    opaque pool-initializer crash.
+    """
+    from repro.api.trace_cache import shared_trace
+
+    for path, mmap in traces:
+        try:
+            shared_trace(path, mmap=mmap).columns()
+        except Exception:
+            pass
+
+
+def _probe_worker_trace_opens(_index: int) -> Tuple[int, dict]:
+    """Report ``(pid, trace_open_counts())`` from inside a pool worker."""
+    from repro.streams.io import trace_open_counts
+
+    return os.getpid(), trace_open_counts()
+
+
+_SWEEP_POOL: ProcessPoolExecutor = None
+_SWEEP_POOL_KEY: Tuple = None
+
+
+def _sweep_pool(
+    width: int, traces: Tuple[Tuple[str, bool], ...]
+) -> ProcessPoolExecutor:
+    """The shared sweep executor, (re)created when width or traces change.
+
+    Keeping one pool alive across :meth:`Sweep.run` calls (and across the
+    chunks within a call) means workers — and the traces their initializer
+    opened — are reused instead of being respawned per sweep.
+    """
+    global _SWEEP_POOL, _SWEEP_POOL_KEY
+    key = (width, traces)
+    if _SWEEP_POOL is not None and _SWEEP_POOL_KEY == key:
+        return _SWEEP_POOL
+    shutdown_sweep_pool()
+    _SWEEP_POOL = ProcessPoolExecutor(
+        max_workers=width,
+        initializer=_worker_preload_traces,
+        initargs=(traces,),
+    )
+    _SWEEP_POOL_KEY = key
+    return _SWEEP_POOL
+
+
+def shutdown_sweep_pool() -> None:
+    """Shut down the shared sweep worker pool, if one is alive.
+
+    :meth:`Sweep.run` keeps its :class:`~concurrent.futures.ProcessPoolExecutor`
+    alive between calls so repeated sweeps reuse warm workers and their
+    already-opened traces.  Call this to release the worker processes (it is
+    also registered via :mod:`atexit`, so interpreter shutdown is clean).
+    """
+    global _SWEEP_POOL, _SWEEP_POOL_KEY
+    if _SWEEP_POOL is not None:
+        _SWEEP_POOL.shutdown()
+        _SWEEP_POOL = None
+        _SWEEP_POOL_KEY = None
+
+
+atexit.register(shutdown_sweep_pool)
 
 
 class SweepError(RuntimeError):
@@ -71,6 +148,13 @@ class SweepError(RuntimeError):
         self.overrides = dict(overrides)
         self.spec_dict = spec_dict
         self.child_traceback = child_traceback
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the one formatted
+        # message) into ``__init__``, which takes three fields — rebuild
+        # from the fields so the error survives crossing process boundaries
+        # with its spec dict and child traceback intact.
+        return (SweepError, (self.overrides, self.spec_dict, self.child_traceback))
 
 
 @dataclass(frozen=True)
@@ -152,9 +236,16 @@ class Sweep:
                 every result carries the same provenance stamp a serial run
                 would.  Points are shipped to the pool in chunks (several
                 specs per task) so large grids of short runs are not
-                dominated by per-task pickling round-trips.  The default
-                stays serial (no subprocess overhead, exceptions surface at
-                the offending point).
+                dominated by per-task pickling round-trips.  The pool itself
+                is kept alive and reused across chunks and across ``run``
+                calls of the same shape (see :func:`shutdown_sweep_pool`),
+                and its initializer pre-opens every trace file the grid
+                references — each worker opens each trace **once**, with all
+                grid points served from the worker's
+                :mod:`~repro.api.trace_cache` (memory-mapped npz traces
+                share the OS page cache on top).  The default stays serial
+                (no subprocess overhead, exceptions surface at the
+                offending point).
 
         Raises:
             SweepError: A grid point raised in its worker process.  The
@@ -173,13 +264,31 @@ class Sweep:
             ]
         payloads = [spec.to_dict() for _, spec in expanded]
         pool_width = min(workers, len(expanded))
+        traces = tuple(
+            sorted(
+                {
+                    (
+                        str(pathlib.Path(spec.source.trace).resolve()),
+                        bool(spec.source.mmap),
+                    )
+                    for _, spec in expanded
+                    if spec.source.trace is not None
+                }
+            )
+        )
         # ~4 chunks per worker: large enough to amortise task pickling,
         # small enough to keep the pool balanced when run times vary.
         chunksize = max(1, len(expanded) // (pool_width * 4))
-        with ProcessPoolExecutor(max_workers=pool_width) as pool:
+        pool = _sweep_pool(pool_width, traces)
+        try:
             outcomes = list(
                 pool.map(_run_spec_payload, payloads, chunksize=chunksize)
             )
+        except BrokenProcessPool:
+            # A dead worker poisons the whole executor; drop it so the next
+            # run() gets a fresh pool instead of the same broken one.
+            shutdown_sweep_pool()
+            raise
         points = []
         for (overrides, spec), payload, (ok, value) in zip(
             expanded, payloads, outcomes
@@ -188,3 +297,25 @@ class Sweep:
                 raise SweepError(overrides, payload, value)
             points.append(SweepPoint(overrides=overrides, spec=spec, result=value))
         return points
+
+    @staticmethod
+    def worker_trace_opens(samples: int = 32) -> Dict[int, dict]:
+        """Per-worker trace open tallies from the live shared sweep pool.
+
+        Sends ``samples`` cheap probe tasks through the pool and collects
+        each responding worker's :func:`repro.streams.io.trace_open_counts`,
+        keyed by worker pid.  More samples than workers are sent because the
+        pool is free to give every task to one idle worker; duplicates
+        collapse on pid.  Returns ``{}`` when no pool is alive.  This is the
+        measurement behind the shared-trace guarantee: after a sweep over
+        one trace, each pid's tally for that trace is 1 — one open per
+        worker, never one per grid point (benchmark E23 asserts this).
+        """
+        if _SWEEP_POOL is None:
+            return {}
+        return {
+            pid: counts
+            for pid, counts in _SWEEP_POOL.map(
+                _probe_worker_trace_opens, range(samples)
+            )
+        }

@@ -1,0 +1,111 @@
+"""Process-wide cache of opened trace files.
+
+A parallel :class:`~repro.api.Sweep` runs hundreds of grid points over the
+*same* recorded trace, and before this module every point re-opened (and for
+CSV, re-parsed) the file from scratch — in every worker process.  The cache
+fixes that at the process level: :func:`shared_trace` hands out one
+:class:`TraceHandle` per ``(resolved path, mmap)`` pair, and the handle loads
+the columns exactly once per process.  ``Sweep.run`` installs a pool
+*initializer* that pre-opens the sweep's traces, so each worker pays one open
+when it starts instead of one per grid point; memory-mapped ``.npz`` traces
+then cost the workers nothing beyond the shared page cache.
+
+Cache entries are fingerprinted with the file's ``(mtime_ns, size)``, so a
+trace rewritten on disk (common in tests that reuse a tmp path) is reloaded
+rather than served stale.  The cache is bounded (LRU) so long-lived processes
+that touch many distinct traces do not accumulate eager CSV columns forever.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.streams.io import PathLike, TraceColumns, load_trace
+
+__all__ = ["TraceHandle", "shared_trace", "shared_trace_columns", "clear_trace_cache"]
+
+#: Most trace handles a process keeps alive at once.  Mapped handles are
+#: nearly free, but eager CSV columns hold real arrays — bound them.
+_MAX_CACHED_TRACES = 8
+
+
+@dataclass
+class TraceHandle:
+    """One process-wide handle to a trace file, loaded at most once.
+
+    Attributes:
+        path: The resolved on-disk path.
+        mmap: Whether :meth:`columns` memory-maps the file (npz only).
+        fingerprint: ``(st_mtime_ns, st_size)`` at handle creation, or
+            ``None`` when the file could not be stat-ed (the load call then
+            surfaces the usual :class:`~repro.exceptions.StreamError`).
+    """
+
+    path: str
+    mmap: bool
+    fingerprint: Optional[Tuple[int, int]]
+    _columns: Optional[TraceColumns] = field(default=None, repr=False)
+
+    def columns(self) -> TraceColumns:
+        """The trace's columns, loading from disk on first use only."""
+        if self._columns is None:
+            self._columns = load_trace(
+                self.path, mmap_mode="r" if self.mmap else None
+            )
+        return self._columns
+
+
+_CACHE: "OrderedDict[Tuple[str, bool], TraceHandle]" = OrderedDict()
+_LOCK = threading.Lock()
+
+
+def _fingerprint(path: str) -> Optional[Tuple[int, int]]:
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def shared_trace(path: PathLike, mmap: bool = False) -> TraceHandle:
+    """Return the process-wide :class:`TraceHandle` for ``path``.
+
+    Repeated calls with the same resolved path and ``mmap`` flag return the
+    same handle while the file on disk is unchanged; a rewritten file (new
+    mtime or size) gets a fresh handle.  A missing file yields an uncached
+    handle whose :meth:`TraceHandle.columns` raises the standard load error.
+    """
+    resolved = str(pathlib.Path(path).resolve())
+    fingerprint = _fingerprint(resolved)
+    key = (resolved, bool(mmap))
+    with _LOCK:
+        handle = _CACHE.get(key)
+        if (
+            handle is not None
+            and fingerprint is not None
+            and handle.fingerprint == fingerprint
+        ):
+            _CACHE.move_to_end(key)
+            return handle
+        handle = TraceHandle(path=resolved, mmap=bool(mmap), fingerprint=fingerprint)
+        if fingerprint is not None:
+            _CACHE[key] = handle
+            while len(_CACHE) > _MAX_CACHED_TRACES:
+                _CACHE.popitem(last=False)
+    return handle
+
+
+def shared_trace_columns(path: PathLike, mmap: bool = False) -> TraceColumns:
+    """Convenience wrapper: the cached columns for ``path``."""
+    return shared_trace(path, mmap=mmap).columns()
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached handle (tests; or to release eager CSV columns)."""
+    with _LOCK:
+        _CACHE.clear()

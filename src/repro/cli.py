@@ -634,6 +634,7 @@ def _command_run(args: argparse.Namespace) -> str:
         specs.append(spec.validate())
     if args.profile is not None:
         import cProfile
+        import pstats
 
         profiler = cProfile.Profile()
         profiler.enable()
@@ -642,6 +643,16 @@ def _command_run(args: argparse.Namespace) -> str:
         finally:
             profiler.disable()
             profiler.dump_stats(args.profile)
+            # A top-N cumulative summary on stderr alongside the dump file:
+            # the hotspots are visible immediately, without a second
+            # `python -m pstats` invocation, and stdout stays pure JSON.
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            print(
+                f"-- profile: top 15 by cumulative time "
+                f"(full dump: {args.profile}) --",
+                file=sys.stderr,
+            )
+            stats.sort_stats("cumulative").print_stats(15)
     elif args.workers > 1 and len(specs) > 1:
         from concurrent.futures import ProcessPoolExecutor
 

@@ -216,6 +216,35 @@ class DeterministicSite(BlockTrackingSite):
                 self.drift + int(window[0])
             )
         closes = int(close_offsets.size)
+        cycle_levels = levels[: closes - 1]
+        if closes > 1 and self.span_kernel.descent and bool(
+            (
+                (cycle_levels == 0)
+                | (self.epsilon * np.exp2(cycle_levels) <= 1.0)
+            ).all()
+        ):
+            # Every cycle is dense (its threshold <= 1, so every step
+            # reports): the whole schedule collapses to one pass — rebase
+            # each offset at its cycle's preceding close via ``np.repeat``
+            # over the cycle lengths instead of walking same-level
+            # stretches, which a level schedule oscillating at a band edge
+            # fragments into O(closes) Python iterations.
+            first = int(close_offsets[0]) + 1
+            last = int(close_offsets[-1])
+            offs = np.arange(first, last + 1)
+            baselines = np.repeat(
+                path[close_offsets[:-1]], np.diff(close_offsets)
+            )
+            drifts = path[offs] - baselines
+            n_reports += int(offs.size)
+            total_bits += int(offs.size) * HEADER_BITS + int(
+                integer_bit_lengths(drifts).sum()
+            )
+            if n_reports:
+                self._channel.charge(MessageKind.REPORT, n_reports, total_bits)
+            self.drift = 0
+            self.unreported_drift = 0
+            return True
         j = 1
         while j < closes:
             # Stretch of consecutive cycles at the same (post-close) level.

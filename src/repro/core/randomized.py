@@ -260,9 +260,79 @@ class RandomizedSite(BlockTrackingSite):
         negative = np.cumsum(~positive_mask)
         n_reports = 0
         total_bits = 0
+        closes = int(close_offsets.size)
+        entry_probability = report_probability(
+            self.level, self.num_sites, self.epsilon
+        )
+        if closes > 1 and self.span_kernel.descent:
+            cycle_levels = levels[: closes - 1]
+            level_lut = np.array(
+                [
+                    report_probability(r, self.num_sites, self.epsilon)
+                    for r in range(int(cycle_levels.max()) + 1)
+                ]
+            )
+            cycle_probabilities = level_lut[cycle_levels]
+            first = int(close_offsets[0]) + 1
+            last = int(close_offsets[-1])
+            if entry_probability < 1.0 and bool(
+                (cycle_probabilities < 1.0).all()
+            ):
+                # Every cycle draws: the per-update path would flip one coin
+                # per step in order (entry first, then each cycle at its own
+                # probability), and sequential bulk draws concatenate
+                # bit-identically, so the whole window takes one RNG call
+                # compared against a per-offset probability vector — a level
+                # schedule oscillating at a band edge otherwise fragments
+                # this into O(closes) small draws.
+                draws = self._rng.random(1 + (last - first + 1))
+                step_probabilities = np.repeat(
+                    cycle_probabilities, np.diff(close_offsets)
+                )
+                offs = first + np.flatnonzero(draws[1:] < step_probabilities)
+                entry_reports = bool(draws[0] < entry_probability)
+            elif entry_probability >= 1.0 and bool(
+                (cycle_probabilities >= 1.0).all()
+            ):
+                # No cycle draws: every step reports, no randomness consumed.
+                offs = np.arange(first, last + 1)
+                entry_reports = True
+            else:
+                offs = None
+                entry_reports = None
+            if offs is not None:
+                if entry_reports:
+                    drift = (
+                        self.positive_drift + 1
+                        if positive_mask[0]
+                        else self.negative_drift + 1
+                    )
+                    n_reports += 1
+                    total_bits += (
+                        HEADER_BITS + sign_bits + integer_bit_length(int(drift))
+                    )
+                if offs.size:
+                    diffs = np.diff(close_offsets)
+                    previous_close = np.repeat(close_offsets[:-1], diffs)[
+                        offs - first
+                    ]
+                    drifts = np.where(
+                        positive_mask[offs],
+                        positive[offs] - positive[previous_close],
+                        negative[offs] - negative[previous_close],
+                    )
+                    n_reports += int(offs.size)
+                    total_bits += int(offs.size) * (
+                        HEADER_BITS + sign_bits
+                    ) + int(integer_bit_lengths(drifts).sum())
+                if n_reports:
+                    self._channel.charge(MessageKind.REPORT, n_reports, total_bits)
+                self.positive_drift = 0
+                self.negative_drift = 0
+                return True
         # Entry step: one scalar draw at the current level (none when p >= 1),
         # exactly as the per-update path would flip this step's coin.
-        probability = report_probability(self.level, self.num_sites, self.epsilon)
+        probability = entry_probability
         if probability >= 1.0 or self._rng.random() < probability:
             drift = (
                 self.positive_drift + 1
@@ -271,7 +341,6 @@ class RandomizedSite(BlockTrackingSite):
             )
             n_reports += 1
             total_bits += HEADER_BITS + sign_bits + integer_bit_length(int(drift))
-        closes = int(close_offsets.size)
         j = 1
         while j < closes:
             # Stretch of consecutive cycles at the same (post-close) level.

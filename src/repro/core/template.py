@@ -207,15 +207,29 @@ class BlockTrackingSite(Site, abc.ABC):
             return
         # Simulated closes read and reset peer state directly, which is only
         # sound when delivery is inline (asynchronous channels route close
-        # steps through the real per-update path instead).
-        can_fast_close = synchronous and all(
-            isinstance(site, BlockTrackingSite) for site in network.sites
-        )
+        # steps through the real per-update path instead).  The two
+        # membership-wide predicates are invariants of the network's site
+        # set, which is fixed at construction (migration replaces the whole
+        # network object), so they are derived once per network rather than
+        # rescanned per batch — at high leaf-touch rates a tree delivers
+        # thousands of short batches to leaves of thousands of sites each,
+        # and the rescan dominated the replay profile.
+        capabilities = getattr(network, "_span_capabilities", None)
+        if capabilities is None:
+            simulatable_peers = all(
+                isinstance(site, BlockTrackingSite) for site in network.sites
+            )
+            idempotent_starts = (
+                simulatable_peers
+                and coordinator.idempotent_block_start
+                and all(site.idempotent_block_start for site in network.sites)
+            )
+            capabilities = (simulatable_peers, idempotent_starts)
+            network._span_capabilities = capabilities
+        simulatable_peers, idempotent_starts = capabilities
+        can_fast_close = synchronous and simulatable_peers
         can_fast_forward = (
-            can_fast_close
-            and kernel.fast_forward
-            and coordinator.idempotent_block_start
-            and all(site.idempotent_block_start for site in network.sites)
+            can_fast_close and kernel.fast_forward and idempotent_starts
         )
         kernel.consume_run(
             self,

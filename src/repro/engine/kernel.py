@@ -121,12 +121,23 @@ def _stable_level_count(boundaries: np.ndarray, level: int, num_sites: int) -> i
     return int(np.argmin(stable))
 
 
+#: Candidate-chunk bounds for the close ladder's adaptive walk.  After a
+#: level change the next same-level stretch starts small (oscillating
+#: schedules flip levels every few closes, so materialising the whole
+#: remaining progression would gather O(run) elements per stretch) and grows
+#: geometrically while a stretch proves stable, so monotone schedules still
+#: classify long stretches in a handful of passes.
+_LADDER_CHUNK_MIN = 8
+_LADDER_CHUNK_GROWTH = 4
+
+
 def _close_ladder(
     prefix: np.ndarray,
     index: int,
     length: int,
     offset: int,
     num_sites: int,
+    adaptive: bool = True,
 ):
     """Positions, boundary values and post-close levels of a run's close ladder.
 
@@ -140,6 +151,15 @@ def _close_ladder(
     transition close is taken — its broadcast re-levels the sites — and the
     walk continues at the new level's cycle).
 
+    The first probe takes the whole remaining progression (a monotone or
+    same-level schedule resolves in one gather); once a level change has
+    been seen the walk switches to bounded chunks growing geometrically
+    from :data:`_LADDER_CHUNK_MIN`, so a schedule that flips levels every
+    few closes — a random walk hovering at a band edge — gathers O(closes)
+    candidate elements instead of O(closes x run length).  ``adaptive=False``
+    keeps the full-progression probe on every stretch (the PR 8 walk), which
+    the descent-ladder benchmark uses as its control.
+
     Returns ``(positions, boundaries, levels_after)`` as equal-length int64
     arrays; ``positions[0] == index`` always.
     """
@@ -150,17 +170,19 @@ def _close_ladder(
     bound_chunks = [np.array([first_boundary], dtype=np.int64)]
     level_chunks = [np.array([level], dtype=np.int64)]
     pos = index
+    chunk = 0  # 0: no level change seen yet; probe the whole progression.
     while True:
         cycle = num_sites * (1 << max(level - 1, 0))
         max_more = (length - 1 - pos) // cycle
         if max_more <= 0:
             break
-        candidates = pos + cycle * np.arange(1, max_more + 1, dtype=np.int64)
+        want = max_more if (chunk == 0 or not adaptive) else min(chunk, max_more)
+        candidates = pos + cycle * np.arange(1, want + 1, dtype=np.int64)
         bounds = offset + prefix[candidates]
         cand_levels = edges.searchsorted(np.abs(bounds), side="right")
         stable = cand_levels == level
         if stable.all():
-            take = max_more
+            take = want
         else:
             take = int(np.argmin(stable)) + 1
         pos_chunks.append(candidates[:take])
@@ -169,8 +191,13 @@ def _close_ladder(
         pos = int(candidates[take - 1])
         new_level = int(cand_levels[take - 1])
         if new_level == level:
-            break
-        level = new_level
+            if take == max_more:
+                break
+            # Stable partial chunk: same level continues; widen the probe.
+            chunk = max(chunk, _LADDER_CHUNK_MIN) * _LADDER_CHUNK_GROWTH
+        else:
+            level = new_level
+            chunk = _LADDER_CHUNK_MIN
     return (
         np.concatenate(pos_chunks),
         np.concatenate(bound_chunks),
@@ -189,10 +216,18 @@ class SpanKernel:
         fast_forward: Enable multi-block fast-forwarding (closed-form
             simulation of consecutive same-level block closes).  Disabling
             it reproduces the single-close batched engine exactly.
+        descent: Enable the descent-tuned ladder walk and the trackers'
+            whole-window hook paths (one gather / one RNG draw per window
+            however often the level schedule flips).  Disabling it keeps
+            the PR 8 behaviour — full-progression ladder probes and
+            per-stretch hook loops — as a bit-for-bit control for the
+            oscillating-workload benchmark; outputs never differ, only
+            speed does.
     """
 
-    def __init__(self, fast_forward: bool = True) -> None:
+    def __init__(self, fast_forward: bool = True, descent: bool = True) -> None:
         self.fast_forward = fast_forward
+        self.descent = descent
 
     # -- fallback ------------------------------------------------------------
 
@@ -516,7 +551,8 @@ class SpanKernel:
         )
         offset = first_boundary - int(prefix[index])
         positions, boundaries, levels_after = _close_ladder(
-            prefix, index, length, offset, coordinator.num_sites
+            prefix, index, length, offset, coordinator.num_sites,
+            adaptive=self.descent,
         )
         closes = int(positions.size)
         if closes < 2:

@@ -561,40 +561,89 @@ def run_tracking_tree_arrays(
             )
     leaf_of, local_of = leaf_routing(network)
     leaves = network.leaves()
-    # Per leaf: the wrappers whose push the nested delivery would trigger,
-    # innermost first (an un-aggregated level — root_network None — pushes
-    # nothing, exactly as in ShardedNetwork.deliver_batch).
+    # Per leaf: the *bound* push methods of the wrappers whose push the
+    # nested delivery would trigger, innermost first (an un-aggregated
+    # level — root_network None — pushes nothing, exactly as in
+    # ShardedNetwork.deliver_batch).
     push_chains = [
         tuple(
-            wrapper
+            wrapper.push_estimate
             for wrapper in _wrapper_chain(leaf)
             if wrapper.parent_network.root_network is not None
         )
         for leaf in leaves
     ]
     at_top = network.wrapper is None
-    site_values = network._site_values
-    site_counts = network._site_counts
+    # One vectorised group-by pass replaces the per-segment routing lookups:
+    # segment boundaries come from the shared segmentation rule (the same
+    # cuts ``_deliver_segments`` will walk, so the two stay aligned by
+    # construction), and each segment's destination leaf, local site id and
+    # closing timestep are gathered up front — at high leaf-touch rates the
+    # per-segment ``int(...)`` conversions and routing-table probes used to
+    # rival the kernel work itself.
+    from repro.engine import segment_cuts
+
+    seg_ends = np.asarray(
+        segment_cuts(sites, 0, record_every) if sites.size else [],
+        dtype=np.int64,
+    )
+    seg_starts = np.concatenate(([0], seg_ends[:-1])) if seg_ends.size else seg_ends
+    seg_sites = sites[seg_starts] if seg_ends.size else seg_ends
+    seg_leaves = leaf_of[seg_sites].tolist()
+    seg_locals = local_of[seg_sites].tolist()
+    seg_last_times = (
+        times[seg_ends - 1].tolist() if seg_ends.size else []
+    )
+    if at_top and seg_ends.size:
+        # The per-site replay tallies are pure functions of the trace, so
+        # they are folded in one ``np.unique`` + scatter-add pass instead of
+        # two dict updates per segment; nothing reads them mid-replay.
+        prefix = np.cumsum(deltas)
+        seg_totals = prefix[seg_ends - 1] - prefix[seg_starts] + deltas[seg_starts]
+        unique_sites, inverse = np.unique(seg_sites, return_inverse=True)
+        value_sums = np.zeros(unique_sites.size, dtype=np.int64)
+        count_sums = np.zeros(unique_sites.size, dtype=np.int64)
+        np.add.at(value_sums, inverse, seg_totals)
+        np.add.at(count_sums, inverse, seg_ends - seg_starts)
+        site_values = network._site_values
+        site_counts = network._site_counts
+        for site_id, value, count in zip(
+            unique_sites.tolist(), value_sums.tolist(), count_sums.tolist()
+        ):
+            site_values[site_id] += value
+            site_counts[site_id] += count
+    # Materialised leaf networks and their site lists, resolved on first
+    # touch: ``leaf.network`` on a lazy leaf routes every attribute through
+    # ``__getattr__`` until materialisation, and even a real network's
+    # ``deliver_batch`` re-validates bounds per call — both are loop
+    # invariants after the first segment into a leaf.
+    leaf_networks = [None] * len(leaves)
+    leaf_sites = [None] * len(leaves)
+    cursor = [0]
 
     def deliver(start: int, end: int) -> None:
-        site = int(sites[start])
-        leaf_index = int(leaf_of[site])
-        leaf = leaves[leaf_index]
-        local_id = int(local_of[site])
+        index = cursor[0]
+        cursor[0] = index + 1
+        leaf_index = seg_leaves[index]
+        members = leaf_sites[leaf_index]
+        if members is None:
+            real = leaves[leaf_index].network
+            materialize = getattr(real, "materialize", None)
+            if materialize is not None:
+                real = materialize()
+            leaf_networks[leaf_index] = real
+            members = leaf_sites[leaf_index] = real.sites
+        site = members[seg_locals[index]]
         if end - start == 1:
-            total = int(deltas[start])
-            leaf.network.deliver_update(int(times[start]), local_id, total)
+            site.receive_update(times[start].item(), deltas[start].item())
         else:
-            total = int(deltas[start:end].sum())
-            leaf.network.deliver_batch(
-                local_id, times[start:end], deltas[start:end]
+            site.receive_batch(
+                times[start:end], deltas[start:end],
+                network=leaf_networks[leaf_index],
             )
-        last_time = int(times[end - 1])
-        for wrapper in push_chains[leaf_index]:
-            wrapper.push_estimate(last_time)
-        if at_top:
-            site_values[site] += total
-            site_counts[site] += end - start
+        last_time = seg_last_times[index]
+        for push in push_chains[leaf_index]:
+            push(last_time)
 
     result = TrackingResult()
     if times.size:

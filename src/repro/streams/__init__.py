@@ -24,6 +24,7 @@ from repro.streams.generators import (
     constant_stream,
     monotone_stream,
     nearly_monotone_stream,
+    oscillating_stream,
     periodic_stream,
     random_walk_stream,
     sawtooth_stream,
@@ -37,10 +38,12 @@ from repro.streams.io import (
     load_trace,
     load_trace_columns,
     load_trace_npz,
+    reset_trace_open_counts,
     save_item_stream_csv,
     save_stream_csv,
     save_trace_csv,
     save_trace_npz,
+    trace_open_counts,
 )
 from repro.streams.item_streams import (
     ItemStreamConfig,
@@ -64,6 +67,7 @@ __all__ = [
     "constant_stream",
     "monotone_stream",
     "nearly_monotone_stream",
+    "oscillating_stream",
     "periodic_stream",
     "random_walk_stream",
     "sawtooth_stream",
@@ -75,6 +79,8 @@ __all__ = [
     "load_trace",
     "load_trace_columns",
     "load_trace_npz",
+    "reset_trace_open_counts",
+    "trace_open_counts",
     "save_item_stream_csv",
     "save_stream_csv",
     "save_trace_csv",

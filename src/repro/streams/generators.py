@@ -27,6 +27,7 @@ __all__ = [
     "nearly_monotone_stream",
     "random_walk_stream",
     "biased_walk_stream",
+    "oscillating_stream",
     "adversarial_flip_stream",
     "sawtooth_stream",
     "bursty_stream",
@@ -133,6 +134,49 @@ def biased_walk_stream(
         name="biased_walk",
         deltas=tuple(int(d) for d in deltas),
         params={"n": n, "drift": drift, "seed": seed},
+    )
+
+
+def oscillating_stream(
+    n: int,
+    target: int,
+    pull: float = 0.1,
+    seed: Optional[int] = None,
+) -> StreamSpec:
+    """A mean-reverting walk hovering around ``target``.
+
+    Each step moves up with probability ``0.5 + pull`` below the target and
+    ``0.5 - pull`` above it, so the value oscillates in a band around
+    ``target`` instead of drifting away.  Parked on a block-level band edge
+    (``target = 4k * 2^r``), consecutive block closes flip between adjacent
+    levels indefinitely — the mixed up-down level schedules that are the
+    close ladder's worst case, which the descent-ladder benchmark (E20) and
+    the kernel-regimes descent cells drive with exactly this stream.
+
+    Args:
+        n: Stream length.
+        target: The value the walk reverts toward (``>= 1``).
+        pull: Reversion strength in ``(0, 0.5]``; the walk's stationary
+            band around the target narrows as ``pull`` grows.
+        seed: Seed for reproducibility.
+    """
+    _check_length(n)
+    if target < 1:
+        raise ConfigurationError(f"target must be >= 1, got {target}")
+    if not 0.0 < pull <= 0.5:
+        raise ConfigurationError(f"pull must be in (0, 0.5], got {pull}")
+    coins = _rng(seed).random(n).tolist()
+    deltas = []
+    value = 0
+    for coin in coins:
+        p_up = 0.5 + (pull if value < target else -pull)
+        delta = 1 if coin < p_up else -1
+        value += delta
+        deltas.append(delta)
+    return StreamSpec(
+        name="oscillating",
+        deltas=tuple(deltas),
+        params={"n": n, "target": target, "pull": pull, "seed": seed},
     )
 
 

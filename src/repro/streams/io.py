@@ -52,11 +52,30 @@ __all__ = [
     "save_trace_npz",
     "load_trace_npz",
     "load_trace",
+    "trace_open_counts",
+    "reset_trace_open_counts",
 ]
 
 PathLike = Union[str, pathlib.Path]
 
 _TRACE_HEADER = ["time", "site", "delta"]
+
+#: Per-process tally of successful :func:`load_trace` opens, keyed by the
+#: path as passed (stringified).  This is the observability hook behind the
+#: shared-trace guarantee: a parallel sweep over one trace should show one
+#: open per *worker process*, not one per grid point — benchmark E23 asserts
+#: exactly that through :func:`trace_open_counts`.
+_TRACE_OPEN_COUNTS: dict = {}
+
+
+def trace_open_counts() -> dict:
+    """Snapshot of this process's ``{path: open count}`` for :func:`load_trace`."""
+    return dict(_TRACE_OPEN_COUNTS)
+
+
+def reset_trace_open_counts() -> None:
+    """Zero the per-process open tally (tests and benchmarks)."""
+    _TRACE_OPEN_COUNTS.clear()
 
 
 @dataclass(frozen=True)
@@ -320,13 +339,17 @@ def load_trace(path: PathLike, mmap_mode: Optional[str] = None) -> TraceColumns:
     """
     source = pathlib.Path(path)
     if source.suffix == ".npz":
-        return load_trace_npz(source, mmap_mode=mmap_mode)
-    if mmap_mode is not None:
-        raise StreamError(
-            "mmap_mode applies to the binary npz format only; convert the "
-            "trace with save_trace_npz first"
-        )
-    return load_trace_columns(source)
+        columns = load_trace_npz(source, mmap_mode=mmap_mode)
+    else:
+        if mmap_mode is not None:
+            raise StreamError(
+                "mmap_mode applies to the binary npz format only; convert the "
+                "trace with save_trace_npz first"
+            )
+        columns = load_trace_columns(source)
+    key = str(source)
+    _TRACE_OPEN_COUNTS[key] = _TRACE_OPEN_COUNTS.get(key, 0) + 1
+    return columns
 
 
 def save_stream_csv(spec: StreamSpec, path: PathLike) -> None:

@@ -33,11 +33,13 @@ from repro.monitoring.runner import (
     run_tracking_tree_arrays,
 )
 from repro.monitoring.tree import build_tree_network
+from repro.engine import SpanKernel
 from repro.streams import (
     BlockedAssignment,
     assign_sites,
     biased_walk_stream,
     nearly_monotone_stream,
+    oscillating_stream,
 )
 from repro.streams.io import columns_from_updates
 
@@ -56,6 +58,19 @@ FACTORIES = {
 CLIMBING_STREAMS = {
     "biased_walk": lambda n, seed: biased_walk_stream(n, drift=0.8, seed=seed),
     "nearly_monotone": lambda n, seed: nearly_monotone_stream(n, seed=seed),
+}
+
+#: Streams that oscillate: mean reversion keeps the value crossing band
+#: edges in both directions, so block closes *descend* the level ladder as
+#: often as they climb — the schedule shape the descent-capable kernel
+#: (``SpanKernel(descent=True)``, the default) exists for.
+OSCILLATING_STREAMS = {
+    "oscillating_tight": lambda n, seed: oscillating_stream(
+        n, target=24, pull=0.12, seed=seed
+    ),
+    "oscillating_loose": lambda n, seed: oscillating_stream(
+        n, target=40, pull=0.06, seed=seed
+    ),
 }
 
 
@@ -94,6 +109,11 @@ def _local_fingerprint(result, network):
 
 def _updates(stream_name, length, num_sites, block, seed):
     spec = CLIMBING_STREAMS[stream_name](length, seed)
+    return assign_sites(spec, num_sites, BlockedAssignment(block))
+
+
+def _oscillating_updates(stream_name, length, num_sites, block, seed):
+    spec = OSCILLATING_STREAMS[stream_name](length, seed)
     return assign_sites(spec, num_sites, BlockedAssignment(block))
 
 
@@ -253,6 +273,97 @@ class TestSparseAndCrossLevelCells:
         assert batched.levels == arrays.levels == tree.levels
 
 
+def _set_kernel(network, kernel):
+    """Install ``kernel`` on every site of a flat (possibly async) network."""
+    for site in network.sites:
+        site.span_kernel = kernel
+
+
+class TestDescentScheduleCells:
+    """Oscillating (up-*and*-down) level schedules across every topology cell.
+
+    Each hypothesis example draws one cell of {deterministic, randomized} x
+    {flat, levels=3 tree} x {sync, zero-latency async} and runs the same
+    oscillating workload per-update and batched — bit for bit.  The flat
+    cells additionally race ``SpanKernel(descent=False)`` (the monotone
+    ladder the descent kernel replaced) as a third run, pinning that the
+    descent optimisation changed the speed and nothing else — including the
+    randomized tracker's RNG draw count.
+    """
+
+    @settings(max_examples=24, deadline=None)
+    @given(
+        factory_name=st.sampled_from(sorted(FACTORIES)),
+        stream_name=st.sampled_from(sorted(OSCILLATING_STREAMS)),
+        topology=st.sampled_from(["flat", "tree"]),
+        transport=st.sampled_from(["sync", "async"]),
+        epsilon=st.sampled_from([0.1, SPARSE_EPSILON]),
+        length=st.integers(min_value=600, max_value=2500),
+        block=st.sampled_from([256, 1024]),
+        record_every=st.sampled_from([1, 53, 400]),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    def test_descent_cells_bit_for_bit(
+        self,
+        factory_name,
+        stream_name,
+        topology,
+        transport,
+        epsilon,
+        length,
+        block,
+        record_every,
+        seed,
+    ):
+        num_sites = 4 if topology == "tree" else 2
+        updates = _oscillating_updates(stream_name, length, num_sites, block, seed)
+
+        def run(batched, kernel=None):
+            factory = FACTORIES[factory_name](num_sites, epsilon, seed)
+            if topology == "tree":
+                if transport == "async":
+                    network = build_tree_async_network(
+                        factory,
+                        levels=3,
+                        fanout=2,
+                        latency=ConstantLatency(0.0),
+                        seed=0,
+                    )
+                    result = run_tracking_async(
+                        network, updates, record_every=record_every, batched=batched
+                    )
+                else:
+                    network = build_tree_network(factory, levels=3, fanout=2)
+                    result = run_tracking(
+                        network, updates, record_every=record_every, batched=batched
+                    )
+                return _local_fingerprint(result, network)
+            if transport == "async":
+                network = build_async_network(
+                    factory, latency=ConstantLatency(0.0), seed=0
+                )
+                if kernel is not None:
+                    _set_kernel(network, kernel)
+                result = run_tracking_async(
+                    network, updates, record_every=record_every, batched=batched
+                )
+            else:
+                network = factory.build_network()
+                if kernel is not None:
+                    _set_kernel(network, kernel)
+                result = run_tracking(
+                    network, updates, record_every=record_every, batched=batched
+                )
+            return _fingerprint(result)
+
+        slow = run(False)
+        fast = run(True)
+        assert slow == fast
+        if topology == "flat":
+            monotone = run(True, kernel=SpanKernel(descent=False))
+            assert monotone == fast
+
+
 class TestCellsAreActuallyHit:
     """Vacuity guard: the engineered streams reach the new kernel branches."""
 
@@ -305,3 +416,57 @@ class TestCellsAreActuallyHit:
         )
         assert _fingerprint(reference) == _fingerprint(fast)
         assert network.coordinator.level >= 2
+
+    @pytest.mark.parametrize("factory_name", sorted(FACTORIES))
+    @pytest.mark.parametrize("epsilon", [0.1, SPARSE_EPSILON])
+    def test_descending_schedules_fire(self, factory_name, epsilon):
+        """Oscillating streams hand the hook windows whose levels *descend*.
+
+        Without this, every assertion in :class:`TestDescentScheduleCells`
+        could pass on climbing-only schedules — the cell PR 8 already
+        covered.  The tight oscillating stream must produce cross-level
+        windows in which a later close sits at a *lower* level than an
+        earlier one (eps=0.1 keeps those windows all-dense, the vectorised
+        descent path; eps=0.5 pushes them sparse).
+        """
+        num_sites = 2
+        updates = _oscillating_updates(
+            "oscillating_tight", 8_000, num_sites, 1_024, seed=7
+        )
+        factory = FACTORIES[factory_name](num_sites, epsilon, 7)
+        network = factory.build_network()
+        calls = {"cross": 0, "descending": 0}
+        for site in network.sites:
+            original = site.on_multiblock_window
+
+            def wrapped(
+                deltas,
+                start,
+                length,
+                cycle_length,
+                close_offsets=None,
+                levels=None,
+                _original=original,
+            ):
+                if close_offsets is not None:
+                    calls["cross"] += 1
+                    if levels is not None and np.any(np.diff(levels) < 0):
+                        calls["descending"] += 1
+                return _original(
+                    deltas,
+                    start,
+                    length,
+                    cycle_length,
+                    close_offsets=close_offsets,
+                    levels=levels,
+                )
+
+            site.on_multiblock_window = wrapped
+        fast = run_tracking(network, updates, record_every=500, batched=True)
+        assert calls["cross"] > 0, calls
+        assert calls["descending"] > 0, calls
+        # The instrumented descent run still matches per-update delivery.
+        reference = FACTORIES[factory_name](num_sites, epsilon, 7).track(
+            updates, record_every=500, batched=False
+        )
+        assert _fingerprint(reference) == _fingerprint(fast)

@@ -1,0 +1,170 @@
+"""Parallel sweeps over shared traces: ordering, error transport, caching.
+
+Three guarantees ride on ``Sweep.run(workers=n)``:
+
+* results come back in **grid order** (the order ``Sweep.specs()`` expands),
+  bit-identical to a serial run, no matter how the pool schedules points;
+* a failing grid point surfaces as a :class:`SweepError` that survives
+  pickling with its spec dict and child traceback intact (the error itself
+  crosses process boundaries in nested-pool setups);
+* one trace file feeds the whole grid through the process-wide
+  :mod:`repro.api.trace_cache` — each process opens the file once, which
+  :func:`repro.streams.io.trace_open_counts` makes observable.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    RunSpec,
+    SourceSpec,
+    Sweep,
+    SweepError,
+    TrackerSpec,
+    clear_trace_cache,
+    shared_trace,
+    shutdown_sweep_pool,
+)
+from repro.streams.io import (
+    TraceColumns,
+    reset_trace_open_counts,
+    save_trace_npz,
+    trace_open_counts,
+)
+
+
+def _write_trace(path, n=6000, sites=6, seed=11):
+    rng = np.random.default_rng(seed)
+    columns = TraceColumns(
+        times=np.arange(1, n + 1, dtype=np.int64),
+        sites=rng.integers(0, sites, size=n).astype(np.int64),
+        deltas=np.where(rng.random(n) < 0.6, 1, -1).astype(np.int64),
+    )
+    save_trace_npz(columns, path)
+    return path
+
+
+def _trace_spec(trace, mmap=True):
+    return RunSpec(
+        source=SourceSpec(stream=None, trace=str(trace), mmap=mmap),
+        tracker=TrackerSpec(name="deterministic", epsilon=0.1),
+        engine="arrays",
+        record_every=500,
+    )
+
+
+def _fingerprint(point):
+    return (
+        point.result.total_messages,
+        point.result.total_bits,
+        [(r.time, r.estimate) for r in point.result.records],
+    )
+
+
+GRID = {
+    "tracker.epsilon": [0.1, 0.2, 0.3],
+    "tracker.name": ["deterministic", "randomized"],
+}
+
+
+class TestParallelGridOrder:
+    def test_workers_preserve_grid_order_and_results(self, tmp_path):
+        """Pooled results align with the serial expansion, point for point."""
+        base = _trace_spec(_write_trace(tmp_path / "trace.npz"))
+        sweep = Sweep(base, GRID)
+        try:
+            parallel = sweep.run(workers=3)
+        finally:
+            shutdown_sweep_pool()
+        serial = Sweep(base, GRID).run()
+        expected_order = [overrides for overrides, _ in sweep.specs()]
+        assert [p.overrides for p in parallel] == expected_order
+        assert [p.overrides for p in serial] == expected_order
+        assert [_fingerprint(p) for p in parallel] == [
+            _fingerprint(p) for p in serial
+        ]
+
+
+class TestSweepErrorPickle:
+    def test_round_trip_keeps_spec_and_traceback(self, tmp_path):
+        base = _trace_spec(_write_trace(tmp_path / "trace.npz"))
+        error = SweepError(
+            {"tracker.epsilon": -1.0},
+            base.to_dict(),
+            "Traceback (most recent call last):\n  ...\nBoom",
+        )
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, SweepError)
+        assert clone.overrides == error.overrides
+        assert clone.spec_dict == error.spec_dict
+        assert clone.child_traceback == error.child_traceback
+        assert str(clone) == str(error)
+
+    def test_failing_point_raises_sweep_error_from_pool(self, tmp_path):
+        trace = _write_trace(tmp_path / "trace.npz")
+        base = _trace_spec(trace)
+        sweep = Sweep(base, {"tracker.epsilon": [0.1, 0.2, 0.3, 0.4]})
+        trace.unlink()  # every worker-side load now fails
+        clear_trace_cache()
+        try:
+            with pytest.raises(SweepError) as excinfo:
+                sweep.run(workers=2)
+        finally:
+            shutdown_sweep_pool()
+        assert "trace" in excinfo.value.child_traceback
+        assert excinfo.value.spec_dict["source"]["trace"] == str(trace)
+
+
+class TestTraceCache:
+    def test_one_open_per_process_across_grid_points(self, tmp_path):
+        trace = _write_trace(tmp_path / "trace.npz")
+        clear_trace_cache()
+        reset_trace_open_counts()
+        Sweep(_trace_spec(trace), {"tracker.epsilon": [0.1, 0.2, 0.3, 0.4]}).run()
+        assert sum(trace_open_counts().values()) == 1
+
+    def test_rewritten_trace_is_reloaded(self, tmp_path):
+        # Eager loads: a mmap handle would see the rewrite through the
+        # shared inode, masking whether the cache actually re-opened.
+        trace = _write_trace(tmp_path / "trace.npz", seed=1)
+        clear_trace_cache()
+        reset_trace_open_counts()
+        first = shared_trace(trace, mmap=False).columns()
+        assert shared_trace(trace, mmap=False).columns() is first
+        assert sum(trace_open_counts().values()) == 1
+        _write_trace(trace, seed=2)
+        second = shared_trace(trace, mmap=False).columns()
+        assert sum(trace_open_counts().values()) == 2
+        assert not np.array_equal(first.sites, second.sites)
+
+    def test_mmap_flag_is_part_of_the_key(self, tmp_path):
+        trace = _write_trace(tmp_path / "trace.npz")
+        clear_trace_cache()
+        mapped = shared_trace(trace, mmap=True).columns()
+        eager = shared_trace(trace, mmap=False).columns()
+        assert isinstance(mapped.times, np.memmap)
+        assert not isinstance(eager.times, np.memmap)
+        np.testing.assert_array_equal(
+            np.asarray(mapped.deltas), np.asarray(eager.deltas)
+        )
+
+    def test_workers_open_once_each_not_once_per_point(self, tmp_path):
+        trace = _write_trace(tmp_path / "trace.npz")
+        base = _trace_spec(trace)
+        grid = {"tracker.epsilon": [0.1, 0.15, 0.2, 0.25, 0.3, 0.35]}
+        try:
+            points = Sweep(base, grid).run(workers=2)
+            opens = Sweep.worker_trace_opens()
+            assert opens, "shared pool should still be alive"
+            # Forked workers inherit the parent's tally, so look only at
+            # this test's trace: exactly one open per worker (the pool
+            # initializer's), never one per grid point.
+            key = str(trace.resolve())
+            assert all(counts.get(key, 0) == 1 for counts in opens.values())
+            total = sum(counts.get(key, 0) for counts in opens.values())
+            assert total < len(points)
+        finally:
+            shutdown_sweep_pool()
+        assert Sweep.worker_trace_opens() == {}

@@ -400,6 +400,22 @@ class TestCliRunSpec:
         assert "staleness" in payload["result"]
         assert payload["result"]["staleness"]["delivered"] > 0
 
+    def test_run_profile_dumps_stats_and_prints_summary(self, tmp_path, capsys):
+        import json
+
+        path, _ = self._write_spec(tmp_path)
+        dump = tmp_path / "run.pstats"
+        assert main(["run", "--config", path, "--profile", str(dump)]) == 0
+        captured = capsys.readouterr()
+        # stdout stays pure JSON; the top-N cumulative summary goes to
+        # stderr alongside the binary dump.
+        payload = json.loads(captured.out)
+        assert payload["result"]["total_messages"] > 0
+        assert "top 15 by cumulative" in captured.err
+        assert "cumtime" in captured.err
+        assert str(dump) in captured.err
+        assert dump.exists() and dump.stat().st_size > 0
+
     def test_run_rejects_malformed_set(self, tmp_path):
         path, _ = self._write_spec(tmp_path)
         with pytest.raises(SystemExit, match="FIELD=VALUE"):
