@@ -7,7 +7,11 @@ must cost well under 10% of throughput (the trace log may cost more — it
 allocates an event per message — and is reported but not bounded).
 
 Three configurations over the E17 workload (random-walk stream, blocked
-assignment, ``k = 16``), for both the per-update and the batched engine:
+assignment, ``k = 16``), for both the per-update and the batched engine,
+plus a lossy asynchronous engine (``FaultyChannel`` at 10% i.i.d. loss) —
+the reliability counters (drops, retransmissions, duplicates) are likewise
+derived at scrape time from the channel's own accounting, so they must fit
+in the same overhead budget:
 
 * ``off`` — plain network, no observers (the baseline);
 * ``metrics`` — ``instrument_network`` with a registry;
@@ -23,11 +27,14 @@ import time
 from bench_support import check, size
 
 from repro.api import SourceSpec, TrackerSpec
+from repro.asynchrony import UniformLatency, build_async_network, run_tracking_async
+from repro.faults import FaultPlan
 from repro.monitoring import run_tracking
 from repro.observability import TraceLog, instrument_network
 
 PER_UPDATE_N = size(150_000, 10_000)
 BATCHED_N = size(2_000_000, 20_000)  # the batched engine needs a long run to time stably
+LOSSY_N = size(60_000, 5_000)  # the ARQ layer pays per-event scheduling costs
 NUM_SITES = 16
 EPSILON = 0.1
 BLOCK_LENGTH = 4_096
@@ -53,20 +60,36 @@ def _factory():
     )
 
 
-def _timed_run(updates, batched, config):
+def _build_network(engine):
+    if engine == "lossy-async":
+        return build_async_network(
+            _factory(),
+            latency=UniformLatency(0.5, 2.0),
+            seed=3,
+            faults=FaultPlan(loss=0.1, seed=7),
+        )
+    return _factory().build_network()
+
+
+def _timed_run(updates, engine, batched, config):
     """One run under ``config``; returns (updates/s, result fingerprint)."""
     best = float("inf")
     fingerprint = None
     for repeat in range(REPEATS + 1):
-        network = _factory().build_network()
+        network = _build_network(engine)
         if config == "metrics":
             instrument_network(network)
         elif config == "metrics+trace":
             instrument_network(network, trace=TraceLog(capacity=4096))
         start = time.perf_counter()
-        result = run_tracking(
-            network, updates, record_every=RECORD_EVERY, batched=batched
-        )
+        if engine == "lossy-async":
+            result = run_tracking_async(
+                network, updates, record_every=RECORD_EVERY
+            )
+        else:
+            result = run_tracking(
+                network, updates, record_every=RECORD_EVERY, batched=batched
+            )
         elapsed = time.perf_counter() - start
         if repeat > 0:  # the first pass only warms caches and the allocator
             best = min(best, elapsed)
@@ -84,13 +107,14 @@ def _measure():
     for engine, batched, length in (
         ("per-update", False, PER_UPDATE_N),
         ("batched", True, BATCHED_N),
+        ("lossy-async", False, LOSSY_N),
     ):
         updates = _workload(length)
         rates = {}
         fingerprints = {}
         for config in ("off", "metrics", "metrics+trace"):
             rates[config], fingerprints[config] = _timed_run(
-                updates, batched, config
+                updates, engine, batched, config
             )
         for config in ("off", "metrics", "metrics+trace"):
             overhead = 1.0 - rates[config] / rates["off"]

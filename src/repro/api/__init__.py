@@ -32,6 +32,7 @@ from repro.api.spec import (
     ASSIGNMENT_NAMES,
     ENGINE_NAMES,
     LATENCY_NAMES,
+    LOSS_MODEL_NAMES,
     PARTITION_NAMES,
     STREAM_REGISTRY,
     TRACKER_NAMES,
@@ -69,6 +70,7 @@ __all__ = [
     "TRACKER_NAMES",
     "ASSIGNMENT_NAMES",
     "LATENCY_NAMES",
+    "LOSS_MODEL_NAMES",
     "PARTITION_NAMES",
     "ENGINE_NAMES",
 ]

@@ -92,6 +92,7 @@ __all__ = [
     "ASSIGNMENT_NAMES",
     "LATENCY_NAMES",
     "PARTITION_NAMES",
+    "LOSS_MODEL_NAMES",
     "ENGINE_NAMES",
 ]
 
@@ -170,6 +171,12 @@ LATENCY_NAMES = ("zero", "constant", "uniform", "heavytail")
 
 #: Site-to-shard partition strategies addressable from a spec.
 PARTITION_NAMES = ("contiguous", "strided")
+
+#: Loss models addressable from a spec (async transport only): ``iid`` drops
+#: every attempt independently, ``burst`` is the Gilbert–Elliott two-state
+#: chain.  Mirrors :data:`repro.faults.channel.LOSS_MODEL_NAMES` (pinned by a
+#: test) without importing the faults package on the sync-only path.
+LOSS_MODEL_NAMES = ("iid", "burst")
 
 #: Delivery engines addressable from a spec ("per-update" and "perupdate"
 #: are interchangeable spellings; the canonical form is "per-update").
@@ -502,6 +509,20 @@ class TransportSpec:
             timestep).
         preserve_order: Per-link FIFO (default) versus reordering allowed.
         seed: Seed for the channels' latency RNGs.
+        loss: Long-run drop probability per transmission attempt, in
+            ``[0, 1)``; ``0`` (default) is the lossless transport.  Loss
+            needs ``mode='async'`` — a dropped message is retransmitted by
+            the reliable-delivery layer, and every re-send is charged.
+        loss_model: Loss-model name from :data:`LOSS_MODEL_NAMES`.
+        loss_burst: Mean burst length (in attempts) for the ``burst`` model.
+        loss_seed: Seed for the loss generators, independent of the latency
+            seed so jitter and loss reproduce separately.
+        timeout: Base retransmission timeout in virtual-time units; backoff
+            doubles it per attempt up to ``16 * timeout``.
+        repair: Turn on sequence-numbered block closes
+            (:func:`repro.faults.repair.enable_close_repair`) so drift that
+            arrives between a site's REPLY and the delayed BROADCAST is kept
+            for the next close instead of silently discarded.
     """
 
     mode: str = "sync"
@@ -509,10 +530,17 @@ class TransportSpec:
     scale: float = 0.0
     preserve_order: bool = True
     seed: int = 0
+    loss: float = 0.0
+    loss_model: str = "iid"
+    loss_burst: float = 4.0
+    loss_seed: int = 0
+    timeout: float = 4.0
+    repair: bool = False
 
     def validate(self) -> None:
         _check_name(self.mode, ("sync", "async"), "transport.mode")
         _check_name(self.latency, LATENCY_NAMES, "transport.latency")
+        _check_name(self.loss_model, LOSS_MODEL_NAMES, "transport.loss_model")
         if self.scale < 0:
             raise ValueError(
                 f"transport.scale must be >= 0, got {self.scale}"
@@ -528,6 +556,44 @@ class TransportSpec:
                 f"transport.scale={self.scale} needs the latency-aware "
                 "channel: set transport.mode='async' (transport.mode='sync' "
                 "is the paper's instant-delivery model)"
+            )
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(
+                f"transport.loss must be in [0, 1) so retransmission can "
+                f"terminate, got {self.loss}"
+            )
+        if self.mode == "sync" and self.loss > 0:
+            raise ProtocolError(
+                f"transport.loss={self.loss} needs the fault-injecting "
+                "channel: set transport.mode='async' (transport.mode='sync' "
+                "is the paper's lossless instant-delivery model)"
+            )
+        if self.mode == "sync" and self.repair:
+            raise ProtocolError(
+                "transport.repair=true repairs the close protocol against "
+                "delayed and lost broadcasts: set transport.mode='async' "
+                "(the synchronous engine delivers instantly, so there is no "
+                "reply-to-broadcast gap to repair)"
+            )
+        if not self.loss_burst >= 1.0:
+            raise ValueError(
+                f"transport.loss_burst must be >= 1 attempt, got "
+                f"{self.loss_burst}"
+            )
+        if (
+            self.loss_model == "burst"
+            and self.loss > 0
+            and self.loss / (1.0 - self.loss) > self.loss_burst
+        ):
+            raise ValueError(
+                f"transport.loss={self.loss} with transport.loss_burst="
+                f"{self.loss_burst} is infeasible for the burst model "
+                "(the good-to-bad transition probability would exceed 1); "
+                "lower the loss or lengthen the bursts"
+            )
+        if not self.timeout > 0:
+            raise ValueError(
+                f"transport.timeout must be > 0, got {self.timeout}"
             )
 
     def build_latency_model(self):
@@ -550,6 +616,30 @@ class TransportSpec:
         raise ValueError(
             f"transport.latency={self.latency!r} is not a known choice; "
             f"pick one of {sorted(LATENCY_NAMES)}"
+        )
+
+    def build_faults(self):
+        """The :class:`~repro.faults.channel.FaultPlan` of the loss axis.
+
+        Returns ``None`` when ``loss == 0``: the builders then wire the
+        plain asynchronous channel, which a zero-loss fault plan matches
+        bit-for-bit anyway (the inert-bypass contract).
+        """
+        if self.loss == 0.0:
+            return None
+        # Imported lazily, like the latency models.
+        from repro.faults import FaultPlan, RetransmitPolicy
+
+        return FaultPlan(
+            loss=self.loss,
+            model=self.loss_model,
+            burst_length=self.loss_burst,
+            seed=self.loss_seed,
+            retransmit=RetransmitPolicy(
+                timeout=self.timeout,
+                backoff=2.0,
+                max_timeout=16.0 * self.timeout,
+            ),
         )
 
 
@@ -902,6 +992,7 @@ class RunSpec:
             )
 
             model = self.transport.build_latency_model()
+            faults = self.transport.build_faults()
             if use_tree:
                 network = build_tree_async_network(
                     factory,
@@ -913,6 +1004,7 @@ class RunSpec:
                     epsilon_split=self.topology.epsilon_split,
                     split_ratio=self.topology.split_ratio,
                     broadcast_deadband=self.topology.broadcast_deadband,
+                    faults=faults,
                 )
             elif hierarchical:
                 network = build_sharded_async_network(
@@ -922,6 +1014,7 @@ class RunSpec:
                     seed=self.transport.seed,
                     preserve_order=self.transport.preserve_order,
                     sharding=partition,
+                    faults=faults,
                 )
             else:
                 network = build_async_network(
@@ -929,7 +1022,12 @@ class RunSpec:
                     latency=model,
                     seed=self.transport.seed,
                     preserve_order=self.transport.preserve_order,
+                    faults=faults,
                 )
+            if self.transport.repair:
+                from repro.faults import enable_close_repair
+
+                enable_close_repair(network)
         elif use_tree:
             from repro.monitoring.tree import build_tree_network
 

@@ -26,6 +26,7 @@ from repro.analysis.staleness import StalenessSummary, summarize_staleness
 from repro.asynchrony.channel import AsyncChannel
 from repro.asynchrony.latency import ZERO_LATENCY, LatencyModel
 from repro.exceptions import ProtocolError
+from repro.faults.channel import FaultPlan, FaultyChannel
 from repro.monitoring.network import MonitoringNetwork
 from repro.monitoring.runner import (
     TrackingResult,
@@ -62,12 +63,20 @@ class AsyncTrackingResult(TrackingResult):
             latency it shows where the estimate *settles* once the backlog
             clears.
         final_true_value: The exact ``f(n)`` at end of stream.
+        dropped: Transmission attempts the fault plan lost on the wire.
+        retransmitted: Timeout-triggered re-sends (all charged in
+            ``total_messages``/``total_bits``); after a full drain this
+            equals ``dropped + duplicates``.
+        duplicates: Arrivals suppressed by receiver-side dedup.
     """
 
     staleness: StalenessSummary = field(default_factory=StalenessSummary)
     final_clock: float = 0.0
     final_estimate: float = 0.0
     final_true_value: int = 0
+    dropped: int = 0
+    retransmitted: int = 0
+    duplicates: int = 0
 
     def settled_error(self) -> float:
         """Absolute estimate error after every in-flight message landed."""
@@ -98,7 +107,40 @@ class AsyncTrackingResult(TrackingResult):
         data["final_estimate"] = self.final_estimate
         data["final_true_value"] = self.final_true_value
         data["settled_error"] = self.settled_error()
+        data["reliability"] = {
+            "dropped": self.dropped,
+            "retransmitted": self.retransmitted,
+            "duplicates": self.duplicates,
+        }
         return data
+
+
+def _make_async_channel(
+    num_ports: int,
+    latency: LatencyModel,
+    seed: Optional[int],
+    preserve_order: bool,
+    faults: Optional[FaultPlan],
+    fault_seed: Optional[int],
+) -> AsyncChannel:
+    """One node's channel: plain, or fault-injecting when a plan is given.
+
+    The plan is re-seeded per node with ``fault_seed`` (derived by the
+    topology builders exactly like the latency seeds), and each channel
+    builds its own loss-model instance, so per-link burst state never leaks
+    between nodes.
+    """
+    if faults is None:
+        return AsyncChannel(
+            num_ports, latency=latency, seed=seed, preserve_order=preserve_order
+        )
+    return FaultyChannel(
+        num_ports,
+        latency=latency,
+        seed=seed,
+        preserve_order=preserve_order,
+        plan=faults.with_seed(fault_seed),
+    )
 
 
 def build_async_network(
@@ -106,6 +148,7 @@ def build_async_network(
     latency: LatencyModel = ZERO_LATENCY,
     seed: Optional[int] = 0,
     preserve_order: bool = True,
+    faults: Optional[FaultPlan] = None,
 ) -> MonitoringNetwork:
     """Wire a tracker factory's coordinator and sites over an async channel.
 
@@ -119,13 +162,22 @@ def build_async_network(
         latency: Delivery-latency model for the channel.
         seed: Seed for the channel's latency RNG.
         preserve_order: Per-link FIFO (default) versus reordering allowed.
+        faults: Optional :class:`~repro.faults.channel.FaultPlan`; when given
+            the channel is a fault-injecting
+            :class:`~repro.faults.channel.FaultyChannel` (a zero-loss plan is
+            inert, i.e. bit-for-bit this builder's plain channel).
 
     Returns:
         A :class:`MonitoringNetwork` whose channel is the async transport.
     """
     base = factory.build_network()
-    channel = AsyncChannel(
-        base.num_sites, latency=latency, seed=seed, preserve_order=preserve_order
+    channel = _make_async_channel(
+        base.num_sites,
+        latency,
+        seed,
+        preserve_order,
+        faults,
+        None if faults is None else faults.seed,
     )
     return MonitoringNetwork(base.coordinator, base.sites, channel=channel)
 
@@ -138,6 +190,7 @@ def build_sharded_async_network(
     seed: Optional[int] = 0,
     preserve_order: bool = True,
     sharding: Optional[ShardingPolicy] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> ShardedNetwork:
     """Wire a sharded hierarchy whose both levels are latency-aware.
 
@@ -164,26 +217,30 @@ def build_sharded_async_network(
     """
     chosen_root_latency = latency if root_latency is None else root_latency
 
+    fault_base = None if faults is None else faults.seed
+
     def local_channel(shard_id: int, group_size: int) -> AsyncChannel:
         # A single shard has no root leg, and its channel must draw exactly
         # the same latency sequence as build_async_network's — that is what
         # keeps shards=1 bit-for-bit the flat async engine under jitter.
-        local_seed = seed if num_shards == 1 else (
-            None if seed is None else seed + 1 + shard_id
-        )
-        return AsyncChannel(
-            group_size,
-            latency=latency,
-            seed=local_seed,
-            preserve_order=preserve_order,
+        # Loss seeds mirror the latency-seed scheme.
+        if num_shards == 1:
+            local_seed, fault_seed = seed, fault_base
+        else:
+            local_seed = None if seed is None else seed + 1 + shard_id
+            fault_seed = None if fault_base is None else fault_base + 1 + shard_id
+        return _make_async_channel(
+            group_size, latency, local_seed, preserve_order, faults, fault_seed
         )
 
     def root_channel(shard_count: int) -> AsyncChannel:
-        return AsyncChannel(
+        return _make_async_channel(
             shard_count,
-            latency=chosen_root_latency,
-            seed=seed,
-            preserve_order=preserve_order,
+            chosen_root_latency,
+            seed,
+            preserve_order,
+            faults,
+            fault_base,
         )
 
     return build_sharded_network(
@@ -208,6 +265,7 @@ def build_tree_async_network(
     epsilon_split="leaf",
     split_ratio: float = 0.5,
     broadcast_deadband: float = 0.0,
+    faults: Optional[FaultPlan] = None,
 ):
     """Wire an L-level monitoring tree whose every level is latency-aware.
 
@@ -253,14 +311,16 @@ def build_tree_async_network(
     offsets = [sum(sizes[:level]) for level in range(len(sizes))]
     leaf_level = len(resolved)
 
+    fault_base = None if faults is None else faults.seed
+
     def channel_factory(level: int, position: int, num_ports: int) -> AsyncChannel:
         node_seed = None if seed is None else seed + offsets[level] + position
+        fault_seed = (
+            None if fault_base is None else fault_base + offsets[level] + position
+        )
         node_latency = latency if level == leaf_level else chosen_root_latency
-        return AsyncChannel(
-            num_ports,
-            latency=node_latency,
-            seed=node_seed,
-            preserve_order=preserve_order,
+        return _make_async_channel(
+            num_ports, node_latency, node_seed, preserve_order, faults, fault_seed
         )
 
     return build_tree_network(
@@ -378,5 +438,8 @@ def run_tracking_async(
     result.final_clock = channel.now
     result.final_estimate = network.estimate()
     result.final_true_value = true_value
+    result.dropped = stats.dropped
+    result.retransmitted = stats.retransmitted
+    result.duplicates = stats.duplicates
     _capture_levels(result, network)
     return result

@@ -324,6 +324,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="let messages overtake each other on a link (default: per-link FIFO)",
     )
     latency_parser.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="per-attempt message loss probability in [0, 1); lost messages "
+        "are retransmitted after a timeout and charged honestly",
+    )
+    latency_parser.add_argument(
+        "--loss-model",
+        choices=["iid", "burst"],
+        default="iid",
+        help="loss process: 'iid' drops each attempt independently, 'burst' "
+        "is a Gilbert-Elliott chain with correlated bad spells",
+    )
+    latency_parser.add_argument(
+        "--loss-seed",
+        type=int,
+        default=0,
+        help="seed for the loss process (independent of latency/stream seeds)",
+    )
+    latency_parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="sequence-number block closes so reply-to-broadcast drift is "
+        "kept instead of discarded (fixes the naive protocol's bias under "
+        "delay and loss)",
+    )
+    latency_parser.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -960,6 +987,10 @@ def _command_latency(args: argparse.Namespace) -> str:
             latency=args.model,
             preserve_order=not args.allow_reordering,
             seed=args.seed,
+            loss=args.loss,
+            loss_model=args.loss_model,
+            loss_seed=args.loss_seed,
+            repair=args.repair,
         ),
         engine="batched" if args.engine == "batched" else "per-update",
         record_every=args.record_every,
@@ -970,39 +1001,46 @@ def _command_latency(args: argparse.Namespace) -> str:
     ):
         result = point.result
         summary = result.summary(args.epsilon)
-        rows.append(
-            [
-                point.overrides["transport.scale"],
-                summary["total_messages"],
-                round(summary["max_relative_error"], 4),
-                round(summary["violation_fraction"], 4),
-                round(time_averaged_relative_error(result.records), 4),
-                round(result.staleness.mean_age, 2),
-                round(result.staleness.max_age, 2),
-                result.staleness.inflight_highwater,
-                result.staleness.reordered,
-            ]
-        )
+        row = [
+            point.overrides["transport.scale"],
+            summary["total_messages"],
+            round(summary["max_relative_error"], 4),
+            round(summary["violation_fraction"], 4),
+            round(time_averaged_relative_error(result.records), 4),
+            round(result.staleness.mean_age, 2),
+            round(result.staleness.max_age, 2),
+            result.staleness.inflight_highwater,
+            result.staleness.reordered,
+        ]
+        if args.loss > 0.0:
+            reliability = summary["reliability"]
+            row.extend([reliability["dropped"], reliability["retransmitted"]])
+        rows.append(row)
     header = (
         f"stream={args.stream} n={args.length} k={args.sites} eps={args.epsilon} "
         f"{_topology_label(args)} algo={args.algorithm} model={args.model} "
         f"engine={'batched' if args.engine == 'batched' else 'per-update'} "
         f"order={'reordering' if args.allow_reordering else 'fifo'} seed={args.seed}"
     )
-    table = format_table(
-        [
-            "scale",
-            "messages",
-            "max rel err",
-            "violation frac",
-            "time-avg err",
-            "mean age",
-            "max age",
-            "in-flight hwm",
-            "reordered",
-        ],
-        rows,
-    )
+    if args.loss > 0.0:
+        header += (
+            f" loss={args.loss}({args.loss_model}) loss_seed={args.loss_seed}"
+            f" closes={'repaired' if args.repair else 'naive'}"
+        )
+    columns = [
+        "scale",
+        "messages",
+        "max rel err",
+        "violation frac",
+        "time-avg err",
+        "mean age",
+        "max age",
+        "in-flight hwm",
+        "reordered",
+    ]
+    if args.loss > 0.0:
+        columns.extend(["dropped", "retransmitted"])
+    table = format_table(columns, rows)
     return header + "\n" + table
 
 

@@ -85,6 +85,15 @@ class BlockTrackingSite(Site, abc.ABC):
     #: effects must leave it ``False`` (the default).
     idempotent_block_start = False
 
+    #: Sequence-numbered block closes (the latency/loss repair).  Off by
+    #: default: the naive protocol zeroes the whole per-block state on
+    #: BROADCAST, silently discarding any drift that arrived between the
+    #: site's REPLY and the (delayed, possibly retransmitted) BROADCAST.
+    #: :func:`repro.faults.repair.enable_close_repair` flips this on every
+    #: actor of a network; both sides of a channel must agree, because the
+    #: repair adds a ``close`` sequence field to the close-protocol payloads.
+    repair_closes = False
+
     def __init__(self, site_id: int, num_sites: int, epsilon: float) -> None:
         check_tracking_parameters(num_sites, epsilon)
         super().__init__(site_id)
@@ -96,6 +105,11 @@ class BlockTrackingSite(Site, abc.ABC):
         self.count_since_report = 0
         #: f_i: change in f received since the last block boundary broadcast.
         self.block_value_change = 0
+        # Repair bookkeeping: the close sequence this site last replied to /
+        # last committed, and the drift value that reply reported.
+        self._replied_close = 0
+        self._applied_close = 0
+        self._replied_change = 0
 
     # -- block protocol -----------------------------------------------------
 
@@ -125,21 +139,64 @@ class BlockTrackingSite(Site, abc.ABC):
                 )
             )
 
+    def _commit_replied_close(self) -> None:
+        """Repair: fold the last reply into the boundary once it is committed.
+
+        Subtracting exactly what the reply reported leaves the drift that
+        arrived *after* the reply in ``block_value_change``, where the next
+        close's REPLY will carry it into the coordinator's boundary — the
+        naive protocol's zeroing discards it forever.  Called when the
+        matching BROADCAST arrives, or when a newer REQUEST proves the close
+        committed even though its BROADCAST is still in flight (or was
+        reordered past the request).
+        """
+        if self._replied_close > self._applied_close:
+            self.block_value_change -= self._replied_change
+            self._applied_close = self._replied_close
+            self._replied_change = 0
+
     def receive_message(self, message: Message) -> None:
         if message.kind is MessageKind.REQUEST:
+            if self.repair_closes:
+                self._commit_replied_close()
             count = self.count_since_report
             change = self.block_value_change
             self.count_since_report = 0
+            payload = {"count": count, "change": change}
+            if self.repair_closes:
+                seq = int(message.payload["close"])
+                self._replied_close = seq
+                self._replied_change = change
+                payload["close"] = seq
             self.send(
                 Message(
                     kind=MessageKind.REPLY,
                     sender=self.site_id,
                     receiver=COORDINATOR,
-                    payload={"count": count, "change": change},
+                    payload=payload,
                     time=message.time,
                 )
             )
         elif message.kind is MessageKind.BROADCAST:
+            if self.repair_closes:
+                seq = int(message.payload["close"])
+                if seq < self._replied_close:
+                    # A close we have since been asked past: its effect was
+                    # (or will be) committed by the newer REQUEST; applying
+                    # the stale broadcast now would subtract twice.
+                    return
+                if seq > self._replied_close:
+                    raise ProtocolError(
+                        f"site {self.site_id} saw broadcast for close {seq} "
+                        f"but last replied to close {self._replied_close}"
+                    )
+                self.level = int(message.payload["level"])
+                self._commit_replied_close()
+                # count_since_report is deliberately left alone: counts that
+                # arrived after the reply stay pending for the next count
+                # report instead of vanishing from t_hat.
+                self.on_block_start(self.level)
+                return
             self.level = int(message.payload["level"])
             self.block_value_change = 0
             self.count_since_report = 0
@@ -337,11 +394,18 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
     #: and surface through coordinator state at scrape time instead.
     observer = None
 
+    #: Mirror of :attr:`BlockTrackingSite.repair_closes`: when on, every
+    #: REQUEST/REPLY/BROADCAST of the close protocol carries the close's
+    #: sequence number (charged in its bit cost like any payload field).
+    repair_closes = False
+
     def __init__(self, num_sites: int, epsilon: float) -> None:
         check_tracking_parameters(num_sites, epsilon)
         super().__init__()
         self.num_sites = num_sites
         self.epsilon = epsilon
+        #: Sequence number of the most recently started block close (repair).
+        self._close_seq = 0
         #: Current block level r.
         self.level = 0
         #: Exact value f(n_j) at the last block boundary.
@@ -403,6 +467,13 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
                 raise ConfigurationError(
                     "coordinator received a reply outside of a block close"
                 )
+            if self.repair_closes:
+                seq = int(message.payload["close"])
+                if seq != self._close_seq:
+                    raise ProtocolError(
+                        f"reply from site {message.sender} answers close "
+                        f"{seq}, but close {self._close_seq} is pending"
+                    )
             self._replies[message.sender] = message
             if len(self._replies) == self.reply_quorum:
                 self._finish_close()
@@ -438,13 +509,17 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
         self._close_time = time
         if self.observer is not None:
             self.observer.on_close_begin(self, time)
+        payload = {}
+        if self.repair_closes:
+            self._close_seq += 1
+            payload = {"close": self._close_seq}
         for site_id in range(self.num_sites):
             self.send(
                 Message(
                     kind=MessageKind.REQUEST,
                     sender=COORDINATOR,
                     receiver=site_id,
-                    payload={},
+                    payload=payload,
                     time=time,
                 )
             )
@@ -469,12 +544,15 @@ class BlockTrackingCoordinator(Coordinator, abc.ABC):
         self.level = block_level(self.boundary_value, self.num_sites)
         self.blocks_completed += 1
         self.on_block_start(self.level)
+        payload = {"level": self.level}
+        if self.repair_closes:
+            payload["close"] = self._close_seq
         self.send(
             Message(
                 kind=MessageKind.BROADCAST,
                 sender=COORDINATOR,
                 receiver=BROADCAST_SITE,
-                payload={"level": self.level},
+                payload=payload,
                 time=self._close_time,
             )
         )

@@ -1,0 +1,44 @@
+"""Fault injection and reliable delivery for the monitoring transport.
+
+The subsystem has three layers, each usable on its own:
+
+* :mod:`repro.faults.loss` — seeded per-link loss models (i.i.d. and
+  Gilbert–Elliott burst loss).
+* :mod:`repro.faults.channel` — :class:`FaultyChannel`, the asynchronous
+  channel with loss injection plus an ARQ layer (timeouts, capped
+  exponential-backoff retransmission, duplicate suppression), all charged
+  exactly in :class:`repro.monitoring.channel.ChannelStats`.
+* :mod:`repro.faults.repair` — the sequence-numbered block-close repair that
+  keeps the tracking protocol's accuracy bound intact over a lossy network.
+
+The spec layer exposes all of it as the ``transport.loss`` axis; see the
+README's "Faults & reliability" section.
+"""
+
+from repro.faults.channel import (
+    LOSS_MODEL_NAMES,
+    FaultPlan,
+    FaultyChannel,
+    RetransmitPolicy,
+)
+from repro.faults.loss import (
+    NO_LOSS,
+    GilbertElliottLoss,
+    IIDLoss,
+    LossModel,
+    NoLoss,
+)
+from repro.faults.repair import enable_close_repair
+
+__all__ = [
+    "LOSS_MODEL_NAMES",
+    "FaultPlan",
+    "FaultyChannel",
+    "RetransmitPolicy",
+    "LossModel",
+    "NoLoss",
+    "NO_LOSS",
+    "IIDLoss",
+    "GilbertElliottLoss",
+    "enable_close_repair",
+]

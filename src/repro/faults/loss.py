@@ -1,0 +1,141 @@
+"""Seeded, per-link loss models for the fault-injecting transport.
+
+A loss model answers one question per transmission attempt: is *this* copy
+dropped?  Like the latency models it is a pure function of seeded generator
+draws and the link, so a lossy run is reproducible from its seeds.  Two
+models cover the regimes the related federated-deployment work measures:
+
+* :class:`IIDLoss` — every attempt is dropped independently with a fixed
+  probability, the memoryless baseline.
+* :class:`GilbertElliottLoss` — a two-state Markov chain per directed link
+  (good/bad); attempts are dropped exactly while the link sits in the bad
+  state, so losses arrive in bursts of mean length ``burst_length`` while the
+  long-run drop rate still equals ``rate``.
+
+``rate`` must stay below 1: the reliable-delivery layer retransmits until a
+copy gets through, which terminates with probability 1 only when some
+attempts can survive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["LossModel", "NoLoss", "IIDLoss", "GilbertElliottLoss", "NO_LOSS"]
+
+#: A directed link, as the async channel labels them: ("up", site) or
+#: ("down", site).
+Link = Tuple[str, int]
+
+
+@runtime_checkable
+class LossModel(Protocol):
+    """Protocol for per-attempt drop decisions.
+
+    Implementations may keep per-link state (the Gilbert–Elliott chains do),
+    so one instance must never be shared between channels — the
+    :class:`repro.faults.channel.FaultPlan` builds a fresh model per channel.
+    """
+
+    @property
+    def lossless(self) -> bool:
+        """Whether this model can never drop (enables the inert fast path)."""
+        ...
+
+    def roll(self, rng: np.random.Generator, link: Link) -> bool:
+        """Return ``True`` iff this transmission attempt on ``link`` is lost."""
+        ...
+
+
+class NoLoss:
+    """The degenerate model: nothing is ever dropped, no generator draws."""
+
+    @property
+    def lossless(self) -> bool:
+        return True
+
+    def roll(self, rng: np.random.Generator, link: Link) -> bool:
+        return False
+
+
+#: Shared stateless instance of the degenerate model.
+NO_LOSS = NoLoss()
+
+
+def _check_rate(rate: float) -> float:
+    if not 0.0 <= rate < 1.0:
+        raise ConfigurationError(
+            f"loss rate must be in [0, 1) so retransmission can terminate, "
+            f"got {rate}"
+        )
+    return float(rate)
+
+
+class IIDLoss:
+    """Each transmission attempt is dropped independently with ``rate``."""
+
+    def __init__(self, rate: float) -> None:
+        self.rate = _check_rate(rate)
+
+    @property
+    def lossless(self) -> bool:
+        return self.rate == 0.0
+
+    def roll(self, rng: np.random.Generator, link: Link) -> bool:
+        if self.rate == 0.0:
+            return False
+        return bool(rng.random() < self.rate)
+
+
+class GilbertElliottLoss:
+    """Bursty loss: a two-state (good/bad) Markov chain per directed link.
+
+    An attempt is dropped exactly while its link is in the bad state.  The
+    chain is parameterised by the *long-run* drop rate and the mean burst
+    length: ``P(bad -> good) = 1 / burst_length`` makes bad spells
+    geometrically distributed with mean ``burst_length`` attempts, and
+    ``P(good -> bad) = rate / ((1 - rate) * burst_length)`` pins the
+    stationary bad-state probability at ``rate``.  Links start in the good
+    state and evolve independently (state is kept per link), so a burst on
+    one site's uplink never implies losses elsewhere.
+    """
+
+    def __init__(self, rate: float, burst_length: float = 4.0) -> None:
+        self.rate = _check_rate(rate)
+        if not burst_length >= 1.0:
+            raise ConfigurationError(
+                f"mean burst length must be >= 1 attempt, got {burst_length}"
+            )
+        self.burst_length = float(burst_length)
+        self._recover = 1.0 / self.burst_length
+        if self.rate == 0.0:
+            self._degrade = 0.0
+        else:
+            self._degrade = self.rate / ((1.0 - self.rate) * self.burst_length)
+            if self._degrade > 1.0:
+                raise ConfigurationError(
+                    f"burst model infeasible: rate={self.rate} with mean burst "
+                    f"length {self.burst_length} needs P(good->bad) = "
+                    f"{self._degrade:.3f} > 1; lower the rate or lengthen the "
+                    "bursts"
+                )
+        # Per-link chain state: True while the link is in the bad state.
+        self._bad: Dict[Link, bool] = {}
+
+    @property
+    def lossless(self) -> bool:
+        return self.rate == 0.0
+
+    def roll(self, rng: np.random.Generator, link: Link) -> bool:
+        if self.rate == 0.0:
+            return False
+        bad = self._bad.get(link, False)
+        flip = self._recover if bad else self._degrade
+        if rng.random() < flip:
+            bad = not bad
+        self._bad[link] = bad
+        return bad

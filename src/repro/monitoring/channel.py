@@ -19,12 +19,27 @@ __all__ = ["ChannelStats", "Channel"]
 
 @dataclass
 class ChannelStats:
-    """Cumulative communication counters for one simulation run."""
+    """Cumulative communication counters for one simulation run.
+
+    ``messages``/``bits`` count every charged *transmission attempt* — on a
+    lossy transport that includes retransmissions, so the cost of reliability
+    is exact rather than estimated.  The reliability counters break the
+    attempts down: ``dropped`` attempts never arrived, ``retransmitted``
+    attempts were re-sends triggered by a timeout, ``duplicates`` arrived but
+    were suppressed by receiver-side dedup.  On the lossless transports all
+    three stay zero.
+    """
 
     messages: int = 0
     bits: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
     bits_by_kind: dict[str, int] = field(default_factory=dict)
+    dropped: int = 0
+    retransmitted: int = 0
+    duplicates: int = 0
+    dropped_by_kind: dict[str, int] = field(default_factory=dict)
+    retransmitted_by_kind: dict[str, int] = field(default_factory=dict)
+    duplicates_by_kind: dict[str, int] = field(default_factory=dict)
 
     def _charge(self, kind_value: str, copies: int, total_bits: int) -> None:
         """Single accounting primitive every charge path funnels through.
@@ -52,6 +67,36 @@ class ChannelStats:
         """
         self._charge(kind_value, copies, total_bits)
 
+    def record_dropped(self, message: Message, copies: int = 1) -> None:
+        """Count ``copies`` transmission attempts of ``message`` that were lost.
+
+        A dropped attempt has already been charged (at send time, like every
+        other attempt); this records only that it never arrived.
+        """
+        kind = message.kind.value
+        self.dropped += copies
+        self.dropped_by_kind[kind] = self.dropped_by_kind.get(kind, 0) + copies
+
+    def record_retransmit(self, message: Message, copies: int = 1) -> None:
+        """Count ``copies`` timeout-triggered re-sends of ``message``.
+
+        The re-send itself is charged through the normal accounting funnel;
+        this marks how much of the traffic was retransmission overhead.
+        """
+        kind = message.kind.value
+        self.retransmitted += copies
+        self.retransmitted_by_kind[kind] = (
+            self.retransmitted_by_kind.get(kind, 0) + copies
+        )
+
+    def record_duplicate(self, message: Message, copies: int = 1) -> None:
+        """Count ``copies`` arrivals of ``message`` suppressed as duplicates."""
+        kind = message.kind.value
+        self.duplicates += copies
+        self.duplicates_by_kind[kind] = (
+            self.duplicates_by_kind.get(kind, 0) + copies
+        )
+
     def snapshot(self) -> "ChannelStats":
         """Return an independent copy of the current counters."""
         return ChannelStats(
@@ -59,6 +104,12 @@ class ChannelStats:
             bits=self.bits,
             by_kind=dict(self.by_kind),
             bits_by_kind=dict(self.bits_by_kind),
+            dropped=self.dropped,
+            retransmitted=self.retransmitted,
+            duplicates=self.duplicates,
+            dropped_by_kind=dict(self.dropped_by_kind),
+            retransmitted_by_kind=dict(self.retransmitted_by_kind),
+            duplicates_by_kind=dict(self.duplicates_by_kind),
         )
 
     def __add__(self, other: "ChannelStats") -> "ChannelStats":
@@ -70,17 +121,28 @@ class ChannelStats:
         """
         if not isinstance(other, ChannelStats):
             return NotImplemented
-        by_kind = dict(self.by_kind)
-        for kind, count in other.by_kind.items():
-            by_kind[kind] = by_kind.get(kind, 0) + count
-        bits_by_kind = dict(self.bits_by_kind)
-        for kind, count in other.bits_by_kind.items():
-            bits_by_kind[kind] = bits_by_kind.get(kind, 0) + count
+
+        def merged(left: dict[str, int], right: dict[str, int]) -> dict[str, int]:
+            out = dict(left)
+            for kind, count in right.items():
+                out[kind] = out.get(kind, 0) + count
+            return out
+
         return ChannelStats(
             messages=self.messages + other.messages,
             bits=self.bits + other.bits,
-            by_kind=by_kind,
-            bits_by_kind=bits_by_kind,
+            by_kind=merged(self.by_kind, other.by_kind),
+            bits_by_kind=merged(self.bits_by_kind, other.bits_by_kind),
+            dropped=self.dropped + other.dropped,
+            retransmitted=self.retransmitted + other.retransmitted,
+            duplicates=self.duplicates + other.duplicates,
+            dropped_by_kind=merged(self.dropped_by_kind, other.dropped_by_kind),
+            retransmitted_by_kind=merged(
+                self.retransmitted_by_kind, other.retransmitted_by_kind
+            ),
+            duplicates_by_kind=merged(
+                self.duplicates_by_kind, other.duplicates_by_kind
+            ),
         )
 
     def __radd__(self, other: object) -> "ChannelStats":
@@ -125,12 +187,18 @@ class ChannelStats:
         for item in stats:
             total.messages += item.messages
             total.bits += item.bits
-            for kind, count in item.by_kind.items():
-                total.by_kind[kind] = total.by_kind.get(kind, 0) + count
-            for kind, count in item.bits_by_kind.items():
-                total.bits_by_kind[kind] = (
-                    total.bits_by_kind.get(kind, 0) + count
-                )
+            total.dropped += item.dropped
+            total.retransmitted += item.retransmitted
+            total.duplicates += item.duplicates
+            for target, source in (
+                (total.by_kind, item.by_kind),
+                (total.bits_by_kind, item.bits_by_kind),
+                (total.dropped_by_kind, item.dropped_by_kind),
+                (total.retransmitted_by_kind, item.retransmitted_by_kind),
+                (total.duplicates_by_kind, item.duplicates_by_kind),
+            ):
+                for kind, count in source.items():
+                    target[kind] = target.get(kind, 0) + count
         return total
 
 

@@ -231,6 +231,23 @@ class NetworkInstrumentation:
             labels=("level",),
             buckets=AGE_BUCKETS,
         )
+        self.dropped_total = reg.counter(
+            "repro_dropped_total",
+            "Message transmissions lost by the faulty transport, by kind "
+            "and hierarchy level.",
+            labels=("kind", "level"),
+        )
+        self.retransmissions_total = reg.counter(
+            "repro_retransmissions_total",
+            "Timeout-driven retransmissions by kind and hierarchy level.",
+            labels=("kind", "level"),
+        )
+        self.duplicates_total = reg.counter(
+            "repro_duplicates_total",
+            "Deliveries suppressed as duplicates (a retransmitted copy "
+            "raced a slow original), by kind and hierarchy level.",
+            labels=("kind", "level"),
+        )
         self.block_closes_total = reg.counter(
             "repro_block_closes_total",
             "Completed block-close rounds by hierarchy level "
@@ -353,6 +370,16 @@ class NetworkInstrumentation:
                 self.bits_total.labels(kind=kind, level=label).value = float(
                     stats.bits_by_kind.get(kind, 0)
                 )
+            # Reliability counters only materialise for (kind, level) pairs
+            # the faulty transport actually touched, so a lossless run's
+            # scrape output is unchanged.
+            for counter, per_kind in (
+                (self.dropped_total, stats.dropped_by_kind),
+                (self.retransmissions_total, stats.retransmitted_by_kind),
+                (self.duplicates_total, stats.duplicates_by_kind),
+            ):
+                for kind, count in per_kind.items():
+                    counter.labels(kind=kind, level=label).value = float(count)
         for level, ages in level_ages.items():
             label = str(level)
             self.deliveries_total.labels(level=label).value = float(len(ages))

@@ -1,0 +1,176 @@
+"""The ``transport.loss`` axis: spec validation, round-trips, CLI plumbing.
+
+The fault subsystem reaches users through the declarative spec layer, so
+this file pins the contracts at that boundary: invalid loss configurations
+fail in ``validate()`` with messages naming the offending fields (including
+the sync/loss and sync/repair conflicts), lossy specs survive the
+``to_dict``/``from_dict`` JSON round-trip, the spec-local loss-model name
+table stays in lockstep with the fault subsystem's own, an end-to-end lossy
+run surfaces its reliability totals, and the ``latency`` CLI subcommand's
+``--loss`` family of flags feeds the same axis.
+"""
+
+import json
+
+import pytest
+
+from repro.api import LOSS_MODEL_NAMES, RunSpec, SourceSpec, TrackerSpec, TransportSpec
+from repro.cli import main
+from repro.exceptions import ProtocolError
+from repro.faults.channel import LOSS_MODEL_NAMES as FAULT_LOSS_MODEL_NAMES
+
+
+def _spec(**transport_kwargs) -> RunSpec:
+    return RunSpec(
+        source=SourceSpec(stream="random_walk", length=2_000, seed=3, sites=4),
+        tracker=TrackerSpec(name="deterministic", epsilon=0.15),
+        transport=TransportSpec(mode="async", latency="uniform", **transport_kwargs),
+        record_every=50,
+    )
+
+
+class TestNameTablePin:
+    def test_spec_and_faults_agree_on_model_names(self):
+        # spec.py keeps a local copy so the sync-only import path never pulls
+        # in the fault subsystem; this pin is what allows that duplication.
+        assert LOSS_MODEL_NAMES == FAULT_LOSS_MODEL_NAMES
+
+
+class TestValidation:
+    def test_loss_out_of_range_names_field(self):
+        for loss in (-0.1, 1.0):
+            with pytest.raises(ValueError, match=r"transport\.loss"):
+                _spec(loss=loss).validate()
+
+    def test_unknown_loss_model_names_field(self):
+        with pytest.raises(ValueError, match=r"transport\.loss_model"):
+            _spec(loss=0.1, loss_model="cosmic").validate()
+
+    def test_sync_transport_rejects_loss(self):
+        spec = RunSpec(
+            source=SourceSpec(stream="random_walk", length=500),
+            tracker=TrackerSpec(name="deterministic"),
+            transport=TransportSpec(mode="sync", loss=0.1),
+        )
+        with pytest.raises(ProtocolError, match=r"transport\.loss"):
+            spec.validate()
+
+    def test_sync_transport_rejects_repair(self):
+        spec = RunSpec(
+            source=SourceSpec(stream="random_walk", length=500),
+            tracker=TrackerSpec(name="deterministic"),
+            transport=TransportSpec(mode="sync", repair=True),
+        )
+        with pytest.raises(ProtocolError, match=r"transport\.repair"):
+            spec.validate()
+
+    def test_burst_feasibility_names_both_fields(self):
+        with pytest.raises(ValueError, match=r"transport\.loss_burst"):
+            _spec(loss=0.9, loss_model="burst", loss_burst=2.0).validate()
+
+    def test_burst_length_below_one_rejected(self):
+        with pytest.raises(ValueError, match=r"transport\.loss_burst"):
+            _spec(loss=0.1, loss_model="burst", loss_burst=0.5).validate()
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match=r"transport\.timeout"):
+            _spec(loss=0.1, timeout=0.0).validate()
+
+    def test_lossless_async_spec_still_valid(self):
+        _spec().validate()
+
+
+class TestBuildFaults:
+    def test_zero_loss_builds_no_plan(self):
+        assert _spec().transport.build_faults() is None
+
+    def test_lossy_plan_carries_every_axis(self):
+        plan = _spec(
+            loss=0.2, loss_model="burst", loss_burst=6.0, loss_seed=9, timeout=2.0
+        ).transport.build_faults()
+        assert plan.loss == 0.2
+        assert plan.model == "burst"
+        assert plan.burst_length == 6.0
+        assert plan.seed == 9
+        assert plan.retransmit.timeout == 2.0
+        assert plan.retransmit.max_timeout == 32.0
+
+
+class TestRoundTrip:
+    def test_lossy_spec_json_round_trips(self):
+        spec = _spec(loss=0.15, loss_model="burst", loss_burst=5.0, loss_seed=4,
+                     timeout=2.5, repair=True)
+        clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        transport = clone.transport
+        assert (transport.loss, transport.loss_model, transport.loss_burst) == (
+            0.15, "burst", 5.0,
+        )
+        assert (transport.loss_seed, transport.timeout, transport.repair) == (
+            4, 2.5, True,
+        )
+
+    def test_with_overrides_reaches_the_loss_axis(self):
+        spec = _spec().with_overrides(
+            {"transport.loss": 0.1, "transport.repair": True}
+        )
+        assert spec.transport.loss == 0.1
+        assert spec.transport.repair is True
+
+
+class TestEndToEnd:
+    def test_lossy_run_surfaces_reliability(self):
+        result = _spec(loss=0.15, loss_seed=7).run()
+        reliability = result.summary(0.15)["reliability"]
+        assert reliability["dropped"] > 0
+        assert reliability["retransmitted"] == (
+            reliability["dropped"] + reliability["duplicates"]
+        )
+
+    def test_repaired_lossy_run_executes(self):
+        result = _spec(loss=0.1, repair=True).run()
+        assert result.summary(0.15)["reliability"]["dropped"] > 0
+
+    def test_lossless_run_reports_zero_reliability_traffic(self):
+        reliability = _spec().run().summary(0.15)["reliability"]
+        assert reliability == {"dropped": 0, "retransmitted": 0, "duplicates": 0}
+
+
+class TestLatencyCliLossFlags:
+    def test_loss_flags_add_reliability_columns(self, capsys):
+        exit_code = main(
+            [
+                "latency",
+                "--stream", "random_walk",
+                "--length", "1500",
+                "--sites", "2",
+                "--scales", "0", "2",
+                "--record-every", "25",
+                "--loss", "0.1",
+                "--loss-model", "burst",
+                "--loss-seed", "3",
+                "--repair",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "dropped" in captured
+        assert "retransmitted" in captured
+        assert "loss=0.1(burst)" in captured
+        assert "closes=repaired" in captured
+
+    def test_lossless_table_is_unchanged(self, capsys):
+        exit_code = main(
+            [
+                "latency",
+                "--stream", "random_walk",
+                "--length", "1000",
+                "--sites", "2",
+                "--scales", "0",
+                "--record-every", "25",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "dropped" not in captured
+        assert "loss=" not in captured

@@ -1,0 +1,104 @@
+"""Unit tests for the seeded per-link loss models.
+
+The loss layer is the probabilistic ground floor of the fault subsystem, so
+it gets statistical scrutiny: the i.i.d. model's empirical drop rate must
+match its nominal rate, the Gilbert–Elliott chain must hit its stationary
+drop rate while exhibiting the configured burstiness (mean bad-spell length),
+and per-link state must be independent — one link's bad spell must not leak
+into another's.  Configuration validation is exact: rates live in ``[0, 1)``
+so retransmission terminates almost surely, and burst parameters must keep
+the good→bad flip probability a probability.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import NO_LOSS, GilbertElliottLoss, IIDLoss, NoLoss
+
+
+class TestNoLoss:
+    def test_never_drops_and_is_lossless(self):
+        rng = np.random.default_rng(0)
+        assert NO_LOSS.lossless
+        assert not any(NO_LOSS.roll(rng, ("up", 0)) for _ in range(100))
+
+    def test_shared_instance_is_a_noloss(self):
+        assert isinstance(NO_LOSS, NoLoss)
+
+
+class TestIIDLoss:
+    def test_empirical_rate_matches_nominal(self):
+        model = IIDLoss(0.3)
+        rng = np.random.default_rng(42)
+        n = 20_000
+        drops = sum(model.roll(rng, ("up", 0)) for _ in range(n))
+        assert drops / n == pytest.approx(0.3, abs=0.02)
+
+    def test_not_lossless(self):
+        assert not IIDLoss(0.01).lossless
+
+    def test_zero_rate_never_drops(self):
+        model = IIDLoss(0.0)
+        rng = np.random.default_rng(1)
+        assert model.lossless
+        assert not any(model.roll(rng, ("down", 3)) for _ in range(200))
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5])
+    def test_rejects_rates_outside_unit_interval(self, rate):
+        with pytest.raises(ConfigurationError):
+            IIDLoss(rate)
+
+
+class TestGilbertElliott:
+    def test_stationary_rate_matches_nominal(self):
+        model = GilbertElliottLoss(0.2, burst_length=4.0)
+        rng = np.random.default_rng(7)
+        n = 60_000
+        drops = sum(model.roll(rng, ("up", 0)) for _ in range(n))
+        assert drops / n == pytest.approx(0.2, abs=0.02)
+
+    def test_mean_bad_spell_length_matches_burst_length(self):
+        model = GilbertElliottLoss(0.2, burst_length=6.0)
+        rng = np.random.default_rng(9)
+        rolls = [model.roll(rng, ("up", 0)) for _ in range(80_000)]
+        spells = []
+        run = 0
+        for dropped in rolls:
+            if dropped:
+                run += 1
+            elif run:
+                spells.append(run)
+                run = 0
+        assert np.mean(spells) == pytest.approx(6.0, rel=0.1)
+
+    def test_links_have_independent_state(self):
+        # Pin one link in a (near-permanent) bad spell; a fresh link must
+        # still start in the good state and deliver.  burst_length=1e6 makes
+        # both flip probabilities ~1e-6, so 50 rolls change nothing w.h.p.
+        model = GilbertElliottLoss(0.5, burst_length=1e6)
+        rng = np.random.default_rng(3)
+        hot, cold = ("up", 0), ("up", 1)
+        model._bad[hot] = True
+        assert all(model.roll(rng, hot) for _ in range(50))
+        assert not any(model.roll(rng, cold) for _ in range(50))
+
+    def test_rejects_infeasible_burst(self):
+        # rate/(1-rate) > burst_length makes P(good->bad) > 1.
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(0.6, burst_length=1.0)
+
+    def test_rejects_burst_below_one(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(0.1, burst_length=0.5)
+
+    @pytest.mark.parametrize("rate", [-0.01, 1.0])
+    def test_rejects_rates_outside_unit_interval(self, rate):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(rate)
+
+    def test_zero_rate_is_lossless(self):
+        model = GilbertElliottLoss(0.0)
+        rng = np.random.default_rng(5)
+        assert model.lossless
+        assert not any(model.roll(rng, ("up", 0)) for _ in range(100))

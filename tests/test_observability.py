@@ -298,6 +298,56 @@ class TestInstrumentationCountsMatchProtocol:
         mean = instr.registry.get("repro_staleness_mean_age")
         assert mean.value == pytest.approx(result.staleness.mean_age)
 
+    def test_reliability_counters_match_faulty_channel_stats(self):
+        from repro.faults import FaultPlan
+
+        updates = _updates(900, 4)
+        network = build_async_network(
+            DeterministicCounter(4, EPSILON),
+            latency=UniformLatency(1.0, 8.0),
+            seed=3,
+            faults=FaultPlan(loss=0.15, seed=7),
+        )
+        instr = instrument_network(network)
+        result = run_tracking_async(network, updates)
+        instr.registry.collect()
+        stats = network.channel.stats
+        assert result.dropped > 0
+        for name, scalar, per_kind in (
+            ("repro_dropped_total", stats.dropped, stats.dropped_by_kind),
+            (
+                "repro_retransmissions_total",
+                stats.retransmitted,
+                stats.retransmitted_by_kind,
+            ),
+            ("repro_duplicates_total", stats.duplicates, stats.duplicates_by_kind),
+        ):
+            family = instr.registry.get(name)
+            assert _series_sum(family) == float(scalar)
+            by_kind = {}
+            for suffix, (kind, _level), value in family.samples():
+                by_kind[kind] = by_kind.get(kind, 0) + value
+            assert by_kind == {
+                kind: float(count) for kind, count in per_kind.items()
+            }
+
+    def test_lossless_scrape_has_no_reliability_series(self):
+        updates = _updates(400, 4)
+        network = build_async_network(
+            DeterministicCounter(4, EPSILON), latency=UniformLatency(0.5, 2.0), seed=3
+        )
+        instr = instrument_network(network)
+        run_tracking_async(network, updates)
+        instr.registry.collect()
+        text = instr.registry.render()
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert not line.startswith(
+                ("repro_dropped_total{", "repro_retransmissions_total{",
+                 "repro_duplicates_total{")
+            )
+
     def test_migration_bumps_counter_and_keeps_counting(self):
         k, shards = 8, 2
         updates = _updates(1200, k)
